@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks for the hot paths of every substrate:
+//! event queue, analytic cache model, trace-driven cache simulator, and
+//! the instrumented protocol engine. These guard the simulator's own
+//! performance (simulated-time throughput depends on them) and provide
+//! the ablation data for DESIGN.md's implementation choices (exact
+//! binomial tail vs direct-mapped closed form, LRU bookkeeping cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use afs_cache::model::flush::{flushed_fraction, flushed_fraction_poisson};
+use afs_cache::model::footprint::MVS_WORKLOAD;
+use afs_cache::model::hierarchy::FlushModel;
+use afs_cache::model::platform::Platform;
+use afs_cache::sim::cache::{Cache, Replacement};
+use afs_cache::sim::trace::Region;
+use afs_desim::event::EventQueue;
+use afs_desim::time::{SimDuration, SimTime};
+use afs_xkernel::driver::{PacketFactory, RxFrame};
+use afs_xkernel::mem::MemLayout;
+use afs_xkernel::{CostModel, ProtocolEngine, StreamId, ThreadId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop_hot", |b| {
+        let mut q = EventQueue::new();
+        // Keep a standing population of 1024 events.
+        for i in 0..1024u64 {
+            q.push(SimTime::from_micros(i), i);
+        }
+        let mut t = 1024u64;
+        b.iter(|| {
+            let (_, v) = q.pop().expect("nonempty");
+            t += 1;
+            q.push(SimTime::from_micros(t), black_box(v));
+        });
+    });
+    g.bench_function("push_cancel", |b| {
+        let mut q = EventQueue::new();
+        b.iter(|| {
+            let id = q.push(SimTime::from_micros(black_box(5)), 0u64);
+            assert!(q.cancel(id));
+        });
+    });
+    g.finish();
+}
+
+fn bench_analytic_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytic_model");
+    g.bench_function("footprint_u", |b| {
+        b.iter(|| MVS_WORKLOAD.footprint(black_box(25_000.0), black_box(16.0)));
+    });
+    g.bench_function("flush_direct_mapped", |b| {
+        b.iter(|| flushed_fraction(black_box(1_500.0), 1024, 1));
+    });
+    g.bench_function("flush_4way_exact_tail", |b| {
+        b.iter(|| flushed_fraction(black_box(1_500.0), 256, 4));
+    });
+    g.bench_function("flush_4way_poisson_approx", |b| {
+        b.iter(|| flushed_fraction_poisson(black_box(1_500.0), 256, 4));
+    });
+    let model = FlushModel::new(Platform::sgi_challenge_r4400(), MVS_WORKLOAD);
+    g.bench_function("displacement_f1_f2", |b| {
+        b.iter(|| model.displacement(black_box(SimDuration::from_micros(1_500))));
+    });
+    g.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_sim");
+    g.throughput(Throughput::Elements(1));
+    let platform = Platform::sgi_challenge_r4400();
+    g.bench_function("l1_access_hit", |b| {
+        let mut cache = Cache::new(platform.l1, Replacement::Lru);
+        cache.access(0x40, Region::Stream);
+        b.iter(|| cache.access(black_box(0x40), Region::Stream));
+    });
+    g.bench_function("l1_access_conflict_stream", |b| {
+        let mut cache = Cache::new(platform.l1, Replacement::Lru);
+        let mut addr: u64 = 0;
+        b.iter(|| {
+            // Worst case: every access misses and evicts.
+            addr = addr.wrapping_add(16 * 1024); // same set, new tag
+            cache.access(black_box(addr), Region::NonProtocol)
+        });
+    });
+    g.finish();
+}
+
+fn bench_protocol_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_engine");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("receive_warm_packet", |b| {
+        let cost = CostModel::default();
+        let mut eng = ProtocolEngine::new(cost);
+        eng.bind_stream(StreamId(0));
+        let mut hier = cost.hierarchy();
+        let mut factory = PacketFactory::new();
+        let frame = RxFrame {
+            bytes: factory.frame_for(StreamId(0), 1),
+            stream: StreamId(0),
+            buf_addr: MemLayout::new().packet(0),
+        };
+        b.iter(|| {
+            eng.receive(&mut hier, black_box(&frame), ThreadId(0))
+                .expect("well-formed")
+        });
+    });
+    g.bench_function("receive_tcp_warm_segment", |b| {
+        let cost = CostModel::default();
+        let mut eng = ProtocolEngine::new(cost);
+        eng.bind_tcp_stream(StreamId(0), 0);
+        let mut hier = cost.hierarchy();
+        let mut factory = PacketFactory::new();
+        let mut seq = 0u32;
+        b.iter(|| {
+            let frame = RxFrame {
+                bytes: factory.tcp_frame_for(StreamId(0), seq, b"x"),
+                stream: StreamId(0),
+                buf_addr: MemLayout::new().packet(0),
+            };
+            seq = seq.wrapping_add(1);
+            eng.receive_tcp(&mut hier, black_box(&frame), ThreadId(0))
+                .expect("well-formed")
+        });
+    });
+    g.bench_function("frame_build_parse", |b| {
+        let mut factory = PacketFactory::new();
+        b.iter(|| {
+            let bytes = factory.frame_for(StreamId(0), 64);
+            let mut msg = afs_xkernel::msg::Message::from_wire(&bytes, 0);
+            afs_xkernel::fddi::parse_frame(&mut msg).expect("valid")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(60);
+    targets = bench_event_queue, bench_analytic_model, bench_cache_sim, bench_protocol_engine
+);
+criterion_main!(micro);

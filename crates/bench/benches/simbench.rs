@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the full scheduling simulator: how many
+//! simulated packets per wall-clock second each paradigm/policy
+//! processes. These set expectations for figure-regeneration times and
+//! catch dispatch-path regressions (the policy scan is O(processors) or
+//! O(stacks) per dispatch).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use afs_core::prelude::*;
+
+/// One short run: ~0.25 simulated seconds at moderate load.
+fn short_cfg(paradigm: Paradigm) -> SystemConfig {
+    let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(16, 800.0));
+    cfg.warmup = SimDuration::from_millis(50);
+    cfg.horizon = SimDuration::from_millis(250);
+    cfg
+}
+
+fn bench_paradigms(c: &mut Criterion) {
+    // Pre-warm the calibration cache so the first benchmark doesn't pay it.
+    let _ = ExecParams::calibrated();
+    let mut g = c.benchmark_group("sim_run_250ms_12800pps");
+    g.sample_size(20);
+    // ~3200 packets per run.
+    g.throughput(Throughput::Elements(3_200));
+    let cases: Vec<(&str, Paradigm)> = vec![
+        (
+            "locking_baseline",
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+        ),
+        (
+            "locking_mru",
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+        ),
+        (
+            "locking_wired",
+            Paradigm::Locking {
+                policy: LockPolicy::Wired,
+            },
+        ),
+        (
+            "ips_wired_16",
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: 16,
+            },
+        ),
+        (
+            "ips_mru_16",
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: 16,
+            },
+        ),
+    ];
+    for (name, paradigm) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(|| short_cfg(paradigm.clone()), run, BatchSize::SmallInput);
+        });
+    }
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration");
+    g.sample_size(10);
+    g.bench_function("full_section4_suite", |b| {
+        b.iter(|| afs_xkernel::calibrate(&afs_xkernel::CostModel::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = sim;
+    config = Criterion::default();
+    targets = bench_paradigms, bench_calibration
+);
+criterion_main!(sim);

@@ -1,0 +1,69 @@
+//! Ablation A18 — host scalability: aggregate capacity vs processor
+//! count.
+//!
+//! The paper's platform has 8 processors; this ablation asks how each
+//! paradigm's *aggregate* throughput capacity scales as the machine
+//! grows (2 → 16 CPUs) with the stream population fixed at 16. Locking
+//! pools every processor but pays lock overhead and migration; wired
+//! IPS scales with min(stacks, N) and pays neither — so IPS holds a
+//! roughly constant per-processor edge until stacks run out.
+
+use afs_bench::{banner, ips, template, write_csv, Checks, K_STREAMS};
+use afs_core::prelude::*;
+
+fn capacity(paradigm: Paradigm, n_procs: usize) -> f64 {
+    let mut t = template(paradigm, K_STREAMS);
+    t.n_procs = n_procs;
+    // Per-stream capacity; convert to aggregate.
+    let per_stream = capacity_search(&t, 20.0, 8_000.0, 0.03);
+    per_stream * K_STREAMS as f64
+}
+
+fn main() {
+    banner(
+        "ABLATION A18",
+        "Aggregate capacity vs processor count (K = 16 streams)",
+        "host scalability of the two paradigms",
+    );
+    let procs = [2usize, 4, 8, 16];
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "procs", "locking-mru pps", "ips-wired pps", "IPS edge"
+    );
+    let mut rows = Vec::new();
+    let mut lock_caps = Vec::new();
+    let mut ips_caps = Vec::new();
+    for &n in &procs {
+        let lock = capacity(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            n,
+        );
+        let ipsc = capacity(ips(IpsPolicy::Wired, K_STREAMS), n);
+        let edge = ipsc / lock;
+        println!("{n:>8} {lock:>16.0} {ipsc:>16.0} {edge:>10.2}");
+        rows.push(format!("{n},{lock:.0},{ipsc:.0},{edge:.3}"));
+        lock_caps.push(lock);
+        ips_caps.push(ipsc);
+    }
+    write_csv("abl18_procs", "procs,locking_pps,ips_pps,ips_edge", &rows);
+
+    let mut checks = Checks::new();
+    checks.expect(
+        "Locking capacity scales near-linearly 2->16 procs (>= 6x)",
+        lock_caps[3] / lock_caps[0] >= 6.0,
+    );
+    checks.expect(
+        "IPS capacity scales while stacks outnumber processors (>= 6x)",
+        ips_caps[3] / ips_caps[0] >= 6.0,
+    );
+    checks.expect(
+        "IPS holds a capacity edge over Locking at every size",
+        ips_caps
+            .iter()
+            .zip(&lock_caps)
+            .all(|(i, l)| i > &(l * 0.98)),
+    );
+    checks.finish();
+}

@@ -1,0 +1,121 @@
+//! Extension E12 — send-side UDP/IP/FDDI processing (paper's future
+//! work item i).
+//!
+//! Calibrates the send path the same way Section 4 calibrates the
+//! receive path (warm / L2 / cold bounds over the simulated hierarchy),
+//! then runs the affinity comparison with send-side bounds.
+
+use afs_bench::{banner, template, write_csv, Checks};
+use afs_cache::model::exec_time::{ComponentWeights, TimeBounds};
+use afs_cache::sim::trace::Region;
+use afs_core::prelude::*;
+use afs_xkernel::mem::MemLayout;
+use afs_xkernel::{CostModel, ProtocolEngine, StreamId, ThreadId};
+
+/// Measure the mean send time under a per-packet cache-state preparation.
+fn measure_send(prep: &mut dyn FnMut(&mut afs_cache::sim::hierarchy::MemoryHierarchy)) -> f64 {
+    let cost = CostModel::default();
+    let mut eng = ProtocolEngine::new(cost);
+    eng.bind_stream(StreamId(0));
+    let mut hier = cost.hierarchy();
+    let layout = MemLayout::new();
+    let payload = [0u8; 64];
+    let mut total = 0.0;
+    let warmup = 30;
+    let measure = 20;
+    for i in 0..(warmup + measure) {
+        hier.purge_region(Region::PacketData);
+        prep(&mut hier);
+        let (t, _) = eng.send(
+            &mut hier,
+            StreamId(0),
+            &payload,
+            ThreadId(0),
+            layout.packet(i % 8),
+        );
+        if i >= warmup {
+            total += t.us;
+        }
+    }
+    total / measure as f64
+}
+
+fn main() {
+    banner(
+        "EXT E12",
+        "Send-side UDP/IP/FDDI under affinity scheduling",
+        "future-work item (i): evaluating affinity-based scheduling of send-side processing",
+    );
+    let t_warm = measure_send(&mut |_| {});
+    let t_l2 = measure_send(&mut |h| h.flush_l1());
+    let t_cold = measure_send(&mut |h| h.flush_all());
+    println!("send-side bounds: warm {t_warm:.1} us, L2 {t_l2:.1} us, cold {t_cold:.1} us");
+    println!("  (receive-side: 150.8 / 221.2 / 287.2 us — send is lighter: no validation loops)");
+
+    // Run the policy face-off with send-side bounds.
+    let bounds = TimeBounds::new(t_warm, t_l2.clamp(t_warm, t_cold), t_cold);
+    let exec = ExecParams::from_bounds(bounds, ComponentWeights::nominal(), 11.2);
+    let k = 16;
+    let rates = [200.0, 800.0, 1600.0, 2400.0];
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>12}",
+        "rate/s", "baseline", "mru", "reduction%"
+    );
+    let mut rows = vec![
+        format!("t_warm_us,{t_warm:.2}"),
+        format!("t_l2_us,{t_l2:.2}"),
+        format!("t_cold_us,{t_cold:.2}"),
+    ];
+    let mut any_gain = false;
+    for &r in &rates {
+        let mut cb = template(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            k,
+        );
+        cb.exec = exec;
+        cb.population = cb.population.clone().with_rate(r);
+        let base = run(cb);
+        let mut cm = template(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            k,
+        );
+        cm.exec = exec;
+        cm.population = cm.population.clone().with_rate(r);
+        let mru = run(cm);
+        if base.stable && mru.stable {
+            let red = 100.0 * (1.0 - mru.mean_delay_us / base.mean_delay_us);
+            println!(
+                "{r:>10.0} {:>12.1} {:>12.1} {red:>12.1}",
+                base.mean_delay_us, mru.mean_delay_us
+            );
+            rows.push(format!("reduction_at_{r:.0},{red:.2}"));
+            if red > 5.0 {
+                any_gain = true;
+            }
+        }
+    }
+    write_csv("ext12_send_side", "key,value", &rows);
+
+    let mut checks = Checks::new();
+    checks.expect(
+        "send bounds ordered warm < L2 < cold",
+        t_warm < t_l2 && t_l2 < t_cold,
+    );
+    checks.expect("send path cheaper than receive path (warm)", t_warm < 150.8);
+    checks.expect(
+        "send-side reload span in a similar band (25-60% of cold)",
+        {
+            let f = (t_cold - t_warm) / t_cold;
+            (0.25..0.60).contains(&f)
+        },
+    );
+    checks.expect(
+        "affinity scheduling also pays off on the send side (>5%)",
+        any_gain,
+    );
+    checks.finish();
+}

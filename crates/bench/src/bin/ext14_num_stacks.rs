@@ -1,0 +1,96 @@
+//! Extension E14 — varying the number of independent stacks under IPS
+//! (paper's future-work item iii).
+//!
+//! Fewer stacks than streams coarsens the serialization unit (more
+//! head-of-line coupling between streams sharing a stack); more stacks
+//! than processors creates wiring collisions. The sweep exposes the
+//! trade-off at a moderate and a high load.
+
+use afs_bench::{banner, template, write_csv, Checks, K_STREAMS};
+use afs_core::prelude::*;
+
+fn main() {
+    banner(
+        "EXT E14",
+        "IPS: impact of the number of independent stacks",
+        "future-work item (iii): exploring under IPS the impact of varying the number of stacks",
+    );
+    let k = K_STREAMS;
+    let stack_counts = [2usize, 4, 8, 16];
+    let rates = [600.0, 1800.0, 2600.0];
+    println!(
+        "{:>8} {:>10} {:>14} {:>14}",
+        "stacks", "rate/s", "wired (us)", "mru (us)"
+    );
+    let mut rows = Vec::new();
+    let mut wired_at = std::collections::HashMap::new();
+    for &ns in &stack_counts {
+        for &r in &rates {
+            let mut cw = template(
+                Paradigm::Ips {
+                    policy: IpsPolicy::Wired,
+                    n_stacks: ns,
+                },
+                k,
+            );
+            cw.population = cw.population.clone().with_rate(r);
+            let w = run(cw);
+            let mut cm = template(
+                Paradigm::Ips {
+                    policy: IpsPolicy::Mru,
+                    n_stacks: ns,
+                },
+                k,
+            );
+            cm.population = cm.population.clone().with_rate(r);
+            let m = run(cm);
+            let wtxt = if w.stable {
+                format!("{:.1}", w.mean_delay_us)
+            } else {
+                "unstable".into()
+            };
+            let mtxt = if m.stable {
+                format!("{:.1}", m.mean_delay_us)
+            } else {
+                "unstable".into()
+            };
+            println!("{ns:>8} {r:>10.0} {wtxt:>14} {mtxt:>14}");
+            rows.push(format!(
+                "{ns},{r},{},{}",
+                if w.stable {
+                    format!("{:.2}", w.mean_delay_us)
+                } else {
+                    "inf".into()
+                },
+                if m.stable {
+                    format!("{:.2}", m.mean_delay_us)
+                } else {
+                    "inf".into()
+                },
+            ));
+            wired_at.insert((ns, r as u64), (w.stable, w.mean_delay_us));
+        }
+    }
+    write_csv("ext14_num_stacks", "stacks,rate,wired_us,mru_us", &rows);
+
+    let mut checks = Checks::new();
+    // Aggregate capacity grows with stack count until stacks ≥ procs.
+    let few = wired_at[&(2, 2600)];
+    let eight = wired_at[&(8, 2600)];
+    checks.expect(
+        "2 stacks cannot carry what 8 stacks carry at 2600/s/stream",
+        !few.0 || (eight.0 && eight.1 < few.1),
+    );
+    let full = wired_at[&(16, 600)];
+    let eight_mid = wired_at[&(8, 600)];
+    println!(
+        "  at 600/s: 8 stacks {:.1} us vs 16 stacks {:.1} us",
+        eight_mid.1, full.1
+    );
+    checks.expect(
+        "at moderate load, 8 and 16 stacks perform within 15%",
+        (full.1 - eight_mid.1).abs() / eight_mid.1 < 0.15,
+    );
+    checks.expect("8-stack wired stable at 2600/s/stream", eight.0);
+    checks.finish();
+}

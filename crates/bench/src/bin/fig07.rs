@@ -1,0 +1,89 @@
+//! Figure 7 — Locking with many streams (K = 32 > N): the MRU/Wired
+//! crossover.
+//!
+//! The paper's conclusion: "Under Locking, processors should be managed
+//! MRU — except under high arrival rate, when Wired-Streams scheduling
+//! performs better." With K = 32 streams over 8 processors, MRU wins at
+//! low and moderate load (work-conserving, keeps the code footprint
+//! concentrated) but saturates earlier than Wired, which never migrates
+//! stream state and therefore has the lower service time — and the
+//! higher capacity — at the top of the range.
+
+use afs_bench::{banner, print_table, series_rows, template, write_csv, Checks};
+use afs_core::analysis::crossover_index;
+use afs_core::prelude::*;
+
+fn main() {
+    banner(
+        "FIGURE 7",
+        "Locking, K = 32 streams: MRU vs Wired crossover at high rate",
+        "MRU except under high arrival rate, when Wired-Streams performs better",
+    );
+    let k = 32;
+    let rates: Vec<f64> = vec![
+        50.0, 100.0, 200.0, 350.0, 500.0, 700.0, 900.0, 1100.0, 1250.0, 1350.0, 1450.0,
+    ];
+    let mru = rate_sweep(
+        "mru",
+        &template(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            k,
+        ),
+        &rates,
+    );
+    let wired = rate_sweep(
+        "wired",
+        &template(
+            Paradigm::Locking {
+                policy: LockPolicy::Wired,
+            },
+            k,
+        ),
+        &rates,
+    );
+    let base = rate_sweep(
+        "baseline",
+        &template(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            k,
+        ),
+        &rates,
+    );
+    let series = vec![base, mru, wired];
+    print_table("pkts/s/stream", &rates, &series);
+    let (header, rows) = series_rows(&rates, &series);
+    write_csv("fig07", &header, &rows);
+
+    let mru = &series[1];
+    let wired = &series[2];
+    let mut checks = Checks::new();
+    checks.expect(
+        "MRU better than Wired at low rate",
+        mru.points[0].report.mean_delay_us < wired.points[0].report.mean_delay_us,
+    );
+    let cross = crossover_index(mru, wired);
+    checks.expect(
+        "a crossover exists: Wired wins at high rate",
+        cross.is_some(),
+    );
+    if let Some(i) = cross {
+        println!(
+            "  crossover at ~{:.0} pkts/s/stream ({:.0} aggregate)",
+            rates[i],
+            rates[i] * k as f64
+        );
+        checks.expect(
+            "crossover in the upper half of the range",
+            i >= rates.len() / 2,
+        );
+    }
+    checks.expect(
+        "Wired survives to higher rates than MRU (capacity extension)",
+        wired.max_stable_rate().unwrap_or(0.0) >= mru.max_stable_rate().unwrap_or(0.0),
+    );
+    checks.finish();
+}

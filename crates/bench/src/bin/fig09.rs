@@ -1,0 +1,122 @@
+//! Figure 9 (reconstructed) — robustness and scalability trade-offs.
+//!
+//! The abstract's two caveats about IPS:
+//!
+//! * (a) "less robust response to intra-stream burstiness" — mean delay
+//!   vs batch size at fixed mean rate: a burst on one stream serializes
+//!   on its stack under IPS but fans out across processors under
+//!   Locking.
+//! * (b) "limited intra-stream scalability" — maximum throughput of a
+//!   *single* stream vs processor count: one stream rides one stack (≈
+//!   one processor) under IPS, while Locking spreads its packets over
+//!   all processors.
+
+use afs_bench::{banner, ips, template, write_csv, Checks, K_STREAMS};
+use afs_core::prelude::*;
+
+fn burst_experiment() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let k = K_STREAMS;
+    let batch_means = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+    let rate = 700.0; // per stream; moderate aggregate load
+    let mut lock = Vec::new();
+    let mut ipsd = Vec::new();
+    for &b in &batch_means {
+        let mut cfg = template(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            k,
+        );
+        cfg.population = Population::homogeneous_bursty(k, rate, b);
+        lock.push(run(cfg).mean_delay_us);
+
+        let mut cfg = template(ips(IpsPolicy::Wired, k), k);
+        cfg.population = Population::homogeneous_bursty(k, rate, b);
+        ipsd.push(run(cfg).mean_delay_us);
+    }
+    (batch_means, lock, ipsd)
+}
+
+fn scalability_experiment() -> (Vec<usize>, Vec<f64>, Vec<f64>) {
+    // One stream, N processors: find the max sustainable rate.
+    let procs = vec![1, 2, 4, 8];
+    let mut lock = Vec::new();
+    let mut ipsd = Vec::new();
+    for &n in &procs {
+        let mut t = template(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            1,
+        );
+        t.n_procs = n;
+        lock.push(capacity_search(&t, 500.0, 60_000.0, 0.05));
+
+        let mut t = template(ips(IpsPolicy::Wired, 1), 1);
+        t.n_procs = n;
+        ipsd.push(capacity_search(&t, 500.0, 60_000.0, 0.05));
+    }
+    (procs, lock, ipsd)
+}
+
+fn main() {
+    banner(
+        "FIGURE 9",
+        "(a) burst robustness; (b) intra-stream scalability",
+        "IPS: less robust to intra-stream burstiness; limited intra-stream scalability",
+    );
+
+    println!("(a) mean delay (us) vs intra-stream batch size, 700 pkts/s/stream:");
+    let (batches, lock_d, ips_d) = burst_experiment();
+    println!("{:>10} {:>12} {:>12}", "batch", "locking-mru", "ips-wired");
+    let mut rows = Vec::new();
+    for i in 0..batches.len() {
+        println!(
+            "{:>10.0} {:>12.1} {:>12.1}",
+            batches[i], lock_d[i], ips_d[i]
+        );
+        rows.push(format!("{},{:.2},{:.2}", batches[i], lock_d[i], ips_d[i]));
+    }
+    write_csv("fig09a", "batch_mean,locking_mru_us,ips_wired_us", &rows);
+
+    println!("\n(b) max single-stream throughput (pkts/s) vs processors:");
+    let (procs, lock_c, ips_c) = scalability_experiment();
+    println!("{:>10} {:>12} {:>12}", "procs", "locking-mru", "ips");
+    let mut rows = Vec::new();
+    for i in 0..procs.len() {
+        println!("{:>10} {:>12.0} {:>12.0}", procs[i], lock_c[i], ips_c[i]);
+        rows.push(format!("{},{:.0},{:.0}", procs[i], lock_c[i], ips_c[i]));
+    }
+    write_csv(
+        "fig09b",
+        "procs,locking_capacity_pps,ips_capacity_pps",
+        &rows,
+    );
+
+    let mut checks = Checks::new();
+    // (a) IPS delay grows faster with burstiness.
+    let lock_growth = lock_d.last().unwrap() / lock_d[0];
+    let ips_growth = ips_d.last().unwrap() / ips_d[0];
+    println!("  delay growth x32 bursts: locking {lock_growth:.2}x, ips {ips_growth:.2}x");
+    checks.expect(
+        "IPS delay grows faster with burst size than Locking",
+        ips_growth > 1.3 * lock_growth,
+    );
+    checks.expect(
+        "IPS still wins at batch = 1 (Poisson)",
+        ips_d[0] < lock_d[0],
+    );
+    // (b) Locking scales with N; IPS is flat.
+    let lock_scaling = lock_c[3] / lock_c[0];
+    let ips_scaling = ips_c[3] / ips_c[0];
+    println!("  single-stream capacity 8p/1p: locking {lock_scaling:.2}x, ips {ips_scaling:.2}x");
+    checks.expect(
+        "Locking single-stream capacity scales >2x from 1 to 8 procs",
+        lock_scaling > 2.0,
+    );
+    checks.expect(
+        "IPS single-stream capacity flat in N (<1.3x)",
+        ips_scaling < 1.3,
+    );
+    checks.finish();
+}

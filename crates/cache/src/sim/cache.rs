@@ -1,0 +1,480 @@
+//! A set-associative cache with per-region occupancy tracking.
+//!
+//! Used trace-driven: the calibration harness replays instrumented
+//! protocol executions and controlled flush workloads through it, standing
+//! in for the paper's hardware measurements. Supports LRU / FIFO / random
+//! replacement (the R4400 and Challenge secondary are direct-mapped, where
+//! all three coincide).
+
+use crate::model::platform::CacheGeometry;
+use crate::sim::trace::Region;
+
+/// Replacement policy within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict the oldest-filled way.
+    Fifo,
+    /// Evict a pseudo-random way (xorshift; deterministic per cache).
+    Random,
+}
+
+/// One resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineEntry {
+    /// Line tag (full line address; sets are selected separately, keeping
+    /// the tag redundant but simple and cheap at these sizes).
+    line_addr: u64,
+    /// Owner of the line (for occupancy statistics).
+    region: Region,
+    /// Written since fill (write-back caches must flush it on eviction;
+    /// dirty lines are also what makes migrating stream state dearer
+    /// than a clean memory fill — the remote premium's physical basis).
+    dirty: bool,
+}
+
+/// A cache set: ways ordered most-recent-first (for LRU) or
+/// oldest-last (FIFO uses insertion order too — push-front, evict-back).
+#[derive(Debug, Clone, Default)]
+struct CacheSet {
+    ways: Vec<LineEntry>,
+}
+
+/// Result of a lookup-and-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// The line displaced to make room, if any.
+    pub evicted: Option<(u64, Region)>,
+    /// The displaced line was dirty (a write-back was issued).
+    pub wrote_back: bool,
+}
+
+/// A set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    replacement: Replacement,
+    sets: Vec<CacheSet>,
+    /// Per-region resident line counts, dense-indexed by `Region::index`.
+    occupancy: [u64; 6],
+    /// Xorshift state for `Replacement::Random`.
+    rand_state: u64,
+    /// Statistics.
+    pub stats: CacheStats,
+}
+
+/// Hit/miss counters, total and per region.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Per-region accesses.
+    pub region_accesses: [u64; 6],
+    /// Per-region hits.
+    pub region_hits: [u64; 6],
+}
+
+impl CacheStats {
+    /// Overall miss ratio (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss ratio for one region.
+    pub fn region_miss_ratio(&self, region: Region) -> f64 {
+        let i = region.index();
+        if self.region_accesses[i] == 0 {
+            0.0
+        } else {
+            1.0 - self.region_hits[i] as f64 / self.region_accesses[i] as f64
+        }
+    }
+}
+
+impl Cache {
+    /// Create an empty cache.
+    pub fn new(geometry: CacheGeometry, replacement: Replacement) -> Self {
+        let sets = geometry.sets() as usize;
+        Cache {
+            geometry,
+            replacement,
+            sets: vec![CacheSet::default(); sets],
+            occupancy: [0; 6],
+            rand_state: 0x9e3779b97f4a7c15,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Line address for a byte address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.geometry.line_bytes as u64
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr % self.geometry.sets()) as usize
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // Xorshift64*.
+        let mut x = self.rand_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rand_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Access a byte address with a read, filling on miss.
+    pub fn access(&mut self, addr: u64, region: Region) -> AccessResult {
+        self.access_rw(addr, region, false)
+    }
+
+    /// Access a byte address, filling on miss; `is_write` marks the line
+    /// dirty. Returns hit/evicted/write-back info.
+    pub fn access_rw(&mut self, addr: u64, region: Region, is_write: bool) -> AccessResult {
+        let line = self.line_of(addr);
+        let set_idx = self.set_of(line);
+        let assoc = self.geometry.associativity as usize;
+
+        self.stats.accesses += 1;
+        self.stats.region_accesses[region.index()] += 1;
+
+        let hit_pos = self.sets[set_idx]
+            .ways
+            .iter()
+            .position(|e| e.line_addr == line);
+        if let Some(pos) = hit_pos {
+            self.stats.hits += 1;
+            self.stats.region_hits[region.index()] += 1;
+            // Occupancy region may change owner on re-touch (e.g. a
+            // packet buffer recycled as stream state).
+            let old_region = self.sets[set_idx].ways[pos].region;
+            if old_region != region {
+                self.occupancy[old_region.index()] -= 1;
+                self.occupancy[region.index()] += 1;
+                self.sets[set_idx].ways[pos].region = region;
+            }
+            if is_write {
+                self.sets[set_idx].ways[pos].dirty = true;
+            }
+            if self.replacement == Replacement::Lru {
+                let e = self.sets[set_idx].ways.remove(pos);
+                self.sets[set_idx].ways.insert(0, e);
+            }
+            return AccessResult {
+                hit: true,
+                evicted: None,
+                wrote_back: false,
+            };
+        }
+
+        // Miss: fill, possibly evicting.
+        let occupied = self.sets[set_idx].ways.len();
+        let mut wrote_back = false;
+        let evicted = if occupied >= assoc {
+            let victim_pos = match self.replacement {
+                Replacement::Lru | Replacement::Fifo => occupied - 1,
+                Replacement::Random => (self.next_rand() % occupied as u64) as usize,
+            };
+            let victim = self.sets[set_idx].ways.remove(victim_pos);
+            self.occupancy[victim.region.index()] -= 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                wrote_back = true;
+            }
+            Some((victim.line_addr, victim.region))
+        } else {
+            None
+        };
+
+        self.sets[set_idx].ways.insert(
+            0,
+            LineEntry {
+                line_addr: line,
+                region,
+                dirty: is_write,
+            },
+        );
+        self.occupancy[region.index()] += 1;
+        AccessResult {
+            hit: false,
+            evicted,
+            wrote_back,
+        }
+    }
+
+    /// Resident dirty-line count for one region — the lines a migration
+    /// must transfer cache-to-cache rather than refetch from memory.
+    pub fn dirty_occupancy(&self, region: Region) -> u64 {
+        self.sets
+            .iter()
+            .flat_map(|s| s.ways.iter())
+            .filter(|e| e.region == region && e.dirty)
+            .count() as u64
+    }
+
+    /// Whether a byte address is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set = &self.sets[self.set_of(line)];
+        set.ways.iter().any(|e| e.line_addr == line)
+    }
+
+    /// Invalidate a line (back-invalidation from an inclusive outer
+    /// level). Returns true if it was resident.
+    pub fn invalidate_line(&mut self, line_addr: u64) -> bool {
+        let set_idx = self.set_of(line_addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.ways.iter().position(|e| e.line_addr == line_addr) {
+            let e = set.ways.remove(pos);
+            self.occupancy[e.region.index()] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evict every resident line owned by `region`. Returns the number of
+    /// lines removed.
+    pub fn purge_region(&mut self, region: Region) -> u64 {
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.ways.len();
+            set.ways.retain(|e| e.region != region);
+            removed += (before - set.ways.len()) as u64;
+        }
+        self.occupancy[region.index()] -= removed;
+        removed
+    }
+
+    /// Drop every resident line.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.ways.clear();
+        }
+        self.occupancy = [0; 6];
+    }
+
+    /// Resident line count for one region.
+    pub fn occupancy(&self, region: Region) -> u64 {
+        self.occupancy[region.index()]
+    }
+
+    /// Total resident lines.
+    pub fn total_occupancy(&self) -> u64 {
+        self.occupancy.iter().sum()
+    }
+
+    /// Fraction of `lines` (given as line addresses) still resident —
+    /// the direct measurement of `1 − F(x)` for a preloaded footprint.
+    pub fn resident_fraction(&self, lines: &[u64]) -> f64 {
+        if lines.is_empty() {
+            return 1.0;
+        }
+        let resident = lines
+            .iter()
+            .filter(|&&l| {
+                let set = &self.sets[self.set_of(l)];
+                set.ways.iter().any(|e| e.line_addr == l)
+            })
+            .count();
+        resident as f64 / lines.len() as f64
+    }
+
+    /// Reset statistics (occupancy is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: u32) -> Cache {
+        // 4 sets × assoc ways × 16-byte lines.
+        let cap = 4 * assoc as u64 * 16;
+        Cache::new(CacheGeometry::new(cap, 16, assoc), Replacement::Lru)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(1);
+        let r1 = c.access(0x100, Region::Stream);
+        assert!(!r1.hit);
+        let r2 = c.access(0x104, Region::Stream); // same 16B line
+        assert!(r2.hit);
+        assert_eq!(c.stats.accesses, 2);
+        assert_eq!(c.stats.hits, 1);
+        assert!((c.stats.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = tiny(1);
+        // Lines 0 and 4 map to set 0 (4 sets).
+        c.access(0, Region::Stream);
+        let r = c.access(4 * 16, Region::NonProtocol);
+        assert!(!r.hit);
+        assert_eq!(r.evicted, Some((0, Region::Stream)));
+        assert!(!c.contains(0));
+        assert!(c.contains(4 * 16));
+        assert_eq!(c.occupancy(Region::Stream), 0);
+        assert_eq!(c.occupancy(Region::NonProtocol), 1);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = tiny(2);
+        // Set 0 lines: 0, 4, 8 (2-way).
+        c.access(0, Region::Code);
+        c.access(4 * 16, Region::Global);
+        c.access(0, Region::Code); // touch line 0 again → 4*16 is LRU
+        let r = c.access(8 * 16, Region::Thread);
+        assert_eq!(r.evicted, Some((4, Region::Global)));
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_regardless_of_touch() {
+        let cap = 4 * 2 * 16;
+        let mut c = Cache::new(CacheGeometry::new(cap, 16, 2), Replacement::Fifo);
+        c.access(0, Region::Code);
+        c.access(4 * 16, Region::Global);
+        c.access(0, Region::Code); // FIFO ignores the re-touch
+        let r = c.access(8 * 16, Region::Thread);
+        assert_eq!(r.evicted, Some((0, Region::Code)));
+    }
+
+    #[test]
+    fn random_replacement_stays_within_set() {
+        let cap = 4 * 2 * 16;
+        let mut c = Cache::new(CacheGeometry::new(cap, 16, 2), Replacement::Random);
+        c.access(0, Region::Code);
+        c.access(4 * 16, Region::Global);
+        let r = c.access(8 * 16, Region::Thread);
+        let (line, _) = r.evicted.unwrap();
+        assert!(line == 0 || line == 4);
+        assert_eq!(c.total_occupancy(), 2);
+    }
+
+    #[test]
+    fn occupancy_tracks_region_change_on_retouch() {
+        let mut c = tiny(1);
+        c.access(0x20, Region::PacketData);
+        assert_eq!(c.occupancy(Region::PacketData), 1);
+        c.access(0x20, Region::Stream);
+        assert_eq!(c.occupancy(Region::PacketData), 0);
+        assert_eq!(c.occupancy(Region::Stream), 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = tiny(1);
+        c.access(0, Region::Stream);
+        c.access(16, Region::Stream);
+        assert!(c.invalidate_line(0));
+        assert!(!c.invalidate_line(0));
+        assert_eq!(c.total_occupancy(), 1);
+        c.flush_all();
+        assert_eq!(c.total_occupancy(), 0);
+        assert!(!c.contains(16));
+    }
+
+    #[test]
+    fn resident_fraction_measures_displacement() {
+        let mut c = tiny(1);
+        // Preload footprint lines 0..4 (one per set).
+        let footprint: Vec<u64> = (0..4).collect();
+        for &l in &footprint {
+            c.access(l * 16, Region::Stream);
+        }
+        assert_eq!(c.resident_fraction(&footprint), 1.0);
+        // Conflict-displace two of them.
+        c.access(4 * 16, Region::NonProtocol); // displaces line 0
+        c.access(5 * 16, Region::NonProtocol); // displaces line 1
+        assert!((c.resident_fraction(&footprint) - 0.5).abs() < 1e-12);
+        assert_eq!(c.resident_fraction(&[]), 1.0);
+    }
+
+    #[test]
+    fn per_region_miss_ratio() {
+        let mut c = tiny(1);
+        c.access(0, Region::Stream); // miss
+        c.access(0, Region::Stream); // hit
+        c.access(16, Region::Code); // miss
+        assert!((c.stats.region_miss_ratio(Region::Stream) - 0.5).abs() < 1e-12);
+        assert!((c.stats.region_miss_ratio(Region::Code) - 1.0).abs() < 1e-12);
+        assert_eq!(c.stats.region_miss_ratio(Region::Thread), 0.0);
+    }
+
+    #[test]
+    fn dirty_tracking_and_writebacks() {
+        let mut c = tiny(1);
+        // Clean fill, then dirty it, then conflict-evict.
+        c.access(0, Region::Stream);
+        assert_eq!(c.dirty_occupancy(Region::Stream), 0);
+        c.access_rw(4, Region::Stream, true); // same line, write
+        assert_eq!(c.dirty_occupancy(Region::Stream), 1);
+        let r = c.access(4 * 16, Region::NonProtocol); // conflicts in set 0
+        assert!(r.wrote_back, "dirty victim must write back");
+        assert_eq!(c.stats.writebacks, 1);
+        assert_eq!(c.dirty_occupancy(Region::Stream), 0);
+        // Clean victim evicts silently.
+        let r = c.access(8 * 16, Region::NonProtocol);
+        assert!(!r.wrote_back);
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn write_miss_fills_dirty() {
+        let mut c = tiny(1);
+        c.access_rw(0x10, Region::Thread, true);
+        assert_eq!(c.dirty_occupancy(Region::Thread), 1);
+        // A read hit does not clean it.
+        c.access(0x10, Region::Thread);
+        assert_eq!(c.dirty_occupancy(Region::Thread), 1);
+    }
+
+    #[test]
+    fn purge_region_removes_only_that_region() {
+        let mut c = tiny(2);
+        c.access(0, Region::Stream);
+        c.access(16, Region::Stream);
+        c.access(32, Region::Code);
+        assert_eq!(c.purge_region(Region::Stream), 2);
+        assert_eq!(c.occupancy(Region::Stream), 0);
+        assert_eq!(c.occupancy(Region::Code), 1);
+        assert!(!c.contains(0));
+        assert!(c.contains(32));
+        assert_eq!(c.purge_region(Region::Stream), 0);
+    }
+
+    #[test]
+    fn stats_reset_preserves_contents() {
+        let mut c = tiny(1);
+        c.access(0, Region::Stream);
+        c.reset_stats();
+        assert_eq!(c.stats.accesses, 0);
+        assert!(c.contains(0));
+        assert!(c.access(0, Region::Stream).hit);
+    }
+}

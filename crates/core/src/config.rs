@@ -1,0 +1,247 @@
+//! Simulation configuration: paradigms, scheduling policies and the full
+//! system description.
+
+use afs_desim::time::SimDuration;
+use afs_workload::Population;
+
+use crate::exec::ExecParams;
+
+/// How protocol processing is parallelized (the paper's two alternatives).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Paradigm {
+    /// One shared protocol stack; fine-grained locks let any processor
+    /// process any packet concurrently (packet-level parallelism). Each
+    /// packet pays the lock overhead; stream state migrates between
+    /// caches as packets of one stream visit different processors.
+    Locking {
+        /// Scheduling policy.
+        policy: LockPolicy,
+    },
+    /// Independent Protocol Stacks: each stream is bound to one of
+    /// `n_stacks` private stack instances with no locking. A stack
+    /// processes one packet at a time (its state is single-threaded), so
+    /// a stream's throughput is capped by one processor — the paper's
+    /// "limited intra-stream scalability".
+    Ips {
+        /// Scheduling policy.
+        policy: IpsPolicy,
+        /// Number of independent stacks (streams are assigned
+        /// round-robin). The paper's extension iii varies this; the
+        /// default is one stack per stream.
+        n_stacks: usize,
+    },
+}
+
+impl Paradigm {
+    /// True for the Locking paradigm.
+    pub fn is_locking(&self) -> bool {
+        matches!(self, Paradigm::Locking { .. })
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Paradigm::Locking { policy } => format!("Locking/{}", policy.label()),
+            Paradigm::Ips { policy, n_stacks } => {
+                format!("IPS({n_stacks})/{}", policy.label())
+            }
+        }
+    }
+}
+
+/// Scheduling policies under Locking, ordered by increasing affinity
+/// awareness — the paper evaluates the marginal contribution of each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockPolicy {
+    /// Affinity-oblivious baseline: packets go to the idle processor
+    /// that has been away from protocol work the longest (a fair
+    /// round-robin, the worst case for cache state), threads from a
+    /// shared FIFO pool (thread stacks migrate freely).
+    Baseline,
+    /// Per-processor thread pools (footnote 7): each processor always
+    /// runs its own protocol thread, keeping thread state local;
+    /// processor choice still affinity-oblivious.
+    Pools,
+    /// MRU processor scheduling + per-processor pools: a packet prefers
+    /// the processor that most recently processed its *stream*; if that
+    /// processor is busy it overflows to the most-recently-protocol-
+    /// active idle processor (work-conserving, but migrates streams
+    /// under load).
+    Mru,
+    /// Wired-Streams: stream `s` is statically bound to processor
+    /// `s mod N`; packets wait for their processor even when others are
+    /// idle (not work-conserving, never migrates).
+    Wired,
+    /// The hybrid of TR-94-075: streams flagged in the mask are wired,
+    /// all others are MRU-scheduled. (Wire the hot streams, let the
+    /// long tail load-balance.)
+    Hybrid {
+        /// `wired[s]` = stream `s` is wired to processor `s mod N`.
+        wired: Vec<bool>,
+    },
+}
+
+impl LockPolicy {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LockPolicy::Baseline => "baseline",
+            LockPolicy::Pools => "pools",
+            LockPolicy::Mru => "mru",
+            LockPolicy::Wired => "wired",
+            LockPolicy::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
+/// Scheduling policies under IPS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpsPolicy {
+    /// Affinity-oblivious baseline: a runnable stack is placed on a
+    /// uniformly random idle processor (Figure 11's reference curve).
+    Random,
+    /// A runnable stack prefers the processor it last ran on; if busy it
+    /// overflows to the most-recently-protocol-active idle processor.
+    Mru,
+    /// Stack `w` is wired to processor `w mod N` and waits for it.
+    Wired,
+}
+
+impl IpsPolicy {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IpsPolicy::Random => "random",
+            IpsPolicy::Mru => "mru",
+            IpsPolicy::Wired => "wired",
+        }
+    }
+}
+
+/// The full system description for one run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of processors (the paper's platform has 8).
+    pub n_procs: usize,
+    /// Parallelization paradigm and policy.
+    pub paradigm: Paradigm,
+    /// Offered traffic.
+    pub population: Population,
+    /// Execution-time parameters (calibrated bounds + flush curves).
+    pub exec: ExecParams,
+    /// Fixed uncached per-packet overhead `V` in µs (the data-touching
+    /// knob of Figures 10/11; 139 µs ≈ checksumming a 4432-byte packet
+    /// at 32 bytes/µs).
+    pub v_fixed_us: f64,
+    /// Additional uncached overhead per payload byte (µs/byte), for the
+    /// copying-cost extension E15 (1/32 µs per byte on the paper's
+    /// platform).
+    pub copy_us_per_byte: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Statistics discarded before this time.
+    pub warmup: SimDuration,
+    /// Simulation end.
+    pub horizon: SimDuration,
+}
+
+impl SystemConfig {
+    /// A conventional starting point: 8 processors, calibrated execution
+    /// parameters, no data touching, 2 s horizon with 0.2 s warm-up.
+    pub fn new(paradigm: Paradigm, population: Population) -> Self {
+        SystemConfig {
+            n_procs: 8,
+            paradigm,
+            population,
+            exec: ExecParams::calibrated(),
+            v_fixed_us: 0.0,
+            copy_us_per_byte: 0.0,
+            seed: 0xAF5_0001,
+            warmup: SimDuration::from_millis(200),
+            horizon: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Number of streams offered.
+    pub fn n_streams(&self) -> usize {
+        self.population.len()
+    }
+
+    /// Validate internal consistency (panics with a description).
+    pub fn validate(&self) {
+        assert!(self.n_procs >= 1, "need at least one processor");
+        assert!(!self.population.is_empty(), "population is empty");
+        assert!(self.v_fixed_us >= 0.0 && self.copy_us_per_byte >= 0.0);
+        assert!(self.warmup < self.horizon, "warmup must precede horizon");
+        if let Paradigm::Locking {
+            policy: LockPolicy::Hybrid { wired },
+        } = &self.paradigm
+        {
+            assert_eq!(
+                wired.len(),
+                self.population.len(),
+                "hybrid mask must cover every stream"
+            );
+        }
+        if let Paradigm::Ips { n_stacks, .. } = &self.paradigm {
+            assert!(*n_stacks >= 1, "need at least one stack");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        let l = Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        };
+        assert_eq!(l.label(), "Locking/mru");
+        assert!(l.is_locking());
+        let i = Paradigm::Ips {
+            policy: IpsPolicy::Wired,
+            n_stacks: 16,
+        };
+        assert_eq!(i.label(), "IPS(16)/wired");
+        assert!(!i.is_locking());
+    }
+
+    #[test]
+    fn config_validates() {
+        let c = SystemConfig::new(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            afs_workload::Population::homogeneous_poisson(4, 100.0),
+        );
+        c.validate();
+        assert_eq!(c.n_streams(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "hybrid mask")]
+    fn hybrid_mask_must_match() {
+        let mut c = SystemConfig::new(
+            Paradigm::Locking {
+                policy: LockPolicy::Hybrid { wired: vec![true] },
+            },
+            afs_workload::Population::homogeneous_poisson(4, 100.0),
+        );
+        c.n_procs = 2;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "population is empty")]
+    fn empty_population_rejected() {
+        SystemConfig::new(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            afs_workload::Population::default(),
+        )
+        .validate();
+    }
+}

@@ -1,0 +1,1116 @@
+//! The multiprocessor protocol-scheduling simulator.
+//!
+//! Follows the paper's simulation model: N processors serve packet
+//! streams under a parallelization paradigm (Locking or IPS) and an
+//! affinity scheduling policy, while the general non-protocol workload
+//! occupies every cycle the protocol does not use and erodes cached
+//! protocol state according to the analytic `F1/F2` displacement curves.
+//!
+//! Event structure:
+//!
+//! * `Arrival(stream)` — a packet joins the appropriate queue (global
+//!   FIFO, per-processor wired queue, or per-stack queue) and the next
+//!   arrival of that stream is scheduled.
+//! * `Completion(proc)` — the processor finishes its packet, all
+//!   affinity bookkeeping is updated, and dispatch runs again.
+//!
+//! Dispatch prices each packet at the moment it starts service: the
+//! component ages (code/global on the processor, thread stack, stream
+//! state) translate through the reload-transient model into a service
+//! time; Locking adds its per-packet lock overhead, and the
+//! data-touching knob `V` adds its fixed uncached cost. Protocol service
+//! is non-preemptible; the non-protocol workload yields instantly.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+
+use afs_cache::model::exec_time::{Age, ComponentAges};
+use afs_desim::engine::{Engine, Scheduler, Simulate};
+use afs_desim::rng::RngFactory;
+use afs_desim::time::{SimDuration, SimTime};
+use afs_workload::ArrivalGen;
+
+use crate::config::{IpsPolicy, LockPolicy, Paradigm, SystemConfig};
+use crate::metrics::{Collector, RunReport};
+use crate::state::{Locatable, Packet, ProcActivity, ProcState};
+use crate::trace::{SchedEvent, SchedTrace};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A packet of this stream arrives.
+    Arrival {
+        /// The arriving stream's id.
+        stream: u32,
+    },
+    /// The processor's in-flight packet completes.
+    Completion {
+        /// The completing processor's index.
+        proc: usize,
+    },
+}
+
+/// Per-stack state under IPS.
+#[derive(Debug, Default)]
+struct StackState {
+    queue: VecDeque<Packet>,
+    running: bool,
+    loc: Locatable,
+}
+
+/// The simulator model.
+pub struct SchedSim {
+    cfg: SystemConfig,
+    procs: Vec<ProcState>,
+    /// Protocol threads (Locking). Under per-processor pools thread `p`
+    /// is pinned to processor `p`; under the shared pool threads rotate.
+    threads: Vec<Locatable>,
+    /// Free thread ids for the shared pool (Baseline policy).
+    shared_pool: VecDeque<usize>,
+    /// Per-stream state locations.
+    streams: Vec<Locatable>,
+    /// IPS: stream → stack assignment (round-robin).
+    stream_to_stack: Vec<u32>,
+    /// IPS stacks.
+    stacks: Vec<StackState>,
+    /// Locking: the global FIFO.
+    global_q: VecDeque<Packet>,
+    /// Locking Wired/Hybrid: per-processor queues.
+    proc_q: Vec<VecDeque<Packet>>,
+    /// IPS round-robin scan offset (fairness across stacks).
+    stack_scan: usize,
+    /// Per-stream arrival generators and RNGs.
+    gens: Vec<ArrivalGen>,
+    arr_rngs: Vec<StdRng>,
+    size_rngs: Vec<StdRng>,
+    /// Whether backlog statistics were reset at warm-up.
+    warmup_reset: bool,
+    /// Midpoint of the measurement window (backlog growth check).
+    midpoint: SimTime,
+    /// RNG for affinity-oblivious (random) placement decisions.
+    policy_rng: StdRng,
+    /// Thread id in use per processor (Locking), cleared at completion.
+    pending_thread: Vec<Option<usize>>,
+    /// Service duration of the in-flight packet per processor.
+    pending_service: Vec<SimDuration>,
+    /// Metrics.
+    pub collector: Collector,
+    /// Optional structured scheduling trace.
+    pub trace: Option<SchedTrace>,
+}
+
+impl SchedSim {
+    /// Build the model and note per-stream generators.
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate();
+        let n = cfg.n_procs;
+        let k = cfg.population.len();
+        let factory = RngFactory::new(cfg.seed);
+        let n_stacks = match &cfg.paradigm {
+            Paradigm::Ips { n_stacks, .. } => *n_stacks,
+            _ => 0,
+        };
+        let warm_us = cfg.warmup.as_micros_f64();
+        let hor_us = cfg.horizon.as_micros_f64();
+        SchedSim {
+            procs: vec![ProcState::new(); n],
+            threads: vec![Locatable::default(); n],
+            shared_pool: (0..n).collect(),
+            streams: vec![Locatable::default(); k],
+            stream_to_stack: (0..k).map(|s| (s % n_stacks.max(1)) as u32).collect(),
+            stacks: (0..n_stacks).map(|_| StackState::default()).collect(),
+            global_q: VecDeque::new(),
+            proc_q: vec![VecDeque::new(); n],
+            stack_scan: 0,
+            gens: cfg
+                .population
+                .streams
+                .iter()
+                .map(|s| s.arrivals.clone())
+                .collect(),
+            arr_rngs: (0..k)
+                .map(|s| factory.stream_indexed("arrivals", s as u64))
+                .collect(),
+            size_rngs: (0..k)
+                .map(|s| factory.stream_indexed("sizes", s as u64))
+                .collect(),
+            warmup_reset: false,
+            midpoint: SimTime::from_micros_f64((warm_us + hor_us) * 0.5),
+            policy_rng: factory.stream("policy"),
+            pending_thread: vec![None; n],
+            pending_service: vec![SimDuration::ZERO; n],
+            collector: Collector::new(SimTime::from_micros_f64(warm_us), k),
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// V (uncached per-packet overhead) for a packet, µs.
+    fn v_us(&self, size_bytes: f64) -> f64 {
+        self.cfg.v_fixed_us + self.cfg.copy_us_per_byte * size_bytes
+    }
+
+    /// Route a freshly arrived packet to its queue.
+    fn enqueue(&mut self, pkt: Packet) {
+        match &self.cfg.paradigm {
+            Paradigm::Locking { policy } => match policy {
+                LockPolicy::Wired => {
+                    let p = pkt.stream as usize % self.cfg.n_procs;
+                    self.proc_q[p].push_back(pkt);
+                }
+                LockPolicy::Hybrid { wired } => {
+                    if wired[pkt.stream as usize] {
+                        let p = pkt.stream as usize % self.cfg.n_procs;
+                        self.proc_q[p].push_back(pkt);
+                    } else {
+                        self.global_q.push_back(pkt);
+                    }
+                }
+                _ => self.global_q.push_back(pkt),
+            },
+            Paradigm::Ips { .. } => {
+                let w = self.stream_to_stack[pkt.stream as usize] as usize;
+                self.stacks[w].queue.push_back(pkt);
+            }
+        }
+    }
+
+    /// A uniformly random idle processor — the affinity-oblivious
+    /// baseline's placement (what a scheduler that ignores cache state
+    /// effectively does).
+    fn random_idle(&mut self) -> Option<usize> {
+        use rand::Rng as _;
+        let idle: Vec<usize> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_idle())
+            .map(|(i, _)| i)
+            .collect();
+        if idle.is_empty() {
+            None
+        } else {
+            Some(idle[self.policy_rng.gen_range(0..idle.len())])
+        }
+    }
+
+    /// The idle processor with the *newest* protocol activity (the best
+    /// fallback when the preferred processor is busy).
+    fn newest_idle(&self) -> Option<usize> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_idle())
+            .max_by_key(|(i, p)| {
+                (
+                    p.last_protocol_end
+                        .map(|t| (t.ticks() as i128) + 1)
+                        .unwrap_or(0),
+                    usize::MAX - *i,
+                )
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// MRU processor choice for a locatable entity: its last processor
+    /// if idle, else the newest-protocol idle processor.
+    fn mru_choice(&self, loc: &Locatable) -> Option<usize> {
+        if let Some(last) = loc.last {
+            if self.procs[last.proc].is_idle() {
+                return Some(last.proc);
+            }
+        }
+        self.newest_idle()
+    }
+
+    /// Start serving `pkt` on processor `p`. `thread` is the Locking
+    /// thread id; `stack` the IPS stack id.
+    fn begin_service(
+        &mut self,
+        p: usize,
+        pkt: Packet,
+        thread: Option<usize>,
+        stack: Option<u32>,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        debug_assert!(self.procs[p].is_idle());
+        let np = self.procs[p].np_now(now);
+        let code_age = self.procs[p].code_age(now);
+
+        let recording = self.collector.recording(now);
+        let (thread_age, stream_age) = match stack {
+            Some(w) => {
+                // Stack state bundles the thread and stream footprints.
+                let a = self.stacks[w as usize].loc.age_on(p, np);
+                if recording && self.stacks[w as usize].loc.migrates_to(p) {
+                    self.collector.stream_migrations += 1;
+                    self.collector.thread_migrations += 1;
+                }
+                (a, a)
+            }
+            None => {
+                let t = thread.expect("locking dispatch supplies a thread");
+                let ta = self.threads[t].age_on(p, np);
+                let sa = self.streams[pkt.stream as usize].age_on(p, np);
+                if recording && self.threads[t].migrates_to(p) {
+                    self.collector.thread_migrations += 1;
+                }
+                if recording && self.streams[pkt.stream as usize].migrates_to(p) {
+                    self.collector.stream_migrations += 1;
+                }
+                (ta, sa)
+            }
+        };
+
+        // Telemetry: displacement of the code/global component.
+        match code_age {
+            Age::Elapsed(x) => {
+                let d = self.cfg.exec.model.flush.displacement(x);
+                self.collector.f1_at_dispatch.add(d.f1);
+                self.collector.f2_at_dispatch.add(d.f2);
+            }
+            Age::Cold => {
+                self.collector.f1_at_dispatch.add(1.0);
+                self.collector.f2_at_dispatch.add(1.0);
+            }
+            _ => {}
+        }
+
+        let ages = ComponentAges {
+            code_global: code_age,
+            thread: thread_age,
+            stream: stream_age,
+        };
+        let proto = self.cfg.exec.model.protocol_time(ages);
+        let lock_us = if self.cfg.paradigm.is_locking() {
+            self.cfg.exec.lock_overhead_us
+        } else {
+            0.0
+        };
+        let overhead = SimDuration::from_micros_f64(self.v_us(pkt.size_bytes) + lock_us);
+        let service = proto + overhead;
+        let done_at = now + service;
+
+        if let Some(trace) = &mut self.trace {
+            trace.push(SchedEvent::Dispatch {
+                time_us: now.as_micros_f64(),
+                stream: pkt.stream,
+                proc: p,
+                service_us: service.as_micros_f64(),
+                stream_migrated: matches!(stream_age, Age::Remote),
+            });
+        }
+        self.procs[p].activity = ProcActivity::Protocol {
+            packet: pkt,
+            stack,
+            done_at,
+        };
+        // Thread bookkeeping is deferred to completion; remember which
+        // thread is in use by parking it out of the shared pool (already
+        // popped by the dispatcher).
+        self.pending_thread[p] = thread;
+        self.pending_service[p] = service;
+        sched.schedule_at(done_at, Event::Completion { proc: p });
+    }
+
+    /// One Locking dispatch attempt. Returns true if a packet started.
+    fn dispatch_locking(&mut self, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+        let policy = match &self.cfg.paradigm {
+            Paradigm::Locking { policy } => policy.clone(),
+            _ => unreachable!("dispatch_locking under IPS"),
+        };
+
+        // Wired queues first: a wired packet may only use its processor.
+        if matches!(policy, LockPolicy::Wired | LockPolicy::Hybrid { .. }) {
+            for p in 0..self.cfg.n_procs {
+                if self.procs[p].is_idle() && !self.proc_q[p].is_empty() {
+                    let pkt = self.proc_q[p].pop_front().expect("nonempty");
+                    // Wired dispatch always uses the processor's own thread.
+                    self.begin_service(p, pkt, Some(p), None, now, sched);
+                    return true;
+                }
+            }
+        }
+
+        // Global FIFO head.
+        let Some(&head) = self.global_q.front() else {
+            return false;
+        };
+        let proc = match policy {
+            LockPolicy::Baseline | LockPolicy::Pools => self.random_idle(),
+            // "MRU processor scheduling": run protocol work on the
+            // processor that most recently ran protocol code. This
+            // concentrates the (dominant) code/global footprint on as few
+            // processors as the load requires; per-stream state still
+            // bounces, which is what Wired-Streams fixes.
+            LockPolicy::Mru | LockPolicy::Hybrid { .. } => self.newest_idle(),
+            LockPolicy::Wired => None, // all packets are in proc queues
+        };
+        let Some(p) = proc else { return false };
+        self.global_q.pop_front();
+        let thread = match policy {
+            // The shared pool hands out threads FIFO, so a woken thread
+            // almost always last ran on a different processor — the
+            // affinity loss footnote 7's per-processor pools eliminate.
+            LockPolicy::Baseline => self
+                .shared_pool
+                .pop_front()
+                .expect("a free thread exists whenever a processor is idle"),
+            _ => p, // per-processor pools
+        };
+        self.begin_service(p, head, Some(thread), None, now, sched);
+        true
+    }
+
+    /// One IPS dispatch attempt.
+    fn dispatch_ips(&mut self, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+        let policy = match &self.cfg.paradigm {
+            Paradigm::Ips { policy, .. } => *policy,
+            _ => unreachable!("dispatch_ips under Locking"),
+        };
+        let n_stacks = self.stacks.len();
+        for off in 0..n_stacks {
+            let w = (self.stack_scan + off) % n_stacks;
+            let runnable = !self.stacks[w].running && !self.stacks[w].queue.is_empty();
+            if !runnable {
+                continue;
+            }
+            let proc = match policy {
+                IpsPolicy::Wired => {
+                    let target = w % self.cfg.n_procs;
+                    self.procs[target].is_idle().then_some(target)
+                }
+                IpsPolicy::Mru => self.mru_choice(&self.stacks[w].loc),
+                IpsPolicy::Random => self.random_idle(),
+            };
+            if let Some(p) = proc {
+                let pkt = self.stacks[w].queue.pop_front().expect("nonempty");
+                self.stacks[w].running = true;
+                self.stack_scan = (w + 1) % n_stacks;
+                self.begin_service(p, pkt, None, Some(w as u32), now, sched);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Dispatch until no more work can start.
+    fn try_dispatch(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        loop {
+            let dispatched = match &self.cfg.paradigm {
+                Paradigm::Locking { .. } => self.dispatch_locking(now, sched),
+                Paradigm::Ips { .. } => self.dispatch_ips(now, sched),
+            };
+            if !dispatched {
+                break;
+            }
+        }
+    }
+}
+
+impl Simulate for SchedSim {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        // Warm-up reset and midpoint capture for the growth check.
+        if !self.warmup_reset && self.collector.recording(now) {
+            self.collector.backlog.reset(now);
+            self.warmup_reset = true;
+        }
+        if self.collector.backlog_first_half.is_none() && now >= self.midpoint {
+            self.collector.backlog_first_half = Some(self.collector.backlog.average(now));
+        }
+
+        match event {
+            Event::Arrival { stream } => {
+                let s = stream as usize;
+                let size = self.cfg.population.streams[s]
+                    .sizes
+                    .0
+                    .sample(&mut self.size_rngs[s]);
+                let pkt = Packet {
+                    stream,
+                    arrival: now,
+                    size_bytes: size,
+                };
+                self.collector.on_arrival(now);
+                self.enqueue(pkt);
+                let gap = self.gens[s].next_gap(&mut self.arr_rngs[s]);
+                sched.schedule_in(now, gap, Event::Arrival { stream });
+                self.try_dispatch(now, sched);
+            }
+            Event::Completion { proc } => {
+                let activity =
+                    std::mem::replace(&mut self.procs[proc].activity, ProcActivity::NonProtocol);
+                let ProcActivity::Protocol {
+                    packet,
+                    stack,
+                    done_at,
+                } = activity
+                else {
+                    panic!("completion on an idle processor");
+                };
+                debug_assert_eq!(done_at, now);
+                let service = self.pending_service[proc];
+                // Clock bookkeeping: protocol time does not advance np.
+                self.procs[proc].proto_busy_us += service.as_micros_f64();
+                let np = self.procs[proc].np_now(now);
+                self.procs[proc].np_at_last_protocol = Some(np);
+                self.procs[proc].last_protocol_end = Some(now);
+                self.procs[proc].served += 1;
+
+                self.streams[packet.stream as usize].record(proc, np);
+                if let Some(w) = stack {
+                    let st = &mut self.stacks[w as usize];
+                    st.running = false;
+                    st.loc.record(proc, np);
+                } else if let Some(t) = self.pending_thread[proc] {
+                    self.threads[t].record(proc, np);
+                    if matches!(
+                        self.cfg.paradigm,
+                        Paradigm::Locking {
+                            policy: LockPolicy::Baseline
+                        }
+                    ) {
+                        self.shared_pool.push_back(t);
+                    }
+                }
+                self.pending_thread[proc] = None;
+
+                if let Some(trace) = &mut self.trace {
+                    trace.push(SchedEvent::Completion {
+                        time_us: now.as_micros_f64(),
+                        stream: packet.stream,
+                        proc,
+                        delay_us: now.since(packet.arrival).as_micros_f64(),
+                    });
+                }
+                self.collector
+                    .on_completion(now, packet.arrival, packet.stream, service);
+                self.try_dispatch(now, sched);
+            }
+        }
+    }
+}
+
+/// Run a configuration to completion and report.
+pub fn run(cfg: SystemConfig) -> RunReport {
+    run_with_series(cfg, false).0
+}
+
+/// Run a configuration; optionally also return the full per-packet delay
+/// series (µs, completion order, warm-up included) for output analysis
+/// such as MSER-5 warm-up validation.
+pub fn run_with_series(cfg: SystemConfig, capture: bool) -> (RunReport, Vec<f64>) {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let n_procs = cfg.n_procs;
+    let mut engine = Engine::new(SchedSim::new(cfg));
+    if capture {
+        engine.model_mut().collector.capture_series();
+    }
+    engine_prime(&mut engine);
+    engine.run_until(horizon);
+    let end = engine.now();
+    let mut report = engine.model_mut().collector.report(end, n_procs);
+    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    let series = engine
+        .model_mut()
+        .collector
+        .full_series
+        .take()
+        .unwrap_or_default();
+    (report, series)
+}
+
+/// Run a configuration with a bounded scheduling trace attached;
+/// returns the report and the trace (newest `capacity` events).
+pub fn run_traced(cfg: SystemConfig, capacity: usize) -> (RunReport, SchedTrace) {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let n_procs = cfg.n_procs;
+    let mut engine = Engine::new(SchedSim::new(cfg));
+    engine.model_mut().trace = Some(SchedTrace::new(capacity));
+    engine_prime(&mut engine);
+    engine.run_until(horizon);
+    let end = engine.now();
+    let mut report = engine.model_mut().collector.report(end, n_procs);
+    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    let trace = engine.model_mut().trace.take().expect("trace attached");
+    (report, trace)
+}
+
+/// Prime helper: schedules every stream's first arrival.
+fn engine_prime(engine: &mut Engine<SchedSim>) {
+    // Split borrows: scheduler and model are distinct fields, so prime
+    // through a small dance — collect the gaps first.
+    let gaps: Vec<(u32, SimDuration)> = {
+        let model = engine.model_mut();
+        (0..model.gens.len())
+            .map(|s| {
+                let gap = model.gens[s].next_gap(&mut model.arr_rngs[s]);
+                (s as u32, gap)
+            })
+            .collect()
+    };
+    for (stream, gap) in gaps {
+        engine
+            .scheduler()
+            .schedule_at(SimTime::ZERO + gap, Event::Arrival { stream });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IpsPolicy, LockPolicy};
+    use afs_workload::Population;
+
+    fn quick(paradigm: Paradigm, k: usize, rate: f64) -> SystemConfig {
+        let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(k, rate));
+        cfg.warmup = SimDuration::from_millis(100);
+        cfg.horizon = SimDuration::from_millis(600);
+        cfg
+    }
+
+    #[test]
+    fn low_load_delay_near_service_time() {
+        let r = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            8,
+            50.0,
+        ));
+        assert!(r.stable);
+        // At ~1 % utilization, queueing is negligible: delay ≈ service.
+        assert!(
+            (r.mean_delay_us - r.mean_service_us).abs() < 0.05 * r.mean_service_us,
+            "delay {} vs service {}",
+            r.mean_delay_us,
+            r.mean_service_us
+        );
+        // Service between warm and cold bounds (plus lock overhead).
+        let b = r.mean_service_us;
+        assert!((150.0..320.0).contains(&b), "service {b}");
+    }
+
+    #[test]
+    fn delay_increases_toward_saturation() {
+        let lo = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            8,
+            1000.0,
+        ));
+        let hi = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            8,
+            5000.0,
+        ));
+        assert!(lo.stable);
+        assert!(
+            !hi.stable || hi.mean_delay_us > 2.0 * lo.mean_delay_us,
+            "lo {} hi {} (stable={})",
+            lo.mean_delay_us,
+            hi.mean_delay_us,
+            hi.stable
+        );
+    }
+
+    #[test]
+    fn overload_detected_unstable() {
+        // 8 streams × 8000/s × ≥160 µs ≫ 8 processors.
+        let r = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            8,
+            8000.0,
+        ));
+        assert!(!r.stable, "overload must be flagged: {r:?}");
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let a = run(quick(
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: 8,
+            },
+            8,
+            400.0,
+        ));
+        let b = run(quick(
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: 8,
+            },
+            8,
+            400.0,
+        ));
+        assert_eq!(a.mean_delay_us, b.mean_delay_us);
+        assert_eq!(a.delivered, b.delivered);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut cfg = quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            8,
+            400.0,
+        );
+        let a = run(cfg.clone());
+        cfg.seed ^= 0xDEAD;
+        let b = run(cfg);
+        assert_ne!(a.mean_delay_us, b.mean_delay_us);
+    }
+
+    #[test]
+    fn wired_never_migrates_streams() {
+        let r = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Wired,
+            },
+            16,
+            600.0,
+        ));
+        assert_eq!(r.stream_migration_rate, 0.0);
+        assert_eq!(r.thread_migration_rate, 0.0);
+    }
+
+    #[test]
+    fn ips_wired_never_migrates() {
+        let r = run(quick(
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: 16,
+            },
+            16,
+            600.0,
+        ));
+        assert_eq!(r.stream_migration_rate, 0.0);
+    }
+
+    #[test]
+    fn baseline_migrates_heavily_at_low_load() {
+        let r = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            16,
+            200.0,
+        ));
+        // Random placement over 8 processors: ~7/8 of packets migrate.
+        assert!(
+            r.stream_migration_rate > 0.7,
+            "smig {}",
+            r.stream_migration_rate
+        );
+        assert!(
+            r.thread_migration_rate > 0.7,
+            "tmig {}",
+            r.thread_migration_rate
+        );
+    }
+
+    #[test]
+    fn per_processor_pools_eliminate_thread_migration_cost_vs_baseline() {
+        let base = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            16,
+            300.0,
+        ));
+        let pools = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Pools,
+            },
+            16,
+            300.0,
+        ));
+        assert_eq!(pools.thread_migration_rate, 0.0);
+        assert!(
+            pools.mean_delay_us < base.mean_delay_us,
+            "pools {} !< base {}",
+            pools.mean_delay_us,
+            base.mean_delay_us
+        );
+    }
+
+    #[test]
+    fn mru_beats_baseline_at_moderate_load() {
+        let base = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            16,
+            500.0,
+        ));
+        let mru = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            16,
+            500.0,
+        ));
+        assert!(
+            mru.mean_delay_us < 0.97 * base.mean_delay_us,
+            "mru {} !< base {}",
+            mru.mean_delay_us,
+            base.mean_delay_us
+        );
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let r = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            8,
+            800.0,
+        ));
+        assert!(r.littles_gap < 0.08, "gap {}", r.littles_gap);
+    }
+
+    #[test]
+    fn conservation_delivered_close_to_offered_when_stable() {
+        let r = run(quick(
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: 8,
+            },
+            8,
+            600.0,
+        ));
+        assert!(r.stable);
+        let ratio = r.throughput_pps / r.offered_pps;
+        assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn v_overhead_adds_to_service() {
+        let mut cfg = quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            8,
+            200.0,
+        );
+        let r0 = run(cfg.clone());
+        cfg.v_fixed_us = 139.0;
+        let r139 = run(cfg);
+        let diff = r139.mean_service_us - r0.mean_service_us;
+        assert!(
+            (diff - 139.0).abs() < 10.0,
+            "V=139 should add ≈139 µs: diff {diff}"
+        );
+    }
+
+    #[test]
+    fn copy_overhead_scales_with_size() {
+        let mut cfg = quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            8,
+            200.0,
+        );
+        cfg.copy_us_per_byte = 1.0 / 32.0;
+        for s in &mut cfg.population.streams {
+            s.sizes = afs_workload::SizeDist::fddi_max();
+        }
+        let r = run(cfg.clone());
+        cfg.copy_us_per_byte = 0.0;
+        let r0 = run(cfg);
+        let diff = r.mean_service_us - r0.mean_service_us;
+        // 4432 bytes / 32 bytes/µs = 138.5 µs — the paper's worst case.
+        assert!((diff - 138.5).abs() < 10.0, "copy diff {diff}");
+    }
+
+    #[test]
+    fn hybrid_routes_wired_and_unwired() {
+        let k = 8;
+        let mut wired = vec![false; k];
+        wired[0] = true;
+        wired[1] = true;
+        let r = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Hybrid { wired },
+            },
+            k,
+            400.0,
+        ));
+        assert!(r.stable);
+        assert!(r.delivered > 0);
+    }
+
+    #[test]
+    fn single_processor_single_stream_is_a_queue() {
+        let mut cfg = quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            1,
+            1000.0,
+        );
+        cfg.n_procs = 1;
+        let r = run(cfg);
+        assert!(r.stable);
+        // M/G/1 at ρ ≈ 0.2: delay modestly above service.
+        assert!(r.mean_delay_us >= r.mean_service_us);
+        assert!(r.mean_delay_us < 3.0 * r.mean_service_us);
+    }
+
+    #[test]
+    fn ips_respects_stack_serialization() {
+        // One stack, 8 processors: throughput capped near 1/service even
+        // though processors abound.
+        let mut cfg = quick(
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: 1,
+            },
+            4,
+            2000.0, // aggregate 8000/s > 1/svc ≈ 6000/s
+        );
+        cfg.horizon = SimDuration::from_millis(800);
+        let r = run(cfg);
+        assert!(!r.stable, "one stack cannot carry 8000 pps");
+        // Delivered rate respects the single-server bound.
+        assert!(
+            r.throughput_pps < 7_500.0,
+            "throughput {} exceeds one-stack bound",
+            r.throughput_pps
+        );
+    }
+
+    #[test]
+    fn per_stream_delays_are_balanced_for_homogeneous_traffic() {
+        let r = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            8,
+            500.0,
+        ));
+        let mean = r.mean_delay_us;
+        for (s, d) in r.per_stream_delay_us.iter().enumerate() {
+            assert!(
+                (d - mean).abs() < 0.25 * mean,
+                "stream {s} delay {d} far from mean {mean}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod balance_tests {
+    use super::*;
+    use crate::config::{IpsPolicy, LockPolicy};
+    use afs_workload::Population;
+
+    fn quick(paradigm: Paradigm, k: usize, rate: f64) -> SystemConfig {
+        let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(k, rate));
+        cfg.warmup = SimDuration::from_millis(50);
+        cfg.horizon = SimDuration::from_millis(400);
+        cfg
+    }
+
+    #[test]
+    fn wired_partitions_evenly_for_k_multiple_of_n() {
+        // 16 streams on 8 processors, wired: each processor owns exactly
+        // 2 streams; served counts should be near-equal.
+        let (r, _) = run_with_series(
+            quick(
+                Paradigm::Locking {
+                    policy: LockPolicy::Wired,
+                },
+                16,
+                600.0,
+            ),
+            false,
+        );
+        assert_eq!(r.per_proc_served.len(), 8);
+        let max = *r.per_proc_served.iter().max().unwrap() as f64;
+        let min = *r.per_proc_served.iter().min().unwrap() as f64;
+        assert!(min > 0.0);
+        assert!(
+            max / min < 1.3,
+            "wired should balance: {:?}",
+            r.per_proc_served
+        );
+    }
+
+    #[test]
+    fn mru_concentrates_at_low_load() {
+        // Global processor-MRU at light load keeps work on few
+        // processors: the busiest handles many times the quietest.
+        let (r, _) = run_with_series(
+            quick(
+                Paradigm::Locking {
+                    policy: LockPolicy::Mru,
+                },
+                16,
+                60.0,
+            ),
+            false,
+        );
+        let mut sorted = r.per_proc_served.clone();
+        sorted.sort_unstable();
+        let top2: u64 = sorted.iter().rev().take(2).sum();
+        let total: u64 = sorted.iter().sum();
+        assert!(
+            top2 as f64 > 0.5 * total as f64,
+            "MRU should concentrate: {:?}",
+            r.per_proc_served
+        );
+    }
+
+    #[test]
+    fn ips_wired_stacks_map_to_their_processors() {
+        // 8 stacks on 8 processors, wired: every processor serves only
+        // its stack's share.
+        let (r, _) = run_with_series(
+            quick(
+                Paradigm::Ips {
+                    policy: IpsPolicy::Wired,
+                    n_stacks: 8,
+                },
+                16,
+                400.0,
+            ),
+            false,
+        );
+        assert!(r.per_proc_served.iter().all(|&c| c > 0));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::config::LockPolicy;
+    use afs_workload::Population;
+
+    fn quick(policy: LockPolicy, k: usize, rate: f64) -> SystemConfig {
+        let mut cfg = SystemConfig::new(
+            Paradigm::Locking { policy },
+            Population::homogeneous_poisson(k, rate),
+        );
+        cfg.warmup = SimDuration::from_millis(20);
+        cfg.horizon = SimDuration::from_millis(200);
+        cfg
+    }
+
+    #[test]
+    fn trace_records_every_packet_when_capacity_suffices() {
+        let (report, trace) = run_traced(quick(LockPolicy::Mru, 4, 300.0), 1 << 16);
+        assert_eq!(trace.dropped, 0);
+        // Dispatches = completions recorded (all in-flight work finishes
+        // being traced only if it completed before the horizon).
+        let dispatches = trace.dispatches().count();
+        let completions = trace.len() - dispatches;
+        assert!(dispatches >= completions);
+        // Completions in the trace cover the whole run (warm-up included),
+        // so they are at least the post-warmup delivered count.
+        assert!(completions as u64 >= report.delivered);
+    }
+
+    #[test]
+    fn wired_trace_shows_static_assignment() {
+        let k = 8;
+        let (_, trace) = run_traced(quick(LockPolicy::Wired, k, 400.0), 1 << 16);
+        for s in 0..k as u32 {
+            let history = trace.processor_history(s);
+            assert!(!history.is_empty());
+            assert!(
+                history.iter().all(|&p| p == s as usize % 8),
+                "stream {s} strayed: {history:?}"
+            );
+            assert_eq!(trace.migrations_of(s), 0);
+        }
+    }
+
+    #[test]
+    fn baseline_trace_shows_migrations() {
+        let (_, trace) = run_traced(quick(LockPolicy::Baseline, 4, 500.0), 1 << 16);
+        let total_migrations: usize = (0..4).map(|s| trace.migrations_of(s)).sum();
+        assert!(total_migrations > 10, "baseline should bounce streams");
+    }
+
+    #[test]
+    fn trace_timestamps_nondecreasing() {
+        let (_, trace) = run_traced(quick(LockPolicy::Mru, 4, 300.0), 1 << 16);
+        let times: Vec<f64> = trace.events().map(|e| e.time_us()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::*;
+    use crate::config::{IpsPolicy, LockPolicy};
+    use afs_workload::Population;
+
+    #[test]
+    fn ips_rotating_scan_serves_contending_stacks_fairly() {
+        // Two stacks wired to the same processor (2 stacks, 1 proc):
+        // the rotating scan must not starve either.
+        let mut cfg = SystemConfig::new(
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: 2,
+            },
+            Population::homogeneous_poisson(2, 1_500.0),
+        );
+        cfg.n_procs = 1;
+        cfg.warmup = SimDuration::from_millis(50);
+        cfg.horizon = SimDuration::from_millis(500);
+        let r = run(cfg);
+        assert!(r.stable);
+        let d0 = r.per_stream_delay_us[0];
+        let d1 = r.per_stream_delay_us[1];
+        assert!(
+            (d0 - d1).abs() < 0.2 * d0.max(d1),
+            "stack starvation: {d0:.1} vs {d1:.1}"
+        );
+    }
+
+    #[test]
+    fn hybrid_does_not_starve_pooled_streams() {
+        // Wired streams keep their processors busy; the pooled (global
+        // queue) streams must still progress through idle gaps.
+        let k = 10usize;
+        // Streams 0..8 wired (one per processor), 8..10 pooled.
+        let wired: Vec<bool> = (0..k).map(|s| s < 8).collect();
+        let mut pop = Population::homogeneous_poisson(8, 2_000.0);
+        pop.streams
+            .extend(Population::homogeneous_poisson(2, 500.0).streams);
+        let mut cfg = SystemConfig::new(
+            Paradigm::Locking {
+                policy: LockPolicy::Hybrid { wired },
+            },
+            pop,
+        );
+        cfg.warmup = SimDuration::from_millis(60);
+        cfg.horizon = SimDuration::from_millis(500);
+        let r = run(cfg);
+        assert!(r.stable, "hybrid mix should be stable");
+        // The pooled streams completed packets at a sane delay.
+        for s in 8..10 {
+            let d = r.per_stream_delay_us[s];
+            assert!(d > 0.0, "pooled stream {s} starved");
+            assert!(
+                d < 5.0 * r.mean_service_us,
+                "pooled stream {s} delay {d:.0} indicates starvation"
+            );
+        }
+    }
+}

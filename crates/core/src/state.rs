@@ -1,0 +1,223 @@
+//! Mutable simulation state: processors, threads, streams and stacks,
+//! plus the per-processor non-protocol clocks that drive cache aging.
+//!
+//! The key bookkeeping device is the **non-protocol clock** of each
+//! processor: `np(p, t) = t − (protocol busy time on p)`. Because the
+//! general non-protocol workload runs whenever a processor is not
+//! executing protocol code (the paper assumes an infinite backlog of
+//! such work), the cumulative non-protocol execution since any past
+//! event is just the difference of this clock — exactly the `x_i` that
+//! the paper feeds into `F1/F2`. Protocol activity does not advance the
+//! clock, so footprint components do not age while protocol code runs.
+
+use afs_desim::time::{SimDuration, SimTime};
+
+use afs_cache::model::exec_time::Age;
+
+/// A packet waiting for or receiving service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Owning stream.
+    pub stream: u32,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Payload bytes (drives the copying-overhead extension).
+    pub size_bytes: f64,
+}
+
+/// What a processor is doing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProcActivity {
+    /// Running the non-protocol workload (instantly preemptible).
+    NonProtocol,
+    /// Executing protocol code for a packet (non-preemptible).
+    Protocol {
+        /// The packet being served.
+        packet: Packet,
+        /// IPS stack executing, if any.
+        stack: Option<u32>,
+        /// Service completes at this time.
+        done_at: SimTime,
+    },
+}
+
+/// Per-processor state.
+#[derive(Debug, Clone)]
+pub struct ProcState {
+    /// Current activity.
+    pub activity: ProcActivity,
+    /// Cumulative protocol execution time (µs) — the complement of the
+    /// non-protocol clock.
+    pub proto_busy_us: f64,
+    /// Non-protocol clock value when protocol work last completed here
+    /// (`None` = protocol never ran on this processor).
+    pub np_at_last_protocol: Option<f64>,
+    /// Wall-clock time protocol work last completed here (for
+    /// most-recently-active tie-breaking).
+    pub last_protocol_end: Option<SimTime>,
+    /// Packets served.
+    pub served: u64,
+}
+
+impl ProcState {
+    /// A fresh processor running non-protocol work.
+    pub fn new() -> Self {
+        ProcState {
+            activity: ProcActivity::NonProtocol,
+            proto_busy_us: 0.0,
+            np_at_last_protocol: None,
+            last_protocol_end: None,
+            served: 0,
+        }
+    }
+
+    /// The non-protocol clock at wall time `now`.
+    ///
+    /// Valid while the processor is *not* inside a protocol service (the
+    /// simulator only reads ages at dispatch instants, when that holds).
+    pub fn np_now(&self, now: SimTime) -> f64 {
+        let np = now.as_micros_f64() - self.proto_busy_us;
+        debug_assert!(np >= -1e-6, "negative non-protocol clock: {np}");
+        np.max(0.0)
+    }
+
+    /// Is the processor free to take protocol work?
+    pub fn is_idle(&self) -> bool {
+        matches!(self.activity, ProcActivity::NonProtocol)
+    }
+
+    /// Age of the code/global footprint component at dispatch time.
+    pub fn code_age(&self, now: SimTime) -> Age {
+        match self.np_at_last_protocol {
+            None => Age::Cold,
+            Some(np_then) => Age::Elapsed(SimDuration::from_micros_f64(
+                (self.np_now(now) - np_then).max(0.0),
+            )),
+        }
+    }
+}
+
+impl Default for ProcState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Where a footprint entity (thread stack, stream state) last lived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LastRun {
+    /// Processor index.
+    pub proc: usize,
+    /// That processor's non-protocol clock at the time.
+    pub np_then: f64,
+}
+
+/// A migratable footprint entity: tracks its last location and computes
+/// its [`Age`] on a candidate processor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Locatable {
+    /// Last (processor, np-clock) this entity ran at.
+    pub last: Option<LastRun>,
+}
+
+impl Locatable {
+    /// Age on processor `p` at time `now` (with `np_now` that processor's
+    /// current non-protocol clock).
+    pub fn age_on(&self, p: usize, np_now: f64) -> Age {
+        match self.last {
+            None => Age::Cold,
+            Some(LastRun { proc, np_then }) if proc == p => {
+                Age::Elapsed(SimDuration::from_micros_f64((np_now - np_then).max(0.0)))
+            }
+            Some(_) => Age::Remote,
+        }
+    }
+
+    /// Record a completed run on `p`.
+    pub fn record(&mut self, p: usize, np_now: f64) {
+        self.last = Some(LastRun {
+            proc: p,
+            np_then: np_now,
+        });
+    }
+
+    /// True when the entity would migrate if dispatched on `p`.
+    pub fn migrates_to(&self, p: usize) -> bool {
+        matches!(self.last, Some(LastRun { proc, .. }) if proc != p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn np_clock_excludes_protocol_time() {
+        let mut p = ProcState::new();
+        assert_eq!(p.np_now(t(1000)), 1000.0);
+        p.proto_busy_us += 300.0;
+        assert_eq!(p.np_now(t(1000)), 700.0);
+    }
+
+    #[test]
+    fn code_age_cold_then_elapsed() {
+        let mut p = ProcState::new();
+        assert_eq!(p.code_age(t(100)), Age::Cold);
+        // Protocol ran 200–400 µs: busy 200, np at completion = 200.
+        p.proto_busy_us = 200.0;
+        p.np_at_last_protocol = Some(p.np_now(t(400)));
+        p.last_protocol_end = Some(t(400));
+        match p.code_age(t(1000)) {
+            Age::Elapsed(d) => assert!((d.as_micros_f64() - 600.0).abs() < 1e-9),
+            other => panic!("expected Elapsed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn age_does_not_advance_during_protocol() {
+        // Two services back to back: np clock frozen during each.
+        let mut p = ProcState::new();
+        p.proto_busy_us = 500.0; // ran 0–500
+        p.np_at_last_protocol = Some(p.np_now(t(500))); // = 0
+                                                        // Dispatch again immediately at 500: age 0.
+        match p.code_age(t(500)) {
+            Age::Elapsed(d) => assert!(d.is_zero()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn locatable_ages() {
+        let mut s = Locatable::default();
+        assert_eq!(s.age_on(0, 100.0), Age::Cold);
+        assert!(!s.migrates_to(0));
+        s.record(0, 100.0);
+        match s.age_on(0, 150.0) {
+            Age::Elapsed(d) => assert!((d.as_micros_f64() - 50.0).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.age_on(1, 9999.0), Age::Remote);
+        assert!(s.migrates_to(1));
+        assert!(!s.migrates_to(0));
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut p = ProcState::new();
+        assert!(p.is_idle());
+        p.activity = ProcActivity::Protocol {
+            packet: Packet {
+                stream: 0,
+                arrival: t(0),
+                size_bytes: 1.0,
+            },
+            stack: None,
+            done_at: t(10),
+        };
+        assert!(!p.is_idle());
+    }
+}

@@ -1,0 +1,183 @@
+//! Structured scheduling traces: a bounded ring of the simulator's
+//! per-packet decisions, for debugging policies and for fine-grained
+//! analyses the aggregate [`RunReport`](crate::metrics::RunReport)
+//! cannot answer ("which processor served stream 3's burst?", "how old
+//! was the code footprint at each dispatch?").
+
+use std::collections::VecDeque;
+
+/// One scheduling decision or completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedEvent {
+    /// A packet started service.
+    Dispatch {
+        /// Simulation time, µs.
+        time_us: f64,
+        /// Stream the packet belongs to.
+        stream: u32,
+        /// Processor chosen.
+        proc: usize,
+        /// Service time the model priced, µs.
+        service_us: f64,
+        /// The stream state had to migrate from another processor.
+        stream_migrated: bool,
+    },
+    /// A packet finished service.
+    Completion {
+        /// Simulation time, µs.
+        time_us: f64,
+        /// Stream the packet belongs to.
+        stream: u32,
+        /// Processor that served it.
+        proc: usize,
+        /// Total delay (arrival → completion), µs.
+        delay_us: f64,
+    },
+}
+
+impl SchedEvent {
+    /// The event's timestamp.
+    pub fn time_us(&self) -> f64 {
+        match *self {
+            SchedEvent::Dispatch { time_us, .. } | SchedEvent::Completion { time_us, .. } => {
+                time_us
+            }
+        }
+    }
+
+    /// The stream involved.
+    pub fn stream(&self) -> u32 {
+        match *self {
+            SchedEvent::Dispatch { stream, .. } | SchedEvent::Completion { stream, .. } => stream,
+        }
+    }
+
+    /// The processor involved.
+    pub fn proc(&self) -> usize {
+        match *self {
+            SchedEvent::Dispatch { proc, .. } | SchedEvent::Completion { proc, .. } => proc,
+        }
+    }
+}
+
+/// A bounded event ring: the newest `capacity` events are retained, and
+/// overflow is counted rather than silently discarded.
+#[derive(Debug)]
+pub struct SchedTrace {
+    ring: VecDeque<SchedEvent>,
+    capacity: usize,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+}
+
+impl SchedTrace {
+    /// A trace retaining the newest `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        SchedTrace {
+            ring: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append one event, evicting the oldest when full.
+    pub fn push(&mut self, ev: SchedEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SchedEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Dispatches retained, oldest first.
+    pub fn dispatches(&self) -> impl Iterator<Item = &SchedEvent> {
+        self.ring
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::Dispatch { .. }))
+    }
+
+    /// The processors that served `stream`, in dispatch order — the raw
+    /// material of a migration analysis.
+    pub fn processor_history(&self, stream: u32) -> Vec<usize> {
+        self.dispatches()
+            .filter(|e| e.stream() == stream)
+            .map(|e| e.proc())
+            .collect()
+    }
+
+    /// Count the processor switches in a stream's service history.
+    pub fn migrations_of(&self, stream: u32) -> usize {
+        let h = self.processor_history(stream);
+        h.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatch(t: f64, stream: u32, proc: usize) -> SchedEvent {
+        SchedEvent::Dispatch {
+            time_us: t,
+            stream,
+            proc,
+            service_us: 150.0,
+            stream_migrated: false,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut tr = SchedTrace::new(3);
+        for i in 0..5 {
+            tr.push(dispatch(i as f64, 0, 0));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped, 2);
+        let times: Vec<f64> = tr.events().map(|e| e.time_us()).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn processor_history_and_migrations() {
+        let mut tr = SchedTrace::new(16);
+        for (t, p) in [(1.0, 0), (2.0, 0), (3.0, 1), (4.0, 1), (5.0, 2)] {
+            tr.push(dispatch(t, 7, p));
+        }
+        tr.push(dispatch(6.0, 8, 5)); // another stream, ignored
+        assert_eq!(tr.processor_history(7), vec![0, 0, 1, 1, 2]);
+        assert_eq!(tr.migrations_of(7), 2);
+        assert_eq!(tr.migrations_of(8), 0);
+        assert_eq!(tr.migrations_of(99), 0);
+    }
+
+    #[test]
+    fn completions_are_not_dispatches() {
+        let mut tr = SchedTrace::new(8);
+        tr.push(dispatch(1.0, 0, 0));
+        tr.push(SchedEvent::Completion {
+            time_us: 2.0,
+            stream: 0,
+            proc: 0,
+            delay_us: 180.0,
+        });
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dispatches().count(), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! The pending-event set: a time-ordered priority queue with stable FIFO
+//! ordering for simultaneous events and O(log n) lazy cancellation.
+//!
+//! Determinism matters more than raw speed here: two events scheduled for
+//! the same instant are delivered in the order they were scheduled, so a
+//! simulation run is a pure function of (configuration, master seed).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// Internal heap entry. Ordered by `(time, seq)` ascending; `BinaryHeap` is
+/// a max-heap so the `Ord` implementation is reversed.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest time (then lowest seq) is the heap maximum.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// * `push` schedules a payload at an absolute time and returns an
+///   [`EventId`].
+/// * `cancel` lazily removes a scheduled event (tombstoned; skipped on pop).
+/// * `pop` yields events in `(time, insertion order)` order.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids of events currently scheduled and not cancelled. Entries whose
+    /// id is absent from this set are tombstones, skipped on pop.
+    pending: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry {
+            time,
+            seq,
+            id,
+            payload,
+        });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancel a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending. Cancelling an
+    /// already-fired or already-cancelled event returns `false` and has no
+    /// other effect.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Remove and return the earliest live event, skipping tombstones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.id) {
+                return Some((entry.time, entry.payload));
+            }
+            // else: tombstone, drop and continue
+        }
+        None
+    }
+
+    /// Time of the earliest live event, if any, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain tombstones at the top so the peeked entry is live.
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.id) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (scheduled, not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.cancel(a));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_id_rejected() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+        q.push(t(1), 7);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(1), 7)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 1);
+        q.push(t(5), 0);
+        assert_eq!(q.pop(), Some((t(5), 0)));
+        q.push(t(7), 9);
+        assert_eq!(q.pop(), Some((t(7), 9)));
+        assert_eq!(q.pop(), Some((t(10), 1)));
+    }
+
+    #[test]
+    fn times_can_repeat_across_pushes() {
+        let mut q = EventQueue::new();
+        let base = t(3) + SimDuration::from_micros(0);
+        q.push(base, "x");
+        q.pop();
+        q.push(base, "y"); // same instant after a pop
+        assert_eq!(q.pop(), Some((base, "y")));
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests for the simulation substrate.
+//!
+//! The event queue is checked against a reference model (a sorted list
+//! with stable insertion order), the statistics against naive
+//! recomputation, and the time/distribution types against their
+//! algebraic contracts.
+
+use proptest::prelude::*;
+
+use afs_desim::dist::{CountDist, Dist};
+use afs_desim::event::EventQueue;
+use afs_desim::rng::RngFactory;
+use afs_desim::stats::{Histogram, Welford};
+use afs_desim::time::{SimDuration, SimTime};
+
+/// Reference model: (time, seq) pairs kept sorted stably.
+#[derive(Default)]
+struct ModelQueue {
+    items: Vec<(u64, u64, u32)>, // (time, seq, payload)
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn push(&mut self, t: u64, payload: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.items.push((t, seq, payload));
+        seq
+    }
+    fn cancel(&mut self, seq: u64) -> bool {
+        let before = self.items.len();
+        self.items.retain(|&(_, s, _)| s != seq);
+        self.items.len() != before
+    }
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, s, _))| (t, s))
+            .map(|(i, _)| i)
+            .unwrap();
+        let (t, _, p) = self.items.remove(best);
+        Some((t, p))
+    }
+}
+
+/// Operations applied to both queues.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64, u32),
+    Pop,
+    Cancel(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..10_000, any::<u32>()).prop_map(|(t, p)| Op::Push(t, p)),
+        Just(Op::Pop),
+        (0usize..64).prop_map(Op::Cancel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn event_queue_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut real = EventQueue::new();
+        let mut model = ModelQueue::default();
+        let mut live_ids = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(t, p) => {
+                    let id = real.push(SimTime::from_micros(t), p);
+                    let seq = model.push(t, p);
+                    live_ids.push((id, seq));
+                }
+                Op::Pop => {
+                    let got = real.pop();
+                    let want = model.pop();
+                    prop_assert_eq!(got.map(|(t, p)| (t.ticks() / 1000, p)), want);
+                }
+                Op::Cancel(i) => {
+                    if !live_ids.is_empty() {
+                        let (id, seq) = live_ids[i % live_ids.len()];
+                        let got = real.cancel(id);
+                        let want = model.cancel(seq);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            prop_assert_eq!(real.len(), model.items.len());
+        }
+        // Drain: remaining orders must agree.
+        loop {
+            let got = real.pop();
+            let want = model.pop();
+            prop_assert_eq!(got.map(|(t, p)| (t.ticks() / 1000, p)), want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn time_arithmetic_roundtrips(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_ticks(a);
+        let dur = SimDuration::from_ticks(d);
+        prop_assert_eq!((t + dur) - dur, t);
+        prop_assert_eq!((t + dur).since(t), dur);
+        prop_assert!(t + dur >= t);
+    }
+
+    #[test]
+    fn duration_scaling_consistent(us in 0.0f64..1e9, k in 0.0f64..1e3) {
+        let d = SimDuration::from_micros_f64(us);
+        let scaled = d.mul_f64(k);
+        // Within rounding of the fixed-point representation.
+        let expect = us * k;
+        prop_assert!((scaled.as_micros_f64() - expect).abs() <= expect * 1e-9 + 1e-3);
+    }
+
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..400)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+            prop_assert!((w.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        }
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(w.min(), min);
+        prop_assert_eq!(w.max(), max);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut all = Welford::new();
+        for &x in xs.iter().chain(&ys) {
+            all.add(x);
+        }
+        let mut a = Welford::new();
+        for &x in &xs {
+            a.add(x);
+        }
+        let mut b = Welford::new();
+        for &y in &ys {
+            b.add(y);
+        }
+        a.merge(&b);
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-8 * (1.0 + all.mean().abs()));
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-6 * (1.0 + all.variance()));
+        prop_assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_statistics(
+        xs in prop::collection::vec(0.0f64..99.0, 1..300),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = Histogram::new(1.0, 100);
+        for &x in &xs {
+            h.add(x);
+        }
+        let quantile = h.quantile(q).expect("within range");
+        // The histogram quantile must bound the true order statistic
+        // from above by at most one bin width.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
+        let exact = sorted[idx];
+        prop_assert!(quantile + 1e-9 >= exact, "quantile {quantile} < exact {exact}");
+        prop_assert!(quantile <= exact + 1.0 + 1e-9, "quantile {quantile} > exact+bin {exact}");
+    }
+
+    #[test]
+    fn distributions_sample_in_support(seed in any::<u64>(), mean in 0.1f64..1e5) {
+        let mut rng = RngFactory::new(seed).stream("prop");
+        let dists = [
+            Dist::constant(mean),
+            Dist::exponential(mean),
+            Dist::uniform(mean * 0.5, mean * 1.5),
+            Dist::bounded_pareto(1.5, mean * 0.1, mean * 100.0),
+        ];
+        for d in &dists {
+            for _ in 0..50 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "{d:?} sampled {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_dists_sample_at_least_one(seed in any::<u64>(), mean in 1.0f64..100.0) {
+        let mut rng = RngFactory::new(seed).stream("prop");
+        let d = CountDist::geometric_with_mean(mean);
+        for _ in 0..100 {
+            prop_assert!(d.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), name in "[a-z]{1,12}") {
+        use rand::RngCore;
+        let f = RngFactory::new(seed);
+        let mut a = f.stream(&name);
+        let mut b = f.stream(&name);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

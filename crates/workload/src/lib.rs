@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # afs-workload — offered traffic models
+//!
+//! Arrival processes and stream populations for the scheduling
+//! simulator:
+//!
+//! * [`arrivals`] — Poisson, compound-Poisson batch (intra-stream
+//!   burstiness) and Jain–Routhier packet-train generators, all with
+//!   exact mean-rate accounting.
+//! * [`population`] — stream sets (homogeneous, hot/cold mixes) and
+//!   packet-size distributions (tiny, FDDI-max, bimodal), with offered-ρ
+//!   helpers.
+
+pub mod arrivals;
+pub mod population;
+
+pub use arrivals::ArrivalGen;
+pub use population::{Population, SizeDist, StreamSpec};

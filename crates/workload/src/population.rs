@@ -1,0 +1,206 @@
+//! Stream populations: the set of concurrent connections offered to the
+//! host, with per-stream arrival processes and packet sizes.
+//!
+//! The paper's figures sweep the per-stream arrival rate for a fixed
+//! population of homogeneous streams (K = N and K > N cases); the
+//! capacity results ask how many concurrent streams the host can carry.
+//! [`Population`] builds these configurations and computes exact offered
+//! loads.
+
+use afs_desim::dist::Dist;
+
+use crate::arrivals::ArrivalGen;
+
+/// Packet-size (payload bytes) distributions.
+///
+/// Most packets in real environments are small (the paper, citing
+/// Gusella and Kay–Pasquale, uses this to justify the fixed-overhead
+/// focus); the FDDI maximum is 4432 bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeDist(pub Dist);
+
+impl SizeDist {
+    /// 1-byte packets: isolates fixed per-packet costs (the paper's
+    /// calibration configuration).
+    pub fn tiny() -> Self {
+        SizeDist(Dist::constant(1.0))
+    }
+
+    /// Full-MTU FDDI packets (4432 bytes) — the paper's worst case for
+    /// data-touching overhead.
+    pub fn fddi_max() -> Self {
+        SizeDist(Dist::constant(4432.0))
+    }
+
+    /// A bimodal mix: fraction `p_small` of `small`-byte packets, rest
+    /// full-MTU. Approximates measured LAN mixes.
+    pub fn bimodal(p_small: f64, small: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_small));
+        SizeDist(Dist::TwoPoint {
+            value_a: small,
+            p_a: p_small,
+            value_b: 4432.0,
+        })
+    }
+
+    /// Mean payload bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        self.0.mean()
+    }
+}
+
+/// One stream's offered traffic.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Arrival process.
+    pub arrivals: ArrivalGen,
+    /// Payload-size distribution.
+    pub sizes: SizeDist,
+}
+
+/// A complete offered workload: one spec per stream.
+#[derive(Debug, Clone, Default)]
+pub struct Population {
+    /// Per-stream specifications, indexed by stream id.
+    pub streams: Vec<StreamSpec>,
+}
+
+impl Population {
+    /// `k` identical Poisson streams of `rate_per_sec` each, tiny packets.
+    pub fn homogeneous_poisson(k: usize, rate_per_sec: f64) -> Self {
+        Population {
+            streams: (0..k)
+                .map(|_| StreamSpec {
+                    arrivals: ArrivalGen::poisson(rate_per_sec),
+                    sizes: SizeDist::tiny(),
+                })
+                .collect(),
+        }
+    }
+
+    /// `k` identical bursty streams (geometric batches of mean
+    /// `batch_mean`) of `rate_per_sec` each.
+    pub fn homogeneous_bursty(k: usize, rate_per_sec: f64, batch_mean: f64) -> Self {
+        Population {
+            streams: (0..k)
+                .map(|_| StreamSpec {
+                    arrivals: ArrivalGen::bursty(rate_per_sec, batch_mean),
+                    sizes: SizeDist::tiny(),
+                })
+                .collect(),
+        }
+    }
+
+    /// A hot/cold mix: `hot` streams at `hot_rate`, `cold` streams at
+    /// `cold_rate` (Poisson, tiny packets). Exercises the hybrid policy:
+    /// wire the hot streams, MRU the rest.
+    pub fn hot_cold(hot: usize, hot_rate: f64, cold: usize, cold_rate: f64) -> Self {
+        let mut streams = Vec::with_capacity(hot + cold);
+        for _ in 0..hot {
+            streams.push(StreamSpec {
+                arrivals: ArrivalGen::poisson(hot_rate),
+                sizes: SizeDist::tiny(),
+            });
+        }
+        for _ in 0..cold {
+            streams.push(StreamSpec {
+                arrivals: ArrivalGen::poisson(cold_rate),
+                sizes: SizeDist::tiny(),
+            });
+        }
+        Population { streams }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when no streams are configured.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Aggregate offered packet rate (packets/second), exact.
+    pub fn total_rate_per_sec(&self) -> f64 {
+        self.streams.iter().map(|s| s.arrivals.rate_per_sec()).sum()
+    }
+
+    /// Offered utilization against `n_procs` servers of mean service time
+    /// `service_us` — the `ρ` that must stay below 1 for stability.
+    pub fn offered_rho(&self, n_procs: usize, service_us: f64) -> f64 {
+        self.total_rate_per_sec() * service_us / 1e6 / n_procs as f64
+    }
+
+    /// Replace every stream's rate, keeping processes/sizes (for sweeps).
+    pub fn with_rate(mut self, rate_per_sec: f64) -> Self {
+        for s in &mut self.streams {
+            s.arrivals = match &s.arrivals {
+                ArrivalGen::Poisson { .. } => ArrivalGen::poisson(rate_per_sec),
+                ArrivalGen::Replay { gaps, .. } => {
+                    // Rescale every recorded gap so the trace's mean rate
+                    // becomes `rate_per_sec`, preserving its shape.
+                    let old_rate = gaps.len() as f64 * 1e6 / gaps.iter().sum::<f64>();
+                    let k = old_rate / rate_per_sec;
+                    ArrivalGen::replay(gaps.iter().map(|g| g * k).collect())
+                }
+                ArrivalGen::Batch { batch, .. } => ArrivalGen::bursty(rate_per_sec, batch.mean()),
+                ArrivalGen::Train {
+                    inter_car, cars, ..
+                } => ArrivalGen::train(rate_per_sec, cars.mean(), inter_car.mean()),
+            };
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_population_rates() {
+        let p = Population::homogeneous_poisson(16, 250.0);
+        assert_eq!(p.len(), 16);
+        assert!((p.total_rate_per_sec() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offered_rho() {
+        // 4000 pkts/s × 200 µs over 8 processors = 0.1 utilization.
+        let p = Population::homogeneous_poisson(16, 250.0);
+        assert!((p.offered_rho(8, 200.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_cold_split() {
+        let p = Population::hot_cold(2, 2000.0, 6, 100.0);
+        assert_eq!(p.len(), 8);
+        assert!((p.total_rate_per_sec() - 4600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_rate_rescales_preserving_shape() {
+        let p = Population::homogeneous_bursty(4, 100.0, 8.0).with_rate(400.0);
+        assert!((p.total_rate_per_sec() - 1600.0).abs() < 1e-9);
+        match &p.streams[0].arrivals {
+            ArrivalGen::Batch { batch, .. } => assert!((batch.mean() - 8.0).abs() < 1e-12),
+            other => panic!("expected batch arrivals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_dists() {
+        assert_eq!(SizeDist::tiny().mean_bytes(), 1.0);
+        assert_eq!(SizeDist::fddi_max().mean_bytes(), 4432.0);
+        let m = SizeDist::bimodal(0.9, 64.0).mean_bytes();
+        assert!((m - (0.9 * 64.0 + 0.1 * 4432.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_population() {
+        let p = Population::default();
+        assert!(p.is_empty());
+        assert_eq!(p.total_rate_per_sec(), 0.0);
+    }
+}

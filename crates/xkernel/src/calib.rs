@@ -1,0 +1,325 @@
+//! Calibration: the paper's Section-4 experiments, reproduced over the
+//! simulated hierarchy.
+//!
+//! The paper runs the parallelized receive path under *specific,
+//! controlled conditions of cache state* to measure per-packet execution
+//! times and isolate the individual components of affinity overhead. We
+//! run the same experiment set:
+//!
+//! | experiment    | cache state before each packet                    |
+//! |---------------|---------------------------------------------------|
+//! | `warm`        | everything as the previous packet left it         |
+//! | `l2_resident` | L1 flushed, L2 intact                             |
+//! | `cold`        | both levels flushed                               |
+//! | `thread_cold` | only the thread's footprint purged                |
+//! | `stream_cold` | only the stream state purged                      |
+//! | `code_cold`   | protocol code + shared globals purged             |
+//!
+//! Packet **data** is purged before *every* packet, including `warm`:
+//! arriving frames are DMA'd to memory and are never cache-resident (the
+//! paper makes the matching observation about interfaces that DMA
+//! unfragmented data, avoiding the CPU cache).
+//!
+//! Outputs: the [`TimeBounds`] and [`ComponentWeights`] that parameterize
+//! the analytic execution-time model, per-region L2 footprints, and the
+//! derived per-packet Locking overhead — everything `afs-core` needs.
+
+use afs_cache::model::exec_time::{ComponentWeights, TimeBounds};
+use afs_cache::sim::hierarchy::MemoryHierarchy;
+use afs_cache::sim::trace::Region;
+
+use crate::driver::PacketFactory;
+use crate::engine::{CostModel, ProtocolEngine};
+use crate::mem::MemLayout;
+use crate::proto::{StreamId, ThreadId};
+
+/// Number of warm-up packets before steady-state measurement.
+const WARMUP_PACKETS: usize = 30;
+/// Number of measured packets per experiment.
+const MEASURE_PACKETS: usize = 20;
+/// Payload size used for calibration (the paper's non-data-touching
+/// results are dominated by small packets; 1 byte isolates fixed costs).
+const CALIB_PAYLOAD: usize = 1;
+
+/// Everything the calibration run produces.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Warm / L2-resident / cold per-packet bounds.
+    pub bounds: TimeBounds,
+    /// Normalized component split of the reload span.
+    pub weights: ComponentWeights,
+    /// Mean per-packet time with only the thread footprint purged (µs).
+    pub t_thread_us: f64,
+    /// Mean per-packet time with only the stream state purged (µs).
+    pub t_stream_us: f64,
+    /// Mean per-packet time with code + globals purged (µs).
+    pub t_code_global_us: f64,
+    /// Steady-state L2 footprint per region, in bytes
+    /// (indexed by [`Region::index`]).
+    pub l2_footprint_bytes: [u64; 6],
+    /// Dirty (written) bytes of the stream state resident in L2 — the
+    /// portion a migration must transfer cache-to-cache instead of
+    /// refetching from memory; grounds the remote-fetch premium.
+    pub dirty_stream_bytes: u64,
+    /// Instructions per packet on the fast path.
+    pub instrs_per_packet: u64,
+    /// Memory references per packet.
+    pub refs_per_packet: u64,
+    /// Derived per-packet overhead of the Locking paradigm (µs): the
+    /// instruction cost of the lock/unlock pairs plus the bus transfers
+    /// of the contended lock lines.
+    pub lock_overhead_us: f64,
+}
+
+impl Calibration {
+    /// Affinity-sensitive reload span as a fraction of the cold time —
+    /// the upper bound on relative delay reduction (the paper's Figures
+    /// 10/11 report 40–50 % at V = 0).
+    pub fn max_reduction(&self) -> f64 {
+        self.bounds.reload_span_us() / self.bounds.t_cold_us
+    }
+}
+
+/// Lock/unlock instruction cost per acquired lock on the Locking path.
+const LOCK_INSTRS_PER_PAIR: f64 = 150.0;
+/// Lock acquisitions per packet under Locking (driver ring, IP demux,
+/// IP statistics, UDP demux, socket buffer, session) — the paradigm the
+/// paper contrasts with IPS. Multiprocessor protocol studies of the era
+/// measured software synchronization consuming tens of percent of
+/// per-packet time (Bjorkman & Gunningberg; Saxena et al.; Nahum et
+/// al.); six short critical sections at ~15% of the warm path sits in
+/// the middle of those measurements.
+const LOCKS_PER_PACKET: f64 = 6.0;
+/// Remote cache lines transferred per lock pair (the lock word plus the
+/// protected structure's dirty line bounce between processors).
+const LOCK_REMOTE_LINES: f64 = 2.0;
+
+/// One experiment: run packets with `prep` applied to the hierarchy
+/// before each measured packet; returns the mean per-packet µs.
+fn run_state_experiment(
+    eng: &mut ProtocolEngine,
+    hier: &mut MemoryHierarchy,
+    factory: &mut PacketFactory,
+    prep: &mut dyn FnMut(&mut MemoryHierarchy),
+) -> f64 {
+    let layout = MemLayout::new();
+    let mut total = 0.0;
+    for i in 0..(WARMUP_PACKETS + MEASURE_PACKETS) {
+        // DMA lands the frame in a rotating buffer; its lines are never
+        // cache-resident on arrival.
+        hier.purge_region(Region::PacketData);
+        prep(hier);
+        let frame = crate::driver::RxFrame {
+            bytes: factory.frame_for(StreamId(0), CALIB_PAYLOAD),
+            stream: StreamId(0),
+            buf_addr: layout.packet((i % 8) as u32),
+        };
+        let t = eng
+            .receive(hier, &frame, ThreadId(0))
+            .expect("calibration frames are well-formed");
+        if i >= WARMUP_PACKETS {
+            total += t.us;
+        }
+    }
+    total / MEASURE_PACKETS as f64
+}
+
+/// Run the full calibration suite for a cost model.
+pub fn calibrate(cost: &CostModel) -> Calibration {
+    let mut eng = ProtocolEngine::new(*cost);
+    eng.bind_stream(StreamId(0));
+    let mut factory = PacketFactory::new();
+    let mut hier = cost.hierarchy();
+
+    // Steady-state warm bound (also warms for the footprint census).
+    let t_warm = run_state_experiment(&mut eng, &mut hier, &mut factory, &mut |_| {});
+
+    // Census the warm L2 footprint per region.
+    let line = hier.platform().l2.line_bytes as u64;
+    let mut l2_footprint_bytes = [0u64; 6];
+    for r in Region::ALL {
+        l2_footprint_bytes[r.index()] = hier.l2.occupancy(r) * line;
+    }
+    let dirty_stream_bytes = hier.l2.dirty_occupancy(Region::Stream) * line;
+
+    // Instructions/refs per packet from one more warm packet.
+    let frame = crate::driver::RxFrame {
+        bytes: factory.frame_for(StreamId(0), CALIB_PAYLOAD),
+        stream: StreamId(0),
+        buf_addr: MemLayout::new().packet(0),
+    };
+    hier.purge_region(Region::PacketData);
+    let probe = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap();
+
+    // Controlled-state experiments.
+    let t_l2 = run_state_experiment(&mut eng, &mut hier, &mut factory, &mut |h| h.flush_l1());
+    let t_cold = run_state_experiment(&mut eng, &mut hier, &mut factory, &mut |h| h.flush_all());
+    let t_thread = run_state_experiment(&mut eng, &mut hier, &mut factory, &mut |h| {
+        h.purge_region(Region::Thread)
+    });
+    let t_stream = run_state_experiment(&mut eng, &mut hier, &mut factory, &mut |h| {
+        h.purge_region(Region::Stream)
+    });
+    let t_code_global = run_state_experiment(&mut eng, &mut hier, &mut factory, &mut |h| {
+        h.purge_region(Region::Code);
+        h.purge_region(Region::Global);
+    });
+
+    let span = (t_cold - t_warm).max(1e-9);
+    let raw_thread = ((t_thread - t_warm) / span).max(0.0);
+    let raw_stream = ((t_stream - t_warm) / span).max(0.0);
+    let raw_code = ((t_code_global - t_warm) / span).max(0.0);
+    let raw_sum = (raw_thread + raw_stream + raw_code).max(1e-9);
+
+    let platform = cost.platform();
+    let lock_overhead_us = LOCKS_PER_PACKET
+        * (LOCK_INSTRS_PER_PAIR * cost.cpi / platform.clock_hz * 1e6
+            + LOCK_REMOTE_LINES * platform.cycles_to_us(platform.remote_penalty_cycles));
+
+    Calibration {
+        bounds: TimeBounds::new(t_warm, t_l2.clamp(t_warm, t_cold), t_cold),
+        weights: ComponentWeights::new(
+            raw_code / raw_sum,
+            raw_thread / raw_sum,
+            raw_stream / raw_sum,
+        ),
+        t_thread_us: t_thread,
+        t_stream_us: t_stream,
+        t_code_global_us: t_code_global,
+        l2_footprint_bytes,
+        dirty_stream_bytes,
+        instrs_per_packet: probe.instructions,
+        refs_per_packet: probe.refs,
+        lock_overhead_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn shared() -> &'static Calibration {
+        static CAL: OnceLock<Calibration> = OnceLock::new();
+        CAL.get_or_init(|| calibrate(&CostModel::default()))
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let c = shared();
+        assert!(c.bounds.t_warm_us < c.bounds.t_l2_us);
+        assert!(c.bounds.t_l2_us < c.bounds.t_cold_us);
+    }
+
+    #[test]
+    fn cold_matches_papers_measurement() {
+        // The paper: t_cold = 284.3 µs. The default CostModel is tuned to
+        // land within a few percent.
+        let c = shared();
+        let err = (c.bounds.t_cold_us - 284.3).abs() / 284.3;
+        assert!(
+            err < 0.05,
+            "t_cold = {:.1} µs, {:.1}% from the paper's 284.3",
+            c.bounds.t_cold_us,
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn reduction_bound_in_paper_band() {
+        // Figures 10/11: V = 0 upper bound on delay reduction 40–50 %.
+        let c = shared();
+        let red = c.max_reduction();
+        assert!(
+            (0.38..0.55).contains(&red),
+            "max reduction {:.2} outside 40–50% band",
+            red
+        );
+    }
+
+    #[test]
+    fn component_weights_valid_and_plausible() {
+        let c = shared();
+        let w = c.weights;
+        let sum = w.code_global + w.thread + w.stream;
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(w.code_global > 0.3, "code/global weight {}", w.code_global);
+        assert!(w.stream > 0.08, "stream weight {}", w.stream);
+        assert!(w.thread > 0.02, "thread weight {}", w.thread);
+    }
+
+    #[test]
+    fn partial_purges_cost_less_than_cold() {
+        let c = shared();
+        for (name, t) in [
+            ("thread", c.t_thread_us),
+            ("stream", c.t_stream_us),
+            ("code", c.t_code_global_us),
+        ] {
+            assert!(t > c.bounds.t_warm_us, "{name} purge should cost > warm");
+            assert!(t < c.bounds.t_cold_us, "{name} purge should cost < cold");
+        }
+    }
+
+    #[test]
+    fn footprint_census_is_sane() {
+        let c = shared();
+        let code = c.l2_footprint_bytes[Region::Code.index()];
+        let stream = c.l2_footprint_bytes[Region::Stream.index()];
+        let thread = c.l2_footprint_bytes[Region::Thread.index()];
+        assert!(code >= 8 * 1024, "code footprint {code} B");
+        assert!(stream >= 1024, "stream footprint {stream} B");
+        assert!(thread >= 512, "thread footprint {thread} B");
+        // Total well under the 1 MB L2.
+        let total: u64 = c.l2_footprint_bytes.iter().sum();
+        assert!(total < 128 * 1024, "total footprint {total} B");
+    }
+
+    #[test]
+    fn per_packet_counts_match_cost_model() {
+        let c = shared();
+        assert_eq!(c.instrs_per_packet, CostModel::default().total_instrs());
+        assert!(c.refs_per_packet > 1_000);
+        // Effective cycles-per-reference of the protocol path should be
+        // in the low single digits (the non-protocol m = 5 is separate).
+        let m = c.instrs_per_packet as f64 / c.refs_per_packet as f64;
+        assert!((1.0..8.0).contains(&m), "instructions per ref {m}");
+    }
+
+    #[test]
+    fn stream_state_is_substantially_dirty() {
+        // The session is written every packet: a meaningful share of its
+        // L2 lines must be dirty, which is what migration transfers.
+        let c = shared();
+        let total = c.l2_footprint_bytes[Region::Stream.index()];
+        assert!(c.dirty_stream_bytes > 0, "no dirty stream lines");
+        assert!(
+            c.dirty_stream_bytes <= total,
+            "dirty {} > resident {total}",
+            c.dirty_stream_bytes
+        );
+        assert!(
+            c.dirty_stream_bytes as f64 >= 0.15 * total as f64,
+            "dirty share {}/{total} implausibly small",
+            c.dirty_stream_bytes
+        );
+    }
+
+    #[test]
+    fn lock_overhead_plausible() {
+        let c = shared();
+        assert!(
+            (5.0..40.0).contains(&c.lock_overhead_us),
+            "lock overhead {:.1} µs",
+            c.lock_overhead_us
+        );
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let a = calibrate(&CostModel::default());
+        let b = calibrate(&CostModel::default());
+        assert_eq!(a.bounds.t_warm_us, b.bounds.t_warm_us);
+        assert_eq!(a.bounds.t_cold_us, b.bounds.t_cold_us);
+    }
+}

@@ -1,0 +1,271 @@
+//! The in-memory FDDI device driver and packet factory.
+//!
+//! The paper: *"We developed in-memory drivers (a technique also used in
+//! [13, 21]), since the Challenge's eight 100 MHz R4400 processors are
+//! together much faster than the single FDDI network attachment on our
+//! machine. Data is not received from the actual FDDI network."* We do
+//! the same: [`PacketFactory`] fabricates byte-exact UDP/IP/FDDI frames
+//! for a set of streams, and [`InMemoryDriver`] hands them to the
+//! protocol engine from a ring of simulated packet buffers.
+
+use std::collections::VecDeque;
+
+use crate::fddi::{self, MacAddr};
+use crate::ip::{self, Ipv4Addr};
+use crate::mem::MemLayout;
+use crate::proto::StreamId;
+use crate::tcp;
+use crate::udp;
+
+/// Well-known base for per-stream UDP destination ports.
+pub const PORT_BASE: u16 = 5000;
+/// The receiving host's address.
+pub const HOST_ADDR: Ipv4Addr = Ipv4Addr(0x0A00_0001); // 10.0.0.1
+/// The receiving host's station address.
+pub const HOST_MAC: MacAddr = MacAddr([0x02, 0x00, 0, 0, 0, 1]);
+
+/// Destination UDP port for a stream.
+pub fn port_of(stream: StreamId) -> u16 {
+    PORT_BASE + stream.0 as u16
+}
+
+/// Source host address for a stream (each stream has its own peer).
+pub fn peer_of(stream: StreamId) -> Ipv4Addr {
+    Ipv4Addr::host(100 + stream.0)
+}
+
+/// Fabricates wire frames for streams.
+#[derive(Debug, Clone)]
+pub struct PacketFactory {
+    /// Whether senders fill in UDP checksums (off = the paper's
+    /// non-data-touching configuration).
+    pub udp_checksums: bool,
+    ident: u16,
+}
+
+impl PacketFactory {
+    /// A factory with checksums off (the paper's default).
+    pub fn new() -> Self {
+        PacketFactory {
+            udp_checksums: false,
+            ident: 0,
+        }
+    }
+
+    /// Build one complete FDDI frame carrying a TCP segment for `stream`
+    /// with the given sequence number and payload (receive-side testing
+    /// of the paper's TCP extension, E19).
+    pub fn tcp_frame_for(&mut self, stream: StreamId, seq: u32, payload: &[u8]) -> Vec<u8> {
+        self.ident = self.ident.wrapping_add(1);
+        let src = peer_of(stream);
+        let seg = tcp::build_segment(
+            src,
+            HOST_ADDR,
+            1024 + stream.0 as u16,
+            port_of(stream),
+            seq,
+            0,
+            tcp::flags::ACK,
+            8192,
+            payload,
+        );
+        let total = (ip::HEADER_LEN + seg.len()) as u16;
+        let iph = ip::build_header(
+            total,
+            self.ident,
+            true,
+            false,
+            0,
+            ip::DEFAULT_TTL,
+            ip::PROTO_TCP,
+            src,
+            HOST_ADDR,
+        );
+        let mut dgram = iph.to_vec();
+        dgram.extend_from_slice(&seg);
+        fddi::build_frame(
+            HOST_MAC,
+            MacAddr::station(100 + stream.0),
+            fddi::ETHERTYPE_IP,
+            &dgram,
+        )
+        .expect("factory payloads fit the FDDI MTU")
+    }
+
+    /// Build one complete FDDI frame carrying a UDP datagram of
+    /// `payload_len` bytes for `stream`.
+    pub fn frame_for(&mut self, stream: StreamId, payload_len: usize) -> Vec<u8> {
+        self.ident = self.ident.wrapping_add(1);
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i & 0xFF) as u8).collect();
+        let src = peer_of(stream);
+        let udp = udp::build_datagram(
+            src,
+            HOST_ADDR,
+            1024 + stream.0 as u16,
+            port_of(stream),
+            &payload,
+            self.udp_checksums,
+        );
+        let total = (ip::HEADER_LEN + udp.len()) as u16;
+        let iph = ip::build_header(
+            total,
+            self.ident,
+            true,
+            false,
+            0,
+            ip::DEFAULT_TTL,
+            ip::PROTO_UDP,
+            src,
+            HOST_ADDR,
+        );
+        let mut dgram = iph.to_vec();
+        dgram.extend_from_slice(&udp);
+        fddi::build_frame(
+            HOST_MAC,
+            MacAddr::station(100 + stream.0),
+            fddi::ETHERTYPE_IP,
+            &dgram,
+        )
+        .expect("factory payloads fit the FDDI MTU")
+    }
+}
+
+impl Default for PacketFactory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A received frame waiting in driver memory.
+#[derive(Debug, Clone)]
+pub struct RxFrame {
+    /// The wire bytes.
+    pub bytes: Vec<u8>,
+    /// Which stream generated it (ground truth for experiments; the
+    /// engine re-derives the stream by demuxing the headers).
+    pub stream: StreamId,
+    /// Simulated buffer address the frame occupies.
+    pub buf_addr: u64,
+}
+
+/// The in-memory driver: a receive ring of simulated buffers.
+#[derive(Debug)]
+pub struct InMemoryDriver {
+    layout: MemLayout,
+    ring: VecDeque<RxFrame>,
+    next_slot: u32,
+    slots: u32,
+    /// Frames dropped because the ring was full.
+    pub drops: u64,
+}
+
+impl InMemoryDriver {
+    /// A driver with `slots` receive buffers.
+    pub fn new(layout: MemLayout, slots: u32) -> Self {
+        assert!(slots >= 1);
+        InMemoryDriver {
+            layout,
+            ring: VecDeque::new(),
+            next_slot: 0,
+            slots,
+            drops: 0,
+        }
+    }
+
+    /// "DMA" a frame into the next ring buffer. Returns false (and counts
+    /// a drop) when the ring is full.
+    pub fn dma_in(&mut self, bytes: Vec<u8>, stream: StreamId) -> bool {
+        if self.ring.len() >= self.slots as usize {
+            self.drops += 1;
+            return false;
+        }
+        let slot = self.next_slot % self.slots;
+        self.next_slot = self.next_slot.wrapping_add(1);
+        self.ring.push_back(RxFrame {
+            bytes,
+            stream,
+            buf_addr: self.layout.packet(slot),
+        });
+        true
+    }
+
+    /// Take the oldest received frame.
+    pub fn next_frame(&mut self) -> Option<RxFrame> {
+        self.ring.pop_front()
+    }
+
+    /// Frames currently queued.
+    pub fn pending(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Message;
+
+    #[test]
+    fn factory_frames_parse_end_to_end() {
+        let mut f = PacketFactory::new();
+        let frame = f.frame_for(StreamId(3), 64);
+        let mut msg = Message::from_wire(&frame, 0);
+        let fh = fddi::parse_frame(&mut msg).unwrap();
+        assert_eq!(fh.dst, HOST_MAC);
+        assert_eq!(fh.ethertype, fddi::ETHERTYPE_IP);
+        let ih = ip::parse_header(&mut msg).unwrap();
+        assert_eq!(ih.protocol, ip::PROTO_UDP);
+        assert_eq!(ih.src, peer_of(StreamId(3)));
+        assert_eq!(ih.dst, HOST_ADDR);
+        let uh = udp::parse_datagram(&mut msg, ih.src, ih.dst).unwrap();
+        assert_eq!(uh.dst_port, port_of(StreamId(3)));
+        assert_eq!(msg.len(), 64);
+    }
+
+    #[test]
+    fn factory_with_checksums_validates() {
+        let mut f = PacketFactory {
+            udp_checksums: true,
+            ident: 0,
+        };
+        let frame = f.frame_for(StreamId(0), 100);
+        let mut msg = Message::from_wire(&frame, 0);
+        fddi::parse_frame(&mut msg).unwrap();
+        let ih = ip::parse_header(&mut msg).unwrap();
+        let uh = udp::parse_datagram(&mut msg, ih.src, ih.dst).unwrap();
+        assert_ne!(uh.checksum, 0);
+    }
+
+    #[test]
+    fn idents_increment() {
+        let mut f = PacketFactory::new();
+        let f1 = f.frame_for(StreamId(0), 8);
+        let f2 = f.frame_for(StreamId(0), 8);
+        let id = |fr: &[u8]| u16::from_be_bytes([fr[25], fr[26]]); // 21 hdr + 4
+        assert_eq!(id(&f2), id(&f1).wrapping_add(1));
+    }
+
+    #[test]
+    fn driver_ring_rotates_slots_and_drops_when_full() {
+        let layout = MemLayout::new();
+        let mut d = InMemoryDriver::new(layout, 2);
+        assert!(d.dma_in(vec![1], StreamId(0)));
+        assert!(d.dma_in(vec![2], StreamId(1)));
+        assert!(!d.dma_in(vec![3], StreamId(2)));
+        assert_eq!(d.drops, 1);
+        let a = d.next_frame().unwrap();
+        let b = d.next_frame().unwrap();
+        assert_eq!(a.bytes, vec![1]);
+        assert_ne!(a.buf_addr, b.buf_addr);
+        assert!(d.next_frame().is_none());
+        // Freed capacity accepts new frames in recycled slots.
+        assert!(d.dma_in(vec![4], StreamId(0)));
+        assert_eq!(d.pending(), 1);
+    }
+
+    #[test]
+    fn distinct_streams_use_distinct_ports_and_peers() {
+        assert_ne!(port_of(StreamId(0)), port_of(StreamId(1)));
+        assert_ne!(peer_of(StreamId(0)), peer_of(StreamId(1)));
+    }
+}

@@ -1,0 +1,962 @@
+//! The instrumented UDP/IP/FDDI fast path.
+//!
+//! [`ProtocolEngine::receive`] processes a wire frame exactly as the
+//! paper's parallelized x-kernel receive path does — FDDI demux, IP
+//! header validation (real internet checksum over real bytes), UDP port
+//! demux, session delivery — while charging every memory touch to a
+//! simulated cache hierarchy and every instruction to the cycle budget:
+//!
+//! ```text
+//! cycles = instructions × CPI + Σ cache-miss penalties
+//! ```
+//!
+//! The per-layer instruction counts and footprint extents live in
+//! [`CostModel`]; the defaults are calibrated (see `calib`) so that the
+//! fully cold path costs ≈ 284.3 µs at 100 MHz — the paper's measured
+//! `t_cold` — and the warm path lands near 150 µs, consistent with the
+//! 40–50 % delay-reduction upper bound of Figures 10/11.
+//!
+//! A symmetric [`ProtocolEngine::send`] implements the send-side path
+//! (header pushes) used by extension experiment E12.
+
+use afs_cache::model::platform::Platform;
+use afs_cache::sim::hierarchy::MemoryHierarchy;
+use afs_cache::sim::trace::Region;
+
+use crate::driver::{self, RxFrame};
+use crate::fddi;
+use crate::ip;
+use crate::mem::{CodeAllocator, CodeSeg, MemCtx, MemLayout};
+use crate::msg::Message;
+use crate::proto::{SessionTable, StreamId, ThreadId};
+use crate::tcp;
+use crate::udp;
+
+/// Per-layer instruction counts, code sizes and data-touch extents.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Cycles per instruction (R4400 ≈ 1 on this integer-dominated path).
+    pub cpi: f64,
+    /// Thread dispatch/switch instructions.
+    pub thread_instrs: u32,
+    /// Driver receive processing instructions.
+    pub driver_instrs: u32,
+    /// FDDI/LLC demux instructions.
+    pub fddi_instrs: u32,
+    /// IP processing instructions (excluding header-checksum loop).
+    pub ip_instrs: u32,
+    /// UDP processing instructions.
+    pub udp_instrs: u32,
+    /// Session/user delivery instructions.
+    pub user_instrs: u32,
+    /// Extra instructions TCP-specific processing adds over the UDP path
+    /// (header prediction, sequence bookkeeping, ACK generation). The
+    /// paper: "TCP-specific processing only accounts for around 15% of
+    /// overall packet execution time" at its most influential.
+    pub tcp_extra_instrs: u32,
+    /// Code-segment sizes in bytes, same order as the instruction fields.
+    pub code_bytes: [u64; 6],
+    /// Thread stack/state bytes read per packet.
+    pub thread_read_bytes: u64,
+    /// Thread stack/state bytes written per packet.
+    pub thread_write_bytes: u64,
+    /// Shared/global structure bytes touched per packet (demux maps…).
+    pub global_touch_bytes: u64,
+    /// Stream (session) state bytes read per packet.
+    pub stream_read_bytes: u64,
+    /// Stream state bytes written per packet.
+    pub stream_write_bytes: u64,
+    /// Verify the FDDI FCS in software (off: MAC hardware does it, as on
+    /// real adapters; frames are still logically validated).
+    pub software_fcs: bool,
+    /// Compute the UDP checksum in software (off = the paper's
+    /// non-data-touching configuration; on = touches the whole payload).
+    pub software_udp_checksum: bool,
+    /// L1-miss-to-L2 penalty in cycles.
+    pub l2_hit_penalty_cycles: f64,
+    /// L2-miss-to-memory penalty in cycles.
+    pub mem_penalty_cycles: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cpi: 1.0,
+            thread_instrs: 2_500,
+            driver_instrs: 1_800,
+            fddi_instrs: 2_200,
+            ip_instrs: 3_500,
+            udp_instrs: 2_500,
+            user_instrs: 2_500,
+            tcp_extra_instrs: 2_250, // ≈15% of the 15 000-instruction path
+            code_bytes: [1536, 1536, 1792, 2560, 1792, 1792],
+            thread_read_bytes: 384,
+            thread_write_bytes: 256,
+            global_touch_bytes: 640,
+            stream_read_bytes: 2048,
+            stream_write_bytes: 768,
+            software_fcs: false,
+            software_udp_checksum: false,
+            l2_hit_penalty_cycles: 8.0,
+            mem_penalty_cycles: 49.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total instructions on the (non-data-touching) fast path.
+    pub fn total_instrs(&self) -> u64 {
+        (self.thread_instrs
+            + self.driver_instrs
+            + self.fddi_instrs
+            + self.ip_instrs
+            + self.udp_instrs
+            + self.user_instrs) as u64
+    }
+
+    /// The platform used for timing: the paper's R4400/Challenge caches
+    /// with L1 hit time folded into the CPI and the calibrated miss
+    /// penalties.
+    pub fn platform(&self) -> Platform {
+        let mut p = Platform::sgi_challenge_r4400();
+        p.l1_hit_cycles = 0.0;
+        p.l2_hit_penalty_cycles = self.l2_hit_penalty_cycles;
+        p.mem_penalty_cycles = self.mem_penalty_cycles;
+        p
+    }
+
+    /// A fresh (cold) cache hierarchy for this cost model.
+    pub fn hierarchy(&self) -> MemoryHierarchy {
+        MemoryHierarchy::new(self.platform())
+    }
+}
+
+/// Errors the receive path can surface (any of them counts as a protocol
+/// drop; the erroring packet still consumed processing time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxError {
+    /// FDDI layer rejected the frame.
+    Fddi(fddi::FddiError),
+    /// IP layer rejected the datagram.
+    Ip(ip::IpError),
+    /// UDP layer rejected the datagram.
+    Udp(udp::UdpError),
+    /// TCP layer rejected the segment.
+    Tcp(tcp::TcpError),
+    /// No stream bound to the destination port.
+    NoSession(u16),
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::Fddi(e) => write!(f, "fddi: {e}"),
+            RxError::Ip(e) => write!(f, "ip: {e}"),
+            RxError::Udp(e) => write!(f, "udp: {e}"),
+            RxError::Tcp(e) => write!(f, "tcp: {e}"),
+            RxError::NoSession(p) => write!(f, "no session on port {p}"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// Timing breakdown of one packet's processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketTiming {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Memory references issued (instruction-line fetches + data).
+    pub refs: u64,
+    /// Total cycles (instructions × CPI + miss penalties).
+    pub cycles: f64,
+    /// Wall-clock microseconds at the platform clock.
+    pub us: f64,
+    /// Payload bytes delivered to the user.
+    pub payload_bytes: usize,
+    /// The stream the packet demuxed to.
+    pub stream: StreamId,
+}
+
+/// Code segments of the receive path, one per layer.
+#[derive(Debug, Clone, Copy)]
+struct Segs {
+    thread: CodeSeg,
+    driver: CodeSeg,
+    fddi: CodeSeg,
+    ip: CodeSeg,
+    udp: CodeSeg,
+    user: CodeSeg,
+    /// TCP-specific code (header prediction, sequence bookkeeping),
+    /// executed in addition to the common path on TCP receives.
+    tcp: CodeSeg,
+}
+
+/// The instrumented protocol engine (one protocol *stack instance* —
+/// under IPS each independent stack owns one engine; under Locking a
+/// single engine is shared).
+#[derive(Debug)]
+pub struct ProtocolEngine {
+    /// Address-space layout.
+    pub layout: MemLayout,
+    /// Cost parameters.
+    pub cost: CostModel,
+    segs: Segs,
+    /// Port → stream demux table and per-stream sessions.
+    pub table: SessionTable,
+    /// TCP connection state per stream (present for TCP-bound streams).
+    pub tcp_sessions: std::collections::HashMap<StreamId, tcp::TcpSession>,
+    /// ICMP error datagrams awaiting transmission (port-unreachable
+    /// replies queued by failed demultiplexes).
+    pub icmp_egress: Vec<Vec<u8>>,
+}
+
+impl ProtocolEngine {
+    /// Build an engine, allocating its code segments.
+    pub fn new(cost: CostModel) -> Self {
+        let layout = MemLayout::new();
+        let mut alloc = CodeAllocator::new(layout);
+        let segs = Segs {
+            thread: alloc.alloc(cost.code_bytes[0]),
+            driver: alloc.alloc(cost.code_bytes[1]),
+            fddi: alloc.alloc(cost.code_bytes[2]),
+            ip: alloc.alloc(cost.code_bytes[3]),
+            udp: alloc.alloc(cost.code_bytes[4]),
+            user: alloc.alloc(cost.code_bytes[5]),
+            tcp: alloc.alloc(1024),
+        };
+        // The address-space coloring (MemLayout) reserves 12 032 bytes of
+        // L1 sets for code; overflowing it silently reintroduces the
+        // cross-region conflict thrash the coloring exists to prevent.
+        assert!(
+            alloc.allocated() <= 12_032,
+            "code footprint {} B exceeds the coloring budget",
+            alloc.allocated()
+        );
+        ProtocolEngine {
+            layout,
+            cost,
+            segs,
+            table: SessionTable::new(),
+            tcp_sessions: std::collections::HashMap::new(),
+            icmp_egress: Vec::new(),
+        }
+    }
+
+    /// Bind a stream's UDP port (open its session).
+    pub fn bind_stream(&mut self, stream: StreamId) {
+        self.table
+            .bind(driver::port_of(stream), stream)
+            .expect("stream ports are unique by construction");
+    }
+
+    /// Bind a stream as a TCP connection expecting `isn` as its first
+    /// data byte (established state; E19's configuration).
+    pub fn bind_tcp_stream(&mut self, stream: StreamId, isn: u32) {
+        self.bind_stream(stream);
+        self.tcp_sessions.insert(stream, tcp::TcpSession::new(isn));
+    }
+
+    /// Total code bytes of the path.
+    pub fn code_footprint_bytes(&self) -> u64 {
+        self.cost.code_bytes.iter().sum()
+    }
+
+    /// Process one received frame on `hier` in the context of thread
+    /// `tid`. Consumes cycles even when the packet is dropped.
+    pub fn receive(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        frame: &RxFrame,
+        tid: ThreadId,
+    ) -> Result<PacketTiming, RxError> {
+        let cost = self.cost;
+        let segs = self.segs;
+        let layout = self.layout;
+        let start_cycles = hier.stats.cycles;
+        let mut ctx = MemCtx::new(hier);
+        let mut msg = Message::from_wire(&frame.bytes, frame.buf_addr);
+
+        // --- Thread dispatch: wake the protocol thread, touch its stack.
+        ctx.exec(segs.thread, cost.thread_instrs);
+        ctx.load_range(layout.thread(tid.0), cost.thread_read_bytes, Region::Thread);
+        ctx.store_range(
+            layout.thread(tid.0) + cost.thread_read_bytes,
+            cost.thread_write_bytes,
+            Region::Thread,
+        );
+
+        // --- Driver: buffer bookkeeping and handoff.
+        ctx.exec(segs.driver, cost.driver_instrs);
+        // Ring descriptor lives in global memory.
+        ctx.load_range(layout.global(0), 64, Region::Global);
+
+        // --- FDDI: header reads + LLC/SNAP demux.
+        ctx.exec(segs.fddi, cost.fddi_instrs);
+        for off in [0usize, 4, 8, 12, 16, 20] {
+            let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
+        }
+        if cost.software_fcs && msg.len() >= fddi::FCS_LEN {
+            let _ = msg.checksum16(&mut ctx, 0, msg.len());
+        }
+        let _fh = fddi::parse_frame(&mut msg).map_err(RxError::Fddi)?;
+
+        // --- IP: header checksum over real bytes + protocol demux.
+        ctx.exec(segs.ip, cost.ip_instrs);
+        let _ = msg.checksum16(&mut ctx, 0, ip::HEADER_LEN.min(msg.len()));
+        ctx.load_range(layout.global(64), 192, Region::Global);
+        let ih = ip::parse_header(&mut msg).map_err(RxError::Ip)?;
+        if ih.protocol != ip::PROTO_UDP {
+            return Err(RxError::Ip(ip::IpError::UnknownProtocol(ih.protocol)));
+        }
+
+        // --- UDP: header reads, optional software checksum, port demux.
+        ctx.exec(segs.udp, cost.udp_instrs);
+        let _ = msg.read_u32(&mut ctx, 0);
+        let _ = msg.read_u32(&mut ctx, 4);
+        if cost.software_udp_checksum {
+            let _ = msg.checksum16(&mut ctx, 0, msg.len());
+        }
+        let remaining_global = cost.global_touch_bytes.saturating_sub(64 + 192);
+        ctx.load_range(layout.global(256), remaining_global, Region::Global);
+        let uh = udp::parse_datagram(&mut msg, ih.src, ih.dst).map_err(RxError::Udp)?;
+        let stream = match self.table.demux(uh.dst_port) {
+            Some(s) => s,
+            None => {
+                // RFC 1122: a datagram for an unbound port elicits an
+                // ICMP port-unreachable quoting the offender. Rebuild
+                // the original IP datagram view for the quote, and
+                // charge the generation work (header build + checksum).
+                ctx.exec(segs.ip, cost.ip_instrs / 4);
+                let ip_start = fddi::HEADER_LEN;
+                let ip_end = frame.bytes.len().saturating_sub(fddi::FCS_LEN);
+                if let Some(reply) =
+                    crate::icmp::port_unreachable(&frame.bytes[ip_start..ip_end], ih.dst)
+                {
+                    self.icmp_egress.push(reply);
+                }
+                let instr_cycles = ctx.instructions as f64 * cost.cpi;
+                hier.charge_cycles(instr_cycles);
+                return Err(RxError::NoSession(uh.dst_port));
+            }
+        };
+
+        // --- Session/user delivery: touch per-stream state.
+        ctx.exec(segs.user, cost.user_instrs);
+        ctx.load_range(
+            layout.stream(stream.0),
+            cost.stream_read_bytes,
+            Region::Stream,
+        );
+        ctx.store_range(
+            layout.stream(stream.0) + cost.stream_read_bytes,
+            cost.stream_write_bytes,
+            Region::Stream,
+        );
+        let payload_bytes = msg.len();
+        let instructions = ctx.instructions;
+        let refs = ctx.data_refs + ctx.ifetch_refs;
+        self.table
+            .session_mut(stream)
+            .expect("demuxed stream has a session")
+            .deliver(ih.src, uh.src_port, payload_bytes);
+
+        // --- Timing.
+        let instr_cycles = instructions as f64 * cost.cpi;
+        hier.charge_cycles(instr_cycles);
+        let cycles = hier.stats.cycles - start_cycles;
+        Ok(PacketTiming {
+            instructions,
+            refs,
+            cycles,
+            us: hier.platform().cycles_to_us(cycles),
+            payload_bytes,
+            stream,
+        })
+    }
+
+    /// Process one received TCP frame on `hier` — the common path plus
+    /// the TCP-specific work (real header parse + checksum verification,
+    /// header prediction, sequence bookkeeping). The stream must have
+    /// been bound with [`ProtocolEngine::bind_tcp_stream`].
+    pub fn receive_tcp(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        frame: &RxFrame,
+        tid: ThreadId,
+    ) -> Result<(PacketTiming, tcp::TcpDisposition), RxError> {
+        let cost = self.cost;
+        let segs = self.segs;
+        let layout = self.layout;
+        let start_cycles = hier.stats.cycles;
+        let mut ctx = MemCtx::new(hier);
+        let mut msg = Message::from_wire(&frame.bytes, frame.buf_addr);
+
+        // Thread dispatch + driver + FDDI + IP: identical to the UDP path.
+        ctx.exec(segs.thread, cost.thread_instrs);
+        ctx.load_range(layout.thread(tid.0), cost.thread_read_bytes, Region::Thread);
+        ctx.store_range(
+            layout.thread(tid.0) + cost.thread_read_bytes,
+            cost.thread_write_bytes,
+            Region::Thread,
+        );
+        ctx.exec(segs.driver, cost.driver_instrs);
+        ctx.load_range(layout.global(0), 64, Region::Global);
+        ctx.exec(segs.fddi, cost.fddi_instrs);
+        for off in [0usize, 4, 8, 12, 16, 20] {
+            let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
+        }
+        let _fh = fddi::parse_frame(&mut msg).map_err(RxError::Fddi)?;
+        ctx.exec(segs.ip, cost.ip_instrs);
+        let _ = msg.checksum16(&mut ctx, 0, ip::HEADER_LEN.min(msg.len()));
+        ctx.load_range(layout.global(64), 192, Region::Global);
+        let ih = ip::parse_header(&mut msg).map_err(RxError::Ip)?;
+        if ih.protocol != ip::PROTO_TCP {
+            return Err(RxError::Ip(ip::IpError::UnknownProtocol(ih.protocol)));
+        }
+
+        // TCP: the software checksum over the whole segment is mandatory
+        // (TCP has no checksum-off mode), plus the TCP-specific
+        // instruction budget and header reads.
+        ctx.exec(segs.udp, cost.udp_instrs); // shared transport demux code
+        ctx.exec(segs.tcp, cost.tcp_extra_instrs);
+        for off in [0usize, 4, 8, 12, 16] {
+            let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
+        }
+        let _ = msg.checksum16(&mut ctx, 0, msg.len());
+        let remaining_global = cost.global_touch_bytes.saturating_sub(64 + 192);
+        ctx.load_range(layout.global(256), remaining_global, Region::Global);
+        let th = tcp::parse_segment(&mut msg, ih.src, ih.dst).map_err(RxError::Tcp)?;
+        let stream = self
+            .table
+            .demux(th.dst_port)
+            .ok_or(RxError::NoSession(th.dst_port))?;
+
+        // Session/user: connection state + delivery bookkeeping.
+        ctx.exec(segs.user, cost.user_instrs);
+        ctx.load_range(
+            layout.stream(stream.0),
+            cost.stream_read_bytes,
+            Region::Stream,
+        );
+        ctx.store_range(
+            layout.stream(stream.0) + cost.stream_read_bytes,
+            cost.stream_write_bytes,
+            Region::Stream,
+        );
+        let payload_bytes = msg.len();
+        let instructions = ctx.instructions;
+        let refs = ctx.data_refs + ctx.ifetch_refs;
+        let session = self
+            .tcp_sessions
+            .get_mut(&stream)
+            .ok_or(RxError::NoSession(th.dst_port))?;
+        let disposition = session.receive(&th, msg.bytes()).map_err(RxError::Tcp)?;
+        if let tcp::TcpDisposition::Delivered { bytes } = disposition {
+            if bytes > 0 {
+                self.table
+                    .session_mut(stream)
+                    .expect("bound stream has a session")
+                    .deliver(ih.src, th.src_port, bytes);
+            }
+        }
+
+        let instr_cycles = instructions as f64 * cost.cpi;
+        hier.charge_cycles(instr_cycles);
+        let cycles = hier.stats.cycles - start_cycles;
+        Ok((
+            PacketTiming {
+                instructions,
+                refs,
+                cycles,
+                us: hier.platform().cycles_to_us(cycles),
+                payload_bytes,
+                stream,
+            },
+            disposition,
+        ))
+    }
+
+    /// Send-side fast path (extension E12): user hands down a payload for
+    /// `stream`; UDP, IP and FDDI headers are pushed over real bytes and
+    /// the finished frame is "transmitted" — returned as wire bytes so a
+    /// peer engine can receive it (loopback testing). Costs mirror the
+    /// receive side (send processing is marginally cheaper: no
+    /// validation loops).
+    pub fn send(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        stream: StreamId,
+        payload: &[u8],
+        tid: ThreadId,
+        buf_addr: u64,
+    ) -> (PacketTiming, Vec<u8>) {
+        let cost = self.cost;
+        let segs = self.segs;
+        let layout = self.layout;
+        let start_cycles = hier.stats.cycles;
+        let mut ctx = MemCtx::new(hier);
+        let mut msg = Message::for_send(payload, buf_addr);
+
+        // Thread dispatch.
+        ctx.exec(segs.thread, cost.thread_instrs);
+        ctx.load_range(layout.thread(tid.0), cost.thread_read_bytes, Region::Thread);
+        ctx.store_range(
+            layout.thread(tid.0) + cost.thread_read_bytes,
+            cost.thread_write_bytes,
+            Region::Thread,
+        );
+
+        // User/session: read stream state to form headers.
+        ctx.exec(segs.user, cost.user_instrs * 3 / 4);
+        ctx.load_range(
+            layout.stream(stream.0),
+            cost.stream_read_bytes,
+            Region::Stream,
+        );
+        ctx.store_range(
+            layout.stream(stream.0) + cost.stream_read_bytes,
+            cost.stream_write_bytes / 2,
+            Region::Stream,
+        );
+
+        // UDP push.
+        ctx.exec(segs.udp, cost.udp_instrs * 3 / 4);
+        let src = driver::HOST_ADDR;
+        let dst = driver::peer_of(stream);
+        let udp_len = (udp::HEADER_LEN + payload.len()) as u16;
+        {
+            let h = msg.push(udp::HEADER_LEN).expect("headroom");
+            h[0..2].copy_from_slice(&driver::port_of(stream).to_be_bytes());
+            h[2..4].copy_from_slice(&(1024 + stream.0 as u16).to_be_bytes());
+            h[4..6].copy_from_slice(&udp_len.to_be_bytes());
+            h[6..8].copy_from_slice(&[0, 0]);
+        }
+        ctx.store_range(msg.head_addr(), udp::HEADER_LEN as u64, Region::PacketData);
+        if cost.software_udp_checksum {
+            let _ = msg.checksum16(&mut ctx, 0, msg.len());
+        }
+
+        // IP push.
+        ctx.exec(segs.ip, cost.ip_instrs * 3 / 4);
+        let total = (ip::HEADER_LEN + msg.len()) as u16;
+        let iph = ip::build_header(
+            total,
+            0,
+            true,
+            false,
+            0,
+            ip::DEFAULT_TTL,
+            ip::PROTO_UDP,
+            src,
+            dst,
+        );
+        {
+            let h = msg.push(ip::HEADER_LEN).expect("headroom");
+            h.copy_from_slice(&iph);
+        }
+        ctx.store_range(msg.head_addr(), ip::HEADER_LEN as u64, Region::PacketData);
+        let _ = msg.checksum16(&mut ctx, 0, ip::HEADER_LEN);
+        ctx.load_range(layout.global(64), 192, Region::Global);
+
+        // FDDI push + driver transmit.
+        ctx.exec(segs.fddi, cost.fddi_instrs * 3 / 4);
+        {
+            let h = msg.push(fddi::HEADER_LEN).expect("headroom");
+            h[0] = fddi::FC_LLC;
+            // Outbound: the peer is the destination, this host the source.
+            h[1..7].copy_from_slice(&fddi::MacAddr::station(100 + stream.0).0);
+            h[7..13].copy_from_slice(&driver::HOST_MAC.0);
+            h[13] = fddi::LLC_SNAP_SAP;
+            h[14] = fddi::LLC_SNAP_SAP;
+            h[15] = fddi::LLC_UI;
+            h[16..19].copy_from_slice(&[0, 0, 0]);
+            h[19..21].copy_from_slice(&fddi::ETHERTYPE_IP.to_be_bytes());
+        }
+        ctx.store_range(msg.head_addr(), fddi::HEADER_LEN as u64, Region::PacketData);
+        ctx.exec(segs.driver, cost.driver_instrs * 3 / 4);
+        ctx.load_range(layout.global(0), 64, Region::Global);
+
+        // The MAC computes the FCS in hardware on transmit; emit the
+        // complete wire frame so a peer can receive it.
+        let wire = {
+            let body = msg.bytes();
+            let mut f = body.to_vec();
+            let fcs = fddi::crc32(body);
+            f.extend_from_slice(&fcs.to_be_bytes());
+            f
+        };
+
+        let instructions = ctx.instructions;
+        let refs = ctx.data_refs + ctx.ifetch_refs;
+        let instr_cycles = instructions as f64 * cost.cpi;
+        hier.charge_cycles(instr_cycles);
+        let cycles = hier.stats.cycles - start_cycles;
+        (
+            PacketTiming {
+                instructions,
+                refs,
+                cycles,
+                us: hier.platform().cycles_to_us(cycles),
+                payload_bytes: payload.len(),
+                stream,
+            },
+            wire,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::PacketFactory;
+
+    fn setup(streams: u32) -> (ProtocolEngine, MemoryHierarchy, PacketFactory) {
+        let mut eng = ProtocolEngine::new(CostModel::default());
+        for s in 0..streams {
+            eng.bind_stream(StreamId(s));
+        }
+        let hier = eng.cost.hierarchy();
+        (eng, hier, PacketFactory::new())
+    }
+
+    fn rx(f: &mut PacketFactory, stream: u32, len: usize) -> RxFrame {
+        RxFrame {
+            bytes: f.frame_for(StreamId(stream), len),
+            stream: StreamId(stream),
+            buf_addr: MemLayout::new().packet(0),
+        }
+    }
+
+    #[test]
+    fn receive_delivers_and_accounts() {
+        let (mut eng, mut hier, mut f) = setup(1);
+        let frame = rx(&mut f, 0, 32);
+        let t = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap();
+        assert_eq!(t.stream, StreamId(0));
+        assert_eq!(t.payload_bytes, 32);
+        assert_eq!(t.instructions, eng.cost.total_instrs());
+        assert!(t.refs > 1000, "refs = {}", t.refs);
+        let s = eng.table.session(StreamId(0)).unwrap();
+        assert_eq!(s.packets, 1);
+        assert_eq!(s.bytes, 32);
+    }
+
+    #[test]
+    fn cold_time_in_paper_band() {
+        let (mut eng, mut hier, mut f) = setup(1);
+        let frame = rx(&mut f, 0, 1);
+        let t = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap();
+        // First packet on a stone-cold machine: the paper's t_cold is
+        // 284.3 µs. The CostModel defaults are calibrated to land close.
+        assert!(
+            (250.0..320.0).contains(&t.us),
+            "t_cold = {:.1} µs out of band",
+            t.us
+        );
+    }
+
+    #[test]
+    fn warm_time_well_below_cold() {
+        let (mut eng, mut hier, mut f) = setup(1);
+        let mut last = 0.0;
+        for _ in 0..20 {
+            let frame = rx(&mut f, 0, 1);
+            last = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap().us;
+        }
+        // Steady-state warm time ≈ instructions × CPI.
+        let warm_floor = eng.cost.total_instrs() as f64 / 100.0; // µs at 100 MHz
+        assert!(
+            last >= warm_floor,
+            "{last} < instruction floor {warm_floor}"
+        );
+        assert!(last < warm_floor * 1.15, "warm {last} µs not near floor");
+    }
+
+    #[test]
+    fn unknown_port_is_dropped_with_cost() {
+        let (mut eng, mut hier, mut f) = setup(1);
+        let mut frame = rx(&mut f, 0, 8);
+        // Rewrite the UDP destination port (offset: 21 FDDI + 20 IP + 2).
+        frame.bytes[43] = 0xFF;
+        frame.bytes[44] = 0xFF;
+        // Fix nothing else: UDP has no checksum here, FCS must be redone.
+        let body = frame.bytes.len() - fddi::FCS_LEN;
+        let fcs = fddi::crc32(&frame.bytes[..body]);
+        frame.bytes[body..].copy_from_slice(&fcs.to_be_bytes());
+        let before = hier.stats.cycles;
+        let err = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap_err();
+        assert!(matches!(err, RxError::NoSession(_)));
+        assert!(hier.stats.cycles > before, "drop still consumed cycles");
+    }
+
+    #[test]
+    fn corrupt_ip_header_rejected() {
+        let (mut eng, mut hier, mut f) = setup(1);
+        let mut frame = rx(&mut f, 0, 8);
+        frame.bytes[21 + 8] ^= 0xFF; // TTL inside IP header
+        let body = frame.bytes.len() - fddi::FCS_LEN;
+        let fcs = fddi::crc32(&frame.bytes[..body]);
+        frame.bytes[body..].copy_from_slice(&fcs.to_be_bytes());
+        let err = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap_err();
+        assert_eq!(err, RxError::Ip(ip::IpError::BadChecksum));
+    }
+
+    #[test]
+    fn software_udp_checksum_touches_payload() {
+        let (mut eng, mut hier, mut f) = setup(1);
+        f.udp_checksums = true;
+        eng.cost.software_udp_checksum = true;
+        let small = eng
+            .receive(&mut hier, &rx(&mut f, 0, 16), ThreadId(0))
+            .unwrap();
+        let big = eng
+            .receive(&mut hier, &rx(&mut f, 0, 4096), ThreadId(0))
+            .unwrap();
+        assert!(
+            big.refs > small.refs + 900,
+            "checksumming 4 KiB should add ≈1k loads: {} vs {}",
+            big.refs,
+            small.refs
+        );
+    }
+
+    #[test]
+    fn two_streams_demux_to_their_sessions() {
+        let (mut eng, mut hier, mut f) = setup(2);
+        eng.receive(&mut hier, &rx(&mut f, 0, 10), ThreadId(0))
+            .unwrap();
+        eng.receive(&mut hier, &rx(&mut f, 1, 20), ThreadId(0))
+            .unwrap();
+        eng.receive(&mut hier, &rx(&mut f, 1, 20), ThreadId(0))
+            .unwrap();
+        assert_eq!(eng.table.session(StreamId(0)).unwrap().packets, 1);
+        assert_eq!(eng.table.session(StreamId(1)).unwrap().packets, 2);
+    }
+
+    #[test]
+    fn send_path_produces_cycles_and_state_touch() {
+        let (mut eng, mut hier, _) = setup(1);
+        let (t, wire) = eng.send(
+            &mut hier,
+            StreamId(0),
+            &[0xAB; 64],
+            ThreadId(0),
+            MemLayout::new().packet(1),
+        );
+        assert!(t.us > 50.0, "send time {:.1} µs", t.us);
+        assert!(t.instructions > 5_000);
+        assert!(wire.len() > 64 + fddi::HEADER_LEN + fddi::FCS_LEN);
+    }
+
+    #[test]
+    fn send_output_is_a_valid_receivable_frame() {
+        // Loopback: what engine A transmits for stream 0, engine B (the
+        // peer) must parse cleanly down its own receive path. Note the
+        // sender addresses the frame *to* the stream's peer, so the
+        // receiving side demuxes by the sender's source port.
+        let (mut a, mut hier_a, _) = setup(1);
+        let (_, wire) = a.send(
+            &mut hier_a,
+            StreamId(0),
+            b"loopback payload",
+            ThreadId(0),
+            MemLayout::new().packet(1),
+        );
+        // Validate the frame layer by layer (the peer's demux tables
+        // differ, so drive the parsers directly).
+        let mut msg = crate::msg::Message::from_wire(&wire, 0);
+        let fh = fddi::parse_frame(&mut msg).expect("valid FDDI frame");
+        assert_eq!(fh.src, crate::driver::HOST_MAC);
+        let ih = ip::parse_header(&mut msg).expect("valid IP header");
+        assert_eq!(ih.src, crate::driver::HOST_ADDR);
+        assert_eq!(ih.dst, crate::driver::peer_of(StreamId(0)));
+        let uh = udp::parse_datagram(&mut msg, ih.src, ih.dst).expect("valid UDP");
+        assert_eq!(uh.src_port, crate::driver::port_of(StreamId(0)));
+        assert_eq!(msg.bytes(), b"loopback payload");
+    }
+}
+
+#[cfg(test)]
+mod tcp_tests {
+    use super::*;
+    use crate::driver::PacketFactory;
+    use crate::tcp::TcpDisposition;
+
+    fn setup_tcp() -> (ProtocolEngine, MemoryHierarchy, PacketFactory) {
+        let mut eng = ProtocolEngine::new(CostModel::default());
+        eng.bind_tcp_stream(StreamId(0), 1000);
+        let hier = eng.cost.hierarchy();
+        (eng, hier, PacketFactory::new())
+    }
+
+    fn tcp_rx(f: &mut PacketFactory, stream: u32, seq: u32, payload: &[u8]) -> RxFrame {
+        RxFrame {
+            bytes: f.tcp_frame_for(StreamId(stream), seq, payload),
+            stream: StreamId(stream),
+            buf_addr: MemLayout::new().packet(0),
+        }
+    }
+
+    #[test]
+    fn tcp_in_order_delivers_through_full_stack() {
+        let (mut eng, mut hier, mut f) = setup_tcp();
+        let mut seq = 1000u32;
+        for _ in 0..5 {
+            let frame = tcp_rx(&mut f, 0, seq, b"0123456789ABCDEF");
+            let (t, d) = eng.receive_tcp(&mut hier, &frame, ThreadId(0)).unwrap();
+            assert_eq!(d, TcpDisposition::Delivered { bytes: 16 });
+            assert_eq!(t.stream, StreamId(0));
+            seq += 16;
+        }
+        let s = eng.tcp_sessions.get(&StreamId(0)).unwrap();
+        assert_eq!(s.fast_path_hits, 5);
+        assert_eq!(s.delivered_bytes, 80);
+        assert_eq!(eng.table.session(StreamId(0)).unwrap().bytes, 80);
+    }
+
+    #[test]
+    fn tcp_out_of_order_reassembles_through_full_stack() {
+        let (mut eng, mut hier, mut f) = setup_tcp();
+        let f2 = tcp_rx(&mut f, 0, 1010, b"BBBBBBBBBB");
+        let f1 = tcp_rx(&mut f, 0, 1000, b"AAAAAAAAAA");
+        let (_, d) = eng.receive_tcp(&mut hier, &f2, ThreadId(0)).unwrap();
+        assert_eq!(d, TcpDisposition::Queued);
+        let (_, d) = eng.receive_tcp(&mut hier, &f1, ThreadId(0)).unwrap();
+        assert_eq!(d, TcpDisposition::Delivered { bytes: 20 });
+        let s = eng.tcp_sessions.get(&StreamId(0)).unwrap();
+        assert_eq!(s.rcv_nxt, 1020);
+    }
+
+    #[test]
+    fn tcp_costs_more_than_udp_by_roughly_the_papers_share() {
+        // The paper: TCP-specific processing ≈ 15% of packet time at its
+        // most influential (tiny packets). Compare warm steady states.
+        let (mut eng, mut hier, mut f) = setup_tcp();
+        eng.bind_stream(StreamId(1)); // UDP stream alongside
+        let mut tcp_time = 0.0;
+        let mut udp_time = 0.0;
+        for i in 0..40u32 {
+            hier.purge_region(Region::PacketData);
+            let frame = tcp_rx(&mut f, 0, 1000 + i, b"x");
+            let (t, _) = eng.receive_tcp(&mut hier, &frame, ThreadId(0)).unwrap();
+            if i >= 20 {
+                tcp_time += t.us;
+            }
+        }
+        for i in 0..40 {
+            hier.purge_region(Region::PacketData);
+            let frame = RxFrame {
+                bytes: f.frame_for(StreamId(1), 1),
+                stream: StreamId(1),
+                buf_addr: MemLayout::new().packet(0),
+            };
+            let t = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap();
+            if i >= 20 {
+                udp_time += t.us;
+            }
+        }
+        let ratio = tcp_time / udp_time;
+        assert!(
+            (1.08..1.30).contains(&ratio),
+            "TCP/UDP warm ratio {ratio:.3} outside the paper's ~15% band"
+        );
+    }
+
+    #[test]
+    fn tcp_checksum_corruption_rejected_through_stack() {
+        let (mut eng, mut hier, mut f) = setup_tcp();
+        let mut frame = tcp_rx(&mut f, 0, 1000, b"payload");
+        // Flip a payload byte and fix the FCS so only TCP can catch it.
+        let n = frame.bytes.len();
+        frame.bytes[n - 8] ^= 0x01;
+        let body = n - fddi::FCS_LEN;
+        let fcs = fddi::crc32(&frame.bytes[..body]);
+        frame.bytes[body..].copy_from_slice(&fcs.to_be_bytes());
+        let err = eng.receive_tcp(&mut hier, &frame, ThreadId(0)).unwrap_err();
+        assert_eq!(err, RxError::Tcp(tcp::TcpError::BadChecksum));
+    }
+
+    #[test]
+    fn udp_frame_on_tcp_path_rejected() {
+        let (mut eng, mut hier, mut f) = setup_tcp();
+        let frame = RxFrame {
+            bytes: f.frame_for(StreamId(0), 4),
+            stream: StreamId(0),
+            buf_addr: MemLayout::new().packet(0),
+        };
+        let err = eng.receive_tcp(&mut hier, &frame, ThreadId(0)).unwrap_err();
+        assert!(matches!(err, RxError::Ip(ip::IpError::UnknownProtocol(17))));
+    }
+}
+
+#[cfg(test)]
+mod icmp_tests {
+    use super::*;
+    use crate::driver::PacketFactory;
+    use crate::icmp;
+    use crate::msg::Message;
+
+    #[test]
+    fn unknown_port_queues_port_unreachable() {
+        let mut eng = ProtocolEngine::new(CostModel::default());
+        eng.bind_stream(StreamId(0));
+        let mut hier = CostModel::default().hierarchy();
+        let mut f = PacketFactory::new();
+        // Stream 7 is not bound: its well-formed datagram must bounce.
+        let frame = RxFrame {
+            bytes: f.frame_for(StreamId(7), 16),
+            stream: StreamId(7),
+            buf_addr: MemLayout::new().packet(0),
+        };
+        let err = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap_err();
+        assert!(matches!(err, RxError::NoSession(_)));
+        assert_eq!(eng.icmp_egress.len(), 1);
+
+        // The queued reply is a valid ICMP port-unreachable addressed to
+        // the offending sender.
+        let reply = &eng.icmp_egress[0];
+        let mut msg = Message::from_wire(reply, 0);
+        let ih = ip::parse_header(&mut msg).unwrap();
+        assert_eq!(ih.protocol, ip::PROTO_ICMP);
+        assert_eq!(ih.dst, crate::driver::peer_of(StreamId(7)));
+        let m = icmp::parse(&mut msg).unwrap();
+        assert_eq!(m.icmp_type, icmp::TYPE_DEST_UNREACHABLE);
+        assert_eq!(m.code, icmp::CODE_PORT_UNREACHABLE);
+    }
+
+    #[test]
+    fn bound_ports_do_not_elicit_icmp() {
+        let mut eng = ProtocolEngine::new(CostModel::default());
+        eng.bind_stream(StreamId(0));
+        let mut hier = CostModel::default().hierarchy();
+        let mut f = PacketFactory::new();
+        let frame = RxFrame {
+            bytes: f.frame_for(StreamId(0), 16),
+            stream: StreamId(0),
+            buf_addr: MemLayout::new().packet(0),
+        };
+        eng.receive(&mut hier, &frame, ThreadId(0)).unwrap();
+        assert!(eng.icmp_egress.is_empty());
+    }
+
+    #[test]
+    fn corrupt_frames_do_not_elicit_icmp() {
+        // Errors below UDP (bad FCS, bad IP checksum) must not generate
+        // ICMP — only successful demux failures do.
+        let mut eng = ProtocolEngine::new(CostModel::default());
+        eng.bind_stream(StreamId(0));
+        let mut hier = CostModel::default().hierarchy();
+        let mut f = PacketFactory::new();
+        let mut bytes = f.frame_for(StreamId(7), 16);
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF; // break the FCS
+        let frame = RxFrame {
+            bytes,
+            stream: StreamId(7),
+            buf_addr: MemLayout::new().packet(0),
+        };
+        let _ = eng.receive(&mut hier, &frame, ThreadId(0)).unwrap_err();
+        assert!(eng.icmp_egress.is_empty());
+    }
+}

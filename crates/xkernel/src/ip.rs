@@ -1,0 +1,636 @@
+//! IPv4 processing: header build/parse/validate with a real internet
+//! checksum, protocol demultiplexing, and receive-side fragment
+//! reassembly.
+//!
+//! The paper's fast path (like every real one) assumes unfragmented
+//! datagrams; reassembly exists off the fast path for completeness and is
+//! exercised by its own tests.
+
+use std::collections::HashMap;
+
+use crate::msg::{internet_checksum, Message, MsgError};
+
+/// IPv4 header length without options.
+pub const HEADER_LEN: usize = 20;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IP protocol number for ICMP.
+pub const PROTO_ICMP: u8 = 1;
+/// Default TTL used on send.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Dotted-quad constructor.
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// A deterministic host address for test host `n` (10.x.y.z space).
+    pub fn host(n: u32) -> Self {
+        let b = n.to_be_bytes();
+        Ipv4Addr::new(10, b[1], b[2], b[3])
+    }
+}
+
+impl std::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+/// Parsed IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpHeader {
+    /// Header length in bytes (IHL × 4).
+    pub header_len: usize,
+    /// Total datagram length (header + payload).
+    pub total_len: u16,
+    /// Identification (for reassembly).
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// More-fragments flag.
+    pub more_fragments: bool,
+    /// Fragment offset in bytes.
+    pub frag_offset: usize,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+/// IPv4 errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpError {
+    /// Not version 4 or IHL < 5.
+    BadVersion,
+    /// Header shorter than IHL claims, or message shorter than header.
+    Truncated,
+    /// Header checksum mismatch.
+    BadChecksum,
+    /// Total length disagrees with the message.
+    BadLength,
+    /// TTL expired.
+    TtlExpired,
+    /// Unknown payload protocol.
+    UnknownProtocol(u8),
+    /// Underlying message error.
+    Msg(MsgError),
+}
+
+impl From<MsgError> for IpError {
+    fn from(e: MsgError) -> Self {
+        IpError::Msg(e)
+    }
+}
+
+impl std::fmt::Display for IpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpError::BadVersion => write!(f, "bad IP version/IHL"),
+            IpError::Truncated => write!(f, "truncated IP datagram"),
+            IpError::BadChecksum => write!(f, "IP header checksum mismatch"),
+            IpError::BadLength => write!(f, "IP total length mismatch"),
+            IpError::TtlExpired => write!(f, "TTL expired"),
+            IpError::UnknownProtocol(p) => write!(f, "unknown IP protocol {p}"),
+            IpError::Msg(e) => write!(f, "message error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IpError {}
+
+/// Serialize an IPv4 header (no options) into 20 bytes, checksum filled.
+#[allow(clippy::too_many_arguments)]
+pub fn build_header(
+    total_len: u16,
+    ident: u16,
+    dont_fragment: bool,
+    more_fragments: bool,
+    frag_offset: usize,
+    ttl: u8,
+    protocol: u8,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+) -> [u8; HEADER_LEN] {
+    assert!(
+        frag_offset.is_multiple_of(8),
+        "fragment offset must be 8-byte aligned"
+    );
+    let mut h = [0u8; HEADER_LEN];
+    h[0] = 0x45; // version 4, IHL 5
+    h[1] = 0; // TOS
+    h[2..4].copy_from_slice(&total_len.to_be_bytes());
+    h[4..6].copy_from_slice(&ident.to_be_bytes());
+    let mut flags_frag = (frag_offset / 8) as u16;
+    if dont_fragment {
+        flags_frag |= 0x4000;
+    }
+    if more_fragments {
+        flags_frag |= 0x2000;
+    }
+    h[6..8].copy_from_slice(&flags_frag.to_be_bytes());
+    h[8] = ttl;
+    h[9] = protocol;
+    // h[10..12] checksum = 0 for computation
+    h[12..16].copy_from_slice(&src.0.to_be_bytes());
+    h[16..20].copy_from_slice(&dst.0.to_be_bytes());
+    let c = internet_checksum(&h);
+    h[10..12].copy_from_slice(&c.to_be_bytes());
+    h
+}
+
+/// Parse and strip the IPv4 header of `msg` (uninstrumented; the
+/// instrumented fast path in [`crate::engine`] mirrors these reads).
+/// Verifies the checksum and length and truncates trailing padding.
+pub fn parse_header(msg: &mut Message) -> Result<IpHeader, IpError> {
+    let bytes = msg.bytes();
+    if bytes.len() < HEADER_LEN {
+        return Err(IpError::Truncated);
+    }
+    let vihl = bytes[0];
+    if vihl >> 4 != 4 || (vihl & 0x0F) < 5 {
+        return Err(IpError::BadVersion);
+    }
+    let header_len = ((vihl & 0x0F) as usize) * 4;
+    if bytes.len() < header_len {
+        return Err(IpError::Truncated);
+    }
+    if internet_checksum(&bytes[..header_len]) != 0 {
+        return Err(IpError::BadChecksum);
+    }
+    let total_len = u16::from_be_bytes([bytes[2], bytes[3]]);
+    if (total_len as usize) < header_len || (total_len as usize) > bytes.len() {
+        return Err(IpError::BadLength);
+    }
+    let ident = u16::from_be_bytes([bytes[4], bytes[5]]);
+    let flags_frag = u16::from_be_bytes([bytes[6], bytes[7]]);
+    let ttl = bytes[8];
+    if ttl == 0 {
+        return Err(IpError::TtlExpired);
+    }
+    let protocol = bytes[9];
+    let src = Ipv4Addr(u32::from_be_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15],
+    ]));
+    let dst = Ipv4Addr(u32::from_be_bytes([
+        bytes[16], bytes[17], bytes[18], bytes[19],
+    ]));
+
+    let hdr = IpHeader {
+        header_len,
+        total_len,
+        ident,
+        dont_fragment: flags_frag & 0x4000 != 0,
+        more_fragments: flags_frag & 0x2000 != 0,
+        frag_offset: ((flags_frag & 0x1FFF) as usize) * 8,
+        ttl,
+        protocol,
+        src,
+        dst,
+    };
+    // Drop link-layer padding beyond total_len, then strip the header.
+    msg.truncate(total_len as usize);
+    msg.pop(header_len)?;
+    Ok(hdr)
+}
+
+/// Split a payload into fragments that fit `mtu` bytes of IP datagram
+/// each (header included), returning complete datagrams (header +
+/// piece). All fragments but the last carry `more_fragments`; offsets
+/// are 8-byte aligned as the wire format requires.
+///
+/// The receive-side inverse is [`Reassembler`]; together they complete
+/// the off-fast-path IP substrate (the fast path assumes unfragmented
+/// datagrams, as the paper's does).
+#[allow(clippy::too_many_arguments)]
+pub fn fragment(
+    payload: &[u8],
+    mtu: usize,
+    ident: u16,
+    ttl: u8,
+    protocol: u8,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+) -> Result<Vec<Vec<u8>>, IpError> {
+    if mtu < HEADER_LEN + 8 {
+        return Err(IpError::BadLength);
+    }
+    // Per-fragment payload: largest 8-byte multiple that fits.
+    let per = ((mtu - HEADER_LEN) / 8) * 8;
+    let mut out = Vec::new();
+    if payload.is_empty() {
+        let h = build_header(
+            HEADER_LEN as u16,
+            ident,
+            false,
+            false,
+            0,
+            ttl,
+            protocol,
+            src,
+            dst,
+        );
+        out.push(h.to_vec());
+        return Ok(out);
+    }
+    let mut off = 0usize;
+    while off < payload.len() {
+        let end = (off + per).min(payload.len());
+        let more = end < payload.len();
+        let piece = &payload[off..end];
+        let total = (HEADER_LEN + piece.len()) as u16;
+        let h = build_header(total, ident, false, more, off, ttl, protocol, src, dst);
+        let mut d = h.to_vec();
+        d.extend_from_slice(piece);
+        out.push(d);
+        off = end;
+    }
+    Ok(out)
+}
+
+/// Key identifying a fragment stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FragKey {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    ident: u16,
+}
+
+/// A partially reassembled datagram.
+#[derive(Debug, Default)]
+struct FragBuffer {
+    /// (offset, bytes) pieces received so far.
+    pieces: Vec<(usize, Vec<u8>)>,
+    /// Total payload length, known once the last fragment arrives.
+    total: Option<usize>,
+}
+
+impl FragBuffer {
+    fn ready(&self) -> Option<usize> {
+        let total = self.total?;
+        let have: usize = self.pieces.iter().map(|(_, b)| b.len()).sum();
+        // Fragments never overlap in our traffic; equality suffices.
+        (have == total).then_some(total)
+    }
+}
+
+/// Receive-side fragment reassembly (off the fast path).
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    buffers: HashMap<FragKey, FragBuffer>,
+}
+
+impl Reassembler {
+    /// Empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer a fragment; returns the full payload when complete.
+    pub fn offer(&mut self, hdr: &IpHeader, payload: &[u8]) -> Option<Vec<u8>> {
+        let key = FragKey {
+            src: hdr.src,
+            dst: hdr.dst,
+            protocol: hdr.protocol,
+            ident: hdr.ident,
+        };
+        let buf = self.buffers.entry(key).or_default();
+        buf.pieces.push((hdr.frag_offset, payload.to_vec()));
+        if !hdr.more_fragments {
+            buf.total = Some(hdr.frag_offset + payload.len());
+        }
+        if buf.ready().is_some() {
+            let mut buf = self.buffers.remove(&key).expect("buffer exists");
+            buf.pieces.sort_by_key(|(off, _)| *off);
+            let mut out = Vec::with_capacity(buf.total.unwrap_or(0));
+            for (_, piece) in buf.pieces {
+                out.extend_from_slice(&piece);
+            }
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Number of incomplete datagrams held.
+    pub fn pending(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dgram(payload: &[u8]) -> Vec<u8> {
+        let total = (HEADER_LEN + payload.len()) as u16;
+        let h = build_header(
+            total,
+            0x1234,
+            true,
+            false,
+            0,
+            DEFAULT_TTL,
+            PROTO_UDP,
+            Ipv4Addr::host(1),
+            Ipv4Addr::host(2),
+        );
+        let mut v = h.to_vec();
+        v.extend_from_slice(payload);
+        v
+    }
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let d = dgram(b"payload!");
+        let mut msg = Message::from_wire(&d, 0);
+        let hdr = parse_header(&mut msg).unwrap();
+        assert_eq!(hdr.protocol, PROTO_UDP);
+        assert_eq!(hdr.src, Ipv4Addr::host(1));
+        assert_eq!(hdr.dst, Ipv4Addr::host(2));
+        assert_eq!(hdr.total_len as usize, HEADER_LEN + 8);
+        assert!(hdr.dont_fragment);
+        assert!(!hdr.more_fragments);
+        assert_eq!(msg.bytes(), b"payload!");
+    }
+
+    #[test]
+    fn checksum_is_valid_and_detects_corruption() {
+        let mut d = dgram(b"x");
+        let mut msg = Message::from_wire(&d, 0);
+        parse_header(&mut msg).unwrap();
+        d[8] ^= 0xFF; // corrupt TTL
+        let mut msg = Message::from_wire(&d, 0);
+        assert_eq!(parse_header(&mut msg), Err(IpError::BadChecksum));
+    }
+
+    #[test]
+    fn version_and_length_checks() {
+        let mut d = dgram(b"abc");
+        d[0] = 0x55; // version 5
+        assert_eq!(
+            parse_header(&mut Message::from_wire(&d, 0)),
+            Err(IpError::BadVersion)
+        );
+        assert_eq!(
+            parse_header(&mut Message::from_wire(&[0u8; 10], 0)),
+            Err(IpError::Truncated)
+        );
+    }
+
+    #[test]
+    fn total_len_mismatch_rejected() {
+        let mut d = dgram(b"abc");
+        // Claim more bytes than the message carries; fix the checksum.
+        d[2..4].copy_from_slice(&1000u16.to_be_bytes());
+        d[10] = 0;
+        d[11] = 0;
+        let c = internet_checksum(&d[..HEADER_LEN]);
+        d[10..12].copy_from_slice(&c.to_be_bytes());
+        assert_eq!(
+            parse_header(&mut Message::from_wire(&d, 0)),
+            Err(IpError::BadLength)
+        );
+    }
+
+    #[test]
+    fn ttl_zero_rejected() {
+        let total = (HEADER_LEN + 1) as u16;
+        let h = build_header(
+            total,
+            1,
+            false,
+            false,
+            0,
+            0,
+            PROTO_UDP,
+            Ipv4Addr::host(1),
+            Ipv4Addr::host(2),
+        );
+        let mut v = h.to_vec();
+        v.push(0xEE);
+        assert_eq!(
+            parse_header(&mut Message::from_wire(&v, 0)),
+            Err(IpError::TtlExpired)
+        );
+    }
+
+    #[test]
+    fn padding_is_truncated() {
+        let mut d = dgram(b"ab");
+        d.extend_from_slice(&[0xFF; 10]); // link-layer padding
+        let mut msg = Message::from_wire(&d, 0);
+        parse_header(&mut msg).unwrap();
+        assert_eq!(msg.bytes(), b"ab");
+    }
+
+    #[test]
+    fn reassembly_two_fragments() {
+        let mut r = Reassembler::new();
+        let h1 = IpHeader {
+            header_len: 20,
+            total_len: 28,
+            ident: 7,
+            dont_fragment: false,
+            more_fragments: true,
+            frag_offset: 0,
+            ttl: 64,
+            protocol: PROTO_UDP,
+            src: Ipv4Addr::host(1),
+            dst: Ipv4Addr::host(2),
+        };
+        let h2 = IpHeader {
+            more_fragments: false,
+            frag_offset: 8,
+            ..h1
+        };
+        assert_eq!(r.offer(&h1, b"01234567"), None);
+        assert_eq!(r.pending(), 1);
+        let full = r.offer(&h2, b"89AB").unwrap();
+        assert_eq!(full, b"0123456789AB");
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order() {
+        let mut r = Reassembler::new();
+        let last = IpHeader {
+            header_len: 20,
+            total_len: 0,
+            ident: 9,
+            dont_fragment: false,
+            more_fragments: false,
+            frag_offset: 8,
+            ttl: 64,
+            protocol: PROTO_UDP,
+            src: Ipv4Addr::host(3),
+            dst: Ipv4Addr::host(4),
+        };
+        let first = IpHeader {
+            more_fragments: true,
+            frag_offset: 0,
+            ..last
+        };
+        assert_eq!(r.offer(&last, b"tail"), None);
+        let full = r.offer(&first, b"12345678").unwrap();
+        assert_eq!(full, b"12345678tail");
+    }
+
+    #[test]
+    fn distinct_idents_kept_separate() {
+        let mut r = Reassembler::new();
+        let mk = |ident: u16, more: bool, off: usize| IpHeader {
+            header_len: 20,
+            total_len: 0,
+            ident,
+            dont_fragment: false,
+            more_fragments: more,
+            frag_offset: off,
+            ttl: 64,
+            protocol: PROTO_UDP,
+            src: Ipv4Addr::host(1),
+            dst: Ipv4Addr::host(2),
+        };
+        r.offer(&mk(1, true, 0), b"AAAAAAAA");
+        r.offer(&mk(2, true, 0), b"BBBBBBBB");
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.offer(&mk(1, false, 8), b"a").unwrap(), b"AAAAAAAAa");
+        assert_eq!(r.pending(), 1);
+    }
+
+    #[test]
+    fn fragment_reassemble_roundtrip() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let frags = fragment(
+            &payload,
+            256,
+            42,
+            DEFAULT_TTL,
+            PROTO_UDP,
+            Ipv4Addr::host(1),
+            Ipv4Addr::host(2),
+        )
+        .unwrap();
+        assert!(frags.len() > 1);
+        let mut r = Reassembler::new();
+        let mut recovered = None;
+        for f in &frags {
+            let mut msg = Message::from_wire(f, 0);
+            let hdr = parse_header(&mut msg).unwrap();
+            if let Some(full) = r.offer(&hdr, msg.bytes()) {
+                recovered = Some(full);
+            }
+        }
+        assert_eq!(recovered.unwrap(), payload);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn fragment_reassemble_out_of_order_roundtrip() {
+        let payload: Vec<u8> = (0..777u32).map(|i| (i % 253) as u8).collect();
+        let mut frags = fragment(
+            &payload,
+            128,
+            7,
+            DEFAULT_TTL,
+            PROTO_UDP,
+            Ipv4Addr::host(3),
+            Ipv4Addr::host(4),
+        )
+        .unwrap();
+        frags.reverse();
+        let mut r = Reassembler::new();
+        let mut recovered = None;
+        for f in &frags {
+            let mut msg = Message::from_wire(f, 0);
+            let hdr = parse_header(&mut msg).unwrap();
+            if let Some(full) = r.offer(&hdr, msg.bytes()) {
+                recovered = Some(full);
+            }
+        }
+        assert_eq!(recovered.unwrap(), payload);
+    }
+
+    #[test]
+    fn fragment_offsets_are_aligned_and_cover() {
+        let payload = vec![0u8; 500];
+        let frags = fragment(
+            &payload,
+            120,
+            1,
+            64,
+            PROTO_UDP,
+            Ipv4Addr::host(1),
+            Ipv4Addr::host(2),
+        )
+        .unwrap();
+        let mut covered = 0usize;
+        for f in &frags {
+            let mut msg = Message::from_wire(f, 0);
+            let hdr = parse_header(&mut msg).unwrap();
+            assert_eq!(hdr.frag_offset % 8, 0);
+            assert_eq!(hdr.frag_offset, covered);
+            covered += msg.len();
+        }
+        assert_eq!(covered, 500);
+        // Only the last fragment has more_fragments == false.
+        let mut last_seen = 0;
+        for f in &frags {
+            let mut msg = Message::from_wire(f, 0);
+            let hdr = parse_header(&mut msg).unwrap();
+            if !hdr.more_fragments {
+                last_seen += 1;
+            }
+        }
+        assert_eq!(last_seen, 1);
+    }
+
+    #[test]
+    fn fragment_tiny_mtu_rejected_and_empty_payload_ok() {
+        assert_eq!(
+            fragment(
+                &[1, 2, 3],
+                20,
+                1,
+                64,
+                PROTO_UDP,
+                Ipv4Addr::host(1),
+                Ipv4Addr::host(2)
+            ),
+            Err(IpError::BadLength)
+        );
+        let frags = fragment(
+            &[],
+            256,
+            1,
+            64,
+            PROTO_UDP,
+            Ipv4Addr::host(1),
+            Ipv4Addr::host(2),
+        )
+        .unwrap();
+        assert_eq!(frags.len(), 1);
+        let mut msg = Message::from_wire(&frags[0], 0);
+        let hdr = parse_header(&mut msg).unwrap();
+        assert!(!hdr.more_fragments);
+        assert!(msg.is_empty());
+    }
+
+    #[test]
+    fn host_addresses_format() {
+        assert_eq!(Ipv4Addr::host(258).to_string(), "10.0.1.2");
+    }
+}

@@ -1,0 +1,58 @@
+//! Burst tolerance: how the two parallelization paradigms respond to
+//! intra-stream burstiness — the abstract's IPS caveat.
+//!
+//! A burst of packets on one stream can fan out across processors under
+//! Locking (packet-level parallelism) but serializes on its stack under
+//! IPS. This example sweeps the mean batch size at a fixed mean rate and
+//! shows IPS's delay growing much faster.
+//!
+//! ```sh
+//! cargo run --release --example burst_tolerance
+//! ```
+
+use affinity_sched::prelude::*;
+
+fn main() {
+    let k = 16;
+    let rate = 700.0; // per-stream mean, packets/s
+    let batch_means = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+    println!("mean delay (us) vs intra-stream burstiness ({k} streams x {rate:.0} pkts/s mean):\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "mean batch", "Locking/mru", "IPS/wired", "IPS/Lock"
+    );
+    for &b in &batch_means {
+        let pop = Population::homogeneous_bursty(k, rate, b);
+
+        let mut lock_cfg = SystemConfig::new(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            pop.clone(),
+        );
+        lock_cfg.horizon = SimDuration::from_secs(3);
+        let lock = run(lock_cfg);
+
+        let mut ips_cfg = SystemConfig::new(
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: k,
+            },
+            pop,
+        );
+        ips_cfg.horizon = SimDuration::from_secs(3);
+        let ips = run(ips_cfg);
+
+        let ratio = ips.mean_delay_us / lock.mean_delay_us;
+        println!(
+            "{b:>12.0} {:>14.1} {:>14.1} {ratio:>10.2}",
+            lock.mean_delay_us, ips.mean_delay_us
+        );
+    }
+    println!(
+        "\nreading guide: at batch = 1 (Poisson) IPS wins on service time; as\n\
+         bursts grow, stack serialization turns each burst into a queue on one\n\
+         processor while Locking spreads it — the paper's robustness caveat."
+    );
+}

@@ -1,0 +1,76 @@
+//! Model playground: explore the analytic machinery directly — the
+//! footprint function, displacement curves, execution-time interpolation
+//! and warm-up detection — without running a full simulation.
+//!
+//! ```sh
+//! cargo run --release --example model_playground
+//! ```
+
+use affinity_sched::prelude::*;
+use afs_cache::model::exec_time::ComponentAges;
+use afs_cache::model::footprint::MVS_WORKLOAD;
+use afs_desim::warmup::mser5;
+
+fn main() {
+    // --- The SST footprint function with the paper's MVS constants.
+    println!("SST footprint u(R, L), MVS constants:");
+    println!("{:>12} {:>12} {:>12}", "refs", "u(.,16B)", "u(.,128B)");
+    for e in [3, 4, 5, 6, 7] {
+        let r = 10f64.powi(e);
+        println!(
+            "{r:>12.0} {:>12.0} {:>12.0}",
+            MVS_WORKLOAD.footprint(r, 16.0),
+            MVS_WORKLOAD.footprint(r, 128.0)
+        );
+    }
+
+    // --- How long until the workload has walked over each cache?
+    let l1_lines = 1024.0;
+    let l2_lines = 8192.0;
+    let refs_per_us = 20.0; // 100 MHz / 5 cycles per reference
+    let r1 = MVS_WORKLOAD.refs_for_footprint(l1_lines, 16.0);
+    let r2 = MVS_WORKLOAD.refs_for_footprint(l2_lines, 128.0);
+    println!("\ntime for the non-protocol workload to touch one cache's worth of lines:");
+    println!("  L1 (16 KB):  {:>10.1} us", r1 / refs_per_us);
+    println!("  L2 (1 MB):   {:>10.1} us", r2 / refs_per_us);
+
+    // --- The execution-time model, calibrated.
+    let exec = ExecParams::calibrated();
+    println!("\npacket time vs intervening non-protocol gap (calibrated model):");
+    println!("{:>12} {:>10}", "gap (us)", "T (us)");
+    for gap in [0u64, 100, 500, 1_000, 5_000, 50_000, 500_000] {
+        let t = exec.protocol_time(ComponentAges::uniform(SimDuration::from_micros(gap)));
+        println!("{gap:>12} {:>10.1}", t.as_micros_f64());
+    }
+
+    // --- MSER-5 warm-up detection on a real delay series.
+    let mut cfg = SystemConfig::new(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        Population::homogeneous_poisson(8, 600.0),
+    );
+    cfg.horizon = SimDuration::from_millis(800);
+    cfg.warmup = SimDuration::from_millis(100);
+    let (report, series) = afs_core::sim::run_with_series(cfg, true);
+    println!(
+        "\nMSER-5 warm-up check on a live run ({} completions):",
+        series.len()
+    );
+    match mser5(&series) {
+        Some(est) => {
+            println!(
+                "  recommended truncation: first {} packets (~{:.0} us of simulated time)",
+                est.truncate_at,
+                800_000.0 * est.truncate_at as f64 / series.len() as f64
+            );
+            println!("  steady-state mean delay: {:.1} us", est.steady_mean);
+            println!(
+                "  configured warm-up:      100000 us (covers it: {})",
+                100_000.0 >= 800_000.0 * est.truncate_at as f64 / series.len() as f64
+            );
+        }
+        None => println!("  series too short for MSER-5"),
+    }
+    println!("  reported mean delay:     {:.1} us", report.mean_delay_us);
+}

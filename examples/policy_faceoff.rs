@@ -1,0 +1,82 @@
+//! Policy face-off: every paradigm/policy combination over a load grid —
+//! the paper's core comparison in miniature.
+//!
+//! ```sh
+//! cargo run --release --example policy_faceoff
+//! ```
+
+use affinity_sched::prelude::*;
+
+fn main() {
+    let k = 16;
+    let n_procs = 8;
+    let rates = [200.0, 800.0, 1600.0, 2400.0];
+
+    let contenders: Vec<(&str, Paradigm)> = vec![
+        (
+            "Locking/baseline",
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+        ),
+        (
+            "Locking/pools",
+            Paradigm::Locking {
+                policy: LockPolicy::Pools,
+            },
+        ),
+        (
+            "Locking/mru",
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+        ),
+        (
+            "Locking/wired",
+            Paradigm::Locking {
+                policy: LockPolicy::Wired,
+            },
+        ),
+        (
+            "IPS/mru",
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: k,
+            },
+        ),
+        (
+            "IPS/wired",
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: k,
+            },
+        ),
+    ];
+
+    println!("mean packet delay (us), {k} streams on {n_procs} processors, by per-stream rate:\n");
+    print!("{:<18}", "policy");
+    for r in rates {
+        print!(" {r:>9.0}/s");
+    }
+    println!();
+    for (name, paradigm) in contenders {
+        print!("{name:<18}");
+        for &r in &rates {
+            let mut cfg =
+                SystemConfig::new(paradigm.clone(), Population::homogeneous_poisson(k, r));
+            cfg.n_procs = n_procs;
+            let report = run(cfg);
+            if report.stable {
+                print!(" {:>11.1}", report.mean_delay_us);
+            } else {
+                print!(" {:>11}", "unstable");
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nreading guide: baseline > pools > mru under Locking at low/mid load;\n\
+         IPS lowest overall (no locks, maximal affinity); wired variants win\n\
+         as the load approaches saturation."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: calibrate the platform, run one simulation, read the
+//! report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use affinity_sched::prelude::*;
+
+fn main() {
+    // 1. The calibrated platform: the instrumented UDP/IP/FDDI engine is
+    //    run over the simulated R4400 caches under controlled cache
+    //    states, reproducing the paper's Section-4 measurements.
+    let cal = calibrate(&CostModel::default());
+    println!("calibrated packet time bounds (us):");
+    println!(
+        "  warm {:6.1}   L2 {:6.1}   cold {:6.1}  [paper t_cold = 284.3]",
+        cal.bounds.t_warm_us, cal.bounds.t_l2_us, cal.bounds.t_cold_us
+    );
+
+    // 2. Offer 16 streams of 800 packets/s each to the 8-processor host,
+    //    processed by the shared-stack (Locking) paradigm under MRU
+    //    affinity scheduling.
+    let population = Population::homogeneous_poisson(16, 800.0);
+    let cfg = SystemConfig::new(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        population,
+    );
+    println!(
+        "\noffered: 16 streams x 800 pkts/s = {:.0} pkts/s aggregate",
+        cfg.population.total_rate_per_sec()
+    );
+
+    // 3. Run and report.
+    let report = run(cfg);
+    println!(
+        "\nresult ({}):",
+        if report.stable { "stable" } else { "UNSTABLE" }
+    );
+    println!(
+        "  mean packet delay    {:8.1} us (95% CI +/-{:.1})",
+        report.mean_delay_us, report.delay_ci_half_us
+    );
+    println!("  mean service time    {:8.1} us", report.mean_service_us);
+    println!(
+        "  p95 delay            {:>8} us",
+        report
+            .p95_delay_us
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "  throughput           {:8.0} pkts/s",
+        report.throughput_pps
+    );
+    println!("  protocol utilization {:8.2}", report.utilization);
+    println!(
+        "  stream migrations    {:8.2} per packet",
+        report.stream_migration_rate
+    );
+    println!(
+        "  L1 displacement at dispatch (code): {:.2}",
+        report.mean_f1
+    );
+}

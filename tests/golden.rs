@@ -1,0 +1,136 @@
+//! Golden regression pins: exact expected outputs for fixed seeds.
+//!
+//! The simulator is deterministic (integer clock, seeded RNG streams,
+//! no iteration over unordered containers on the hot path), so any change
+//! to these numbers means the *behaviour* changed — intentionally
+//! (update the pins and say why in the commit) or not (a bug).
+//!
+//! Pins use a relative tolerance of 1e-9 to stay robust against benign
+//! floating-point reassociation across compiler versions while still
+//! catching any real change.
+
+use affinity_sched::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn quick(paradigm: Paradigm, k: usize, rate: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(k, rate));
+    cfg.warmup = SimDuration::from_millis(100);
+    cfg.horizon = SimDuration::from_millis(600);
+    cfg
+}
+
+fn assert_close(name: &str, got: f64, want: f64) {
+    assert!(
+        (got - want).abs() <= TOL * (1.0 + want.abs()),
+        "{name}: got {got:.9}, pinned {want:.9}"
+    );
+}
+
+struct Pin {
+    paradigm: Paradigm,
+    delay: f64,
+    service: f64,
+    delivered: u64,
+    smig: f64,
+}
+
+#[test]
+fn golden_simulation_outputs() {
+    let pins = [
+        Pin {
+            paradigm: Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            delay: 238.117842,
+            service: 237.821061,
+            delivered: 5699,
+            smig: 0.868222,
+        },
+        Pin {
+            paradigm: Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            delay: 223.261948,
+            service: 223.053410,
+            delivered: 5699,
+            smig: 0.812950,
+        },
+        Pin {
+            paradigm: Paradigm::Locking {
+                policy: LockPolicy::Wired,
+            },
+            delay: 248.605409,
+            service: 206.241242,
+            delivered: 5699,
+            smig: 0.0,
+        },
+        Pin {
+            paradigm: Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: 16,
+            },
+            delay: 203.990461,
+            service: 188.769609,
+            delivered: 5699,
+            smig: 0.180558,
+        },
+        Pin {
+            paradigm: Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: 16,
+            },
+            delay: 215.634848,
+            service: 183.463243,
+            delivered: 5699,
+            smig: 0.0,
+        },
+    ];
+    for pin in pins {
+        let label = pin.paradigm.label();
+        let r = run(quick(pin.paradigm, 16, 700.0));
+        // The pins carry 6 decimals; compare at that precision.
+        assert!(
+            (r.mean_delay_us - pin.delay).abs() < 5e-6,
+            "{label} delay: got {:.6}, pinned {:.6}",
+            r.mean_delay_us,
+            pin.delay
+        );
+        assert!(
+            (r.mean_service_us - pin.service).abs() < 5e-6,
+            "{label} service: got {:.6}, pinned {:.6}",
+            r.mean_service_us,
+            pin.service
+        );
+        assert_eq!(r.delivered, pin.delivered, "{label} delivered");
+        assert!(
+            (r.stream_migration_rate - pin.smig).abs() < 5e-6,
+            "{label} smig: got {:.6}, pinned {:.6}",
+            r.stream_migration_rate,
+            pin.smig
+        );
+    }
+}
+
+#[test]
+fn golden_calibration_bounds() {
+    let c = calibrate(&CostModel::default());
+    assert_close("t_warm", c.bounds.t_warm_us, 151.103500);
+    assert_close("t_l2", c.bounds.t_l2_us, 226.323500);
+    assert_close("t_cold", c.bounds.t_cold_us, 284.070000);
+}
+
+#[test]
+fn golden_analytic_spot_values() {
+    use afs_cache::model::footprint::MVS_WORKLOAD;
+    use afs_cache::model::hierarchy::FlushModel;
+    use afs_cache::model::platform::Platform;
+    // Pure math: these are platform-independent to the last bit in
+    // practice; pinned at 1e-9 relative.
+    let u = MVS_WORKLOAD.footprint(20_000.0, 16.0);
+    assert_close("u(20000,16)", u, 1846.9531926882682);
+    let model = FlushModel::new(Platform::sgi_challenge_r4400(), MVS_WORKLOAD);
+    let d = model.displacement(SimDuration::from_micros(1_000));
+    assert_close("F1(1ms)", d.f1, 0.6781539464128085);
+    assert_close("F2(1ms)", d.f2, 0.07259763075153408);
+}

@@ -1,0 +1,316 @@
+//! Reduced-scale shape assertions for the paper's headline claims.
+//!
+//! Each of these reproduces — at integration-test scale (short horizons,
+//! debug-friendly) — one qualitative claim that the full experiment
+//! harness (`afs-bench`) verifies at figure scale. They act as the
+//! regression net for the simulator's dynamics.
+
+use affinity_sched::prelude::*;
+
+fn quick(paradigm: Paradigm, k: usize, rate: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(k, rate));
+    cfg.warmup = SimDuration::from_millis(100);
+    cfg.horizon = SimDuration::from_millis(700);
+    cfg
+}
+
+fn delay(paradigm: Paradigm, k: usize, rate: f64) -> f64 {
+    let r = run(quick(paradigm, k, rate));
+    assert!(r.stable, "{} at {rate}/s should be stable", r.mean_delay_us);
+    r.mean_delay_us
+}
+
+#[test]
+fn claim_affinity_reduces_delay_under_locking() {
+    // Abstract: "affinity-based scheduling can significantly reduce the
+    // communication delay associated with protocol processing".
+    let base = delay(
+        Paradigm::Locking {
+            policy: LockPolicy::Baseline,
+        },
+        16,
+        400.0,
+    );
+    let mru = delay(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        16,
+        400.0,
+    );
+    assert!(
+        mru < 0.95 * base,
+        "MRU {mru:.1} should beat baseline {base:.1} by >5%"
+    );
+}
+
+#[test]
+fn claim_marginal_contributions_ordered() {
+    // The paper evaluates the marginal contribution of each policy step.
+    let base = delay(
+        Paradigm::Locking {
+            policy: LockPolicy::Baseline,
+        },
+        16,
+        600.0,
+    );
+    let pools = delay(
+        Paradigm::Locking {
+            policy: LockPolicy::Pools,
+        },
+        16,
+        600.0,
+    );
+    let mru = delay(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        16,
+        600.0,
+    );
+    assert!(pools < base, "pools {pools:.1} !< baseline {base:.1}");
+    assert!(mru < pools, "mru {mru:.1} !< pools {pools:.1}");
+}
+
+#[test]
+fn claim_ips_lower_latency_than_locking() {
+    // Abstract: "IPS delivers much lower message latency".
+    let lock = delay(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        16,
+        800.0,
+    );
+    let ips = delay(
+        Paradigm::Ips {
+            policy: IpsPolicy::Mru,
+            n_stacks: 16,
+        },
+        16,
+        800.0,
+    );
+    assert!(ips < lock, "IPS {ips:.1} !< Locking {lock:.1}");
+}
+
+#[test]
+fn claim_ips_higher_throughput_capacity() {
+    // Abstract: "significantly higher message throughput capacity".
+    // At a rate past Locking's knee, IPS must still be comfortable.
+    let rate = 2_650.0;
+    let lock = run(quick(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        16,
+        rate,
+    ));
+    let ips = run(quick(
+        Paradigm::Ips {
+            policy: IpsPolicy::Wired,
+            n_stacks: 16,
+        },
+        16,
+        rate,
+    ));
+    assert!(ips.stable, "IPS should carry {rate}/s/stream");
+    assert!(
+        !lock.stable || lock.mean_delay_us > 2.0 * ips.mean_delay_us,
+        "Locking should be saturated or far slower at {rate}/s: lock {:.0} ips {:.0}",
+        lock.mean_delay_us,
+        ips.mean_delay_us
+    );
+}
+
+#[test]
+fn claim_ips_less_robust_to_bursts() {
+    // Abstract: "yet exhibits less robust response to intra-stream
+    // burstiness".
+    let k = 16;
+    let rate = 700.0;
+    let bursty = Population::homogeneous_bursty(k, rate, 12.0);
+    let mut lock_cfg = quick(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        k,
+        rate,
+    );
+    lock_cfg.population = bursty.clone();
+    let mut ips_cfg = quick(
+        Paradigm::Ips {
+            policy: IpsPolicy::Wired,
+            n_stacks: k,
+        },
+        k,
+        rate,
+    );
+    ips_cfg.population = bursty;
+    let lock = run(lock_cfg);
+    let ips = run(ips_cfg);
+    assert!(lock.stable && ips.stable);
+    assert!(
+        ips.mean_delay_us > 1.5 * lock.mean_delay_us,
+        "bursty IPS {:.0} should be far above Locking {:.0}",
+        ips.mean_delay_us,
+        lock.mean_delay_us
+    );
+}
+
+#[test]
+fn claim_ips_limited_intra_stream_scalability() {
+    // Abstract: "and limited intra-stream scalability": one stream on 8
+    // processors saturates IPS near one processor's worth.
+    let rate = 8_000.0; // beyond one processor's ~6000/s
+    let ips = run(quick(
+        Paradigm::Ips {
+            policy: IpsPolicy::Mru,
+            n_stacks: 1,
+        },
+        1,
+        rate,
+    ));
+    let lock = run(quick(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        1,
+        rate,
+    ));
+    assert!(!ips.stable, "one stack cannot scale one stream");
+    assert!(lock.stable, "Locking fans one stream out across processors");
+}
+
+#[test]
+fn claim_wired_wins_at_high_rate_under_locking() {
+    // Conclusion: "processors should be managed MRU — except under high
+    // arrival rate, when Wired-Streams scheduling performs better."
+    let k = 16;
+    let low = 300.0;
+    let high = 2_680.0;
+    let mru_low = delay(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        k,
+        low,
+    );
+    let wired_low = delay(
+        Paradigm::Locking {
+            policy: LockPolicy::Wired,
+        },
+        k,
+        low,
+    );
+    assert!(mru_low < wired_low, "MRU should win at low rate");
+    let mru_high = run(quick(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        k,
+        high,
+    ));
+    let wired_high = run(quick(
+        Paradigm::Locking {
+            policy: LockPolicy::Wired,
+        },
+        k,
+        high,
+    ));
+    assert!(
+        wired_high.stable,
+        "wired should still be stable at {high}/s"
+    );
+    assert!(
+        !mru_high.stable || wired_high.mean_delay_us < mru_high.mean_delay_us,
+        "wired should win at high rate: mru {:.0} (stable={}) wired {:.0}",
+        mru_high.mean_delay_us,
+        mru_high.stable,
+        wired_high.mean_delay_us
+    );
+}
+
+#[test]
+fn claim_ips_crossover_wired_vs_mru() {
+    // Conclusion: "Under IPS, independent stacks should be wired to
+    // processors — except under low arrival rate, when MRU performs
+    // better."
+    let k = 16;
+    let mru_low = delay(
+        Paradigm::Ips {
+            policy: IpsPolicy::Mru,
+            n_stacks: k,
+        },
+        k,
+        150.0,
+    );
+    let wired_low = delay(
+        Paradigm::Ips {
+            policy: IpsPolicy::Wired,
+            n_stacks: k,
+        },
+        k,
+        150.0,
+    );
+    assert!(mru_low < wired_low, "IPS-MRU should win at low rate");
+    let mru_high = run(quick(
+        Paradigm::Ips {
+            policy: IpsPolicy::Mru,
+            n_stacks: k,
+        },
+        k,
+        2_700.0,
+    ));
+    let wired_high = run(quick(
+        Paradigm::Ips {
+            policy: IpsPolicy::Wired,
+            n_stacks: k,
+        },
+        k,
+        2_700.0,
+    ));
+    assert!(wired_high.stable);
+    assert!(
+        !mru_high.stable || wired_high.mean_delay_us < mru_high.mean_delay_us,
+        "IPS-Wired should win at high rate: mru {:.0} wired {:.0}",
+        mru_high.mean_delay_us,
+        wired_high.mean_delay_us
+    );
+}
+
+#[test]
+fn claim_v_dilutes_the_benefit() {
+    // Figures 10/11: fixed uncached overhead V shrinks the relative
+    // benefit of affinity scheduling.
+    let k = 16;
+    let rate = 500.0;
+    let red = |v: f64| {
+        let mut b = quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            k,
+            rate,
+        );
+        b.v_fixed_us = v;
+        let mut m = quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            },
+            k,
+            rate,
+        );
+        m.v_fixed_us = v;
+        let base = run(b);
+        let mru = run(m);
+        assert!(base.stable && mru.stable);
+        1.0 - mru.mean_delay_us / base.mean_delay_us
+    };
+    let r0 = red(0.0);
+    let r139 = red(139.0);
+    assert!(
+        r0 > r139,
+        "V=0 gain {r0:.3} should exceed V=139 gain {r139:.3}"
+    );
+    assert!(r139 > 0.0, "V=139 still shows some gain");
+}
