@@ -99,6 +99,31 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     println!("  wrote {}", path.display());
 }
 
+/// Write a pre-rendered JSON document to `results/<name>.json`.
+///
+/// The workspace carries no serde; experiment binaries render their own
+/// rows (all keys and values are program-generated, so no escaping is
+/// needed).
+pub fn write_json(name: &str, body: &str) {
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, body).expect("write json");
+    println!("  wrote {}", path.display());
+}
+
+/// Render `(key, value)` pairs as one JSON object. Values are inserted
+/// verbatim — pass `"42"`, `"true"`, or an already-quoted string.
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{k}\": {v}");
+    }
+    out.push('}');
+    out
+}
+
 /// The canonical simulation template used by the delay figures.
 ///
 /// Setting `AFS_QUICK=1` in the environment shrinks the horizon ~4x for
@@ -233,6 +258,16 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!(!rows[0].contains("inf"), "{}", rows[0]);
         assert!(rows[1].contains("inf"), "{}", rows[1]);
+    }
+
+    #[test]
+    fn json_object_renders_flat_pairs() {
+        let o = json_object(&[
+            ("a", "1".into()),
+            ("b", "true".into()),
+            ("c", "\"x\"".into()),
+        ]);
+        assert_eq!(o, "{\"a\": 1, \"b\": true, \"c\": \"x\"}");
     }
 
     #[test]

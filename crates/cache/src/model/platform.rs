@@ -9,10 +9,9 @@
 //!   cycles (the value the paper uses when computing `F(x)` "for the
 //!   100-MHz clock rate of the MIPS R4400").
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -52,7 +51,7 @@ impl CacheGeometry {
 }
 
 /// A two-level cache hierarchy on one processor, plus timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Platform {
     /// Processor clock in Hz.
     pub clock_hz: f64,

@@ -130,6 +130,13 @@ mod tests {
             per_proc_served: vec![],
             littles_gap: 0.01,
             stable,
+            goodput_pps: 1000.0,
+            drop_rate: 0.0,
+            wire_drops: 0,
+            queue_drops: 0,
+            shed_at_source: 0,
+            corrupted: 0,
+            wasted_service_frac: 0.0,
         }
     }
 

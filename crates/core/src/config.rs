@@ -118,6 +118,68 @@ impl IpsPolicy {
     }
 }
 
+/// Flow-level fault model for the scheduling simulator — the coarse
+/// counterpart of `afs-xkernel`'s per-frame `FaultInjector`. Probabilities
+/// are per generated packet and drawn from the dedicated `"faults"` RNG
+/// substream, so a no-op profile consumes no randomness and leaves every
+/// other stream's sample path untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability a packet is lost on the wire (never enqueued; no
+    /// processing cost).
+    pub drop_p: f64,
+    /// Probability a packet arrives twice (duplicate admission).
+    pub duplicate_p: f64,
+    /// Probability a packet is corrupted: it consumes
+    /// [`corrupt_work_frac`](FaultProfile::corrupt_work_frac) of its
+    /// protocol service (validation work done before the checksum
+    /// rejects it, polluting the cache) but produces no goodput and
+    /// never touches stream state.
+    pub corrupt_p: f64,
+    /// Fraction of the full protocol service a corrupted packet consumes
+    /// before rejection (the paper's path rejects at the IP checksum,
+    /// roughly half-way through the non-data-touching path).
+    pub corrupt_work_frac: f64,
+}
+
+impl FaultProfile {
+    /// The clean wire: nothing injected, nothing drawn.
+    pub const fn none() -> Self {
+        FaultProfile {
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            corrupt_p: 0.0,
+            corrupt_work_frac: 0.5,
+        }
+    }
+
+    /// True when no fault can fire (no RNG draws are made).
+    pub fn is_noop(&self) -> bool {
+        self.drop_p <= 0.0 && self.duplicate_p <= 0.0 && self.corrupt_p <= 0.0
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+/// What happens when a packet arrives to a full (bounded) queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Drop the arriving packet (classic tail drop on the target queue).
+    TailDrop,
+    /// Evict the oldest packet of the currently longest queue in the
+    /// system to make room, then admit the arrival — sheds load where
+    /// the backlog actually is instead of where it happens to land.
+    DropLongestQueue,
+    /// Shared-buffer backpressure: the arrival is shed at the source
+    /// whenever the *total* queued backlog (across all queues) has
+    /// reached the bound.
+    Backpressure,
+}
+
 /// The full system description for one run.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -143,6 +205,15 @@ pub struct SystemConfig {
     pub warmup: SimDuration,
     /// Simulation end.
     pub horizon: SimDuration,
+    /// Wire-level fault model (default: clean wire).
+    pub faults: FaultProfile,
+    /// Per-queue capacity in packets (`usize::MAX` = unbounded, the
+    /// paper's implicit assumption). Under
+    /// [`DropPolicy::Backpressure`] the bound applies to the total
+    /// backlog instead.
+    pub queue_bound: usize,
+    /// Overflow behaviour when a bound is hit.
+    pub drop_policy: DropPolicy,
 }
 
 impl SystemConfig {
@@ -159,6 +230,9 @@ impl SystemConfig {
             seed: 0xAF5_0001,
             warmup: SimDuration::from_millis(200),
             horizon: SimDuration::from_secs(2),
+            faults: FaultProfile::none(),
+            queue_bound: usize::MAX,
+            drop_policy: DropPolicy::TailDrop,
         }
     }
 
@@ -173,6 +247,18 @@ impl SystemConfig {
         assert!(!self.population.is_empty(), "population is empty");
         assert!(self.v_fixed_us >= 0.0 && self.copy_us_per_byte >= 0.0);
         assert!(self.warmup < self.horizon, "warmup must precede horizon");
+        for (name, p) in [
+            ("drop_p", self.faults.drop_p),
+            ("duplicate_p", self.faults.duplicate_p),
+            ("corrupt_p", self.faults.corrupt_p),
+            ("corrupt_work_frac", self.faults.corrupt_work_frac),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "fault parameter {name} = {p} outside [0, 1]"
+            );
+        }
+        assert!(self.queue_bound >= 1, "queue bound must admit one packet");
         if let Paradigm::Locking {
             policy: LockPolicy::Hybrid { wired },
         } = &self.paradigm

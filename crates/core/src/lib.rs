@@ -54,7 +54,7 @@ pub mod state;
 pub mod sweep;
 pub mod trace;
 
-pub use config::{IpsPolicy, LockPolicy, Paradigm, SystemConfig};
+pub use config::{DropPolicy, FaultProfile, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
 pub use exec::ExecParams;
 pub use metrics::RunReport;
 pub use replicate::{replicate, MetricSummary, ReplicationSummary};
@@ -62,7 +62,7 @@ pub use sweep::{capacity_search, rate_sweep, Series, SweepPoint};
 
 /// One-stop imports for examples and benches.
 pub mod prelude {
-    pub use crate::config::{IpsPolicy, LockPolicy, Paradigm, SystemConfig};
+    pub use crate::config::{DropPolicy, FaultProfile, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
     pub use crate::exec::ExecParams;
     pub use crate::metrics::RunReport;
     pub use crate::replicate::{replicate, ReplicationSummary};

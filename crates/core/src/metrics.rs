@@ -37,6 +37,17 @@ pub struct Collector {
     pub backlog_first_half: Option<f64>,
     /// Total protocol busy µs across processors (post-warmup, approx.).
     pub proto_busy_us: f64,
+    /// Packets lost on the wire before reaching any queue (post-warmup).
+    pub wire_drops: u64,
+    /// Packets shed by a full bounded queue (post-warmup).
+    pub queue_drops: u64,
+    /// Packets shed at the source by backpressure (post-warmup).
+    pub shed_at_source: u64,
+    /// Corrupted packets that completed their (partial) service without
+    /// producing goodput (post-warmup).
+    pub corrupt_completions: u64,
+    /// Service µs consumed by corrupted packets (post-warmup).
+    pub wasted_service_us: f64,
     /// When set, every completion's delay (µs) is recorded from t = 0,
     /// pre-warmup included — the input for MSER-5 warm-up validation.
     pub full_series: Option<Vec<f64>>,
@@ -61,6 +72,11 @@ impl Collector {
             backlog: TimeWeighted::new(SimTime::ZERO, 0.0),
             backlog_first_half: None,
             proto_busy_us: 0.0,
+            wire_drops: 0,
+            queue_drops: 0,
+            shed_at_source: 0,
+            corrupt_completions: 0,
+            wasted_service_us: 0.0,
             full_series: None,
         }
     }
@@ -81,6 +97,38 @@ impl Collector {
         if self.recording(now) {
             self.arrivals += 1;
         }
+    }
+
+    /// Record a packet that was offered but never entered a queue (wire
+    /// drop, queue overflow, or source shed): it counts toward the
+    /// offered load but not the backlog.
+    pub fn on_offered_only(&mut self, now: SimTime) {
+        if self.recording(now) {
+            self.arrivals += 1;
+        }
+    }
+
+    /// Record the eviction of an already-queued packet (drop-longest
+    /// policy): the backlog shrinks without a completion.
+    pub fn on_evicted(&mut self, now: SimTime) {
+        self.backlog.add(now, -1.0);
+        if self.recording(now) {
+            self.queue_drops += 1;
+        }
+    }
+
+    /// Record a corrupted packet finishing its partial service: the
+    /// processor time is spent (and counted in utilization) but nothing
+    /// is delivered.
+    pub fn on_corrupt_completion(&mut self, now: SimTime, service: SimDuration) {
+        self.backlog.add(now, -1.0);
+        if !self.recording(now) {
+            return;
+        }
+        self.corrupt_completions += 1;
+        let us = service.as_micros_f64();
+        self.wasted_service_us += us;
+        self.proto_busy_us += us;
     }
 
     /// Record a completed packet.
@@ -115,8 +163,10 @@ impl Collector {
     /// Final report for a run ending at `end`.
     pub fn report(&mut self, end: SimTime, n_procs: usize) -> RunReport {
         let measured = end.since(self.warmup.min(end)).as_secs_f64();
+        // Throughput counts all packets that consumed a full or partial
+        // service slot; goodput (below) counts only useful deliveries.
         let throughput = if measured > 0.0 {
-            self.delivered as f64 / measured
+            (self.delivered + self.corrupt_completions) as f64 / measured
         } else {
             0.0
         };
@@ -132,11 +182,28 @@ impl Collector {
         let second_half = 2.0 * backlog_avg - first_half;
         let growing = second_half > 2.0 * first_half + 0.05 * self.delivered.max(20) as f64 / 20.0
             && second_half - first_half > 2.0;
+        // Every offered packet must be accounted for — delivered,
+        // rejected as corrupt after service, or deliberately shed. A
+        // system that sheds under overload but keeps pace is degrading
+        // gracefully, not diverging.
+        let shed = self.wire_drops + self.queue_drops + self.shed_at_source;
+        let accounted = self.delivered + self.corrupt_completions + shed;
         let completion_ratio = if self.arrivals == 0 {
             1.0
         } else {
-            self.delivered as f64 / self.arrivals as f64
+            accounted as f64 / self.arrivals as f64
         };
+        let goodput = if measured > 0.0 {
+            self.delivered as f64 / measured
+        } else {
+            0.0
+        };
+        let drop_rate = if self.arrivals == 0 {
+            0.0
+        } else {
+            shed as f64 / self.arrivals as f64
+        };
+        let busy = self.proto_busy_us;
         let ci = self.delay_batches.interval();
         RunReport {
             mean_delay_us: self.delay.mean(),
@@ -158,6 +225,17 @@ impl Collector {
 
             littles_gap: littles_law_gap(backlog_avg, throughput, self.delay.mean() / 1e6),
             stable: !growing && completion_ratio > 0.9,
+            goodput_pps: goodput,
+            drop_rate,
+            wire_drops: self.wire_drops,
+            queue_drops: self.queue_drops,
+            shed_at_source: self.shed_at_source,
+            corrupted: self.corrupt_completions,
+            wasted_service_frac: if busy > 0.0 {
+                self.wasted_service_us / busy
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -202,9 +280,26 @@ pub struct RunReport {
     pub per_proc_served: Vec<u64>,
     /// Little's-law consistency gap (small = bookkeeping is sound).
     pub littles_gap: f64,
-    /// Whether the system looked stable (no queue growth, completions
-    /// keeping pace with arrivals).
+    /// Whether the system looked stable (no queue growth, and every
+    /// offered packet accounted for — delivered, rejected, or shed).
     pub stable: bool,
+    /// Useful deliveries per second: `throughput_pps` minus the rate of
+    /// corrupted packets that consumed service without delivering.
+    pub goodput_pps: f64,
+    /// Fraction of offered packets shed before service (wire + queue +
+    /// source), i.e. excluding corrupt packets that *were* served.
+    pub drop_rate: f64,
+    /// Packets lost on the wire (fault injection).
+    pub wire_drops: u64,
+    /// Packets shed by full bounded queues.
+    pub queue_drops: u64,
+    /// Packets shed at the source under backpressure.
+    pub shed_at_source: u64,
+    /// Corrupted packets that consumed (partial) service.
+    pub corrupted: u64,
+    /// Fraction of protocol busy time wasted on corrupted packets — the
+    /// degradation-curve companion to `goodput_pps`.
+    pub wasted_service_frac: f64,
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ use afs_desim::rng::RngFactory;
 use afs_desim::time::{SimDuration, SimTime};
 use afs_workload::ArrivalGen;
 
-use crate::config::{IpsPolicy, LockPolicy, Paradigm, SystemConfig};
+use crate::config::{DropPolicy, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
 use crate::metrics::{Collector, RunReport};
 use crate::state::{Locatable, Packet, ProcActivity, ProcState};
 use crate::trace::{SchedEvent, SchedTrace};
@@ -90,6 +90,9 @@ pub struct SchedSim {
     midpoint: SimTime,
     /// RNG for affinity-oblivious (random) placement decisions.
     policy_rng: StdRng,
+    /// RNG for wire-fault decisions (its own substream: a clean wire
+    /// draws nothing, leaving every other stream's path untouched).
+    fault_rng: StdRng,
     /// Thread id in use per processor (Locking), cleared at completion.
     pending_thread: Vec<Option<usize>>,
     /// Service duration of the in-flight packet per processor.
@@ -138,6 +141,7 @@ impl SchedSim {
             warmup_reset: false,
             midpoint: SimTime::from_micros_f64((warm_us + hor_us) * 0.5),
             policy_rng: factory.stream("policy"),
+            fault_rng: factory.stream("faults"),
             pending_thread: vec![None; n],
             pending_service: vec![SimDuration::ZERO; n],
             collector: Collector::new(SimTime::from_micros_f64(warm_us), k),
@@ -172,6 +176,98 @@ impl SchedSim {
             Paradigm::Ips { .. } => {
                 let w = self.stream_to_stack[pkt.stream as usize] as usize;
                 self.stacks[w].queue.push_back(pkt);
+            }
+        }
+    }
+
+    /// Occupancy of the queue `pkt` would join (mirrors `enqueue`).
+    fn target_queue_len(&self, pkt: &Packet) -> usize {
+        match &self.cfg.paradigm {
+            Paradigm::Locking { policy } => match policy {
+                LockPolicy::Wired => self.proc_q[pkt.stream as usize % self.cfg.n_procs].len(),
+                LockPolicy::Hybrid { wired } => {
+                    if wired[pkt.stream as usize] {
+                        self.proc_q[pkt.stream as usize % self.cfg.n_procs].len()
+                    } else {
+                        self.global_q.len()
+                    }
+                }
+                _ => self.global_q.len(),
+            },
+            Paradigm::Ips { .. } => {
+                self.stacks[self.stream_to_stack[pkt.stream as usize] as usize]
+                    .queue
+                    .len()
+            }
+        }
+    }
+
+    /// Packets waiting across every queue (backpressure's shared bound).
+    fn total_backlog(&self) -> usize {
+        self.global_q.len()
+            + self.proc_q.iter().map(|q| q.len()).sum::<usize>()
+            + self.stacks.iter().map(|s| s.queue.len()).sum::<usize>()
+    }
+
+    /// Evict the oldest packet of the currently longest queue.
+    fn evict_from_longest(&mut self, now: SimTime) {
+        let longest_proc = (0..self.proc_q.len()).max_by_key(|&p| self.proc_q[p].len());
+        let longest_stack = (0..self.stacks.len()).max_by_key(|&w| self.stacks[w].queue.len());
+        let global_len = self.global_q.len();
+        let proc_len = longest_proc.map_or(0, |p| self.proc_q[p].len());
+        let stack_len = longest_stack.map_or(0, |w| self.stacks[w].queue.len());
+        let evicted = if global_len >= proc_len && global_len >= stack_len {
+            self.global_q.pop_front()
+        } else if proc_len >= stack_len {
+            longest_proc.and_then(|p| self.proc_q[p].pop_front())
+        } else {
+            longest_stack.and_then(|w| self.stacks[w].queue.pop_front())
+        };
+        if evicted.is_some() {
+            self.collector.on_evicted(now);
+        }
+    }
+
+    /// Admit one packet through the bounded-queue policy, updating the
+    /// collector's offered/backlog/shed accounting. On the default
+    /// configuration (unbounded queues) this is exactly the historical
+    /// count-then-enqueue path.
+    fn admit(&mut self, now: SimTime, pkt: Packet) {
+        let bound = self.cfg.queue_bound;
+        if bound == usize::MAX {
+            self.collector.on_arrival(now);
+            self.enqueue(pkt);
+            return;
+        }
+        match self.cfg.drop_policy {
+            DropPolicy::Backpressure => {
+                if self.total_backlog() >= bound {
+                    self.collector.on_offered_only(now);
+                    if self.collector.recording(now) {
+                        self.collector.shed_at_source += 1;
+                    }
+                } else {
+                    self.collector.on_arrival(now);
+                    self.enqueue(pkt);
+                }
+            }
+            DropPolicy::TailDrop => {
+                if self.target_queue_len(&pkt) >= bound {
+                    self.collector.on_offered_only(now);
+                    if self.collector.recording(now) {
+                        self.collector.queue_drops += 1;
+                    }
+                } else {
+                    self.collector.on_arrival(now);
+                    self.enqueue(pkt);
+                }
+            }
+            DropPolicy::DropLongestQueue => {
+                if self.target_queue_len(&pkt) >= bound {
+                    self.evict_from_longest(now);
+                }
+                self.collector.on_arrival(now);
+                self.enqueue(pkt);
             }
         }
     }
@@ -240,24 +336,33 @@ impl SchedSim {
         let code_age = self.procs[p].code_age(now);
 
         let recording = self.collector.recording(now);
+        // A corrupt packet is rejected at validation, before the
+        // session/user stage: its stream state is never touched, so it
+        // pays no stream reload and causes no stream migration.
         let (thread_age, stream_age) = match stack {
             Some(w) => {
                 // Stack state bundles the thread and stream footprints.
                 let a = self.stacks[w as usize].loc.age_on(p, np);
                 if recording && self.stacks[w as usize].loc.migrates_to(p) {
-                    self.collector.stream_migrations += 1;
+                    if !pkt.corrupt {
+                        self.collector.stream_migrations += 1;
+                    }
                     self.collector.thread_migrations += 1;
                 }
-                (a, a)
+                (a, if pkt.corrupt { Age::Warm } else { a })
             }
             None => {
                 let t = thread.expect("locking dispatch supplies a thread");
                 let ta = self.threads[t].age_on(p, np);
-                let sa = self.streams[pkt.stream as usize].age_on(p, np);
+                let sa = if pkt.corrupt {
+                    Age::Warm
+                } else {
+                    self.streams[pkt.stream as usize].age_on(p, np)
+                };
                 if recording && self.threads[t].migrates_to(p) {
                     self.collector.thread_migrations += 1;
                 }
-                if recording && self.streams[pkt.stream as usize].migrates_to(p) {
+                if recording && !pkt.corrupt && self.streams[pkt.stream as usize].migrates_to(p) {
                     self.collector.stream_migrations += 1;
                 }
                 (ta, sa)
@@ -283,7 +388,16 @@ impl SchedSim {
             thread: thread_age,
             stream: stream_age,
         };
-        let proto = self.cfg.exec.model.protocol_time(ages);
+        let mut proto = self.cfg.exec.model.protocol_time(ages);
+        if pkt.corrupt {
+            // Partial traversal: the checksum rejects the packet part-way
+            // through the path. The fraction of the (already reduced —
+            // no stream component) work it burned still warmed the
+            // code/thread footprints and occupied the processor.
+            proto = SimDuration::from_micros_f64(
+                proto.as_micros_f64() * self.cfg.faults.corrupt_work_frac,
+            );
+        }
         let lock_us = if self.cfg.paradigm.is_locking() {
             self.cfg.exec.lock_overhead_us
         } else {
@@ -325,11 +439,13 @@ impl SchedSim {
         // Wired queues first: a wired packet may only use its processor.
         if matches!(policy, LockPolicy::Wired | LockPolicy::Hybrid { .. }) {
             for p in 0..self.cfg.n_procs {
-                if self.procs[p].is_idle() && !self.proc_q[p].is_empty() {
-                    let pkt = self.proc_q[p].pop_front().expect("nonempty");
-                    // Wired dispatch always uses the processor's own thread.
-                    self.begin_service(p, pkt, Some(p), None, now, sched);
-                    return true;
+                if self.procs[p].is_idle() {
+                    if let Some(pkt) = self.proc_q[p].pop_front() {
+                        // Wired dispatch always uses the processor's own
+                        // thread.
+                        self.begin_service(p, pkt, Some(p), None, now, sched);
+                        return true;
+                    }
                 }
             }
         }
@@ -349,17 +465,20 @@ impl SchedSim {
             LockPolicy::Wired => None, // all packets are in proc queues
         };
         let Some(p) = proc else { return false };
-        self.global_q.pop_front();
         let thread = match policy {
             // The shared pool hands out threads FIFO, so a woken thread
             // almost always last ran on a different processor — the
             // affinity loss footnote 7's per-processor pools eliminate.
-            LockPolicy::Baseline => self
-                .shared_pool
-                .pop_front()
-                .expect("a free thread exists whenever a processor is idle"),
+            // A free thread exists whenever a processor is idle; if that
+            // invariant ever breaks, stall the dispatch instead of
+            // crashing mid-run.
+            LockPolicy::Baseline => match self.shared_pool.pop_front() {
+                Some(t) => t,
+                None => return false,
+            },
             _ => p, // per-processor pools
         };
+        self.global_q.pop_front();
         self.begin_service(p, head, Some(thread), None, now, sched);
         true
     }
@@ -386,7 +505,11 @@ impl SchedSim {
                 IpsPolicy::Random => self.random_idle(),
             };
             if let Some(p) = proc {
-                let pkt = self.stacks[w].queue.pop_front().expect("nonempty");
+                let Some(pkt) = self.stacks[w].queue.pop_front() else {
+                    // `runnable` checked non-emptiness; stay graceful if
+                    // that ever changes.
+                    continue;
+                };
                 self.stacks[w].running = true;
                 self.stack_scan = (w + 1) % n_stacks;
                 self.begin_service(p, pkt, None, Some(w as u32), now, sched);
@@ -430,13 +553,37 @@ impl Simulate for SchedSim {
                     .sizes
                     .0
                     .sample(&mut self.size_rngs[s]);
-                let pkt = Packet {
+                let mut pkt = Packet {
                     stream,
                     arrival: now,
                     size_bytes: size,
+                    corrupt: false,
                 };
-                self.collector.on_arrival(now);
-                self.enqueue(pkt);
+                // Wire faults (dedicated RNG substream; the clean wire
+                // draws nothing). Fixed draw order: drop, then corrupt,
+                // then duplicate.
+                let mut copies = 1usize;
+                if !self.cfg.faults.is_noop() {
+                    use rand::Rng as _;
+                    let f = self.cfg.faults;
+                    if f.drop_p > 0.0 && self.fault_rng.gen::<f64>() < f.drop_p {
+                        copies = 0;
+                        self.collector.on_offered_only(now);
+                        if self.collector.recording(now) {
+                            self.collector.wire_drops += 1;
+                        }
+                    } else {
+                        if f.corrupt_p > 0.0 && self.fault_rng.gen::<f64>() < f.corrupt_p {
+                            pkt.corrupt = true;
+                        }
+                        if f.duplicate_p > 0.0 && self.fault_rng.gen::<f64>() < f.duplicate_p {
+                            copies = 2;
+                        }
+                    }
+                }
+                for _ in 0..copies {
+                    self.admit(now, pkt);
+                }
                 let gap = self.gens[s].next_gap(&mut self.arr_rngs[s]);
                 sched.schedule_in(now, gap, Event::Arrival { stream });
                 self.try_dispatch(now, sched);
@@ -450,7 +597,11 @@ impl Simulate for SchedSim {
                     done_at,
                 } = activity
                 else {
-                    panic!("completion on an idle processor");
+                    // A completion without an in-flight packet is an
+                    // event-bookkeeping bug; surface it in debug builds
+                    // but don't take a long experiment down in release.
+                    debug_assert!(false, "completion on an idle processor");
+                    return;
                 };
                 debug_assert_eq!(done_at, now);
                 let service = self.pending_service[proc];
@@ -461,7 +612,12 @@ impl Simulate for SchedSim {
                 self.procs[proc].last_protocol_end = Some(now);
                 self.procs[proc].served += 1;
 
-                self.streams[packet.stream as usize].record(proc, np);
+                if !packet.corrupt {
+                    // Corrupt packets are rejected before the session
+                    // stage: stream state is never brought into this
+                    // processor's cache.
+                    self.streams[packet.stream as usize].record(proc, np);
+                }
                 if let Some(w) = stack {
                     let st = &mut self.stacks[w as usize];
                     st.running = false;
@@ -487,8 +643,12 @@ impl Simulate for SchedSim {
                         delay_us: now.since(packet.arrival).as_micros_f64(),
                     });
                 }
-                self.collector
-                    .on_completion(now, packet.arrival, packet.stream, service);
+                if packet.corrupt {
+                    self.collector.on_corrupt_completion(now, service);
+                } else {
+                    self.collector
+                        .on_completion(now, packet.arrival, packet.stream, service);
+                }
                 self.try_dispatch(now, sched);
             }
         }
@@ -908,6 +1068,227 @@ mod tests {
                 "stream {s} delay {d} far from mean {mean}"
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::config::{DropPolicy, FaultProfile, LockPolicy};
+    use afs_workload::Population;
+
+    fn quick(paradigm: Paradigm, k: usize, rate: f64) -> SystemConfig {
+        let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(k, rate));
+        cfg.warmup = SimDuration::from_millis(100);
+        cfg.horizon = SimDuration::from_millis(600);
+        cfg
+    }
+
+    fn mru() -> Paradigm {
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        }
+    }
+
+    #[test]
+    fn noop_faults_and_unbounded_queues_change_nothing() {
+        // Explicitly setting the defaults must reproduce the default
+        // run bit-for-bit (the opt-in guarantee).
+        let base = run(quick(mru(), 8, 700.0));
+        let mut cfg = quick(mru(), 8, 700.0);
+        cfg.faults = FaultProfile::none();
+        cfg.queue_bound = usize::MAX;
+        cfg.drop_policy = DropPolicy::DropLongestQueue; // irrelevant when unbounded
+        let with_knobs = run(cfg);
+        assert_eq!(base, with_knobs);
+        assert_eq!(base.drop_rate, 0.0);
+        assert_eq!(base.goodput_pps, base.throughput_pps);
+        assert_eq!(base.wasted_service_frac, 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay_same_seed_same_fault_plan() {
+        // The fault-injection satellite's replay guarantee: identical
+        // (seed, FaultProfile, bounds) ⇒ identical RunReport.
+        let make = || {
+            let mut cfg = quick(mru(), 8, 700.0);
+            cfg.faults = FaultProfile {
+                drop_p: 0.05,
+                duplicate_p: 0.03,
+                corrupt_p: 0.08,
+                corrupt_work_frac: 0.5,
+            };
+            cfg.queue_bound = 64;
+            cfg.drop_policy = DropPolicy::TailDrop;
+            cfg
+        };
+        let a = run(make());
+        let b = run(make());
+        assert_eq!(a, b);
+        assert!(a.wire_drops > 0, "5% wire loss must show: {a:?}");
+        assert!(a.corrupted > 0);
+    }
+
+    #[test]
+    fn wire_drops_cut_goodput_not_stability() {
+        let mut cfg = quick(mru(), 8, 700.0);
+        cfg.faults = FaultProfile {
+            drop_p: 0.2,
+            ..FaultProfile::none()
+        };
+        let r = run(cfg);
+        let clean = run(quick(mru(), 8, 700.0));
+        assert!(r.stable, "a lossy wire is not instability: {r:?}");
+        assert!(
+            (0.1..0.3).contains(&r.drop_rate),
+            "20% wire loss, got drop_rate {}",
+            r.drop_rate
+        );
+        assert!(r.goodput_pps < 0.9 * clean.goodput_pps);
+    }
+
+    #[test]
+    fn corrupt_packets_waste_service_without_goodput() {
+        let mut cfg = quick(mru(), 8, 700.0);
+        cfg.faults = FaultProfile {
+            corrupt_p: 0.3,
+            corrupt_work_frac: 0.5,
+            ..FaultProfile::none()
+        };
+        let r = run(cfg);
+        assert!(r.corrupted > 0);
+        assert!(r.wasted_service_frac > 0.05, "{r:?}");
+        assert!(
+            r.goodput_pps < r.throughput_pps,
+            "corrupt completions count as throughput, not goodput"
+        );
+        // Corrupt packets never touch stream state, so they must not
+        // inflate the stream migration rate's numerator.
+        assert!(r.stream_migration_rate <= 1.0);
+    }
+
+    #[test]
+    fn duplicates_raise_offered_load() {
+        let mut cfg = quick(mru(), 8, 400.0);
+        cfg.faults = FaultProfile {
+            duplicate_p: 0.5,
+            ..FaultProfile::none()
+        };
+        let r = run(cfg);
+        let clean = run(quick(mru(), 8, 400.0));
+        assert!(
+            r.offered_pps > 1.3 * clean.offered_pps,
+            "50% duplication: {} vs {}",
+            r.offered_pps,
+            clean.offered_pps
+        );
+    }
+
+    #[test]
+    fn bounded_queues_turn_overload_into_graceful_degradation() {
+        // The same offered load that diverges with unbounded queues
+        // (see `overload_detected_unstable`) terminates with a finite
+        // delay and a nonzero drop rate once queues are bounded.
+        let unbounded = run(quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            8,
+            8000.0,
+        ));
+        assert!(!unbounded.stable);
+
+        let mut cfg = quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            8,
+            8000.0,
+        );
+        cfg.queue_bound = 32;
+        cfg.drop_policy = DropPolicy::TailDrop;
+        let r = run(cfg);
+        assert!(r.stable, "bounded overload must degrade, not diverge: {r:?}");
+        assert!(r.queue_drops > 0);
+        assert!(r.drop_rate > 0.2, "heavy overload sheds a lot: {r:?}");
+        assert!(
+            r.mean_delay_us < unbounded.mean_delay_us,
+            "bounded delay {} must be finite and far below the divergent {}",
+            r.mean_delay_us,
+            unbounded.mean_delay_us
+        );
+        // With a 32-slot global queue the worst-case wait is bounded by
+        // roughly bound × service; leave generous slack.
+        assert!(r.max_delay_us < 64.0 * r.mean_service_us, "{r:?}");
+    }
+
+    #[test]
+    fn backpressure_sheds_at_source() {
+        let mut cfg = quick(mru(), 8, 8000.0);
+        cfg.queue_bound = 64;
+        cfg.drop_policy = DropPolicy::Backpressure;
+        let r = run(cfg);
+        assert!(r.stable, "{r:?}");
+        assert!(r.shed_at_source > 0);
+        assert_eq!(r.queue_drops, 0, "backpressure sheds before the queue");
+    }
+
+    #[test]
+    fn drop_longest_queue_rebalances_wired_overload() {
+        // Wired queues + one bound: drop-longest keeps per-queue backlog
+        // near the bound and still delivers on every processor.
+        let mut cfg = quick(
+            Paradigm::Locking {
+                policy: LockPolicy::Wired,
+            },
+            16,
+            4000.0,
+        );
+        cfg.queue_bound = 16;
+        cfg.drop_policy = DropPolicy::DropLongestQueue;
+        let r = run(cfg);
+        assert!(r.stable, "{r:?}");
+        assert!(r.queue_drops > 0);
+        assert!(r.per_proc_served.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn ips_bounded_queues_also_degrade_gracefully() {
+        let mut cfg = quick(
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: 8,
+            },
+            8,
+            6000.0,
+        );
+        cfg.queue_bound = 16;
+        cfg.drop_policy = DropPolicy::TailDrop;
+        let r = run(cfg);
+        assert!(r.stable, "{r:?}");
+        assert!(r.queue_drops > 0);
+        assert!(r.goodput_pps > 0.0);
+    }
+
+    #[test]
+    fn degradation_curve_goodput_saturates_with_fault_rate() {
+        // Sweep the uniform fault rate: goodput must be non-increasing
+        // (modulo noise) as the wire gets more hostile.
+        let goodput_at = |p: f64| {
+            let mut cfg = quick(mru(), 8, 700.0);
+            cfg.faults = FaultProfile {
+                drop_p: p,
+                corrupt_p: p,
+                corrupt_work_frac: 0.5,
+                ..FaultProfile::none()
+            };
+            run(cfg).goodput_pps
+        };
+        let g0 = goodput_at(0.0);
+        let g2 = goodput_at(0.2);
+        let g5 = goodput_at(0.5);
+        assert!(g2 < g0, "{g2} !< {g0}");
+        assert!(g5 < g2, "{g5} !< {g2}");
     }
 }
 

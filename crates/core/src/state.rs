@@ -23,6 +23,10 @@ pub struct Packet {
     pub arrival: SimTime,
     /// Payload bytes (drives the copying-overhead extension).
     pub size_bytes: f64,
+    /// Corrupted on the wire: the receive path will reject it partway
+    /// through, consuming service without delivering and never touching
+    /// stream state.
+    pub corrupt: bool,
 }
 
 /// What a processor is doing.
@@ -214,6 +218,7 @@ mod tests {
                 stream: 0,
                 arrival: t(0),
                 size_bytes: 1.0,
+                corrupt: false,
             },
             stack: None,
             done_at: t(10),

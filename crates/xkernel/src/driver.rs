@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::{FaultInjector, FaultStats};
 use crate::fddi::{self, MacAddr};
 use crate::ip::{self, Ipv4Addr};
 use crate::mem::MemLayout;
@@ -148,19 +149,21 @@ pub struct RxFrame {
     pub buf_addr: u64,
 }
 
-/// The in-memory driver: a receive ring of simulated buffers.
+/// The in-memory driver: a receive ring of simulated buffers, with an
+/// optional fault-injection stage between the wire and the ring.
 #[derive(Debug)]
 pub struct InMemoryDriver {
     layout: MemLayout,
     ring: VecDeque<RxFrame>,
     next_slot: u32,
     slots: u32,
+    injector: Option<FaultInjector>,
     /// Frames dropped because the ring was full.
     pub drops: u64,
 }
 
 impl InMemoryDriver {
-    /// A driver with `slots` receive buffers.
+    /// A driver with `slots` receive buffers and a clean wire.
     pub fn new(layout: MemLayout, slots: u32) -> Self {
         assert!(slots >= 1);
         InMemoryDriver {
@@ -168,24 +171,68 @@ impl InMemoryDriver {
             ring: VecDeque::new(),
             next_slot: 0,
             slots,
+            injector: None,
             drops: 0,
         }
     }
 
-    /// "DMA" a frame into the next ring buffer. Returns false (and counts
-    /// a drop) when the ring is full.
+    /// Install a fault injector between the wire and the ring. Every
+    /// subsequent [`dma_in`](Self::dma_in) passes through it.
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Injected-fault counters, if an injector is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(|i| i.stats)
+    }
+
+    /// "DMA" a frame into the next ring buffer, routing it through the
+    /// fault injector (if any) first. A frame the injector eats on the
+    /// wire still returns `true` — the DMA itself succeeded. Returns
+    /// false (and counts a drop) only when the ring overflows.
     pub fn dma_in(&mut self, bytes: Vec<u8>, stream: StreamId) -> bool {
+        let offered = RxFrame {
+            bytes,
+            stream,
+            buf_addr: 0,
+        };
+        match self.injector.as_mut() {
+            None => self.push_frame(offered),
+            Some(inj) => {
+                let mut ok = true;
+                for f in inj.admit(offered) {
+                    ok &= self.push_frame(f);
+                }
+                ok
+            }
+        }
+    }
+
+    /// Release any frames the injector is still delaying into the ring
+    /// (end of a run).
+    pub fn flush_faults(&mut self) -> usize {
+        let Some(inj) = self.injector.as_mut() else {
+            return 0;
+        };
+        let held = inj.flush();
+        let n = held.len();
+        for f in held {
+            self.push_frame(f);
+        }
+        n
+    }
+
+    fn push_frame(&mut self, mut frame: RxFrame) -> bool {
         if self.ring.len() >= self.slots as usize {
             self.drops += 1;
             return false;
         }
         let slot = self.next_slot % self.slots;
         self.next_slot = self.next_slot.wrapping_add(1);
-        self.ring.push_back(RxFrame {
-            bytes,
-            stream,
-            buf_addr: self.layout.packet(slot),
-        });
+        frame.buf_addr = self.layout.packet(slot);
+        self.ring.push_back(frame);
         true
     }
 
@@ -261,6 +308,28 @@ mod tests {
         // Freed capacity accepts new frames in recycled slots.
         assert!(d.dma_in(vec![4], StreamId(0)));
         assert_eq!(d.pending(), 1);
+    }
+
+    #[test]
+    fn driver_with_lossy_injector_delivers_fewer_frames() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        use afs_desim::rng::RngFactory;
+        let plan = FaultPlan {
+            drop_p: 0.5,
+            ..FaultPlan::none()
+        };
+        let factory = RngFactory::new(7);
+        let mut d = InMemoryDriver::new(MemLayout::new(), 1024)
+            .with_injector(FaultInjector::from_factory(plan, &factory));
+        for i in 0..200u32 {
+            d.dma_in(vec![0u8; 16], StreamId(i % 4));
+        }
+        d.flush_faults();
+        let stats = d.fault_stats().unwrap();
+        assert_eq!(stats.examined, 200);
+        assert!(stats.drops > 0);
+        assert_eq!(d.pending() as u64, 200 - stats.drops);
+        assert_eq!(d.drops, 0, "ring never overflowed");
     }
 
     #[test]

@@ -161,6 +161,88 @@ impl std::fmt::Display for RxError {
 
 impl std::error::Error for RxError {}
 
+impl RxError {
+    /// The protocol layer that rejected the packet.
+    pub fn layer(&self) -> RxLayer {
+        match self {
+            RxError::Fddi(_) => RxLayer::Fddi,
+            RxError::Ip(_) => RxLayer::Ip,
+            RxError::Udp(_) => RxLayer::Udp,
+            RxError::Tcp(_) => RxLayer::Tcp,
+            RxError::NoSession(_) => RxLayer::Session,
+        }
+    }
+}
+
+/// The layer at which a packet left the fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxLayer {
+    /// MAC framing / FCS.
+    Fddi,
+    /// IP header validation / protocol demux.
+    Ip,
+    /// UDP header validation.
+    Udp,
+    /// TCP header validation / sequence processing.
+    Tcp,
+    /// Port demux / session delivery.
+    Session,
+}
+
+/// Why a *well-formed* packet was dropped (as opposed to rejected as
+/// malformed, which is [`RxOutcome::Error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No stream bound to the destination port (elicits ICMP
+    /// port-unreachable on the UDP path).
+    NoSession(u16),
+    /// The stream's user receive queue was full; the payload was shed at
+    /// the session boundary.
+    UserQueueFull(StreamId),
+}
+
+/// The typed result of one receive-path traversal. Every variant carries
+/// a [`PacketTiming`]: rejected and dropped packets still consumed
+/// cycles and polluted the cache — that partial work is exactly what the
+/// overload experiments need to see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RxOutcome {
+    /// The payload reached the user queue.
+    Delivered(PacketTiming),
+    /// A well-formed packet was shed (no session, or queue full).
+    Dropped {
+        /// Why it was shed.
+        reason: DropReason,
+        /// Work charged before shedding.
+        timing: PacketTiming,
+    },
+    /// A layer rejected the packet as malformed.
+    Error {
+        /// The rejecting layer.
+        layer: RxLayer,
+        /// The typed rejection.
+        error: RxError,
+        /// Work charged before rejection.
+        timing: PacketTiming,
+    },
+}
+
+impl RxOutcome {
+    /// The timing record, whatever the verdict.
+    pub fn timing(&self) -> &PacketTiming {
+        match self {
+            RxOutcome::Delivered(t) => t,
+            RxOutcome::Dropped { timing, .. } => timing,
+            RxOutcome::Error { timing, .. } => timing,
+        }
+    }
+
+    /// True when the payload reached the user.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, RxOutcome::Delivered(_))
+    }
+}
+
 /// Timing breakdown of one packet's processing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketTiming {
@@ -263,13 +345,227 @@ impl ProtocolEngine {
     }
 
     /// Process one received frame on `hier` in the context of thread
+    /// `tid`, returning the typed verdict. Every exit — delivery, shed,
+    /// or malformed-packet rejection — charges the instruction cycles
+    /// and cache misses of the work done up to that point: a corrupted
+    /// packet pollutes the cache without producing goodput, and the
+    /// overload experiments need that cost on the ledger.
+    pub fn receive_outcome(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        frame: &RxFrame,
+        tid: ThreadId,
+    ) -> RxOutcome {
+        enum Verdict {
+            Delivered { stream: StreamId, payload: usize },
+            QueueFull { stream: StreamId, payload: usize },
+            NoSession { port: u16 },
+            Reject { error: RxError },
+        }
+
+        let cost = self.cost;
+        let segs = self.segs;
+        let layout = self.layout;
+        let start_cycles = hier.stats.cycles;
+        let mut ctx = MemCtx::new(hier);
+        let mut msg = Message::from_wire(&frame.bytes, frame.buf_addr);
+
+        let verdict = 'rx: {
+            // --- Thread dispatch: wake the protocol thread, touch its
+            // stack.
+            ctx.exec(segs.thread, cost.thread_instrs);
+            ctx.load_range(layout.thread(tid.0), cost.thread_read_bytes, Region::Thread);
+            ctx.store_range(
+                layout.thread(tid.0) + cost.thread_read_bytes,
+                cost.thread_write_bytes,
+                Region::Thread,
+            );
+
+            // --- Driver: buffer bookkeeping and handoff.
+            ctx.exec(segs.driver, cost.driver_instrs);
+            // Ring descriptor lives in global memory.
+            ctx.load_range(layout.global(0), 64, Region::Global);
+
+            // --- FDDI: header reads + LLC/SNAP demux.
+            ctx.exec(segs.fddi, cost.fddi_instrs);
+            for off in [0usize, 4, 8, 12, 16, 20] {
+                let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
+            }
+            if cost.software_fcs && msg.len() >= fddi::FCS_LEN {
+                let _ = msg.checksum16(&mut ctx, 0, msg.len());
+            }
+            if let Err(e) = fddi::parse_frame(&mut msg) {
+                break 'rx Verdict::Reject {
+                    error: RxError::Fddi(e),
+                };
+            }
+
+            // --- IP: header checksum over real bytes + protocol demux.
+            ctx.exec(segs.ip, cost.ip_instrs);
+            let _ = msg.checksum16(&mut ctx, 0, ip::HEADER_LEN.min(msg.len()));
+            ctx.load_range(layout.global(64), 192, Region::Global);
+            let ih = match ip::parse_header(&mut msg) {
+                Ok(h) => h,
+                Err(e) => {
+                    break 'rx Verdict::Reject {
+                        error: RxError::Ip(e),
+                    }
+                }
+            };
+            if ih.protocol != ip::PROTO_UDP {
+                break 'rx Verdict::Reject {
+                    error: RxError::Ip(ip::IpError::UnknownProtocol(ih.protocol)),
+                };
+            }
+
+            // --- UDP: header reads, optional software checksum, port
+            // demux.
+            ctx.exec(segs.udp, cost.udp_instrs);
+            let _ = msg.read_u32(&mut ctx, 0);
+            let _ = msg.read_u32(&mut ctx, 4);
+            if cost.software_udp_checksum {
+                let _ = msg.checksum16(&mut ctx, 0, msg.len());
+            }
+            let remaining_global = cost.global_touch_bytes.saturating_sub(64 + 192);
+            ctx.load_range(layout.global(256), remaining_global, Region::Global);
+            let uh = match udp::parse_datagram(&mut msg, ih.src, ih.dst) {
+                Ok(h) => h,
+                Err(e) => {
+                    break 'rx Verdict::Reject {
+                        error: RxError::Udp(e),
+                    }
+                }
+            };
+            let stream = match self.table.demux(uh.dst_port) {
+                Some(s) => s,
+                None => {
+                    // RFC 1122: a datagram for an unbound port elicits an
+                    // ICMP port-unreachable quoting the offender. Rebuild
+                    // the original IP datagram view for the quote, and
+                    // charge the generation work (header build +
+                    // checksum).
+                    ctx.exec(segs.ip, cost.ip_instrs / 4);
+                    let ip_start = fddi::HEADER_LEN;
+                    let ip_end = frame.bytes.len().saturating_sub(fddi::FCS_LEN);
+                    if let Some(reply) =
+                        crate::icmp::port_unreachable(&frame.bytes[ip_start..ip_end], ih.dst)
+                    {
+                        self.icmp_egress.push(reply);
+                    }
+                    break 'rx Verdict::NoSession { port: uh.dst_port };
+                }
+            };
+
+            // --- Session/user delivery: touch per-stream state.
+            ctx.exec(segs.user, cost.user_instrs);
+            ctx.load_range(
+                layout.stream(stream.0),
+                cost.stream_read_bytes,
+                Region::Stream,
+            );
+            ctx.store_range(
+                layout.stream(stream.0) + cost.stream_read_bytes,
+                cost.stream_write_bytes,
+                Region::Stream,
+            );
+            let payload = msg.len();
+            let accepted = self
+                .table
+                .session_mut(stream)
+                .expect("demuxed stream has a session")
+                .deliver(ih.src, uh.src_port, payload);
+            if accepted {
+                Verdict::Delivered { stream, payload }
+            } else {
+                Verdict::QueueFull { stream, payload }
+            }
+        };
+
+        // --- Timing: single exit, charged whatever the verdict.
+        let instructions = ctx.instructions;
+        let refs = ctx.data_refs + ctx.ifetch_refs;
+        hier.charge_cycles(instructions as f64 * cost.cpi);
+        let cycles = hier.stats.cycles - start_cycles;
+        let us = hier.platform().cycles_to_us(cycles);
+        let timing = |payload_bytes: usize, stream: StreamId| PacketTiming {
+            instructions,
+            refs,
+            cycles,
+            us,
+            payload_bytes,
+            stream,
+        };
+        match verdict {
+            Verdict::Delivered { stream, payload } => {
+                RxOutcome::Delivered(timing(payload, stream))
+            }
+            Verdict::QueueFull { stream, payload } => RxOutcome::Dropped {
+                reason: DropReason::UserQueueFull(stream),
+                timing: timing(payload, stream),
+            },
+            Verdict::NoSession { port } => RxOutcome::Dropped {
+                reason: DropReason::NoSession(port),
+                timing: timing(0, StreamId::UNKNOWN),
+            },
+            Verdict::Reject { error } => RxOutcome::Error {
+                layer: error.layer(),
+                error,
+                timing: timing(0, StreamId::UNKNOWN),
+            },
+        }
+    }
+
+    /// Process one received frame on `hier` in the context of thread
     /// `tid`. Consumes cycles even when the packet is dropped.
+    ///
+    /// Compatibility shim over [`ProtocolEngine::receive_outcome`]: a
+    /// queue-full shed still reports `Ok` (the historical behaviour —
+    /// the work *was* done); malformed packets and failed demuxes
+    /// surface as the typed [`RxError`].
     pub fn receive(
         &mut self,
         hier: &mut MemoryHierarchy,
         frame: &RxFrame,
         tid: ThreadId,
     ) -> Result<PacketTiming, RxError> {
+        match self.receive_outcome(hier, frame, tid) {
+            RxOutcome::Delivered(t) => Ok(t),
+            RxOutcome::Dropped {
+                reason: DropReason::UserQueueFull(_),
+                timing,
+            } => Ok(timing),
+            RxOutcome::Dropped {
+                reason: DropReason::NoSession(port),
+                ..
+            } => Err(RxError::NoSession(port)),
+            RxOutcome::Error { error, .. } => Err(error),
+        }
+    }
+
+    /// Process one received TCP frame on `hier`, returning the typed
+    /// verdict plus the TCP-level disposition (when the segment got far
+    /// enough to have one). Like [`ProtocolEngine::receive_outcome`],
+    /// every exit charges the partial work.
+    pub fn receive_tcp_outcome(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        frame: &RxFrame,
+        tid: ThreadId,
+    ) -> (RxOutcome, Option<tcp::TcpDisposition>) {
+        enum Verdict {
+            Done {
+                stream: StreamId,
+                payload: usize,
+                disposition: tcp::TcpDisposition,
+            },
+            NoSession {
+                port: u16,
+            },
+            Reject {
+                error: RxError,
+            },
+        }
+
         let cost = self.cost;
         let segs = self.segs;
         let layout = self.layout;
@@ -277,204 +573,174 @@ impl ProtocolEngine {
         let mut ctx = MemCtx::new(hier);
         let mut msg = Message::from_wire(&frame.bytes, frame.buf_addr);
 
-        // --- Thread dispatch: wake the protocol thread, touch its stack.
-        ctx.exec(segs.thread, cost.thread_instrs);
-        ctx.load_range(layout.thread(tid.0), cost.thread_read_bytes, Region::Thread);
-        ctx.store_range(
-            layout.thread(tid.0) + cost.thread_read_bytes,
-            cost.thread_write_bytes,
-            Region::Thread,
-        );
-
-        // --- Driver: buffer bookkeeping and handoff.
-        ctx.exec(segs.driver, cost.driver_instrs);
-        // Ring descriptor lives in global memory.
-        ctx.load_range(layout.global(0), 64, Region::Global);
-
-        // --- FDDI: header reads + LLC/SNAP demux.
-        ctx.exec(segs.fddi, cost.fddi_instrs);
-        for off in [0usize, 4, 8, 12, 16, 20] {
-            let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
-        }
-        if cost.software_fcs && msg.len() >= fddi::FCS_LEN {
-            let _ = msg.checksum16(&mut ctx, 0, msg.len());
-        }
-        let _fh = fddi::parse_frame(&mut msg).map_err(RxError::Fddi)?;
-
-        // --- IP: header checksum over real bytes + protocol demux.
-        ctx.exec(segs.ip, cost.ip_instrs);
-        let _ = msg.checksum16(&mut ctx, 0, ip::HEADER_LEN.min(msg.len()));
-        ctx.load_range(layout.global(64), 192, Region::Global);
-        let ih = ip::parse_header(&mut msg).map_err(RxError::Ip)?;
-        if ih.protocol != ip::PROTO_UDP {
-            return Err(RxError::Ip(ip::IpError::UnknownProtocol(ih.protocol)));
-        }
-
-        // --- UDP: header reads, optional software checksum, port demux.
-        ctx.exec(segs.udp, cost.udp_instrs);
-        let _ = msg.read_u32(&mut ctx, 0);
-        let _ = msg.read_u32(&mut ctx, 4);
-        if cost.software_udp_checksum {
-            let _ = msg.checksum16(&mut ctx, 0, msg.len());
-        }
-        let remaining_global = cost.global_touch_bytes.saturating_sub(64 + 192);
-        ctx.load_range(layout.global(256), remaining_global, Region::Global);
-        let uh = udp::parse_datagram(&mut msg, ih.src, ih.dst).map_err(RxError::Udp)?;
-        let stream = match self.table.demux(uh.dst_port) {
-            Some(s) => s,
-            None => {
-                // RFC 1122: a datagram for an unbound port elicits an
-                // ICMP port-unreachable quoting the offender. Rebuild
-                // the original IP datagram view for the quote, and
-                // charge the generation work (header build + checksum).
-                ctx.exec(segs.ip, cost.ip_instrs / 4);
-                let ip_start = fddi::HEADER_LEN;
-                let ip_end = frame.bytes.len().saturating_sub(fddi::FCS_LEN);
-                if let Some(reply) =
-                    crate::icmp::port_unreachable(&frame.bytes[ip_start..ip_end], ih.dst)
-                {
-                    self.icmp_egress.push(reply);
+        let verdict = 'rx: {
+            // Thread dispatch + driver + FDDI + IP: identical to the UDP
+            // path.
+            ctx.exec(segs.thread, cost.thread_instrs);
+            ctx.load_range(layout.thread(tid.0), cost.thread_read_bytes, Region::Thread);
+            ctx.store_range(
+                layout.thread(tid.0) + cost.thread_read_bytes,
+                cost.thread_write_bytes,
+                Region::Thread,
+            );
+            ctx.exec(segs.driver, cost.driver_instrs);
+            ctx.load_range(layout.global(0), 64, Region::Global);
+            ctx.exec(segs.fddi, cost.fddi_instrs);
+            for off in [0usize, 4, 8, 12, 16, 20] {
+                let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
+            }
+            if let Err(e) = fddi::parse_frame(&mut msg) {
+                break 'rx Verdict::Reject {
+                    error: RxError::Fddi(e),
+                };
+            }
+            ctx.exec(segs.ip, cost.ip_instrs);
+            let _ = msg.checksum16(&mut ctx, 0, ip::HEADER_LEN.min(msg.len()));
+            ctx.load_range(layout.global(64), 192, Region::Global);
+            let ih = match ip::parse_header(&mut msg) {
+                Ok(h) => h,
+                Err(e) => {
+                    break 'rx Verdict::Reject {
+                        error: RxError::Ip(e),
+                    }
                 }
-                let instr_cycles = ctx.instructions as f64 * cost.cpi;
-                hier.charge_cycles(instr_cycles);
-                return Err(RxError::NoSession(uh.dst_port));
+            };
+            if ih.protocol != ip::PROTO_TCP {
+                break 'rx Verdict::Reject {
+                    error: RxError::Ip(ip::IpError::UnknownProtocol(ih.protocol)),
+                };
+            }
+
+            // TCP: the software checksum over the whole segment is
+            // mandatory (TCP has no checksum-off mode), plus the
+            // TCP-specific instruction budget and header reads.
+            ctx.exec(segs.udp, cost.udp_instrs); // shared transport demux code
+            ctx.exec(segs.tcp, cost.tcp_extra_instrs);
+            for off in [0usize, 4, 8, 12, 16] {
+                let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
+            }
+            let _ = msg.checksum16(&mut ctx, 0, msg.len());
+            let remaining_global = cost.global_touch_bytes.saturating_sub(64 + 192);
+            ctx.load_range(layout.global(256), remaining_global, Region::Global);
+            let th = match tcp::parse_segment(&mut msg, ih.src, ih.dst) {
+                Ok(h) => h,
+                Err(e) => {
+                    break 'rx Verdict::Reject {
+                        error: RxError::Tcp(e),
+                    }
+                }
+            };
+            let Some(stream) = self.table.demux(th.dst_port) else {
+                break 'rx Verdict::NoSession { port: th.dst_port };
+            };
+
+            // Session/user: connection state + delivery bookkeeping.
+            ctx.exec(segs.user, cost.user_instrs);
+            ctx.load_range(
+                layout.stream(stream.0),
+                cost.stream_read_bytes,
+                Region::Stream,
+            );
+            ctx.store_range(
+                layout.stream(stream.0) + cost.stream_read_bytes,
+                cost.stream_write_bytes,
+                Region::Stream,
+            );
+            let payload = msg.len();
+            let Some(session) = self.tcp_sessions.get_mut(&stream) else {
+                break 'rx Verdict::NoSession { port: th.dst_port };
+            };
+            let disposition = match session.receive(&th, msg.bytes()) {
+                Ok(d) => d,
+                Err(e) => {
+                    break 'rx Verdict::Reject {
+                        error: RxError::Tcp(e),
+                    }
+                }
+            };
+            if let tcp::TcpDisposition::Delivered { bytes } = disposition {
+                if bytes > 0 {
+                    self.table
+                        .session_mut(stream)
+                        .expect("bound stream has a session")
+                        .deliver(ih.src, th.src_port, bytes);
+                }
+            }
+            Verdict::Done {
+                stream,
+                payload,
+                disposition,
             }
         };
 
-        // --- Session/user delivery: touch per-stream state.
-        ctx.exec(segs.user, cost.user_instrs);
-        ctx.load_range(
-            layout.stream(stream.0),
-            cost.stream_read_bytes,
-            Region::Stream,
-        );
-        ctx.store_range(
-            layout.stream(stream.0) + cost.stream_read_bytes,
-            cost.stream_write_bytes,
-            Region::Stream,
-        );
-        let payload_bytes = msg.len();
+        // Timing: single exit, charged whatever the verdict.
         let instructions = ctx.instructions;
         let refs = ctx.data_refs + ctx.ifetch_refs;
-        self.table
-            .session_mut(stream)
-            .expect("demuxed stream has a session")
-            .deliver(ih.src, uh.src_port, payload_bytes);
-
-        // --- Timing.
-        let instr_cycles = instructions as f64 * cost.cpi;
-        hier.charge_cycles(instr_cycles);
+        hier.charge_cycles(instructions as f64 * cost.cpi);
         let cycles = hier.stats.cycles - start_cycles;
-        Ok(PacketTiming {
+        let us = hier.platform().cycles_to_us(cycles);
+        let timing = |payload_bytes: usize, stream: StreamId| PacketTiming {
             instructions,
             refs,
             cycles,
-            us: hier.platform().cycles_to_us(cycles),
+            us,
             payload_bytes,
             stream,
-        })
+        };
+        match verdict {
+            Verdict::Done {
+                stream,
+                payload,
+                disposition,
+            } => (
+                RxOutcome::Delivered(timing(payload, stream)),
+                Some(disposition),
+            ),
+            Verdict::NoSession { port } => (
+                RxOutcome::Dropped {
+                    reason: DropReason::NoSession(port),
+                    timing: timing(0, StreamId::UNKNOWN),
+                },
+                None,
+            ),
+            Verdict::Reject { error } => (
+                RxOutcome::Error {
+                    layer: error.layer(),
+                    error,
+                    timing: timing(0, StreamId::UNKNOWN),
+                },
+                None,
+            ),
+        }
     }
 
     /// Process one received TCP frame on `hier` — the common path plus
     /// the TCP-specific work (real header parse + checksum verification,
     /// header prediction, sequence bookkeeping). The stream must have
     /// been bound with [`ProtocolEngine::bind_tcp_stream`].
+    ///
+    /// Compatibility shim over
+    /// [`ProtocolEngine::receive_tcp_outcome`].
     pub fn receive_tcp(
         &mut self,
         hier: &mut MemoryHierarchy,
         frame: &RxFrame,
         tid: ThreadId,
     ) -> Result<(PacketTiming, tcp::TcpDisposition), RxError> {
-        let cost = self.cost;
-        let segs = self.segs;
-        let layout = self.layout;
-        let start_cycles = hier.stats.cycles;
-        let mut ctx = MemCtx::new(hier);
-        let mut msg = Message::from_wire(&frame.bytes, frame.buf_addr);
-
-        // Thread dispatch + driver + FDDI + IP: identical to the UDP path.
-        ctx.exec(segs.thread, cost.thread_instrs);
-        ctx.load_range(layout.thread(tid.0), cost.thread_read_bytes, Region::Thread);
-        ctx.store_range(
-            layout.thread(tid.0) + cost.thread_read_bytes,
-            cost.thread_write_bytes,
-            Region::Thread,
-        );
-        ctx.exec(segs.driver, cost.driver_instrs);
-        ctx.load_range(layout.global(0), 64, Region::Global);
-        ctx.exec(segs.fddi, cost.fddi_instrs);
-        for off in [0usize, 4, 8, 12, 16, 20] {
-            let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
+        match self.receive_tcp_outcome(hier, frame, tid) {
+            (RxOutcome::Delivered(t), Some(d)) => Ok((t, d)),
+            (
+                RxOutcome::Dropped {
+                    reason: DropReason::NoSession(port),
+                    ..
+                },
+                _,
+            ) => Err(RxError::NoSession(port)),
+            (RxOutcome::Error { error, .. }, _) => Err(error),
+            // Delivered without a disposition and queue-full drops cannot
+            // come out of the TCP path.
+            (outcome, _) => unreachable!("tcp path produced {outcome:?}"),
         }
-        let _fh = fddi::parse_frame(&mut msg).map_err(RxError::Fddi)?;
-        ctx.exec(segs.ip, cost.ip_instrs);
-        let _ = msg.checksum16(&mut ctx, 0, ip::HEADER_LEN.min(msg.len()));
-        ctx.load_range(layout.global(64), 192, Region::Global);
-        let ih = ip::parse_header(&mut msg).map_err(RxError::Ip)?;
-        if ih.protocol != ip::PROTO_TCP {
-            return Err(RxError::Ip(ip::IpError::UnknownProtocol(ih.protocol)));
-        }
-
-        // TCP: the software checksum over the whole segment is mandatory
-        // (TCP has no checksum-off mode), plus the TCP-specific
-        // instruction budget and header reads.
-        ctx.exec(segs.udp, cost.udp_instrs); // shared transport demux code
-        ctx.exec(segs.tcp, cost.tcp_extra_instrs);
-        for off in [0usize, 4, 8, 12, 16] {
-            let _ = msg.read_u32(&mut ctx, off.min(msg.len().saturating_sub(4)));
-        }
-        let _ = msg.checksum16(&mut ctx, 0, msg.len());
-        let remaining_global = cost.global_touch_bytes.saturating_sub(64 + 192);
-        ctx.load_range(layout.global(256), remaining_global, Region::Global);
-        let th = tcp::parse_segment(&mut msg, ih.src, ih.dst).map_err(RxError::Tcp)?;
-        let stream = self
-            .table
-            .demux(th.dst_port)
-            .ok_or(RxError::NoSession(th.dst_port))?;
-
-        // Session/user: connection state + delivery bookkeeping.
-        ctx.exec(segs.user, cost.user_instrs);
-        ctx.load_range(
-            layout.stream(stream.0),
-            cost.stream_read_bytes,
-            Region::Stream,
-        );
-        ctx.store_range(
-            layout.stream(stream.0) + cost.stream_read_bytes,
-            cost.stream_write_bytes,
-            Region::Stream,
-        );
-        let payload_bytes = msg.len();
-        let instructions = ctx.instructions;
-        let refs = ctx.data_refs + ctx.ifetch_refs;
-        let session = self
-            .tcp_sessions
-            .get_mut(&stream)
-            .ok_or(RxError::NoSession(th.dst_port))?;
-        let disposition = session.receive(&th, msg.bytes()).map_err(RxError::Tcp)?;
-        if let tcp::TcpDisposition::Delivered { bytes } = disposition {
-            if bytes > 0 {
-                self.table
-                    .session_mut(stream)
-                    .expect("bound stream has a session")
-                    .deliver(ih.src, th.src_port, bytes);
-            }
-        }
-
-        let instr_cycles = instructions as f64 * cost.cpi;
-        hier.charge_cycles(instr_cycles);
-        let cycles = hier.stats.cycles - start_cycles;
-        Ok((
-            PacketTiming {
-                instructions,
-                refs,
-                cycles,
-                us: hier.platform().cycles_to_us(cycles),
-                payload_bytes,
-                stream,
-            },
-            disposition,
-        ))
     }
 
     /// Send-side fast path (extension E12): user hands down a payload for

@@ -276,6 +276,9 @@ struct FragBuffer {
     pieces: Vec<(usize, Vec<u8>)>,
     /// Total payload length, known once the last fragment arrives.
     total: Option<usize>,
+    /// Offer-clock value of this buffer's most recent fragment (drives
+    /// staleness eviction).
+    last_offer: u64,
 }
 
 impl FragBuffer {
@@ -288,12 +291,33 @@ impl FragBuffer {
 }
 
 /// Receive-side fragment reassembly (off the fast path).
+///
+/// Incomplete datagrams are bounded two ways, since a lossy or hostile
+/// wire will strand fragments that never complete (the classic
+/// fragment-cache exhaustion leak):
+///
+/// * **staleness** — a buffer that has seen no new fragment within
+///   [`TTL_OFFERS`](Reassembler::TTL_OFFERS) subsequent offers is
+///   discarded (an offer-count clock stands in for wall-clock TTL in
+///   this discrete model);
+/// * **capacity** — at most
+///   [`MAX_PENDING`](Reassembler::MAX_PENDING) incomplete datagrams are
+///   held; admitting one beyond that evicts the least-recently-touched.
 #[derive(Debug, Default)]
 pub struct Reassembler {
     buffers: HashMap<FragKey, FragBuffer>,
+    /// Monotonic offer counter (the staleness clock).
+    clock: u64,
+    /// Incomplete datagrams discarded by TTL or capacity pressure.
+    pub evictions: u64,
 }
 
 impl Reassembler {
+    /// Most incomplete datagrams held at once.
+    pub const MAX_PENDING: usize = 64;
+    /// Offers a buffer may go without a new fragment before discard.
+    pub const TTL_OFFERS: u64 = 1024;
+
     /// Empty reassembler.
     pub fn new() -> Self {
         Self::default()
@@ -301,6 +325,8 @@ impl Reassembler {
 
     /// Offer a fragment; returns the full payload when complete.
     pub fn offer(&mut self, hdr: &IpHeader, payload: &[u8]) -> Option<Vec<u8>> {
+        self.clock += 1;
+        let clock = self.clock;
         let key = FragKey {
             src: hdr.src,
             dst: hdr.dst,
@@ -308,12 +334,13 @@ impl Reassembler {
             ident: hdr.ident,
         };
         let buf = self.buffers.entry(key).or_default();
+        buf.last_offer = clock;
         buf.pieces.push((hdr.frag_offset, payload.to_vec()));
         if !hdr.more_fragments {
             buf.total = Some(hdr.frag_offset + payload.len());
         }
-        if buf.ready().is_some() {
-            let mut buf = self.buffers.remove(&key).expect("buffer exists");
+        let out = if buf.ready().is_some() {
+            let mut buf = self.buffers.remove(&key)?;
             buf.pieces.sort_by_key(|(off, _)| *off);
             let mut out = Vec::with_capacity(buf.total.unwrap_or(0));
             for (_, piece) in buf.pieces {
@@ -322,6 +349,28 @@ impl Reassembler {
             Some(out)
         } else {
             None
+        };
+        self.expire(clock);
+        out
+    }
+
+    /// Discard stale buffers, then enforce the capacity bound by
+    /// evicting least-recently-touched entries. Deterministic: clock
+    /// values are unique, so LRU selection never depends on hash order.
+    fn expire(&mut self, clock: u64) {
+        let before = self.buffers.len();
+        self.buffers
+            .retain(|_, b| clock - b.last_offer < Self::TTL_OFFERS);
+        self.evictions += (before - self.buffers.len()) as u64;
+        while self.buffers.len() > Self::MAX_PENDING {
+            let oldest = self
+                .buffers
+                .iter()
+                .min_by_key(|(_, b)| b.last_offer)
+                .map(|(k, _)| *k);
+            let Some(k) = oldest else { break };
+            self.buffers.remove(&k);
+            self.evictions += 1;
         }
     }
 
@@ -509,6 +558,98 @@ mod tests {
         assert_eq!(r.pending(), 2);
         assert_eq!(r.offer(&mk(1, false, 8), b"a").unwrap(), b"AAAAAAAAa");
         assert_eq!(r.pending(), 1);
+    }
+
+    fn first_frag(ident: u16) -> IpHeader {
+        IpHeader {
+            header_len: 20,
+            total_len: 0,
+            ident,
+            dont_fragment: false,
+            more_fragments: true,
+            frag_offset: 0,
+            ttl: 64,
+            protocol: PROTO_UDP,
+            src: Ipv4Addr::host(1),
+            dst: Ipv4Addr::host(2),
+        }
+    }
+
+    #[test]
+    fn orphan_fragments_do_not_accumulate_unboundedly() {
+        // Regression: a lossy wire that strands first fragments (tails
+        // never arrive) used to grow `buffers` without bound.
+        let mut r = Reassembler::new();
+        for ident in 0..10 * Reassembler::MAX_PENDING as u16 {
+            r.offer(&first_frag(ident), b"AAAAAAAA");
+            assert!(r.pending() <= Reassembler::MAX_PENDING);
+        }
+        assert_eq!(r.pending(), Reassembler::MAX_PENDING);
+        assert_eq!(r.evictions, 9 * Reassembler::MAX_PENDING as u64);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_touched() {
+        let mut r = Reassembler::new();
+        for ident in 0..Reassembler::MAX_PENDING as u16 {
+            r.offer(&first_frag(ident), b"AAAAAAAA");
+        }
+        // Touch ident 0 so it is no longer the oldest, then overflow.
+        r.offer(
+            &IpHeader {
+                frag_offset: 8,
+                ..first_frag(0)
+            },
+            b"AAAAAAAA",
+        );
+        r.offer(&first_frag(9999), b"BBBBBBBB");
+        assert_eq!(r.evictions, 1);
+        // Ident 1 (now stalest) was evicted; ident 0 survives and can
+        // still complete.
+        let tail = IpHeader {
+            more_fragments: false,
+            frag_offset: 16,
+            ..first_frag(0)
+        };
+        let full = r.offer(&tail, b"end").unwrap();
+        assert_eq!(full.len(), 8 + 8 + 3);
+        let tail1 = IpHeader {
+            more_fragments: false,
+            frag_offset: 8,
+            ..first_frag(1)
+        };
+        assert_eq!(r.offer(&tail1, b"x"), None, "evicted buffer is gone");
+    }
+
+    #[test]
+    fn stale_buffers_expire_after_ttl_offers() {
+        let mut r = Reassembler::new();
+        r.offer(&first_frag(7), b"AAAAAAAA");
+        // A healthy fragment flow churns past while ident 7's tail never
+        // shows up: each pair below completes immediately.
+        let mut offers = 1;
+        let mut ident = 100u16;
+        while offers < Reassembler::TTL_OFFERS + 2 {
+            let h = first_frag(ident);
+            assert_eq!(r.offer(&h, b"AAAAAAAA"), None);
+            let tail = IpHeader {
+                more_fragments: false,
+                frag_offset: 8,
+                ..h
+            };
+            assert!(r.offer(&tail, b"z").is_some());
+            offers += 2;
+            ident = ident.wrapping_add(1);
+        }
+        assert_eq!(r.pending(), 0, "stale buffer should have expired");
+        assert_eq!(r.evictions, 1);
+        // A late tail for ident 7 cannot resurrect a partial datagram.
+        let late = IpHeader {
+            more_fragments: false,
+            frag_offset: 8,
+            ..first_frag(7)
+        };
+        assert_eq!(r.offer(&late, b"late"), None);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! * [`proto`] — sessions, the port demux map, stream/thread identities.
 //! * [`driver`] — the in-memory FDDI driver and packet factory (the
 //!   paper's own in-memory-driver technique).
+//! * [`fault`] — deterministic per-frame fault injection (drop,
+//!   duplicate, reorder, corrupt, truncate) applied by the driver.
 //! * [`mem`] — the instrumented memory model: address-space layout,
 //!   region-tagged loads/stores, code-segment instruction fetches.
 //! * [`engine`] — the instrumented fast paths and the [`engine::CostModel`]
@@ -30,6 +32,7 @@
 pub mod calib;
 pub mod driver;
 pub mod engine;
+pub mod fault;
 pub mod fddi;
 pub mod icmp;
 pub mod ip;
@@ -41,5 +44,8 @@ pub mod tcp;
 pub mod udp;
 
 pub use calib::{calibrate, Calibration};
-pub use engine::{CostModel, PacketTiming, ProtocolEngine, RxError};
+pub use engine::{
+    CostModel, DropReason, PacketTiming, ProtocolEngine, RxError, RxLayer, RxOutcome,
+};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use proto::{SessionState, SessionTable, StreamId, ThreadId};

@@ -17,6 +17,12 @@ use crate::ip::Ipv4Addr;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamId(pub u32);
 
+impl StreamId {
+    /// Sentinel for "no stream": packets rejected before the demux point
+    /// never resolve to a stream, and their timing records carry this.
+    pub const UNKNOWN: StreamId = StreamId(u32::MAX);
+}
+
 /// Identifies one protocol thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ThreadId(pub u32);

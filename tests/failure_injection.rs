@@ -53,7 +53,7 @@ fn random_bitflips_in_valid_frames_never_deliver_corrupted_payloads() {
         // Flip 1–4 random bits anywhere in the frame.
         for _ in 0..rng.gen_range(1..=4) {
             let idx = rng.gen_range(0..bytes.len());
-            bytes[idx] ^= 1 << rng.gen_range(0..8);
+            bytes[idx] ^= 1u8 << rng.gen_range(0..8);
         }
         let frame = RxFrame {
             bytes,

@@ -1,0 +1,140 @@
+//! Minimal in-tree stand-in for the `bytes` crate (offline build).
+//!
+//! Implements exactly the subset this workspace uses: `BytesMut` as a
+//! growable byte buffer plus the `BufMut` write methods. Backed by a
+//! plain `Vec<u8>`; no shared-ownership or zero-copy machinery.
+
+use std::ops::{Deref, DerefMut};
+
+/// Write-side buffer trait (subset).
+pub trait BufMut {
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize);
+    /// Append a single byte.
+    fn put_u8(&mut self, val: u8) {
+        self.put_slice(&[val]);
+    }
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, val: u16) {
+        self.put_slice(&val.to_be_bytes());
+    }
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, val: u32) {
+        self.put_slice(&val.to_be_bytes());
+    }
+}
+
+/// A unique, growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Shorten the buffer to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Remove all bytes.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Append a byte slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Consume the buffer into its backing vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.inner.resize(self.inner.len() + cnt, val);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { inner: s.to_vec() }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_slice() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_bytes(0, 3);
+        b.put_slice(&[1, 2]);
+        assert_eq!(&b[..], &[0, 0, 0, 1, 2]);
+        b.truncate(4);
+        assert_eq!(b.len(), 4);
+        b[0] = 9;
+        assert_eq!(&b[..2], &[9, 0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal in-tree stand-in for `crossbeam` (offline build).
+//!
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`
+//! on top of `std::sync::mpsc`. MPSC only — enough for this workspace,
+//! which fans frames out to single-consumer worker queues.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: SenderKind<T>,
+    }
+
+    #[derive(Debug)]
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: match &self.inner {
+                    SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+                    SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+                },
+            }
+        }
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned when the sending side has disconnected.
+    pub type RecvError = mpsc::RecvError;
+    /// Error for non-blocking receives.
+    pub type TryRecvError = mpsc::TryRecvError;
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking if a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderKind::Unbounded(s) => s.send(value),
+                SenderKind::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Iterate over received values until disconnection.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: SenderKind::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// A channel that holds at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderKind::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(7).expect("receiver alive");
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_capacity_one() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).expect("space");
+        let h = std::thread::spawn(move || tx.send(2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().expect("no panic").expect("sent");
+    }
+}

@@ -1,0 +1,72 @@
+//! Minimal in-tree stand-in for `parking_lot` (offline build).
+//!
+//! Wraps `std::sync::Mutex` behind the `parking_lot` API surface this
+//! workspace uses: infallible `lock()`, `try_lock() -> Option`, and
+//! `into_inner()`. Poisoning is ignored (parking_lot has none).
+
+/// Guard type: std's guard, re-exported so signatures line up.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock with parking_lot's panic-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Get the inner value through a unique reference (no locking).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_try_lock_into_inner() {
+        let m = Mutex::new(5u32);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().expect("free"), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+}
