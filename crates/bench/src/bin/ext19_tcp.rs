@@ -4,7 +4,7 @@
 //! The paper: *"Although TCP is a far more complex protocol than UDP, our
 //! results are likely to hold directly for TCP … the breakdowns of
 //! overall processing time overheads for TCP and UDP packets are very
-//! similar, [and] at its most influential (1-byte packets) TCP-specific
+//! similar, \[and\] at its most influential (1-byte packets) TCP-specific
 //! processing only accounts for around 15 % of overall packet execution
 //! time"* — and names TCP affinity scheduling as a compelling problem.
 //!

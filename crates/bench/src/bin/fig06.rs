@@ -5,9 +5,8 @@
 //! affinity-oblivious baseline → per-processor thread pools → MRU
 //! processor scheduling → Wired-Streams.
 
-use afs_bench::{banner, print_table, series_rows, template, write_csv, Checks};
+use afs_bench::{artifacts, banner, print_table, quick_mode, Checks};
 use afs_core::analysis::dominates;
-use afs_core::prelude::*;
 
 fn main() {
     banner(
@@ -15,29 +14,14 @@ fn main() {
         "Locking: mean packet delay vs arrival rate (K = 8 = N)",
         "affinity-based scheduling significantly reduces communication delay",
     );
-    let k = 8;
-    let rates: Vec<f64> = vec![
-        200.0, 400.0, 800.0, 1400.0, 2000.0, 2800.0, 3600.0, 4200.0, 4800.0, 5200.0,
-    ];
-    let policies = [
-        ("baseline", LockPolicy::Baseline),
-        ("pools", LockPolicy::Pools),
-        ("mru", LockPolicy::Mru),
-        ("wired", LockPolicy::Wired),
-    ];
-    let mut series = Vec::new();
-    for (label, p) in policies {
-        let t = template(Paradigm::Locking { policy: p }, k);
-        series.push(rate_sweep(label, &t, &rates));
-    }
-    print_table("pkts/s/stream", &rates, &series);
-    let (header, rows) = series_rows(&rates, &series);
-    write_csv("fig06", &header, &rows);
+    let data = artifacts::fig06(quick_mode());
+    print_table("pkts/s/stream", &data.rates, &data.series);
+    data.artifact.write();
 
     let mut checks = Checks::new();
-    let base = &series[0];
-    let pools = &series[1];
-    let mru = &series[2];
+    let base = &data.series[0];
+    let pools = &data.series[1];
+    let mru = &data.series[2];
     checks.expect(
         "per-processor pools dominate the baseline",
         dominates(pools, base, 0.02),

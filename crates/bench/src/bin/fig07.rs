@@ -9,9 +9,8 @@
 //! stream state and therefore has the lower service time — and the
 //! higher capacity — at the top of the range.
 
-use afs_bench::{banner, print_table, series_rows, template, write_csv, Checks};
+use afs_bench::{artifacts, banner, print_table, quick_mode, Checks};
 use afs_core::analysis::crossover_index;
-use afs_core::prelude::*;
 
 fn main() {
     banner(
@@ -20,46 +19,13 @@ fn main() {
         "MRU except under high arrival rate, when Wired-Streams performs better",
     );
     let k = 32;
-    let rates: Vec<f64> = vec![
-        50.0, 100.0, 200.0, 350.0, 500.0, 700.0, 900.0, 1100.0, 1250.0, 1350.0, 1450.0,
-    ];
-    let mru = rate_sweep(
-        "mru",
-        &template(
-            Paradigm::Locking {
-                policy: LockPolicy::Mru,
-            },
-            k,
-        ),
-        &rates,
-    );
-    let wired = rate_sweep(
-        "wired",
-        &template(
-            Paradigm::Locking {
-                policy: LockPolicy::Wired,
-            },
-            k,
-        ),
-        &rates,
-    );
-    let base = rate_sweep(
-        "baseline",
-        &template(
-            Paradigm::Locking {
-                policy: LockPolicy::Baseline,
-            },
-            k,
-        ),
-        &rates,
-    );
-    let series = vec![base, mru, wired];
-    print_table("pkts/s/stream", &rates, &series);
-    let (header, rows) = series_rows(&rates, &series);
-    write_csv("fig07", &header, &rows);
+    let data = artifacts::fig07(quick_mode());
+    print_table("pkts/s/stream", &data.rates, &data.series);
+    data.artifact.write();
+    let rates = &data.rates;
 
-    let mru = &series[1];
-    let wired = &series[2];
+    let mru = &data.series[1];
+    let wired = &data.series[2];
     let mut checks = Checks::new();
     checks.expect(
         "MRU better than Wired at low rate",

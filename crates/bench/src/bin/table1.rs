@@ -6,9 +6,8 @@
 //! and the Section-4 measurement anchors: t_cold = 284.3 µs, and the
 //! reload-span fraction behind the 40–50 % V = 0 bound.
 
-use afs_bench::{banner, write_csv, Checks};
+use afs_bench::{artifacts, banner, Checks};
 use afs_cache::sim::trace::Region;
-use afs_xkernel::{calibrate, CostModel};
 
 fn main() {
     banner(
@@ -16,8 +15,8 @@ fn main() {
         "Platform parameters & measured packet time bounds",
         "t_cold = 284.3 us (measured); F(x) computed for the 100 MHz R4400, m = 5",
     );
-    let cost = CostModel::default();
-    let platform = cost.platform();
+    let data = artifacts::table1();
+    let platform = data.cost.platform();
     println!("platform:");
     println!(
         "  clock                 {:>10.0} MHz",
@@ -40,7 +39,7 @@ fn main() {
         platform.l2.sets()
     );
 
-    let cal = calibrate(&cost);
+    let cal = &data.cal;
     println!("\nmeasured per-packet bounds (receive UDP/IP/FDDI, 1-byte payload):");
     println!("  t_warm  (all in L1)   {:>10.1} us", cal.bounds.t_warm_us);
     println!("  t_L2    (L1 flushed)  {:>10.1} us", cal.bounds.t_l2_us);
@@ -67,17 +66,7 @@ fn main() {
         }
     }
 
-    let rows = vec![
-        format!("t_warm_us,{:.2}", cal.bounds.t_warm_us),
-        format!("t_l2_us,{:.2}", cal.bounds.t_l2_us),
-        format!("t_cold_us,{:.2}", cal.bounds.t_cold_us),
-        format!("paper_t_cold_us,284.3"),
-        format!("max_reduction,{:.4}", cal.max_reduction()),
-        format!("instrs_per_packet,{}", cal.instrs_per_packet),
-        format!("refs_per_packet,{}", cal.refs_per_packet),
-        format!("lock_overhead_us,{:.2}", cal.lock_overhead_us),
-    ];
-    write_csv("table1", "key,value", &rows);
+    data.artifact.write();
 
     let mut checks = Checks::new();
     checks.expect(

@@ -23,6 +23,8 @@ use std::path::PathBuf;
 use afs_core::prelude::*;
 use afs_core::sweep::SweepPoint;
 
+pub mod artifacts;
+
 /// Standard experiment scale: the paper's 8-processor Challenge XL.
 pub const N_PROCS: usize = 8;
 /// Default stream population for the delay figures.
@@ -130,9 +132,22 @@ pub fn json_object(fields: &[(&str, String)]) -> String {
 /// smoke runs (CI); the shape checks are tuned for the full horizon and
 /// may be noisier in quick mode.
 pub fn template(paradigm: Paradigm, k: usize) -> SystemConfig {
+    template_with(paradigm, k, quick_mode())
+}
+
+/// Whether the environment asked for the shortened smoke horizon.
+pub fn quick_mode() -> bool {
+    std::env::var_os("AFS_QUICK").is_some()
+}
+
+/// [`template`] with the horizon chosen explicitly instead of from the
+/// environment. The golden-artifact regression tests always pass
+/// `quick = false` so they reproduce the committed CSVs regardless of
+/// how the test run itself was invoked.
+pub fn template_with(paradigm: Paradigm, k: usize, quick: bool) -> SystemConfig {
     let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(k, 100.0));
     cfg.n_procs = N_PROCS;
-    if std::env::var_os("AFS_QUICK").is_some() {
+    if quick {
         cfg.warmup = SimDuration::from_millis(150);
         cfg.horizon = SimDuration::from_millis(650);
     } else {

@@ -173,6 +173,36 @@ impl MemoryHierarchy {
         self.l2.purge_region(region);
     }
 
+    /// Evict every line overlapping `[addr, addr + bytes)` from every
+    /// level. Models cache-coherent migration of one entity's state at
+    /// address granularity: when another processor takes ownership of a
+    /// stream's session or a thread's stack, this processor's copies of
+    /// exactly those lines are invalidated, while unrelated state in the
+    /// same region class stays resident.
+    pub fn purge_range(&mut self, addr: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let end = addr + bytes - 1;
+        for (cache_line_bytes, which) in [
+            (self.platform.l1.line_bytes as u64, 0u8),
+            (self.platform.l2.line_bytes as u64, 1u8),
+        ] {
+            let first = addr / cache_line_bytes;
+            let last = end / cache_line_bytes;
+            for line in first..=last {
+                if which == 0 {
+                    self.l1d.invalidate_line(line);
+                    if let Some(l1i) = self.l1i.as_mut() {
+                        l1i.invalidate_line(line);
+                    }
+                } else {
+                    self.l2.invalidate_line(line);
+                }
+            }
+        }
+    }
+
     /// Reset counters without touching contents.
     pub fn reset_stats(&mut self) {
         self.stats = HierarchyStats::default();
@@ -246,6 +276,31 @@ mod tests {
             h.access(MemRef::read(0x40, Region::Stream)),
             ServedBy::Memory
         );
+    }
+
+    #[test]
+    fn purge_range_evicts_only_the_named_lines() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        // Two distinct 64 B L2 lines in distinct L1 sets (0x000 → set 0,
+        // 0x040 → set 4), same region class.
+        h.access(MemRef::read(0x000, Region::Stream));
+        h.access(MemRef::read(0x040, Region::Stream));
+        // Purging the first entity's bytes leaves the second warm, and
+        // the cold re-fill of the first cannot displace it.
+        h.purge_range(0x000, 64);
+        assert_eq!(
+            h.access(MemRef::read(0x000, Region::Stream)),
+            ServedBy::Memory
+        );
+        assert_eq!(h.access(MemRef::read(0x040, Region::Stream)), ServedBy::L1);
+    }
+
+    #[test]
+    fn purge_range_of_zero_bytes_is_noop() {
+        let mut h = MemoryHierarchy::new(small_platform());
+        h.access(MemRef::read(0x40, Region::Stream));
+        h.purge_range(0x40, 0);
+        assert_eq!(h.access(MemRef::read(0x40, Region::Stream)), ServedBy::L1);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! The shared simulator/native cross-validation matrix.
+//!
+//! The paper's central claim — affinity-based scheduling cuts
+//! protocol-processing delay relative to affinity-oblivious dispatch —
+//! is demonstrated twice in this workspace: by the discrete-event
+//! simulator (`crate::sim`, the paper's own methodology) and by the
+//! `afs-native` pinned-thread backend, which executes the real
+//! `ProtocolEngine` receive path on OS threads. This module defines the
+//! *shared* stream/packet matrix both backends run, the mapping from
+//! the three cross-backend policy rungs onto simulator configurations,
+//! and the documented agreement tolerances the cross-validation harness
+//! (`ext22_native`, `tests/crossval_native.rs`) asserts.
+//!
+//! ## What must agree
+//!
+//! Absolute delays cannot match: the simulator prices service with the
+//! analytic reload-transient model (component ages + F1/F2 displacement
+//! under a background workload), while the native backend prices it with
+//! the trace-driven cache hierarchy and coherence-style invalidation on
+//! migration. What both backends must reproduce is the paper's *policy
+//! structure*:
+//!
+//! 1. **Ordering** — mean delay obeys `IPS ≤ locking-pool ≤ oblivious`
+//!    (each comparison with [`ORDERING_SLACK`] multiplicative slack).
+//! 2. **Improvement band** — the relative *service-time* improvement of
+//!    IPS over the oblivious baseline (the pure cache-affinity signal,
+//!    uncontaminated by the backends' different queueing disciplines)
+//!    agrees within [`IMPROVEMENT_TOLERANCE`] absolute.
+
+use afs_desim::time::SimDuration;
+use afs_workload::Population;
+
+use crate::config::{IpsPolicy, LockPolicy, Paradigm, SystemConfig};
+
+/// The three policy rungs compared across backends, in decreasing
+/// affinity awareness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossPolicy {
+    /// Independent per-processor protocol stacks with affinity-preserving
+    /// scheduling (native: pinned per-worker pools + bounded stealing;
+    /// simulator: `IPS/mru` with one stack per processor).
+    Ips,
+    /// One shared stack behind locks with a work-conserving shared run
+    /// pool and per-processor threads (native: shared ring + per-worker
+    /// threads; simulator: `Locking/pools`, the paper's footnote 7).
+    Locking,
+    /// The affinity-oblivious baseline: any packet lands on any
+    /// processor with no regard for cache state (native: uniform random
+    /// placement + rotating shared thread pool; simulator:
+    /// `Locking/baseline`).
+    Oblivious,
+}
+
+impl CrossPolicy {
+    /// Every rung, in the order reports print them.
+    pub const ALL: [CrossPolicy; 3] = [CrossPolicy::Oblivious, CrossPolicy::Locking, CrossPolicy::Ips];
+
+    /// Short label for tables and CSV columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrossPolicy::Ips => "ips",
+            CrossPolicy::Locking => "locking",
+            CrossPolicy::Oblivious => "oblivious",
+        }
+    }
+}
+
+/// One cell of the shared matrix: a (workers, streams, rate, length)
+/// tuple both backends execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossvalScenario {
+    /// Processors (native workers == simulator `n_procs`).
+    pub workers: usize,
+    /// Concurrent streams.
+    pub streams: u32,
+    /// Packets per stream offered to the native backend (also sets the
+    /// simulator horizon so both backends see comparable sample sizes).
+    pub packets_per_stream: u32,
+    /// Per-stream Poisson arrival rate, packets/second.
+    pub rate_pps_per_stream: f64,
+    /// UDP payload bytes per packet.
+    pub payload_bytes: usize,
+    /// Master seed; both backends derive their RNG streams from it.
+    pub seed: u64,
+}
+
+impl CrossvalScenario {
+    /// Aggregate offered rate in packets/second.
+    pub fn aggregate_rate_pps(&self) -> f64 {
+        self.rate_pps_per_stream * self.streams as f64
+    }
+
+    /// Total packets the native backend offers.
+    pub fn total_packets(&self) -> u64 {
+        self.streams as u64 * self.packets_per_stream as u64
+    }
+
+    /// Compact label for rows: `w2k8`.
+    pub fn label(&self) -> String {
+        format!("w{}k{}", self.workers, self.streams)
+    }
+
+    /// The simulator configuration for one policy rung of this scenario.
+    ///
+    /// The horizon is sized so the measurement window carries the same
+    /// expected packet count as the native run.
+    pub fn sim_config(&self, policy: CrossPolicy) -> SystemConfig {
+        let paradigm = match policy {
+            CrossPolicy::Oblivious => Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            CrossPolicy::Locking => Paradigm::Locking {
+                policy: LockPolicy::Pools,
+            },
+            CrossPolicy::Ips => Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: self.workers,
+            },
+        };
+        let mut cfg = SystemConfig::new(
+            paradigm,
+            Population::homogeneous_poisson(self.streams as usize, self.rate_pps_per_stream),
+        );
+        cfg.n_procs = self.workers;
+        cfg.seed = self.seed ^ 0xC105_5A1E;
+        let measure_s = self.total_packets() as f64 / self.aggregate_rate_pps();
+        cfg.warmup = SimDuration::from_millis(150);
+        cfg.horizon = cfg.warmup + SimDuration::from_secs_f64(measure_s);
+        cfg
+    }
+}
+
+/// The default matrix `ext22_native` runs: two host scales at a
+/// low-to-moderate utilization (~0.3 on the locking rung), where service
+/// time — the affinity signal — dominates delay.
+pub fn default_matrix() -> Vec<CrossvalScenario> {
+    vec![
+        CrossvalScenario {
+            workers: 2,
+            streams: 8,
+            packets_per_stream: 1500,
+            rate_pps_per_stream: 380.0,
+            payload_bytes: 64,
+            seed: 0xAF5_2200,
+        },
+        CrossvalScenario {
+            workers: 4,
+            streams: 16,
+            packets_per_stream: 1000,
+            rate_pps_per_stream: 380.0,
+            payload_bytes: 64,
+            seed: 0xAF5_2201,
+        },
+    ]
+}
+
+/// The bounded matrix for CI smoke runs (`ext22_native --smoke`) and the
+/// debug-profile cross-validation test: one small scenario.
+pub fn smoke_matrix() -> Vec<CrossvalScenario> {
+    vec![CrossvalScenario {
+        workers: 2,
+        streams: 8,
+        packets_per_stream: 400,
+        rate_pps_per_stream: 380.0,
+        payload_bytes: 64,
+        seed: 0xAF5_2202,
+    }]
+}
+
+/// Relative improvement of `better` over `base` (positive = `better`
+/// is faster). Returns 0 when `base` is not positive.
+pub fn relative_improvement(base: f64, better: f64) -> f64 {
+    if base > 0.0 {
+        (base - better) / base
+    } else {
+        0.0
+    }
+}
+
+/// Multiplicative slack allowed on each delay-ordering comparison
+/// (`a ≤ slack·b`): absorbs scheduler-interleaving noise in the native
+/// backend and CI-runner variance without masking a real inversion.
+pub const ORDERING_SLACK: f64 = 1.05;
+
+/// Documented absolute tolerance on the IPS-vs-oblivious *service-time*
+/// relative improvement between backends. The simulator's analytic
+/// reload transient and the native backend's trace-driven hierarchy
+/// price a migration differently (the simulator's background workload
+/// erodes caches between visits; the native model only invalidates on
+/// ownership transfer), so the affinity signal's magnitude — typically
+/// 10–25 % at the default matrix — is required to agree only within
+/// this band, while its *sign and ordering* are required exactly.
+pub const IMPROVEMENT_TOLERANCE: f64 = 0.15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_configs_validate() {
+        for s in default_matrix().iter().chain(smoke_matrix().iter()) {
+            for p in CrossPolicy::ALL {
+                let cfg = s.sim_config(p);
+                cfg.validate();
+                assert_eq!(cfg.n_procs, s.workers);
+                assert_eq!(cfg.n_streams(), s.streams as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_mapping_matches_paper_rungs() {
+        let s = &smoke_matrix()[0];
+        assert!(s.sim_config(CrossPolicy::Oblivious).paradigm.is_locking());
+        assert!(s.sim_config(CrossPolicy::Locking).paradigm.is_locking());
+        let ips = s.sim_config(CrossPolicy::Ips);
+        match ips.paradigm {
+            Paradigm::Ips { n_stacks, .. } => assert_eq!(n_stacks, s.workers),
+            _ => panic!("IPS rung must map to the IPS paradigm"),
+        }
+    }
+
+    #[test]
+    fn improvement_is_signed_fraction() {
+        assert!((relative_improvement(200.0, 150.0) - 0.25).abs() < 1e-12);
+        assert!(relative_improvement(200.0, 250.0) < 0.0);
+        assert_eq!(relative_improvement(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn matrix_labels_are_distinct() {
+        let m = default_matrix();
+        assert_ne!(m[0].label(), m[1].label());
+        assert_eq!(m[0].label(), "w2k8");
+    }
+}

@@ -19,8 +19,8 @@
 //!   detection and Little's-law checks.
 //! * [`sweep`] — rate sweeps and capacity search ([`sweep::rate_sweep`],
 //!   [`sweep::capacity_search`]).
-//! * [`replicate`] — independent replications with cross-run confidence
-//!   intervals.
+//! * [`mod@replicate`] — independent replications with cross-run
+//!   confidence intervals.
 //! * [`analysis`] — percent-delay-reduction curves, crossover detection
 //!   (Figures 10/11 and the policy trade-offs), and MSER-5 warm-up
 //!   validation.
@@ -46,6 +46,7 @@
 
 pub mod analysis;
 pub mod config;
+pub mod crossval;
 pub mod exec;
 pub mod metrics;
 pub mod replicate;
@@ -55,6 +56,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use config::{DropPolicy, FaultProfile, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
+pub use crossval::{CrossPolicy, CrossvalScenario};
 pub use exec::ExecParams;
 pub use metrics::RunReport;
 pub use replicate::{replicate, MetricSummary, ReplicationSummary};

@@ -222,4 +222,116 @@ proptest! {
             prop_assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+
+    // ----------------------------------------------------------------
+    // Scheduler invariants: the properties every backend built on this
+    // substrate (the simulator's event loop, the native runtime's
+    // dispatch/steal structure) relies on.
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn event_times_pop_monotonically(
+        times in prop::collection::vec(0u64..1_000_000, 1..300),
+        interleave in prop::collection::vec(any::<bool>(), 0..300),
+    ) {
+        // However pushes and pops interleave, the sequence of popped
+        // timestamps is nondecreasing — no event can run before one
+        // that already ran.
+        fn check(last: &mut Option<u64>, t: SimTime) {
+            let ticks = t.ticks();
+            if let Some(prev) = *last {
+                assert!(ticks >= prev, "time ran backwards: {ticks} after {prev}");
+            }
+            *last = Some(ticks);
+        }
+        let mut q = EventQueue::new();
+        let mut pending = times.iter();
+        let mut last: Option<u64> = None;
+        for &do_pop in &interleave {
+            if do_pop {
+                if let Some((t, _)) = q.pop() {
+                    check(&mut last, t);
+                }
+            } else if let Some(&t) = pending.next() {
+                q.push(SimTime::from_micros(t), 0u32);
+                last = None; // a new push may legally be earlier than past pops
+            }
+        }
+        for &t in pending {
+            q.push(SimTime::from_micros(t), 0u32);
+        }
+        // Final drain with no interleaved pushes: strictly monotone.
+        last = None;
+        while let Some((t, _)) = q.pop() {
+            check(&mut last, t);
+        }
+    }
+
+    #[test]
+    fn dispatch_and_steal_lose_nothing(
+        events in prop::collection::vec((0u64..100_000, any::<u32>()), 1..200),
+        n_queues in 2usize..6,
+        steals in prop::collection::vec((0usize..6, 0usize..6), 0..100),
+    ) {
+        // A model of the native dispatcher: events are routed to
+        // per-worker queues by payload, then an arbitrary sequence of
+        // steal operations moves the oldest event from one queue to
+        // another. Whatever the steal pattern, draining everything
+        // afterwards yields exactly the dispatched multiset.
+        let mut queues: Vec<EventQueue<u32>> = (0..n_queues).map(|_| EventQueue::new()).collect();
+        for &(t, p) in &events {
+            let q = p as usize % n_queues;
+            queues[q].push(SimTime::from_micros(t), p);
+        }
+        for &(from, to) in &steals {
+            let (from, to) = (from % n_queues, to % n_queues);
+            if from == to {
+                continue;
+            }
+            if let Some((t, p)) = queues[from].pop() {
+                queues[to].push(t, p);
+            }
+        }
+        let mut drained: Vec<(u64, u32)> = Vec::new();
+        for q in &mut queues {
+            while let Some((t, p)) = q.pop() {
+                drained.push((t.ticks() / 1000, p));
+            }
+        }
+        drained.sort_unstable();
+        let mut expected: Vec<(u64, u32)> = events.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn seeded_schedule_replays_identically(
+        seed in any::<u64>(),
+        n in 1usize..200,
+        mean_us in 1.0f64..10_000.0,
+    ) {
+        // A Poisson schedule built from named RNG streams is a pure
+        // function of the seed: build it twice, pop it twice, and both
+        // the arrival stamps and the dispatch order must match exactly.
+        let build = || {
+            use rand::Rng;
+            let f = RngFactory::new(seed);
+            let mut arr = f.stream("sched-arrivals");
+            let mut route = f.stream("sched-route");
+            let exp = Dist::exponential(mean_us);
+            let mut q = EventQueue::new();
+            let mut t = 0.0f64;
+            for _ in 0..n {
+                t += exp.sample(&mut arr);
+                let worker: u32 = route.gen_range(0..4);
+                q.push(SimTime::from_micros_f64(t), worker);
+            }
+            let mut order = Vec::new();
+            while let Some((at, w)) = q.pop() {
+                order.push((at.ticks(), w));
+            }
+            order
+        };
+        prop_assert_eq!(build(), build());
+    }
 }

@@ -1,0 +1,44 @@
+//! Native side of the cross-validation harness.
+//!
+//! `afs_core::crossval` defines the shared scenario matrix and the
+//! simulator mapping; this module supplies the native mapping so
+//! `ext22_native` and `tests/crossval_native.rs` can run the *same*
+//! scenario through both backends and compare the policy structure.
+
+use afs_core::crossval::{CrossPolicy, CrossvalScenario};
+
+use crate::runtime::{
+    poisson_workload, run_native, NativeConfig, NativePacket, NativePolicy, NativeReport,
+    StealPolicy,
+};
+
+/// The native configuration for one policy rung of a scenario.
+pub fn native_config(s: &CrossvalScenario, policy: CrossPolicy) -> NativeConfig {
+    let policy = match policy {
+        CrossPolicy::Oblivious => NativePolicy::Oblivious,
+        CrossPolicy::Locking => NativePolicy::LockingPool,
+        CrossPolicy::Ips => NativePolicy::Ips {
+            steal: Some(StealPolicy::default()),
+        },
+    };
+    let mut cfg = NativeConfig::new(s.workers, policy);
+    cfg.seed = s.seed ^ 0xA71;
+    cfg
+}
+
+/// The shared workload for a scenario (identical bytes and arrival
+/// stamps for every policy rung — paired comparison).
+pub fn native_workload(s: &CrossvalScenario) -> Vec<NativePacket> {
+    poisson_workload(
+        s.streams,
+        s.packets_per_stream,
+        s.rate_pps_per_stream,
+        s.payload_bytes,
+        s.seed,
+    )
+}
+
+/// Run one (scenario, policy) cell on the native backend.
+pub fn run_scenario(s: &CrossvalScenario, policy: CrossPolicy) -> NativeReport {
+    run_native(&native_config(s, policy), native_workload(s))
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # afs-native — the pinned-thread execution backend
+//!
+//! The paper demonstrates affinity scheduling's payoff with a simulator
+//! parameterized by measurement. This crate closes the loop from the
+//! other side: it *executes* the instrumented x-kernel receive path
+//! (`afs-xkernel`) on real OS threads pinned to cores, under the same
+//! three policy rungs the simulator models, and the cross-validation
+//! harness (`ext22_native`, `tests/crossval_native.rs`) checks that both
+//! backends agree on the paper's qualitative claims — the policy
+//! ordering and the size of the affinity win.
+//!
+//! * [`pin`] — best-effort core pinning (`sched_setaffinity` behind the
+//!   [`pin::CorePinner`] trait; unprivileged CI degrades gracefully).
+//! * [`ring`] — the bounded lock-free ring each worker uses as its run
+//!   queue (multi-consumer, so IPS thieves can pop the remote end).
+//! * [`runtime`] — the dispatcher + pinned workers: placement policies,
+//!   migration-aware cache accounting on per-worker hierarchies, and
+//!   virtual-clock delay measurement.
+//! * [`crossval`] — the native mapping of the shared scenario matrix
+//!   defined in `afs_core::crossval`.
+//!
+//! Time is *virtual* throughout: packets carry Poisson arrival stamps,
+//! workers advance per-worker virtual clocks by the modeled service
+//! time, and delays are derived from those clocks — so results are
+//! insensitive to host speed and interference, while still exercising
+//! real concurrency (real threads, real rings, real locks, real races
+//! in dispatch order).
+
+pub mod crossval;
+pub mod pin;
+pub mod ring;
+pub mod runtime;
+
+pub use pin::{CorePinner, NoopPinner, OsPinner, PinError};
+pub use ring::RingQueue;
+pub use runtime::{
+    poisson_workload, run_native, run_native_with_pinner, NativeConfig, NativePacket,
+    NativePolicy, NativeReport, OutcomeTotals, Pinning, StealPolicy, WorkerStats,
+};

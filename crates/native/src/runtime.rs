@@ -1,0 +1,918 @@
+//! The pinned-worker runtime.
+//!
+//! Executes the real [`ProtocolEngine`] receive path on OS threads — the
+//! same instrumented UDP/IP/FDDI code the calibration experiments run —
+//! under the three scheduling policies the cross-validation harness
+//! compares ([`NativePolicy`]). The dispatcher replays a pre-generated
+//! Poisson workload into per-worker ring run-queues; each worker owns a
+//! *private* [`MemoryHierarchy`] (its processor's caches) and advances a
+//! virtual clock:
+//!
+//! ```text
+//! start   = max(worker_vclock, packet.arrival_us)
+//! vclock  = start + modeled_service_us
+//! delay   = vclock - packet.arrival_us        (queueing + service)
+//! ```
+//!
+//! so delays are deterministic functions of the modeled cache behaviour
+//! and the (possibly racy) dispatch order — host wall-clock noise never
+//! enters the numbers.
+//!
+//! ## How affinity shows up in the model
+//!
+//! Per-worker hierarchies have no shared bus, so migration cost is made
+//! explicit: a shared last-owner table (one atomic slot per stream and
+//! per thread stack) detects when a packet's stream state or thread
+//! stack was last touched by a *different* worker, and the new worker
+//! then purges that entity's address range from its own hierarchy
+//! ([`MemoryHierarchy::purge_range`]) before processing — the reload
+//! transient the paper measures. Shared-stack policies additionally
+//! charge the Section 5.1 lock overhead
+//! ([`lock_overhead_cycles`]) per packet; the IPS owner path is
+//! lock-free and charges it only on stolen packets (the steal handoff).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use afs_cache::sim::{MemoryHierarchy, Region};
+use afs_core::metrics::RunReport;
+use afs_desim::dist::Dist;
+use afs_desim::rng::RngFactory;
+use afs_desim::stats::Welford;
+use afs_xkernel::driver::{PacketFactory, RxFrame};
+use afs_xkernel::engine::CostModel;
+use afs_xkernel::lock_overhead_cycles;
+use afs_xkernel::mem::MemLayout;
+use afs_xkernel::mt::owner_of;
+use afs_xkernel::{DropReason, ProtocolEngine, RxOutcome, StreamId, ThreadId};
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::pin::{CorePinner, NoopPinner, OsPinner};
+use crate::ring::RingQueue;
+
+/// Bounds on the IPS work-stealing escape hatch: affinity-preserving
+/// scheduling must not leave processors idle while others drown, but
+/// unbounded stealing would collapse IPS back into the oblivious pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealPolicy {
+    /// A victim is eligible only when its backlog is at least this deep
+    /// (stealing from a shallow queue trades a cache reload for almost
+    /// no queueing relief).
+    pub threshold: usize,
+    /// At most this many packets are taken per steal visit.
+    pub max_batch: usize,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        StealPolicy {
+            threshold: 2,
+            max_batch: 2,
+        }
+    }
+}
+
+/// The three scheduling policies the native backend implements — the
+/// cross-backend rungs of `afs_core::crossval`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativePolicy {
+    /// Affinity-oblivious: every packet is placed on a uniformly random
+    /// worker's queue and runs a thread from a rotating shared pool on a
+    /// shared locked stack — no placement decision ever consults cache
+    /// state.
+    Oblivious,
+    /// Locking paradigm with per-processor thread pools (the paper's
+    /// footnote-7 refinement): one shared, work-conserving run queue all
+    /// workers pop, a shared locked stack, but each worker reuses its own
+    /// thread stack.
+    LockingPool,
+    /// Independent protocol stacks: streams are partitioned
+    /// `stream % workers` ([`owner_of`]), each worker runs its own
+    /// lock-free stack, and an optional bounded steal
+    /// ([`StealPolicy`]) lets idle workers relieve deep backlogs.
+    Ips {
+        /// `None` disables stealing (strict partitioning).
+        steal: Option<StealPolicy>,
+    },
+}
+
+impl NativePolicy {
+    /// Short label for reports (matches `CrossPolicy::label`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            NativePolicy::Oblivious => "oblivious",
+            NativePolicy::LockingPool => "locking",
+            NativePolicy::Ips { .. } => "ips",
+        }
+    }
+}
+
+/// Whether workers attempt to pin themselves to cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pinning {
+    /// Try `sched_setaffinity`; record failure and continue unpinned
+    /// (the CI-safe default).
+    Auto,
+    /// Never attempt the syscall.
+    Off,
+}
+
+/// Configuration of one native run.
+#[derive(Debug, Clone)]
+pub struct NativeConfig {
+    /// Worker (processor) count.
+    pub workers: usize,
+    /// Scheduling policy.
+    pub policy: NativePolicy,
+    /// Core-pinning mode.
+    pub pinning: Pinning,
+    /// Per-ring capacity (the dispatcher blocks when full — lossless).
+    pub queue_capacity: usize,
+    /// Protocol cost model (defaults are the paper's calibration).
+    pub cost: CostModel,
+    /// Fraction of the arrival horizon treated as warm-up: packets
+    /// arriving before it are processed but excluded from the delay and
+    /// service statistics.
+    pub warmup_frac: f64,
+    /// Seed for the placement RNG (workload generation seeds itself).
+    pub seed: u64,
+}
+
+impl NativeConfig {
+    /// A config with the calibrated cost model and CI-safe defaults.
+    pub fn new(workers: usize, policy: NativePolicy) -> Self {
+        NativeConfig {
+            workers,
+            policy,
+            pinning: Pinning::Auto,
+            queue_capacity: 1024,
+            cost: CostModel::default(),
+            warmup_frac: 0.2,
+            seed: 0xAF5_0002,
+        }
+    }
+}
+
+/// One pre-generated packet: wire bytes plus its Poisson arrival stamp.
+#[derive(Debug, Clone)]
+pub struct NativePacket {
+    /// The full FDDI frame.
+    pub bytes: Vec<u8>,
+    /// The stream it belongs to.
+    pub stream: StreamId,
+    /// Arrival time on the virtual clock, µs from run start.
+    pub arrival_us: f64,
+}
+
+/// Build the workload: `streams` independent Poisson sources, each
+/// offering exactly `packets_per_stream` packets at
+/// `rate_pps_per_stream`, merged into one global arrival order the
+/// dispatcher replays. Deterministic for a fixed seed (each source draws
+/// from its own named RNG stream).
+pub fn poisson_workload(
+    streams: u32,
+    packets_per_stream: u32,
+    rate_pps_per_stream: f64,
+    payload_bytes: usize,
+    seed: u64,
+) -> Vec<NativePacket> {
+    assert!(streams >= 1 && rate_pps_per_stream > 0.0);
+    let mean_interarrival_us = 1e6 / rate_pps_per_stream;
+    let factory = RngFactory::new(seed);
+    let exp = Dist::exponential(mean_interarrival_us);
+    let mut packets = PacketFactory::new();
+    let mut all = Vec::with_capacity(streams as usize * packets_per_stream as usize);
+    for s in 0..streams {
+        let mut rng = factory.stream(&format!("native-arrivals-{s}"));
+        let mut t = 0.0f64;
+        for _ in 0..packets_per_stream {
+            t += exp.sample(&mut rng);
+            all.push(NativePacket {
+                bytes: packets.frame_for(StreamId(s), payload_bytes),
+                stream: StreamId(s),
+                arrival_us: t,
+            });
+        }
+    }
+    all.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us));
+    all
+}
+
+/// Per-worker telemetry (hardware-agnostic: all counters come from the
+/// runtime and the simulated hierarchy, never from host PMUs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// The core this worker asked for.
+    pub core: usize,
+    /// Whether the affinity syscall took effect.
+    pub pinned: bool,
+    /// Packets this worker processed.
+    pub processed: u64,
+    /// Packets it delivered to a user queue.
+    pub delivered: u64,
+    /// Packets it stole from other workers' queues (IPS only).
+    pub steals: u64,
+    /// Times it found the shared-stack lock already held.
+    pub lock_contended: u64,
+    /// Packets whose stream state last ran on a different worker.
+    pub stream_migrations: u64,
+    /// Packets whose thread stack last ran on a different worker.
+    pub thread_migrations: u64,
+    /// Deepest run-queue backlog it observed on its own queue.
+    pub max_queue_depth: usize,
+    /// Modeled busy time (cycle charge), µs.
+    pub busy_us: f64,
+    /// Final virtual-clock reading, µs.
+    pub vclock_us: f64,
+}
+
+/// Delivery/shed totals across all workers, by typed outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTotals {
+    /// `RxOutcome::Delivered`.
+    pub delivered: u64,
+    /// `RxOutcome::Dropped { reason: NoSession }`.
+    pub no_session: u64,
+    /// `RxOutcome::Dropped { reason: UserQueueFull }`.
+    pub queue_full: u64,
+    /// `RxOutcome::Error` (malformed).
+    pub rejected: u64,
+}
+
+impl OutcomeTotals {
+    /// All packets that completed a receive-path traversal.
+    pub fn total(&self) -> u64 {
+        self.delivered + self.no_session + self.queue_full + self.rejected
+    }
+}
+
+/// The result of one native run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeReport {
+    /// Policy label (`oblivious` / `locking` / `ips`).
+    pub policy: &'static str,
+    /// Worker count.
+    pub workers: usize,
+    /// Packets offered by the dispatcher.
+    pub offered: u64,
+    /// Typed outcome totals (sums to `offered` — the runtime is
+    /// lossless).
+    pub outcomes: OutcomeTotals,
+    /// Mean delay (queueing + service) over recorded packets, µs.
+    pub mean_delay_us: f64,
+    /// Mean modeled service time over recorded packets, µs.
+    pub mean_service_us: f64,
+    /// Mean queueing wait over recorded packets, µs.
+    pub mean_wait_us: f64,
+    /// Largest recorded delay, µs.
+    pub max_delay_us: f64,
+    /// Packets included in the delay statistics (post-warm-up).
+    pub recorded: u64,
+    /// Total steals across workers.
+    pub steals: u64,
+    /// Total stream-state migrations across workers.
+    pub stream_migrations: u64,
+    /// Total thread-stack migrations across workers.
+    pub thread_migrations: u64,
+    /// Last arrival stamp, µs (the offered horizon).
+    pub last_arrival_us: f64,
+    /// Largest final worker vclock, µs (the virtual makespan).
+    pub makespan_us: f64,
+    /// Whether every worker's pin attempt succeeded.
+    pub all_pinned: bool,
+    /// Per-worker telemetry.
+    pub per_worker: Vec<WorkerStats>,
+    /// Delivered packets per stream (from the engines' session tables).
+    pub per_stream_delivered: Vec<u64>,
+}
+
+impl NativeReport {
+    /// Project this report onto the simulator's [`RunReport`] shape so
+    /// shared analysis and CSV tooling can consume either backend.
+    pub fn to_run_report(&self) -> RunReport {
+        let makespan_s = (self.makespan_us / 1e6).max(1e-12);
+        let horizon_s = (self.last_arrival_us / 1e6).max(1e-12);
+        let busy_us: f64 = self.per_worker.iter().map(|w| w.busy_us).sum();
+        let mut r = RunReport::empty();
+        r.mean_delay_us = self.mean_delay_us;
+        r.max_delay_us = self.max_delay_us;
+        r.mean_service_us = self.mean_service_us;
+        r.throughput_pps = self.outcomes.delivered as f64 / makespan_s;
+        r.offered_pps = self.offered as f64 / horizon_s;
+        r.delivered = self.outcomes.delivered;
+        r.arrivals = self.offered;
+        r.utilization = busy_us / 1e6 / (makespan_s * self.workers.max(1) as f64);
+        r.stream_migration_rate =
+            self.stream_migrations as f64 / self.outcomes.total().max(1) as f64;
+        r.thread_migration_rate =
+            self.thread_migrations as f64 / self.outcomes.total().max(1) as f64;
+        r.per_proc_served = self.per_worker.iter().map(|w| w.processed).collect();
+        r.goodput_pps = r.throughput_pps;
+        r.stable = self.outcomes.total() == self.offered;
+        r
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    bytes: Vec<u8>,
+    stream: StreamId,
+    arrival_us: f64,
+    /// Pool thread to run as (`u32::MAX` = use the worker's own thread).
+    thread: u32,
+    /// Whether this packet counts toward the statistics (post-warm-up).
+    record: bool,
+}
+
+/// What each worker thread hands back on join.
+struct WorkerResult {
+    stats: WorkerStats,
+    delay: Welford,
+    service: Welford,
+    wait: Welford,
+    outcomes: OutcomeTotals,
+}
+
+/// Run the workload under `cfg`, choosing the pinner from
+/// [`NativeConfig::pinning`].
+pub fn run_native(cfg: &NativeConfig, workload: Vec<NativePacket>) -> NativeReport {
+    match cfg.pinning {
+        Pinning::Auto => run_native_with_pinner(cfg, workload, &OsPinner),
+        Pinning::Off => run_native_with_pinner(cfg, workload, &NoopPinner),
+    }
+}
+
+/// Run the workload with an explicit [`CorePinner`] (tests inject
+/// recording or no-op pinners here).
+pub fn run_native_with_pinner(
+    cfg: &NativeConfig,
+    workload: Vec<NativePacket>,
+    pinner: &dyn CorePinner,
+) -> NativeReport {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(
+        (0.0..1.0).contains(&cfg.warmup_frac),
+        "warmup_frac must be in [0, 1)"
+    );
+    let w = cfg.workers;
+    let offered = workload.len() as u64;
+    let n_streams = workload
+        .iter()
+        .map(|p| p.stream.0 + 1)
+        .max()
+        .unwrap_or(0) as usize;
+    let last_arrival_us = workload.last().map_or(0.0, |p| p.arrival_us);
+    let warmup_cut_us = cfg.warmup_frac * last_arrival_us;
+
+    // Engines: one shared stack for the locked policies, one per worker
+    // for IPS. Streams bind to the stack that owns them.
+    let shared_stack = !matches!(cfg.policy, NativePolicy::Ips { .. });
+    let n_stacks = if shared_stack { 1 } else { w };
+    let engines: Vec<Mutex<ProtocolEngine>> = (0..n_stacks)
+        .map(|stack| {
+            let mut e = ProtocolEngine::new(cfg.cost);
+            for s in 0..n_streams as u32 {
+                if shared_stack || owner_of(StreamId(s), w) == stack {
+                    e.bind_stream(StreamId(s));
+                }
+            }
+            Mutex::new(e)
+        })
+        .collect();
+
+    // Run queues: one shared ring for LockingPool, one per worker
+    // otherwise. Sized so the shared ring has the same aggregate
+    // capacity as the per-worker rings.
+    let pooled = matches!(cfg.policy, NativePolicy::LockingPool);
+    let queues: Vec<RingQueue<Job>> = if pooled {
+        vec![RingQueue::with_capacity(cfg.queue_capacity * w)]
+    } else {
+        (0..w)
+            .map(|_| RingQueue::with_capacity(cfg.queue_capacity))
+            .collect()
+    };
+
+    // Shared last-owner tables: the migration detector. `u32::MAX`
+    // means "never touched".
+    let last_stream_worker: Vec<AtomicU32> =
+        (0..n_streams).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let last_thread_worker: Vec<AtomicU32> = (0..w).map(|_| AtomicU32::new(u32::MAX)).collect();
+    // Published per-worker virtual clocks (f64 bit patterns; nonnegative
+    // floats order the same as their bits). Host-time races must not
+    // leak into virtual-time results: the shared-pool pop and the steal
+    // decision consult these so scheduling choices are made on virtual
+    // load, not on which thread the host mutex happened to favour.
+    let vclocks: Vec<AtomicU64> = (0..w).map(|_| AtomicU64::new(0)).collect();
+    let done = AtomicBool::new(false);
+    let lock_cycles = lock_overhead_cycles(&cfg.cost);
+
+    let mut results: Vec<WorkerResult> = Vec::with_capacity(w);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(w);
+        for wid in 0..w {
+            let ctx = WorkerCtx {
+                wid,
+                cfg,
+                pinner,
+                engines: &engines,
+                queues: &queues,
+                last_stream_worker: &last_stream_worker,
+                last_thread_worker: &last_thread_worker,
+                vclocks: &vclocks,
+                done: &done,
+                lock_cycles,
+            };
+            handles.push(scope.spawn(move || worker_loop(ctx)));
+        }
+
+        // The dispatcher runs on this thread: replay arrivals in order,
+        // blocking (yield-spin) on a full ring so nothing is dropped.
+        let factory = RngFactory::new(cfg.seed);
+        let mut place = factory.stream("native-placement");
+        for (seq, pkt) in workload.into_iter().enumerate() {
+            let (target, thread) = match cfg.policy {
+                NativePolicy::Oblivious => (place.gen_range(0..w), (seq % w) as u32),
+                NativePolicy::LockingPool => (0, u32::MAX),
+                NativePolicy::Ips { .. } => (owner_of(pkt.stream, w), u32::MAX),
+            };
+            let mut job = Job {
+                bytes: pkt.bytes,
+                stream: pkt.stream,
+                arrival_us: pkt.arrival_us,
+                thread,
+                record: pkt.arrival_us >= warmup_cut_us,
+            };
+            loop {
+                match queues[target].push(job) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        job = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+
+    // Merge worker statistics.
+    let mut delay = Welford::new();
+    let mut service = Welford::new();
+    let mut wait = Welford::new();
+    let mut outcomes = OutcomeTotals::default();
+    for r in &results {
+        delay.merge(&r.delay);
+        service.merge(&r.service);
+        wait.merge(&r.wait);
+        outcomes.delivered += r.outcomes.delivered;
+        outcomes.no_session += r.outcomes.no_session;
+        outcomes.queue_full += r.outcomes.queue_full;
+        outcomes.rejected += r.outcomes.rejected;
+    }
+    let per_worker: Vec<WorkerStats> = results.iter().map(|r| r.stats.clone()).collect();
+    let per_stream_delivered: Vec<u64> = (0..n_streams as u32)
+        .map(|s| {
+            engines
+                .iter()
+                .filter_map(|e| e.lock().table.session(StreamId(s)).map(|ss| ss.packets))
+                .sum()
+        })
+        .collect();
+
+    NativeReport {
+        policy: cfg.policy.label(),
+        workers: w,
+        offered,
+        outcomes,
+        mean_delay_us: delay.mean(),
+        mean_service_us: service.mean(),
+        mean_wait_us: wait.mean(),
+        max_delay_us: delay.max(),
+        recorded: delay.count(),
+        steals: per_worker.iter().map(|s| s.steals).sum(),
+        stream_migrations: per_worker.iter().map(|s| s.stream_migrations).sum(),
+        thread_migrations: per_worker.iter().map(|s| s.thread_migrations).sum(),
+        last_arrival_us,
+        makespan_us: per_worker.iter().map(|s| s.vclock_us).fold(0.0, f64::max),
+        all_pinned: per_worker.iter().all(|s| s.pinned),
+        per_worker,
+        per_stream_delivered,
+    }
+}
+
+/// Everything a worker thread borrows from the runtime.
+struct WorkerCtx<'a> {
+    wid: usize,
+    cfg: &'a NativeConfig,
+    pinner: &'a dyn CorePinner,
+    engines: &'a [Mutex<ProtocolEngine>],
+    queues: &'a [RingQueue<Job>],
+    last_stream_worker: &'a [AtomicU32],
+    last_thread_worker: &'a [AtomicU32],
+    vclocks: &'a [AtomicU64],
+    done: &'a AtomicBool,
+    lock_cycles: f64,
+}
+
+fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
+    let WorkerCtx {
+        wid,
+        cfg,
+        pinner,
+        engines,
+        queues,
+        last_stream_worker,
+        last_thread_worker,
+        vclocks,
+        done,
+        lock_cycles,
+    } = ctx;
+    let core = wid % pinner.cores().max(1);
+    let pinned = matches!(cfg.pinning, Pinning::Auto) && pinner.pin_current(core).is_ok();
+
+    let mut hier = cfg.cost.hierarchy();
+    let layout = MemLayout::new();
+    let mut stats = WorkerStats {
+        worker: wid,
+        core,
+        pinned,
+        processed: 0,
+        delivered: 0,
+        steals: 0,
+        lock_contended: 0,
+        stream_migrations: 0,
+        thread_migrations: 0,
+        max_queue_depth: 0,
+        busy_us: 0.0,
+        vclock_us: 0.0,
+    };
+    let mut delay = Welford::new();
+    let mut service = Welford::new();
+    let mut wait = Welford::new();
+    let mut outcomes = OutcomeTotals::default();
+    let mut vclock = 0.0f64;
+    let mut slot = 0u32;
+
+    let pooled = matches!(cfg.policy, NativePolicy::LockingPool);
+    let my_queue = if pooled { &queues[0] } else { &queues[wid] };
+    let steal = match cfg.policy {
+        NativePolicy::Ips { steal } => steal,
+        _ => None,
+    };
+
+    // One packet's full processing: migration purges, lock acquisition
+    // (with overhead charge where the policy pays it), the real receive
+    // path, and virtual-clock advance.
+    let process = |job: Job,
+                       stack: usize,
+                       stolen: bool,
+                       hier: &mut MemoryHierarchy,
+                       stats: &mut WorkerStats,
+                       vclock: &mut f64,
+                       slot: &mut u32,
+                       delay: &mut Welford,
+                       service: &mut Welford,
+                       wait: &mut Welford,
+                       outcomes: &mut OutcomeTotals| {
+        let me = wid as u32;
+        // Stream-state migration: if another worker touched this
+        // stream's state last, its lines are not in our caches.
+        let s = job.stream.0 as usize;
+        if s < last_stream_worker.len() {
+            let prev = last_stream_worker[s].swap(me, Ordering::AcqRel);
+            if prev != me {
+                if prev != u32::MAX {
+                    stats.stream_migrations += 1;
+                }
+                hier.purge_range(
+                    layout.stream(job.stream.0),
+                    cfg.cost.stream_read_bytes + cfg.cost.stream_write_bytes,
+                );
+            }
+        }
+        // Thread-stack migration (pool threads under Oblivious).
+        let tid = if job.thread == u32::MAX { me } else { job.thread };
+        let t = tid as usize;
+        if t < last_thread_worker.len() {
+            let prev = last_thread_worker[t].swap(me, Ordering::AcqRel);
+            if prev != me {
+                if prev != u32::MAX {
+                    stats.thread_migrations += 1;
+                }
+                hier.purge_range(
+                    layout.thread(tid),
+                    cfg.cost.thread_read_bytes + cfg.cost.thread_write_bytes,
+                );
+            }
+        }
+        // Packet buffers arrive DMA-cold, as in the calibration runs.
+        hier.purge_region(Region::PacketData);
+
+        let frame = RxFrame {
+            bytes: job.bytes,
+            stream: job.stream,
+            buf_addr: layout.packet(*slot % 8),
+        };
+        *slot = slot.wrapping_add(1);
+
+        let start_cycles = hier.stats.cycles;
+        let locked_path = shared_locked(&cfg.policy) || stolen;
+        let outcome = {
+            let engine = &engines[stack];
+            let mut guard = match engine.try_lock() {
+                Some(g) => g,
+                None => {
+                    stats.lock_contended += 1;
+                    engine.lock()
+                }
+            };
+            if locked_path {
+                hier.charge_cycles(lock_cycles);
+            }
+            let outcome = guard.receive_outcome(hier, &frame, ThreadId(tid));
+            // The user process reads each datagram as it lands (its cost
+            // is already priced into the receive path's user stage);
+            // without this the 64-deep session queue would overflow on
+            // any run longer than it.
+            if outcome.is_delivered() {
+                if let Some(session) = guard.table.session_mut(frame.stream) {
+                    session.consume();
+                }
+            }
+            outcome
+        };
+        let service_us = hier
+            .platform()
+            .cycles_to_us(hier.stats.cycles - start_cycles);
+
+        let start_v = vclock.max(job.arrival_us);
+        let wait_us = start_v - job.arrival_us;
+        *vclock = start_v + service_us;
+        stats.processed += 1;
+        stats.busy_us += service_us;
+        if stolen {
+            stats.steals += 1;
+        }
+        match outcome {
+            RxOutcome::Delivered(_) => {
+                stats.delivered += 1;
+                outcomes.delivered += 1;
+            }
+            RxOutcome::Dropped { reason, .. } => match reason {
+                DropReason::NoSession(_) => outcomes.no_session += 1,
+                DropReason::UserQueueFull(_) => outcomes.queue_full += 1,
+            },
+            RxOutcome::Error { .. } => outcomes.rejected += 1,
+        }
+        if job.record {
+            delay.add(*vclock - job.arrival_us);
+            service.add(service_us);
+            wait.add(wait_us);
+        }
+        vclocks[wid].store(vclock.to_bits(), Ordering::Release);
+    };
+
+    loop {
+        stats.max_queue_depth = stats.max_queue_depth.max(my_queue.len());
+        // Shared-pool gate: the modeled system is a work-conserving
+        // multi-server FIFO queue, so the next pooled packet belongs to
+        // the *virtually* least-loaded worker. Without this gate the
+        // host mutex's (unfair) wake order decides who pops, and a
+        // barging thread serializes the pool in virtual time.
+        let may_pop = !pooled
+            || vclock.to_bits()
+                <= vclocks
+                    .iter()
+                    .map(|c| c.load(Ordering::Acquire))
+                    .min()
+                    .unwrap_or(0);
+        if may_pop {
+            if let Some(job) = my_queue.pop() {
+                let stack = if shared_locked(&cfg.policy) { 0 } else { wid };
+                process(
+                    job, stack, false, &mut hier, &mut stats, &mut vclock, &mut slot, &mut delay,
+                    &mut service, &mut wait, &mut outcomes,
+                );
+                continue;
+            }
+        }
+        // Own queue empty: under IPS-with-stealing, relieve the deepest
+        // eligible victim — but only one that is *virtually* behind us
+        // (its clock lags ours means its backlog is real work waiting,
+        // not just future arrivals the dispatcher pre-staged).
+        if let Some(sp) = steal {
+            let mut victim = None;
+            let mut deepest = sp.threshold.max(1);
+            for (v, q) in queues.iter().enumerate() {
+                if v == wid {
+                    continue;
+                }
+                let depth = q.len();
+                if depth >= deepest
+                    && vclocks[v].load(Ordering::Acquire) > vclock.to_bits()
+                {
+                    deepest = depth;
+                    victim = Some(v);
+                }
+            }
+            if let Some(v) = victim {
+                let mut got = 0;
+                while got < sp.max_batch.max(1) {
+                    match queues[v].pop() {
+                        Some(job) => {
+                            // Stolen packets run on the *victim's* stack
+                            // (that's where the session lives) under its
+                            // lock — the steal handoff.
+                            process(
+                                job, v, true, &mut hier, &mut stats, &mut vclock, &mut slot,
+                                &mut delay, &mut service, &mut wait, &mut outcomes,
+                            );
+                            got += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if got > 0 {
+                    continue;
+                }
+            }
+        }
+        if done.load(Ordering::Acquire) && queues.iter().all(|q| q.is_empty()) {
+            break;
+        }
+        std::thread::yield_now();
+    }
+
+    // Drop out of the min-vclock race so remaining pooled workers never
+    // wait on an exited peer's frozen clock.
+    vclocks[wid].store(f64::INFINITY.to_bits(), Ordering::Release);
+    stats.vclock_us = vclock;
+    WorkerResult {
+        stats,
+        delay,
+        service,
+        wait,
+        outcomes,
+    }
+}
+
+/// Whether every packet under this policy goes through the shared
+/// locked stack.
+fn shared_locked(policy: &NativePolicy) -> bool {
+    matches!(
+        policy,
+        NativePolicy::Oblivious | NativePolicy::LockingPool
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workload(streams: u32, per_stream: u32) -> Vec<NativePacket> {
+        poisson_workload(streams, per_stream, 2_000.0, 32, 7)
+    }
+
+    fn cfg(workers: usize, policy: NativePolicy) -> NativeConfig {
+        let mut c = NativeConfig::new(workers, policy);
+        c.pinning = Pinning::Off;
+        c
+    }
+
+    #[test]
+    fn workload_is_sorted_and_complete() {
+        let w = small_workload(4, 25);
+        assert_eq!(w.len(), 100);
+        assert!(w.windows(2).all(|p| p[0].arrival_us <= p[1].arrival_us));
+        assert!(w.iter().all(|p| p.stream.0 < 4));
+        // Deterministic for a fixed seed.
+        let again = small_workload(4, 25);
+        assert_eq!(w.len(), again.len());
+        assert!(w
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| a.arrival_us == b.arrival_us && a.stream == b.stream));
+    }
+
+    #[test]
+    fn every_policy_is_lossless() {
+        for policy in [
+            NativePolicy::Oblivious,
+            NativePolicy::LockingPool,
+            NativePolicy::Ips {
+                steal: Some(StealPolicy::default()),
+            },
+            NativePolicy::Ips { steal: None },
+        ] {
+            let r = run_native(&cfg(3, policy), small_workload(6, 20));
+            assert_eq!(r.offered, 120, "{policy:?}");
+            assert_eq!(r.outcomes.total(), 120, "{policy:?}");
+            assert_eq!(r.outcomes.delivered, 120, "{policy:?}");
+            assert_eq!(r.per_stream_delivered, vec![20; 6], "{policy:?}");
+            assert!(r.mean_delay_us > 0.0 && r.mean_service_us > 0.0);
+            assert!(r.recorded > 0 && r.recorded <= 120);
+        }
+    }
+
+    #[test]
+    fn ips_without_steal_partitions_streams() {
+        let r = run_native(&cfg(2, NativePolicy::Ips { steal: None }), small_workload(4, 30));
+        assert_eq!(r.steals, 0);
+        // Strict partitioning: stream state never migrates.
+        assert_eq!(r.stream_migrations, 0);
+        assert_eq!(r.thread_migrations, 0);
+    }
+
+    #[test]
+    fn oblivious_migrates_more_than_ips() {
+        let workload = small_workload(8, 40);
+        let obl = run_native(&cfg(4, NativePolicy::Oblivious), workload.clone());
+        let ips = run_native(
+            &cfg(4, NativePolicy::Ips { steal: Some(StealPolicy::default()) }),
+            workload,
+        );
+        assert!(
+            obl.stream_migrations > ips.stream_migrations,
+            "oblivious {} vs ips {}",
+            obl.stream_migrations,
+            ips.stream_migrations
+        );
+    }
+
+    #[test]
+    fn single_worker_all_policies_agree_on_accounting() {
+        let w = small_workload(3, 10);
+        for policy in [
+            NativePolicy::Oblivious,
+            NativePolicy::LockingPool,
+            NativePolicy::Ips { steal: None },
+        ] {
+            let r = run_native(&cfg(1, policy), w.clone());
+            assert_eq!(r.outcomes.delivered, 30);
+            assert_eq!(r.per_worker.len(), 1);
+            assert_eq!(r.per_worker[0].processed, 30);
+        }
+    }
+
+    #[test]
+    fn run_report_projection_is_consistent() {
+        let r = run_native(&cfg(2, NativePolicy::LockingPool), small_workload(4, 25));
+        let rr = r.to_run_report();
+        assert_eq!(rr.delivered, r.outcomes.delivered);
+        assert_eq!(rr.arrivals, r.offered);
+        assert!(rr.stable);
+        assert!(rr.utilization > 0.0 && rr.utilization <= 1.0);
+        assert_eq!(rr.per_proc_served.len(), 2);
+        assert_eq!(
+            rr.per_proc_served.iter().sum::<u64>(),
+            r.offered
+        );
+    }
+
+    #[test]
+    fn steal_relieves_a_loaded_owner() {
+        // Two workers, but every stream is owned by worker 0 (even ids
+        // under the modulo partition): worker 1 has nothing of its own
+        // and must steal once worker 0 falls virtually behind.
+        use afs_xkernel::driver::PacketFactory;
+        let mut factory = PacketFactory::new();
+        let mut workload = Vec::new();
+        let mut t = 0.0;
+        for i in 0..200u32 {
+            let s = StreamId(if i % 2 == 0 { 0 } else { 2 });
+            t += 60.0; // 60 µs spacing: far past one worker's capacity
+            workload.push(NativePacket {
+                bytes: factory.frame_for(s, 32),
+                stream: s,
+                arrival_us: t,
+            });
+        }
+        let mut c = cfg(
+            2,
+            NativePolicy::Ips {
+                steal: Some(StealPolicy::default()),
+            },
+        );
+        c.queue_capacity = 16; // keep the ring backlog visible to thieves
+        let r = run_native(&c, workload);
+        assert_eq!(r.outcomes.total(), 200);
+        assert_eq!(r.outcomes.delivered, 200);
+        assert!(r.steals > 0, "idle worker must relieve the loaded owner");
+        let thief = &r.per_worker[1];
+        assert!(thief.steals > 0 && thief.processed == thief.steals);
+    }
+
+    #[test]
+    fn warmup_excludes_early_packets() {
+        let mut c = cfg(1, NativePolicy::LockingPool);
+        c.warmup_frac = 0.5;
+        let r = run_native(&c, small_workload(2, 40));
+        assert_eq!(r.outcomes.total(), 80);
+        assert!(r.recorded < 80, "warm-up must trim the sample");
+    }
+}

@@ -94,6 +94,17 @@ const LOCKS_PER_PACKET: f64 = 6.0;
 /// protected structure's dirty line bounce between processors).
 const LOCK_REMOTE_LINES: f64 = 2.0;
 
+/// Per-packet cycle cost of the Locking paradigm's lock/unlock pairs
+/// (instruction cost plus remote-line transfers). The native backend
+/// charges exactly this to its per-worker cycle model so simulator and
+/// native runs price synchronization identically;
+/// [`Calibration::lock_overhead_us`] is this value at the platform clock.
+pub fn lock_overhead_cycles(cost: &CostModel) -> f64 {
+    let platform = cost.platform();
+    LOCKS_PER_PACKET
+        * (LOCK_INSTRS_PER_PAIR * cost.cpi + LOCK_REMOTE_LINES * platform.remote_penalty_cycles)
+}
+
 /// One experiment: run packets with `prep` applied to the hierarchy
 /// before each measured packet; returns the mean per-packet µs.
 fn run_state_experiment(
@@ -172,9 +183,7 @@ pub fn calibrate(cost: &CostModel) -> Calibration {
     let raw_sum = (raw_thread + raw_stream + raw_code).max(1e-9);
 
     let platform = cost.platform();
-    let lock_overhead_us = LOCKS_PER_PACKET
-        * (LOCK_INSTRS_PER_PAIR * cost.cpi / platform.clock_hz * 1e6
-            + LOCK_REMOTE_LINES * platform.cycles_to_us(platform.remote_penalty_cycles));
+    let lock_overhead_us = platform.cycles_to_us(lock_overhead_cycles(cost));
 
     Calibration {
         bounds: TimeBounds::new(t_warm, t_l2.clamp(t_warm, t_cold), t_cold),

@@ -43,7 +43,7 @@ pub mod proto;
 pub mod tcp;
 pub mod udp;
 
-pub use calib::{calibrate, Calibration};
+pub use calib::{calibrate, lock_overhead_cycles, Calibration};
 pub use engine::{
     CostModel, DropReason, PacketTiming, ProtocolEngine, RxError, RxLayer, RxOutcome,
 };

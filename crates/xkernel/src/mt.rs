@@ -17,6 +17,12 @@
 //! This harness validates functional equivalence — both paradigms
 //! deliver every packet to the right session — and exposes contention
 //! counters.
+//!
+//! The `afs-native` crate builds on this substrate: it adds core
+//! pinning, per-worker ring run-queues, affinity-aware work stealing and
+//! per-packet cycle-model accounting, and cross-validates the resulting
+//! policy ordering against the simulator. The stream→stack partition
+//! rule ([`owner_of`]) is shared so both backends agree on ownership.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,6 +34,13 @@ use crate::driver::PacketFactory;
 use crate::engine::{CostModel, ProtocolEngine};
 use crate::mem::MemLayout;
 use crate::proto::{StreamId, ThreadId};
+
+/// The worker/stack index that owns `stream` under the static modulo
+/// partition over `n` stacks — the IPS assignment rule shared by this
+/// harness, the `afs-core` simulator and the `afs-native` backend.
+pub fn owner_of(stream: StreamId, n: usize) -> usize {
+    stream.0 as usize % n.max(1)
+}
 
 /// Outcome of a multi-threaded run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,7 +144,7 @@ pub fn run_ips(workers: usize, streams: u32, packets_per_stream: u32) -> MtRepor
                 let mut engine = ProtocolEngine::new(CostModel::default());
                 // This stack owns the streams assigned to it.
                 for s in 0..streams {
-                    if s as usize % workers == wid {
+                    if owner_of(StreamId(s), workers) == wid {
                         engine.bind_stream(StreamId(s));
                     }
                 }
@@ -159,7 +172,7 @@ pub fn run_ips(workers: usize, streams: u32, packets_per_stream: u32) -> MtRepor
         for _ in 0..packets_per_stream {
             for s in 0..streams {
                 let frame = factory.frame_for(StreamId(s), 16);
-                senders[s as usize % workers]
+                senders[owner_of(StreamId(s), workers)]
                     .send((StreamId(s), frame))
                     .expect("worker alive");
             }

@@ -6,8 +6,11 @@
 //! requires that every input terminates in a *typed* outcome — never a
 //! panic — with partial work charged on rejection.
 //!
-//! Five suites × 256 cases = 1280 cases per run (the vendored proptest
-//! honours `PROPTEST_CASES` as a global cap for CI smoke runs).
+//! Six suites × 256 cases = 1536 cases per run (the vendored proptest
+//! honours `PROPTEST_CASES` as a global cap for CI smoke runs). The
+//! final suite replays injector-damaged traffic through the native
+//! pinned-thread backend and cross-checks its typed-outcome accounting
+//! against a single-engine reference.
 
 use proptest::prelude::*;
 
@@ -161,5 +164,90 @@ proptest! {
             "undamaged frames must deliver: {delivered} + 2*{damaged} < {}",
             emitted.len()
         );
+    }
+
+    /// The native pinned-thread backend fed the same fault-injected
+    /// traffic: its goodput accounting must be lossless (every offered
+    /// frame lands in exactly one typed-outcome bucket) and must agree
+    /// with a single-engine replay of the identical wire bytes — the
+    /// deliver/reject verdict depends on the frame, never on which
+    /// worker, cache, or interleaving processed it.
+    #[test]
+    fn native_backend_accounts_for_fault_injected_traffic(
+        seed in any::<u64>(),
+        n_frames in 1usize..60,
+        workers in 1usize..4,
+        drop_p in 0.0f64..0.4,
+        corrupt_p in 0.0f64..0.4,
+        truncate_p in 0.0f64..0.4,
+    ) {
+        use afs_native::{run_native, NativeConfig, NativePacket, NativePolicy, Pinning, StealPolicy};
+
+        let plan = FaultPlan {
+            drop_p,
+            corrupt_p,
+            truncate_p,
+            duplicate_p: 0.2,
+            reorder_p: 0.2,
+            ..FaultPlan::none()
+        };
+        let factory_rng = RngFactory::new(seed);
+        let mut inj = FaultInjector::from_factory(plan, &factory_rng);
+        let mut packets = PacketFactory::new();
+        let streams = 4u32;
+        let mut emitted = Vec::new();
+        for i in 0..n_frames {
+            let s = i as u32 % streams;
+            let frame = frame_at(packets.frame_for(StreamId(s), 32 + i % 256), s, i as u32);
+            emitted.extend(inj.admit(frame));
+        }
+        emitted.extend(inj.flush());
+
+        // Reference verdicts: one engine, one thread, same bytes.
+        let mut eng = ProtocolEngine::new(CostModel::default());
+        for s in 0..streams {
+            eng.bind_stream(StreamId(s));
+        }
+        let mut hier = CostModel::default().hierarchy();
+        let (mut want_delivered, mut want_dropped, mut want_rejected) = (0u64, 0u64, 0u64);
+        for frame in &emitted {
+            let out = eng.receive_outcome(&mut hier, frame, ThreadId(0));
+            assert_typed(&out);
+            match out {
+                RxOutcome::Delivered(_) => want_delivered += 1,
+                RxOutcome::Dropped { .. } => want_dropped += 1,
+                RxOutcome::Error { .. } => want_rejected += 1,
+            }
+        }
+
+        // Native run over the identical frames (arrivals spaced so the
+        // run exercises real queueing but stays fast).
+        let workload: Vec<NativePacket> = emitted
+            .iter()
+            .enumerate()
+            .map(|(i, f)| NativePacket {
+                bytes: f.bytes.clone(),
+                stream: f.stream,
+                arrival_us: 25.0 * i as f64,
+            })
+            .collect();
+        let mut cfg = NativeConfig::new(
+            workers,
+            NativePolicy::Ips { steal: Some(StealPolicy::default()) },
+        );
+        cfg.pinning = Pinning::Off;
+        let report = run_native(&cfg, workload);
+
+        prop_assert_eq!(report.offered, emitted.len() as u64);
+        prop_assert_eq!(report.outcomes.total(), report.offered, "lost frames");
+        prop_assert_eq!(report.outcomes.delivered, want_delivered);
+        prop_assert_eq!(report.outcomes.rejected, want_rejected);
+        prop_assert_eq!(
+            report.outcomes.no_session + report.outcomes.queue_full,
+            want_dropped
+        );
+        // The runtime drains each user queue on delivery, so overflow
+        // cannot be the native backend's private failure mode here.
+        prop_assert_eq!(report.outcomes.queue_full, 0);
     }
 }

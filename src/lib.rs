@@ -21,6 +21,10 @@
 //!   populations.
 //! * [`core`] — the affinity-scheduling simulator itself: Locking & IPS
 //!   paradigms, scheduling policies, sweeps and analyses.
+//! * [`native`] — the pinned-thread execution backend: the same receive
+//!   path on real OS threads with per-worker run queues and
+//!   affinity-aware work stealing, cross-validated against the
+//!   simulator (`core::crossval`).
 //!
 //! ```
 //! use affinity_sched::prelude::*;
@@ -37,6 +41,7 @@
 pub use afs_cache as cache;
 pub use afs_core as core;
 pub use afs_desim as desim;
+pub use afs_native as native;
 pub use afs_workload as workload;
 pub use afs_xkernel as xkernel;
 

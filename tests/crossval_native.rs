@@ -1,0 +1,108 @@
+//! Cross-validation: the native pinned-thread backend and the
+//! discrete-event simulator must agree on the paper's claims.
+//!
+//! Both backends run the shared smoke scenario from
+//! `afs_core::crossval` (the same matrix `ext22_native --smoke` uses)
+//! and the tests assert the policy *structure* — ordering and the size
+//! of the affinity win — rather than absolute delays, which the two
+//! methodologies price differently by design (see the module docs of
+//! `afs_core::crossval` for the documented tolerances).
+
+use affinity_sched::core::crossval::{
+    relative_improvement, smoke_matrix, CrossPolicy, IMPROVEMENT_TOLERANCE, ORDERING_SLACK,
+};
+use affinity_sched::core::metrics::RunReport;
+use affinity_sched::core::sim::run;
+use affinity_sched::native::crossval::run_scenario;
+use affinity_sched::native::NativeReport;
+
+/// Run the whole smoke matrix once through both backends.
+fn run_matrix() -> Vec<[(RunReport, NativeReport); 3]> {
+    smoke_matrix()
+        .iter()
+        .map(|s| {
+            CrossPolicy::ALL.map(|p| (run(s.sim_config(p)), run_scenario(s, p)))
+        })
+        .collect()
+}
+
+#[test]
+fn backends_agree_on_policy_structure() {
+    for cells in run_matrix() {
+        let [(sim_obl, nat_obl), (sim_lck, nat_lck), (sim_ips, nat_ips)] = &cells;
+
+        // Native bookkeeping: lossless, typed outcomes account for
+        // every offered packet, statistics were actually recorded.
+        for (_, n) in &cells {
+            assert_eq!(n.outcomes.total(), n.offered, "{}: lost packets", n.policy);
+            assert_eq!(n.outcomes.delivered, n.offered, "{}: non-delivery", n.policy);
+            assert!(n.recorded > 0 && n.mean_delay_us > 0.0, "{}: no stats", n.policy);
+        }
+        for (s, _) in &cells {
+            assert!(s.stable, "simulator run went unstable");
+        }
+
+        // Delay ordering IPS <= locking <= oblivious on both backends.
+        assert!(
+            sim_ips.mean_delay_us <= ORDERING_SLACK * sim_lck.mean_delay_us
+                && sim_lck.mean_delay_us <= ORDERING_SLACK * sim_obl.mean_delay_us,
+            "sim ordering broken: ips {:.1} lck {:.1} obl {:.1}",
+            sim_ips.mean_delay_us,
+            sim_lck.mean_delay_us,
+            sim_obl.mean_delay_us
+        );
+        assert!(
+            nat_ips.mean_delay_us <= ORDERING_SLACK * nat_lck.mean_delay_us
+                && nat_lck.mean_delay_us <= ORDERING_SLACK * nat_obl.mean_delay_us,
+            "native ordering broken: ips {:.1} lck {:.1} obl {:.1}",
+            nat_ips.mean_delay_us,
+            nat_lck.mean_delay_us,
+            nat_obl.mean_delay_us
+        );
+
+        // The affinity win (service-time improvement of IPS over the
+        // oblivious baseline) is positive on both backends and its
+        // magnitude agrees within the documented tolerance.
+        let sim_impr = relative_improvement(sim_obl.mean_service_us, sim_ips.mean_service_us);
+        let nat_impr = relative_improvement(nat_obl.mean_service_us, nat_ips.mean_service_us);
+        assert!(
+            sim_impr > 0.0 && nat_impr > 0.0,
+            "affinity win must be positive: sim {sim_impr:.3} native {nat_impr:.3}"
+        );
+        assert!(
+            (sim_impr - nat_impr).abs() <= IMPROVEMENT_TOLERANCE,
+            "improvement bands diverge: sim {sim_impr:.3} native {nat_impr:.3} \
+             (tolerance {IMPROVEMENT_TOLERANCE})"
+        );
+
+        // Migration telemetry: the shared-stack policies bounce stream
+        // state across workers; IPS pins it modulo rare steals.
+        let ips_migr = nat_ips.stream_migrations.max(1);
+        assert!(
+            nat_obl.stream_migrations > 10 * ips_migr
+                && nat_lck.stream_migrations > 10 * ips_migr,
+            "migration telemetry inverted: obl {} lck {} ips {}",
+            nat_obl.stream_migrations,
+            nat_lck.stream_migrations,
+            nat_ips.stream_migrations
+        );
+    }
+}
+
+#[test]
+fn native_backend_is_deterministic_where_promised() {
+    // Oblivious placement and strict-IPS routing are deterministic
+    // functions of the seed; with a single worker even the execution
+    // order is, so the full report must reproduce bit-for-bit.
+    use affinity_sched::native::{
+        poisson_workload, run_native, NativeConfig, NativePolicy, Pinning,
+    };
+    let workload = || poisson_workload(4, 50, 1_000.0, 48, 0xD0_0D);
+    for policy in [NativePolicy::Oblivious, NativePolicy::Ips { steal: None }] {
+        let mut cfg = NativeConfig::new(1, policy);
+        cfg.pinning = Pinning::Off;
+        let a = run_native(&cfg, workload());
+        let b = run_native(&cfg, workload());
+        assert_eq!(a, b, "single-worker {policy:?} run must be reproducible");
+    }
+}

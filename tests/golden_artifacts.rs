@@ -1,0 +1,60 @@
+//! Golden regression: the committed `results/` CSVs for fig06, fig07
+//! and table1 are the contract. Regenerating their rows through the
+//! shared `afs_bench::artifacts` module must reproduce the committed
+//! files byte for byte — if a simulator change perturbs these numbers
+//! it has to be intentional, visible in review as a CSV diff, not a
+//! silent drift.
+//!
+//! The generators are called with `quick = false` so the test checks
+//! the full-horizon artifacts regardless of whether `AFS_QUICK` is set
+//! for the rest of the suite.
+
+use std::fs;
+use std::path::PathBuf;
+
+use afs_bench::artifacts::{self, Artifact};
+
+fn committed(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(format!("{name}.csv"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn assert_golden(artifact: &Artifact) {
+    let want = committed(artifact.name);
+    let got = artifact.csv_bytes();
+    if got != want {
+        // Point at the first diverging line rather than dumping both files.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "results/{}.csv line {} drifted from the committed golden file",
+                artifact.name,
+                i + 1
+            );
+        }
+        panic!(
+            "results/{}.csv changed length: regenerated {} lines, committed {}",
+            artifact.name,
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}
+
+#[test]
+fn table1_csv_is_bit_for_bit_stable() {
+    assert_golden(&artifacts::table1().artifact);
+}
+
+#[test]
+fn fig06_csv_is_bit_for_bit_stable() {
+    assert_golden(&artifacts::fig06(false).artifact);
+}
+
+#[test]
+fn fig07_csv_is_bit_for_bit_stable() {
+    assert_golden(&artifacts::fig07(false).artifact);
+}
