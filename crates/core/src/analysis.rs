@@ -137,6 +137,10 @@ mod tests {
             shed_at_source: 0,
             corrupted: 0,
             wasted_service_frac: 0.0,
+            offered_total: 1000,
+            completed_total: 1000,
+            shed_total: 0,
+            in_flight: 0,
         }
     }
 

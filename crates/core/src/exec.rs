@@ -64,6 +64,14 @@ impl ExecParams {
     pub fn cold_service_us(&self, v_us: f64, locking: bool) -> f64 {
         self.model.bounds.t_cold_us + v_us + if locking { self.lock_overhead_us } else { 0.0 }
     }
+
+    /// The reload-transient portion of a priced protocol time: the
+    /// excess over the warm bound (the paper's `D + RC` displacement
+    /// charge). Zero for a fully warm dispatch. This is what the
+    /// observability layer reports as the per-dispatch cache charge.
+    pub fn reload_transient_us(&self, proto_us: f64) -> f64 {
+        (proto_us - self.model.bounds.t_warm_us).max(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +110,8 @@ mod tests {
         assert_eq!(p.warm_service_us(0.0, false), 150.0);
         assert_eq!(p.warm_service_us(139.0, true), 150.0 + 139.0 + 10.0);
         assert_eq!(p.cold_service_us(0.0, false), 284.3);
+        assert_eq!(p.reload_transient_us(150.0), 0.0);
+        assert_eq!(p.reload_transient_us(140.0), 0.0);
+        assert!((p.reload_transient_us(284.3) - 134.3).abs() < 1e-9);
     }
 }

@@ -27,6 +27,13 @@
 //! * [`trace`] — bounded structured traces of per-packet scheduling
 //!   decisions for debugging and fine-grained analysis.
 //!
+//! The simulator also emits the unified `afs-obs` observability schema:
+//! [`sim::run_observed`] streams every scheduling event (enqueue,
+//! dispatch, cache charge, completion, eviction, queue-depth sample)
+//! through an [`afs_obs::Recorder`], vclock/sim-time stamped, with zero
+//! effect on the metrics — the same schema the native backend emits, so
+//! traces are directly comparable across backends.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -68,7 +75,8 @@ pub mod prelude {
     pub use crate::exec::ExecParams;
     pub use crate::metrics::RunReport;
     pub use crate::replicate::{replicate, ReplicationSummary};
-    pub use crate::sim::run;
+    pub use crate::sim::{run, run_observed};
+    pub use afs_obs::{MemRecorder, NullRecorder, Recorder};
     pub use crate::sweep::{capacity_search, rate_sweep, Series};
     pub use afs_desim::time::{SimDuration, SimTime};
     pub use afs_workload::{ArrivalGen, Population};

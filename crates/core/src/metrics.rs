@@ -48,6 +48,21 @@ pub struct Collector {
     pub corrupt_completions: u64,
     /// Service µs consumed by corrupted packets (post-warmup).
     pub wasted_service_us: f64,
+    /// Packets offered over the *whole* run (warm-up included): every
+    /// arrival the wire produced, whether it was enqueued or shed.
+    pub offered_total: u64,
+    /// Packets that finished service over the whole run (useful or
+    /// corrupt).
+    pub completed_total: u64,
+    /// Packets shed over the whole run (wire drops + queue drops +
+    /// source sheds + evictions).
+    pub shed_total: u64,
+    /// Packets currently enqueued or in service. Unlike the time-weighted
+    /// [`Collector::backlog`], this is an exact integer population count,
+    /// which is what makes the conservation identity
+    /// `offered_total == completed_total + shed_total + in_flight` hold
+    /// exactly at any instant.
+    pub live_backlog: u64,
     /// When set, every completion's delay (µs) is recorded from t = 0,
     /// pre-warmup included — the input for MSER-5 warm-up validation.
     pub full_series: Option<Vec<f64>>,
@@ -77,6 +92,10 @@ impl Collector {
             shed_at_source: 0,
             corrupt_completions: 0,
             wasted_service_us: 0.0,
+            offered_total: 0,
+            completed_total: 0,
+            shed_total: 0,
+            live_backlog: 0,
             full_series: None,
         }
     }
@@ -94,6 +113,8 @@ impl Collector {
     /// Record an arrival (always update backlog; count post-warmup).
     pub fn on_arrival(&mut self, now: SimTime) {
         self.backlog.add(now, 1.0);
+        self.offered_total += 1;
+        self.live_backlog += 1;
         if self.recording(now) {
             self.arrivals += 1;
         }
@@ -103,6 +124,8 @@ impl Collector {
     /// drop, queue overflow, or source shed): it counts toward the
     /// offered load but not the backlog.
     pub fn on_offered_only(&mut self, now: SimTime) {
+        self.offered_total += 1;
+        self.shed_total += 1;
         if self.recording(now) {
             self.arrivals += 1;
         }
@@ -112,6 +135,8 @@ impl Collector {
     /// policy): the backlog shrinks without a completion.
     pub fn on_evicted(&mut self, now: SimTime) {
         self.backlog.add(now, -1.0);
+        self.shed_total += 1;
+        self.live_backlog = self.live_backlog.saturating_sub(1);
         if self.recording(now) {
             self.queue_drops += 1;
         }
@@ -122,6 +147,8 @@ impl Collector {
     /// is delivered.
     pub fn on_corrupt_completion(&mut self, now: SimTime, service: SimDuration) {
         self.backlog.add(now, -1.0);
+        self.completed_total += 1;
+        self.live_backlog = self.live_backlog.saturating_sub(1);
         if !self.recording(now) {
             return;
         }
@@ -140,6 +167,8 @@ impl Collector {
         service: SimDuration,
     ) {
         self.backlog.add(now, -1.0);
+        self.completed_total += 1;
+        self.live_backlog = self.live_backlog.saturating_sub(1);
         if let Some(series) = &mut self.full_series {
             if series.len() < 500_000 {
                 series.push(now.since(arrival).as_micros_f64());
@@ -236,6 +265,10 @@ impl Collector {
             } else {
                 0.0
             },
+            offered_total: self.offered_total,
+            completed_total: self.completed_total,
+            shed_total: self.shed_total,
+            in_flight: self.live_backlog,
         }
     }
 }
@@ -300,6 +333,18 @@ pub struct RunReport {
     /// Fraction of protocol busy time wasted on corrupted packets — the
     /// degradation-curve companion to `goodput_pps`.
     pub wasted_service_frac: f64,
+    /// Packets offered over the whole run, warm-up included.
+    pub offered_total: u64,
+    /// Packets that finished service over the whole run (useful or
+    /// corrupt).
+    pub completed_total: u64,
+    /// Packets shed over the whole run (wire + queue + source +
+    /// eviction).
+    pub shed_total: u64,
+    /// Packets still enqueued or in service at the end of the run. The
+    /// conservation identity `offered_total == completed_total +
+    /// shed_total + in_flight` holds exactly for every drop policy.
+    pub in_flight: u64,
 }
 
 impl RunReport {
@@ -334,6 +379,10 @@ impl RunReport {
             shed_at_source: 0,
             corrupted: 0,
             wasted_service_frac: 0.0,
+            offered_total: 0,
+            completed_total: 0,
+            shed_total: 0,
+            in_flight: 0,
         }
     }
 }
@@ -400,6 +449,31 @@ mod tests {
         }
         let r = c.report(t(250_000), 1);
         assert!(!r.stable, "should flag growth: {r:?}");
+    }
+
+    #[test]
+    fn conservation_identity_holds_across_outcomes() {
+        let mut c = Collector::new(t(1000), 1);
+        // Mix every outcome, some before the warm-up boundary: the
+        // whole-run totals must balance regardless.
+        c.on_arrival(t(100)); // completes below
+        c.on_offered_only(t(200)); // wire drop pre-warmup
+        c.on_completion(t(500), t(100), 0, SimDuration::from_micros(100));
+        c.on_arrival(t(1500)); // evicted below
+        c.on_evicted(t(1600));
+        c.on_arrival(t(1700)); // corrupt completion below
+        c.on_corrupt_completion(t(1900), SimDuration::from_micros(50));
+        c.on_arrival(t(2000)); // still in flight
+        c.on_offered_only(t(2100)); // shed post-warmup
+        let r = c.report(t(3000), 1);
+        assert_eq!(r.offered_total, 6);
+        assert_eq!(r.completed_total, 2);
+        assert_eq!(r.shed_total, 3);
+        assert_eq!(r.in_flight, 1);
+        assert_eq!(
+            r.offered_total,
+            r.completed_total + r.shed_total + r.in_flight
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use afs_cache::model::exec_time::{Age, ComponentAges};
 use afs_desim::engine::{Engine, Scheduler, Simulate};
 use afs_desim::rng::RngFactory;
 use afs_desim::time::{SimDuration, SimTime};
+use afs_obs::{ChargeKind, EngineProbe, ObsEvent, Recorder, SHARED_QUEUE};
 use afs_workload::ArrivalGen;
 
 use crate::config::{DropPolicy, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
@@ -60,7 +61,11 @@ struct StackState {
 }
 
 /// The simulator model.
-pub struct SchedSim {
+///
+/// The lifetime parameter scopes the optional observability recorder
+/// ([`SchedSim::obs`]); plain runs use the elided `'_` and never notice
+/// it.
+pub struct SchedSim<'r> {
     cfg: SystemConfig,
     procs: Vec<ProcState>,
     /// Protocol threads (Locking). Under per-processor pools thread `p`
@@ -101,9 +106,16 @@ pub struct SchedSim {
     pub collector: Collector,
     /// Optional structured scheduling trace.
     pub trace: Option<SchedTrace>,
+    /// Optional observability recorder (the unified `afs-obs` schema).
+    /// Events are emitted for the whole run, warm-up included, and
+    /// recording is pure observation: attaching a recorder changes no
+    /// metric and no golden-artifact byte.
+    pub obs: Option<&'r mut dyn Recorder>,
+    /// Next per-packet observability sequence number.
+    next_seq: u64,
 }
 
-impl SchedSim {
+impl<'r> SchedSim<'r> {
     /// Build the model and note per-stream generators.
     pub fn new(cfg: SystemConfig) -> Self {
         cfg.validate();
@@ -146,6 +158,8 @@ impl SchedSim {
             pending_service: vec![SimDuration::ZERO; n],
             collector: Collector::new(SimTime::from_micros_f64(warm_us), k),
             trace: None,
+            obs: None,
+            next_seq: 0,
             cfg,
         }
     }
@@ -157,26 +171,37 @@ impl SchedSim {
 
     /// Route a freshly arrived packet to its queue.
     fn enqueue(&mut self, pkt: Packet) {
-        match &self.cfg.paradigm {
+        let (queue, depth) = match &self.cfg.paradigm {
             Paradigm::Locking { policy } => match policy {
                 LockPolicy::Wired => {
                     let p = pkt.stream as usize % self.cfg.n_procs;
                     self.proc_q[p].push_back(pkt);
+                    (p as u32, self.proc_q[p].len())
                 }
-                LockPolicy::Hybrid { wired } => {
-                    if wired[pkt.stream as usize] {
-                        let p = pkt.stream as usize % self.cfg.n_procs;
-                        self.proc_q[p].push_back(pkt);
-                    } else {
-                        self.global_q.push_back(pkt);
-                    }
+                LockPolicy::Hybrid { wired } if wired[pkt.stream as usize] => {
+                    let p = pkt.stream as usize % self.cfg.n_procs;
+                    self.proc_q[p].push_back(pkt);
+                    (p as u32, self.proc_q[p].len())
                 }
-                _ => self.global_q.push_back(pkt),
+                _ => {
+                    self.global_q.push_back(pkt);
+                    (SHARED_QUEUE, self.global_q.len())
+                }
             },
             Paradigm::Ips { .. } => {
                 let w = self.stream_to_stack[pkt.stream as usize] as usize;
                 self.stacks[w].queue.push_back(pkt);
+                (w as u32, self.stacks[w].queue.len())
             }
+        };
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.record(ObsEvent::Enqueue {
+                t_us: pkt.arrival.as_micros_f64(),
+                seq: pkt.seq,
+                stream: pkt.stream,
+                queue,
+                depth: depth as u32,
+            });
         }
     }
 
@@ -216,15 +241,28 @@ impl SchedSim {
         let global_len = self.global_q.len();
         let proc_len = longest_proc.map_or(0, |p| self.proc_q[p].len());
         let stack_len = longest_stack.map_or(0, |w| self.stacks[w].queue.len());
-        let evicted = if global_len >= proc_len && global_len >= stack_len {
-            self.global_q.pop_front()
+        let (evicted, queue) = if global_len >= proc_len && global_len >= stack_len {
+            (self.global_q.pop_front(), SHARED_QUEUE)
         } else if proc_len >= stack_len {
-            longest_proc.and_then(|p| self.proc_q[p].pop_front())
+            (
+                longest_proc.and_then(|p| self.proc_q[p].pop_front()),
+                longest_proc.map_or(SHARED_QUEUE, |p| p as u32),
+            )
         } else {
-            longest_stack.and_then(|w| self.stacks[w].queue.pop_front())
+            (
+                longest_stack.and_then(|w| self.stacks[w].queue.pop_front()),
+                longest_stack.map_or(SHARED_QUEUE, |w| w as u32),
+            )
         };
-        if evicted.is_some() {
+        if let Some(pkt) = evicted {
             self.collector.on_evicted(now);
+            if let Some(rec) = self.obs.as_deref_mut() {
+                rec.record(ObsEvent::Evict {
+                    t_us: now.as_micros_f64(),
+                    seq: pkt.seq,
+                    queue,
+                });
+            }
         }
     }
 
@@ -339,17 +377,23 @@ impl SchedSim {
         // A corrupt packet is rejected at validation, before the
         // session/user stage: its stream state is never touched, so it
         // pays no stream reload and causes no stream migration.
-        let (thread_age, stream_age) = match stack {
+        let (thread_age, stream_age, s_mig, t_mig) = match stack {
             Some(w) => {
                 // Stack state bundles the thread and stream footprints.
                 let a = self.stacks[w as usize].loc.age_on(p, np);
-                if recording && self.stacks[w as usize].loc.migrates_to(p) {
+                let mig = self.stacks[w as usize].loc.migrates_to(p);
+                if recording && mig {
                     if !pkt.corrupt {
                         self.collector.stream_migrations += 1;
                     }
                     self.collector.thread_migrations += 1;
                 }
-                (a, if pkt.corrupt { Age::Warm } else { a })
+                (
+                    a,
+                    if pkt.corrupt { Age::Warm } else { a },
+                    !pkt.corrupt && mig,
+                    mig,
+                )
             }
             None => {
                 let t = thread.expect("locking dispatch supplies a thread");
@@ -359,13 +403,15 @@ impl SchedSim {
                 } else {
                     self.streams[pkt.stream as usize].age_on(p, np)
                 };
-                if recording && self.threads[t].migrates_to(p) {
+                let t_mig = self.threads[t].migrates_to(p);
+                let s_mig = !pkt.corrupt && self.streams[pkt.stream as usize].migrates_to(p);
+                if recording && t_mig {
                     self.collector.thread_migrations += 1;
                 }
-                if recording && !pkt.corrupt && self.streams[pkt.stream as usize].migrates_to(p) {
+                if recording && s_mig {
                     self.collector.stream_migrations += 1;
                 }
-                (ta, sa)
+                (ta, sa, s_mig, t_mig)
             }
         };
 
@@ -416,6 +462,44 @@ impl SchedSim {
                 stream_migrated: matches!(stream_age, Age::Remote),
             });
         }
+        if let Some(rec) = self.obs.as_deref_mut() {
+            let t_us = now.as_micros_f64();
+            let worker = p as u32;
+            rec.record(ObsEvent::Dispatch {
+                t_us,
+                seq: pkt.seq,
+                stream: pkt.stream,
+                worker,
+                service_us: service.as_micros_f64(),
+                stream_migrated: s_mig,
+                thread_migrated: t_mig,
+                stolen: false,
+            });
+            // One flush charge per migrated footprint; the cycle cost is
+            // carried by the reload-transient charge below.
+            if s_mig {
+                rec.record(ObsEvent::CacheCharge { t_us, worker, kind: ChargeKind::Flush, amount_us: 0.0 });
+            }
+            if t_mig {
+                rec.record(ObsEvent::CacheCharge { t_us, worker, kind: ChargeKind::Flush, amount_us: 0.0 });
+            }
+            if !pkt.corrupt {
+                let reload = self.cfg.exec.reload_transient_us(proto.as_micros_f64());
+                if reload > 1e-9 {
+                    rec.record(ObsEvent::CacheCharge {
+                        t_us,
+                        worker,
+                        kind: ChargeKind::ReloadTransient,
+                        amount_us: reload,
+                    });
+                } else {
+                    rec.record(ObsEvent::CacheCharge { t_us, worker, kind: ChargeKind::Warm, amount_us: 0.0 });
+                }
+            }
+            if lock_us > 0.0 {
+                rec.record(ObsEvent::CacheCharge { t_us, worker, kind: ChargeKind::Lock, amount_us: lock_us });
+            }
+        }
         self.procs[p].activity = ProcActivity::Protocol {
             packet: pkt,
             stack,
@@ -441,6 +525,13 @@ impl SchedSim {
             for p in 0..self.cfg.n_procs {
                 if self.procs[p].is_idle() {
                     if let Some(pkt) = self.proc_q[p].pop_front() {
+                        if let Some(rec) = self.obs.as_deref_mut() {
+                            rec.record(ObsEvent::QueueDepth {
+                                t_us: now.as_micros_f64(),
+                                queue: p as u32,
+                                depth: self.proc_q[p].len() as u32,
+                            });
+                        }
                         // Wired dispatch always uses the processor's own
                         // thread.
                         self.begin_service(p, pkt, Some(p), None, now, sched);
@@ -479,6 +570,13 @@ impl SchedSim {
             _ => p, // per-processor pools
         };
         self.global_q.pop_front();
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.record(ObsEvent::QueueDepth {
+                t_us: now.as_micros_f64(),
+                queue: SHARED_QUEUE,
+                depth: self.global_q.len() as u32,
+            });
+        }
         self.begin_service(p, head, Some(thread), None, now, sched);
         true
     }
@@ -512,6 +610,13 @@ impl SchedSim {
                 };
                 self.stacks[w].running = true;
                 self.stack_scan = (w + 1) % n_stacks;
+                if let Some(rec) = self.obs.as_deref_mut() {
+                    rec.record(ObsEvent::QueueDepth {
+                        t_us: now.as_micros_f64(),
+                        queue: w as u32,
+                        depth: self.stacks[w].queue.len() as u32,
+                    });
+                }
                 self.begin_service(p, pkt, None, Some(w as u32), now, sched);
                 return true;
             }
@@ -533,7 +638,7 @@ impl SchedSim {
     }
 }
 
-impl Simulate for SchedSim {
+impl<'r> Simulate for SchedSim<'r> {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
@@ -554,6 +659,7 @@ impl Simulate for SchedSim {
                     .0
                     .sample(&mut self.size_rngs[s]);
                 let mut pkt = Packet {
+                    seq: 0, // assigned per admitted copy below
                     stream,
                     arrival: now,
                     size_bytes: size,
@@ -582,6 +688,8 @@ impl Simulate for SchedSim {
                     }
                 }
                 for _ in 0..copies {
+                    pkt.seq = self.next_seq;
+                    self.next_seq += 1;
                     self.admit(now, pkt);
                 }
                 let gap = self.gens[s].next_gap(&mut self.arr_rngs[s]);
@@ -643,6 +751,16 @@ impl Simulate for SchedSim {
                         delay_us: now.since(packet.arrival).as_micros_f64(),
                     });
                 }
+                if let Some(rec) = self.obs.as_deref_mut() {
+                    rec.record(ObsEvent::Complete {
+                        t_us: now.as_micros_f64(),
+                        seq: packet.seq,
+                        stream: packet.stream,
+                        worker: proc as u32,
+                        delay_us: now.since(packet.arrival).as_micros_f64(),
+                        ok: !packet.corrupt,
+                    });
+                }
                 if packet.corrupt {
                     self.collector.on_corrupt_completion(now, service);
                 } else {
@@ -700,8 +818,28 @@ pub fn run_traced(cfg: SystemConfig, capacity: usize) -> (RunReport, SchedTrace)
     (report, trace)
 }
 
+/// Run a configuration with an observability recorder attached: every
+/// scheduling event of the whole run (warm-up included) streams through
+/// `rec` in the unified `afs-obs` schema, and the desim engine's probe
+/// is returned alongside the report. Attaching the recorder is pure
+/// observation — the report is bit-identical to [`run`]'s.
+pub fn run_observed(cfg: SystemConfig, rec: &mut dyn Recorder) -> (RunReport, EngineProbe) {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let n_procs = cfg.n_procs;
+    let mut engine = Engine::new(SchedSim::new(cfg));
+    engine.model_mut().obs = Some(rec);
+    engine.attach_probe();
+    engine_prime(&mut engine);
+    engine.run_until(horizon);
+    let end = engine.now();
+    let mut report = engine.model_mut().collector.report(end, n_procs);
+    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    let probe = engine.take_probe().unwrap_or_default();
+    (report, probe)
+}
+
 /// Prime helper: schedules every stream's first arrival.
-fn engine_prime(engine: &mut Engine<SchedSim>) {
+fn engine_prime(engine: &mut Engine<SchedSim<'_>>) {
     // Split borrows: scheduler and model are distinct fields, so prime
     // through a small dance — collect the gaps first.
     let gaps: Vec<(u32, SimDuration)> = {
@@ -1090,6 +1228,23 @@ mod fault_tests {
         }
     }
 
+    /// The drop-policy accounting identity every run must satisfy
+    /// exactly, warm-up included: everything offered to the system was
+    /// either completed, shed (wire drop, queue drop, backpressure), or
+    /// still in flight when the horizon closed.
+    fn assert_conservation(r: &crate::metrics::RunReport) {
+        assert_eq!(
+            r.offered_total,
+            r.completed_total + r.shed_total + r.in_flight,
+            "offered = completed + shed + in-flight violated: \
+             offered={} completed={} shed={} in_flight={}",
+            r.offered_total,
+            r.completed_total,
+            r.shed_total,
+            r.in_flight
+        );
+    }
+
     #[test]
     fn noop_faults_and_unbounded_queues_change_nothing() {
         // Explicitly setting the defaults must reproduce the default
@@ -1137,6 +1292,7 @@ mod fault_tests {
             ..FaultProfile::none()
         };
         let r = run(cfg);
+        assert_conservation(&r);
         let clean = run(quick(mru(), 8, 700.0));
         assert!(r.stable, "a lossy wire is not instability: {r:?}");
         assert!(
@@ -1208,6 +1364,7 @@ mod fault_tests {
         cfg.queue_bound = 32;
         cfg.drop_policy = DropPolicy::TailDrop;
         let r = run(cfg);
+        assert_conservation(&r);
         assert!(r.stable, "bounded overload must degrade, not diverge: {r:?}");
         assert!(r.queue_drops > 0);
         assert!(r.drop_rate > 0.2, "heavy overload sheds a lot: {r:?}");
@@ -1228,6 +1385,7 @@ mod fault_tests {
         cfg.queue_bound = 64;
         cfg.drop_policy = DropPolicy::Backpressure;
         let r = run(cfg);
+        assert_conservation(&r);
         assert!(r.stable, "{r:?}");
         assert!(r.shed_at_source > 0);
         assert_eq!(r.queue_drops, 0, "backpressure sheds before the queue");
@@ -1247,6 +1405,7 @@ mod fault_tests {
         cfg.queue_bound = 16;
         cfg.drop_policy = DropPolicy::DropLongestQueue;
         let r = run(cfg);
+        assert_conservation(&r);
         assert!(r.stable, "{r:?}");
         assert!(r.queue_drops > 0);
         assert!(r.per_proc_served.iter().all(|&c| c > 0));
@@ -1265,6 +1424,7 @@ mod fault_tests {
         cfg.queue_bound = 16;
         cfg.drop_policy = DropPolicy::TailDrop;
         let r = run(cfg);
+        assert_conservation(&r);
         assert!(r.stable, "{r:?}");
         assert!(r.queue_drops > 0);
         assert!(r.goodput_pps > 0.0);
@@ -1431,6 +1591,84 @@ mod trace_tests {
         let (_, trace) = run_traced(quick(LockPolicy::Mru, 4, 300.0), 1 << 16);
         let times: Vec<f64> = trace.events().map(|e| e.time_us()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use crate::config::LockPolicy;
+    use afs_obs::MemRecorder;
+    use afs_workload::Population;
+
+    fn quick(policy: LockPolicy, k: usize, rate: f64) -> SystemConfig {
+        let mut cfg = SystemConfig::new(
+            Paradigm::Locking { policy },
+            Population::homogeneous_poisson(k, rate),
+        );
+        cfg.warmup = SimDuration::from_millis(20);
+        cfg.horizon = SimDuration::from_millis(200);
+        cfg
+    }
+
+    #[test]
+    fn recorder_is_pure_observation() {
+        let cfg = quick(LockPolicy::Mru, 4, 300.0);
+        let plain = run(cfg.clone());
+        let mut rec = MemRecorder::new();
+        let (observed, probe) = run_observed(cfg, &mut rec);
+        assert_eq!(plain, observed, "attaching a recorder changed the run");
+        assert!(probe.steps > 0);
+        assert!(rec.counters.dispatched > 0);
+    }
+
+    #[test]
+    fn obs_counts_are_self_consistent() {
+        let mut rec = MemRecorder::new();
+        let (report, _) = run_observed(quick(LockPolicy::Baseline, 6, 400.0), &mut rec);
+        let c = &rec.counters;
+        // Whole-run conservation as seen by the trace: every enqueued
+        // packet completed, was evicted, or is still in flight.
+        assert_eq!(c.enqueued, c.completed + c.evicted + c.in_flight() as u64);
+        // The trace and the collector agree on the whole-run totals
+        // (wire faults are off: everything offered was enqueued).
+        assert_eq!(c.enqueued, report.offered_total);
+        assert_eq!(c.completed, report.completed_total);
+        // Dispatches never outrun enqueues, completions never outrun
+        // dispatches.
+        assert!(c.dispatched <= c.enqueued);
+        assert!(c.completed <= c.dispatched);
+        // The simulator never steals.
+        assert_eq!(c.steals, 0);
+        assert_eq!(c.stolen_dispatches, 0);
+        // Flush charges are one per migrated footprint.
+        assert_eq!(c.flushes, c.stream_migrations + c.thread_migrations);
+        // Delay percentiles exist once packets completed.
+        assert!(c.delay_us.count() > 0);
+        assert!(c.delay_us.quantile(0.95) >= c.delay_us.quantile(0.5));
+    }
+
+    #[test]
+    fn trace_mean_delay_matches_report_post_warmup() {
+        let cfg = quick(LockPolicy::Mru, 4, 300.0);
+        let warm = cfg.warmup.as_micros_f64();
+        let mut rec = MemRecorder::new();
+        let (report, _) = run_observed(cfg, &mut rec);
+        let mut w = afs_desim::stats::Welford::new();
+        for ev in &rec.events {
+            if let afs_obs::ObsEvent::Complete { t_us, delay_us, ok: true, .. } = ev {
+                if *t_us >= warm {
+                    w.add(*delay_us);
+                }
+            }
+        }
+        assert_eq!(w.count(), report.delivered);
+        assert!(
+            (w.mean() - report.mean_delay_us).abs() < 1e-9,
+            "trace mean {} vs report {}",
+            w.mean(),
+            report.mean_delay_us
+        );
     }
 }
 

@@ -17,6 +17,9 @@ use afs_cache::model::exec_time::Age;
 /// A packet waiting for or receiving service.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
+    /// Per-run unique sequence number (assigned at arrival; duplicate
+    /// wire copies get distinct numbers). Keys the observability trace.
+    pub seq: u64,
     /// Owning stream.
     pub stream: u32,
     /// Arrival instant.
@@ -215,6 +218,7 @@ mod tests {
         assert!(p.is_idle());
         p.activity = ProcActivity::Protocol {
             packet: Packet {
+                seq: 0,
                 stream: 0,
                 arrival: t(0),
                 size_bytes: 1.0,

@@ -128,6 +128,41 @@ impl SchedTrace {
     }
 }
 
+/// A [`SchedTrace`] can sit directly behind the unified observability
+/// schema: dispatch and completion events map onto [`SchedEvent`]s and
+/// everything else (enqueues, charges, depth samples) is ignored. This
+/// lets callers that only care about the legacy per-packet ring reuse
+/// the single `afs-obs` emission path.
+impl afs_obs::Recorder for SchedTrace {
+    fn record(&mut self, ev: afs_obs::ObsEvent) {
+        match ev {
+            afs_obs::ObsEvent::Dispatch {
+                t_us,
+                stream,
+                worker,
+                service_us,
+                stream_migrated,
+                ..
+            } => self.push(SchedEvent::Dispatch {
+                time_us: t_us,
+                stream,
+                proc: worker as usize,
+                service_us,
+                stream_migrated,
+            }),
+            afs_obs::ObsEvent::Complete { t_us, stream, worker, delay_us, .. } => {
+                self.push(SchedEvent::Completion {
+                    time_us: t_us,
+                    stream,
+                    proc: worker as usize,
+                    delay_us,
+                })
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +200,32 @@ mod tests {
         assert_eq!(tr.migrations_of(7), 2);
         assert_eq!(tr.migrations_of(8), 0);
         assert_eq!(tr.migrations_of(99), 0);
+    }
+
+    #[test]
+    fn obs_recorder_bridge_maps_dispatch_and_complete() {
+        use afs_obs::{ObsEvent, Recorder as _};
+        let mut tr = SchedTrace::new(8);
+        tr.record(ObsEvent::Enqueue { t_us: 0.5, seq: 0, stream: 3, queue: 0, depth: 1 });
+        tr.record(ObsEvent::Dispatch {
+            t_us: 1.0,
+            seq: 0,
+            stream: 3,
+            worker: 2,
+            service_us: 160.0,
+            stream_migrated: true,
+            thread_migrated: false,
+            stolen: false,
+        });
+        tr.record(ObsEvent::Complete { t_us: 161.0, seq: 0, stream: 3, worker: 2, delay_us: 160.5, ok: true });
+        // The enqueue is ignored; dispatch/complete land in the ring.
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.processor_history(3), vec![2]);
+        let first = *tr.events().next().unwrap();
+        match first {
+            SchedEvent::Dispatch { stream_migrated, .. } => assert!(stream_migrated),
+            other => panic!("expected dispatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! assert_eq!(engine.now(), SimTime::from_micros(45));
 //! ```
 
+use afs_obs::EngineProbe;
+
 use crate::event::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
@@ -108,6 +110,7 @@ pub struct Engine<M: Simulate> {
     model: M,
     sched: Scheduler<M::Event>,
     events_handled: u64,
+    probe: Option<EngineProbe>,
 }
 
 impl<M: Simulate> Engine<M> {
@@ -117,7 +120,25 @@ impl<M: Simulate> Engine<M> {
             model,
             sched: Scheduler::new(),
             events_handled: 0,
+            probe: None,
         }
+    }
+
+    /// Attach an [`EngineProbe`] that samples pending-set pressure after
+    /// every delivered event. Costs two compares and a histogram record
+    /// per step; nothing is paid when no probe is attached.
+    pub fn attach_probe(&mut self) {
+        self.probe = Some(EngineProbe::new());
+    }
+
+    /// The attached probe, if any.
+    pub fn probe(&self) -> Option<&EngineProbe> {
+        self.probe.as_ref()
+    }
+
+    /// Detach and return the probe, if one was attached.
+    pub fn take_probe(&mut self) -> Option<EngineProbe> {
+        self.probe.take()
     }
 
     /// Current simulation time (time of the last delivered event).
@@ -153,6 +174,9 @@ impl<M: Simulate> Engine<M> {
                 self.sched.now = time;
                 self.events_handled += 1;
                 self.model.handle(time, event, &mut self.sched);
+                if let Some(p) = &mut self.probe {
+                    p.on_step(time.as_micros_f64(), self.sched.queue.len());
+                }
                 true
             }
             None => false,
@@ -277,6 +301,20 @@ mod tests {
         let mut e = Engine::new(Bad);
         e.scheduler().schedule_at(SimTime::from_micros(5), ());
         e.run();
+    }
+
+    #[test]
+    fn probe_samples_every_step_and_detaches() {
+        let mut e = chain(4, 10);
+        assert!(e.probe().is_none());
+        e.attach_probe();
+        e.run();
+        let p = e.take_probe().expect("probe attached");
+        assert_eq!(p.steps, e.events_handled());
+        assert_eq!(p.last_t_us, 40.0);
+        assert!(e.probe().is_none());
+        // The chain keeps exactly one event pending until the last one.
+        assert_eq!(p.max_pending, 1);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! scenario through both backends and compare the policy structure.
 
 use afs_core::crossval::{CrossPolicy, CrossvalScenario};
+use afs_obs::MemRecorder;
 
 use crate::runtime::{
-    poisson_workload, run_native, NativeConfig, NativePacket, NativePolicy, NativeReport,
-    StealPolicy,
+    poisson_workload, run_native, run_native_recorded, NativeConfig, NativePacket, NativePolicy,
+    NativeReport, StealPolicy,
 };
 
 /// The native configuration for one policy rung of a scenario.
@@ -41,4 +42,14 @@ pub fn native_workload(s: &CrossvalScenario) -> Vec<NativePacket> {
 /// Run one (scenario, policy) cell on the native backend.
 pub fn run_scenario(s: &CrossvalScenario, policy: CrossPolicy) -> NativeReport {
     run_native(&native_config(s, policy), native_workload(s))
+}
+
+/// [`run_scenario`] with the unified observability trace captured — the
+/// entry point the differential tests and `ext23_obs` use to compare
+/// trace-derived metrics across backends.
+pub fn run_scenario_recorded(
+    s: &CrossvalScenario,
+    policy: CrossPolicy,
+) -> (NativeReport, MemRecorder) {
+    run_native_recorded(&native_config(s, policy), native_workload(s))
 }

@@ -21,6 +21,13 @@
 //! * [`crossval`] — the native mapping of the shared scenario matrix
 //!   defined in `afs_core::crossval`.
 //!
+//! The runtime also speaks the unified `afs-obs` observability schema:
+//! [`runtime::run_native_recorded`] has every worker record
+//! vclock-stamped scheduling events into a private in-memory recorder
+//! (no cross-thread traffic on the hot path) and merges the slices into
+//! one deterministically ordered trace — directly comparable, event for
+//! event, with the simulator's trace from `afs_core::sim::run_observed`.
+//!
 //! Time is *virtual* throughout: packets carry Poisson arrival stamps,
 //! workers advance per-worker virtual clocks by the modeled service
 //! time, and delays are derived from those clocks — so results are
@@ -36,6 +43,7 @@ pub mod runtime;
 pub use pin::{CorePinner, NoopPinner, OsPinner, PinError};
 pub use ring::RingQueue;
 pub use runtime::{
-    poisson_workload, run_native, run_native_with_pinner, NativeConfig, NativePacket,
-    NativePolicy, NativeReport, OutcomeTotals, Pinning, StealPolicy, WorkerStats,
+    poisson_workload, run_native, run_native_recorded, run_native_recorded_with_pinner,
+    run_native_with_pinner, NativeConfig, NativePacket, NativePolicy, NativeReport,
+    OutcomeTotals, Pinning, StealPolicy, WorkerStats,
 };

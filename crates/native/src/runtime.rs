@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use afs_cache::sim::{MemoryHierarchy, Region};
 use afs_core::metrics::RunReport;
+use afs_obs::{ChargeKind, MemRecorder, ObsEvent, Recorder as _, SHARED_QUEUE};
 use afs_desim::dist::Dist;
 use afs_desim::rng::RngFactory;
 use afs_desim::stats::Welford;
@@ -320,6 +321,8 @@ struct Job {
     bytes: Vec<u8>,
     stream: StreamId,
     arrival_us: f64,
+    /// Global arrival sequence number (the observability trace key).
+    seq: u64,
     /// Pool thread to run as (`u32::MAX` = use the worker's own thread).
     thread: u32,
     /// Whether this packet counts toward the statistics (post-warm-up).
@@ -333,6 +336,9 @@ struct WorkerResult {
     service: Welford,
     wait: Welford,
     outcomes: OutcomeTotals,
+    /// This worker's slice of the observability trace (present only when
+    /// the run was started through a recorded entry point).
+    rec: Option<MemRecorder>,
 }
 
 /// Run the workload under `cfg`, choosing the pinner from
@@ -350,6 +356,43 @@ pub fn run_native_with_pinner(
     cfg: &NativeConfig,
     workload: Vec<NativePacket>,
     pinner: &dyn CorePinner,
+) -> NativeReport {
+    run_native_impl(cfg, workload, pinner, None)
+}
+
+/// Run the workload and capture the unified observability trace: every
+/// worker records into its own [`MemRecorder`] (no cross-thread traffic
+/// on the hot path), the dispatcher records arrivals, and the slices are
+/// merged into one deterministic-ordered stream on join.
+///
+/// All events are stamped with *virtual* time — arrival stamps and
+/// worker vclocks — so host wall-clock never leaks into a trace.
+pub fn run_native_recorded(
+    cfg: &NativeConfig,
+    workload: Vec<NativePacket>,
+) -> (NativeReport, MemRecorder) {
+    match cfg.pinning {
+        Pinning::Auto => run_native_recorded_with_pinner(cfg, workload, &OsPinner),
+        Pinning::Off => run_native_recorded_with_pinner(cfg, workload, &NoopPinner),
+    }
+}
+
+/// [`run_native_recorded`] with an explicit pinner (for tests).
+pub fn run_native_recorded_with_pinner(
+    cfg: &NativeConfig,
+    workload: Vec<NativePacket>,
+    pinner: &dyn CorePinner,
+) -> (NativeReport, MemRecorder) {
+    let mut out = MemRecorder::new();
+    let report = run_native_impl(cfg, workload, pinner, Some(&mut out));
+    (report, out)
+}
+
+fn run_native_impl(
+    cfg: &NativeConfig,
+    workload: Vec<NativePacket>,
+    pinner: &dyn CorePinner,
+    obs: Option<&mut MemRecorder>,
 ) -> NativeReport {
     assert!(cfg.workers >= 1, "need at least one worker");
     assert!(
@@ -407,8 +450,14 @@ pub fn run_native_with_pinner(
     let vclocks: Vec<AtomicU64> = (0..w).map(|_| AtomicU64::new(0)).collect();
     let done = AtomicBool::new(false);
     let lock_cycles = lock_overhead_cycles(&cfg.cost);
+    let record_obs = obs.is_some();
 
     let mut results: Vec<WorkerResult> = Vec::with_capacity(w);
+    let mut disp_rec: Option<MemRecorder> = if record_obs {
+        Some(MemRecorder::new())
+    } else {
+        None
+    };
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(w);
         for wid in 0..w {
@@ -423,6 +472,7 @@ pub fn run_native_with_pinner(
                 vclocks: &vclocks,
                 done: &done,
                 lock_cycles,
+                record_obs,
             };
             handles.push(scope.spawn(move || worker_loop(ctx)));
         }
@@ -437,12 +487,14 @@ pub fn run_native_with_pinner(
                 NativePolicy::LockingPool => (0, u32::MAX),
                 NativePolicy::Ips { .. } => (owner_of(pkt.stream, w), u32::MAX),
             };
+            let (stream, arrival_us) = (pkt.stream, pkt.arrival_us);
             let mut job = Job {
                 bytes: pkt.bytes,
-                stream: pkt.stream,
-                arrival_us: pkt.arrival_us,
+                stream,
+                arrival_us,
+                seq: seq as u64,
                 thread,
-                record: pkt.arrival_us >= warmup_cut_us,
+                record: arrival_us >= warmup_cut_us,
             };
             loop {
                 match queues[target].push(job) {
@@ -452,6 +504,18 @@ pub fn run_native_with_pinner(
                         std::thread::yield_now();
                     }
                 }
+            }
+            if let Some(r) = disp_rec.as_mut() {
+                // Arrival stamp, not host time; depth is a racy sample
+                // (workers pop concurrently), which is all a depth gauge
+                // promises.
+                r.record(ObsEvent::Enqueue {
+                    t_us: arrival_us,
+                    seq: seq as u64,
+                    stream: stream.0,
+                    queue: if pooled { SHARED_QUEUE } else { target as u32 },
+                    depth: queues[target].len() as u32,
+                });
             }
         }
         done.store(true, Ordering::Release);
@@ -473,6 +537,19 @@ pub fn run_native_with_pinner(
         outcomes.no_session += r.outcomes.no_session;
         outcomes.queue_full += r.outcomes.queue_full;
         outcomes.rejected += r.outcomes.rejected;
+    }
+    // Fold the dispatcher's and each worker's trace slice into one
+    // stream, sorted by the deterministic merge key (virtual time, seq,
+    // causal rank) — worker order does not affect the merged trace.
+    if let Some(out) = obs {
+        if let Some(d) = disp_rec.take() {
+            out.absorb(d);
+        }
+        for r in &mut results {
+            if let Some(rec) = r.rec.take() {
+                out.absorb(rec);
+            }
+        }
     }
     let per_worker: Vec<WorkerStats> = results.iter().map(|r| r.stats.clone()).collect();
     let per_stream_delivered: Vec<u64> = (0..n_streams as u32)
@@ -517,6 +594,7 @@ struct WorkerCtx<'a> {
     vclocks: &'a [AtomicU64],
     done: &'a AtomicBool,
     lock_cycles: f64,
+    record_obs: bool,
 }
 
 fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
@@ -531,6 +609,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         vclocks,
         done,
         lock_cycles,
+        record_obs,
     } = ctx;
     let core = wid % pinner.cores().max(1);
     let pinned = matches!(cfg.pinning, Pinning::Auto) && pinner.pin_current(core).is_ok();
@@ -555,6 +634,11 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     let mut service = Welford::new();
     let mut wait = Welford::new();
     let mut outcomes = OutcomeTotals::default();
+    let mut rec: Option<MemRecorder> = if record_obs {
+        Some(MemRecorder::new())
+    } else {
+        None
+    };
     let mut vclock = 0.0f64;
     let mut slot = 0u32;
 
@@ -571,6 +655,9 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     let process = |job: Job,
                        stack: usize,
                        stolen: bool,
+                       queue: u32,
+                       qdepth: u32,
+                       rec: &mut Option<MemRecorder>,
                        hier: &mut MemoryHierarchy,
                        stats: &mut WorkerStats,
                        vclock: &mut f64,
@@ -582,12 +669,14 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         let me = wid as u32;
         // Stream-state migration: if another worker touched this
         // stream's state last, its lines are not in our caches.
+        let mut s_mig = false;
         let s = job.stream.0 as usize;
         if s < last_stream_worker.len() {
             let prev = last_stream_worker[s].swap(me, Ordering::AcqRel);
             if prev != me {
                 if prev != u32::MAX {
                     stats.stream_migrations += 1;
+                    s_mig = true;
                 }
                 hier.purge_range(
                     layout.stream(job.stream.0),
@@ -596,6 +685,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
             }
         }
         // Thread-stack migration (pool threads under Oblivious).
+        let mut t_mig = false;
         let tid = if job.thread == u32::MAX { me } else { job.thread };
         let t = tid as usize;
         if t < last_thread_worker.len() {
@@ -603,6 +693,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
             if prev != me {
                 if prev != u32::MAX {
                     stats.thread_migrations += 1;
+                    t_mig = true;
                 }
                 hier.purge_range(
                     layout.thread(tid),
@@ -658,6 +749,66 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         if stolen {
             stats.steals += 1;
         }
+        if let Some(r) = rec.as_mut() {
+            // Every stamp is virtual: the service start (`start_v`) and
+            // the post-service vclock. A steal always runs on the
+            // victim's stack, so under IPS `stack` names the victim.
+            if stolen {
+                r.record(ObsEvent::Steal {
+                    t_us: start_v,
+                    seq: job.seq,
+                    from: stack as u32,
+                    to: me,
+                });
+            }
+            r.record(ObsEvent::Dispatch {
+                t_us: start_v,
+                seq: job.seq,
+                stream: job.stream.0,
+                worker: me,
+                service_us,
+                stream_migrated: s_mig,
+                thread_migrated: t_mig,
+                stolen,
+            });
+            if s_mig {
+                r.record(ObsEvent::CacheCharge {
+                    t_us: start_v,
+                    worker: me,
+                    kind: ChargeKind::Flush,
+                    amount_us: 0.0,
+                });
+            }
+            if t_mig {
+                r.record(ObsEvent::CacheCharge {
+                    t_us: start_v,
+                    worker: me,
+                    kind: ChargeKind::Flush,
+                    amount_us: 0.0,
+                });
+            }
+            if locked_path {
+                r.record(ObsEvent::CacheCharge {
+                    t_us: start_v,
+                    worker: me,
+                    kind: ChargeKind::Lock,
+                    amount_us: hier.platform().cycles_to_us(lock_cycles),
+                });
+            }
+            r.record(ObsEvent::QueueDepth {
+                t_us: start_v,
+                queue,
+                depth: qdepth,
+            });
+            r.record(ObsEvent::Complete {
+                t_us: *vclock,
+                seq: job.seq,
+                stream: job.stream.0,
+                worker: me,
+                delay_us: *vclock - job.arrival_us,
+                ok: outcome.is_delivered(),
+            });
+        }
         match outcome {
             RxOutcome::Delivered(_) => {
                 stats.delivered += 1;
@@ -694,9 +845,11 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         if may_pop {
             if let Some(job) = my_queue.pop() {
                 let stack = if shared_locked(&cfg.policy) { 0 } else { wid };
+                let queue = if pooled { SHARED_QUEUE } else { wid as u32 };
+                let depth = my_queue.len() as u32;
                 process(
-                    job, stack, false, &mut hier, &mut stats, &mut vclock, &mut slot, &mut delay,
-                    &mut service, &mut wait, &mut outcomes,
+                    job, stack, false, queue, depth, &mut rec, &mut hier, &mut stats,
+                    &mut vclock, &mut slot, &mut delay, &mut service, &mut wait, &mut outcomes,
                 );
                 continue;
             }
@@ -728,9 +881,11 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                             // Stolen packets run on the *victim's* stack
                             // (that's where the session lives) under its
                             // lock — the steal handoff.
+                            let depth = queues[v].len() as u32;
                             process(
-                                job, v, true, &mut hier, &mut stats, &mut vclock, &mut slot,
-                                &mut delay, &mut service, &mut wait, &mut outcomes,
+                                job, v, true, v as u32, depth, &mut rec, &mut hier, &mut stats,
+                                &mut vclock, &mut slot, &mut delay, &mut service, &mut wait,
+                                &mut outcomes,
                             );
                             got += 1;
                         }
@@ -758,6 +913,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         service,
         wait,
         outcomes,
+        rec,
     }
 }
 
@@ -905,6 +1061,96 @@ mod tests {
         assert!(r.steals > 0, "idle worker must relieve the loaded owner");
         let thief = &r.per_worker[1];
         assert!(thief.steals > 0 && thief.processed == thief.steals);
+    }
+
+    #[test]
+    fn recorded_run_traces_every_packet() {
+        for policy in [
+            NativePolicy::Oblivious,
+            NativePolicy::LockingPool,
+            NativePolicy::Ips { steal: Some(StealPolicy::default()) },
+        ] {
+            let (r, rec) = run_native_recorded(&cfg(3, policy), small_workload(6, 20));
+            let c = &rec.counters;
+            assert_eq!(c.enqueued, r.offered, "{policy:?}");
+            assert_eq!(c.dispatched, r.offered, "{policy:?}");
+            assert_eq!(c.completed, r.offered, "{policy:?}");
+            assert_eq!(c.evicted, 0, "the native runtime is lossless");
+            assert_eq!(c.in_flight(), 0, "{policy:?}");
+            // Counter definitions agree with the runtime's own stats.
+            assert_eq!(c.steals, r.steals, "{policy:?}");
+            assert_eq!(c.stolen_dispatches, r.steals, "{policy:?}");
+            assert_eq!(c.stream_migrations, r.stream_migrations, "{policy:?}");
+            assert_eq!(c.thread_migrations, r.thread_migrations, "{policy:?}");
+            assert_eq!(c.completed_ok, r.outcomes.delivered, "{policy:?}");
+            assert_eq!(
+                c.flushes,
+                r.stream_migrations + r.thread_migrations,
+                "{policy:?}"
+            );
+            // Merged stream is in deterministic merge order.
+            assert!(
+                rec.events.windows(2).all(|w| w[0].merge_key() <= w[1].merge_key()),
+                "{policy:?}"
+            );
+            // Virtual stamps only: nothing precedes the first arrival.
+            assert!(rec.events.iter().all(|e| e.t_us() >= 0.0));
+        }
+    }
+
+    #[test]
+    fn recording_does_not_change_the_deterministic_report() {
+        // IPS without stealing is deterministic (per-queue FIFO, no
+        // cross-worker races), so the recorder must reproduce the
+        // unobserved report exactly — except `max_queue_depth`, which
+        // samples queue length at pop time and therefore races against
+        // the dispatcher's pushes at host speed.
+        let w = small_workload(4, 30);
+        let c = cfg(2, NativePolicy::Ips { steal: None });
+        let mut plain = run_native(&c, w.clone());
+        let (mut recorded, rec) = run_native_recorded(&c, w);
+        for r in [&mut plain, &mut recorded] {
+            for ws in &mut r.per_worker {
+                ws.max_queue_depth = 0;
+            }
+        }
+        assert_eq!(plain, recorded);
+        assert_eq!(rec.counters.steals, 0);
+        assert_eq!(rec.counters.lock_charges, 0, "IPS owner path is lock-free");
+    }
+
+    #[test]
+    fn recorded_steals_carry_the_victim() {
+        use afs_obs::ObsEvent;
+        let mut factory = PacketFactory::new();
+        let mut workload = Vec::new();
+        let mut t = 0.0;
+        for i in 0..200u32 {
+            let s = StreamId(if i % 2 == 0 { 0 } else { 2 });
+            t += 60.0;
+            workload.push(NativePacket {
+                bytes: factory.frame_for(s, 32),
+                stream: s,
+                arrival_us: t,
+            });
+        }
+        let mut c = cfg(2, NativePolicy::Ips { steal: Some(StealPolicy::default()) });
+        c.queue_capacity = 16;
+        let (r, rec) = run_native_recorded(&c, workload);
+        assert!(r.steals > 0);
+        let steal_events: Vec<_> = rec
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                ObsEvent::Steal { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steal_events.len() as u64, r.steals);
+        // Both streams are owned by worker 0; only worker 1 can steal.
+        assert!(steal_events.iter().all(|&(from, to)| from == 0 && to == 1));
+        // Stolen packets pay the handoff lock.
+        assert_eq!(rec.counters.lock_charges, r.steals);
     }
 
     #[test]

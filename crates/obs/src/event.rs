@@ -1,0 +1,233 @@
+//! The structured event schema shared by every backend.
+//!
+//! One vocabulary covers the discrete-event simulator (`afs-core::sim`,
+//! timestamped with [`SimTime`] microseconds) and the native pinned-thread
+//! backend (`afs-native::runtime`, timestamped with per-worker *virtual
+//! clocks* — host time never leaks into a trace). Events are small `Copy`
+//! structs so emitting one costs a couple of stores; whether anything
+//! further happens is up to the [`Recorder`](crate::Recorder) behind it.
+//!
+//! [`SimTime`]: https://docs.rs/afs-desim
+
+/// Queue identifier used when a message lands in a *shared* queue (the
+/// Locking-paradigm global run queue, or the native pooled ring) rather
+/// than a per-worker/per-processor one.
+pub const SHARED_QUEUE: u32 = u32::MAX;
+
+/// What a [`ObsEvent::CacheCharge`] is paying for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChargeKind {
+    /// The dispatch found every footprint resident: warm-bound service.
+    Warm,
+    /// A migration flushed state (code, thread or stream footprint).
+    Flush,
+    /// Reload-transient cycles charged on top of the warm bound
+    /// (the paper's `D + RC` displacement cost).
+    ReloadTransient,
+    /// Lock acquisition/contention overhead (Locking paradigm or a
+    /// contended native shared structure).
+    Lock,
+}
+
+impl ChargeKind {
+    /// Short stable label used by the JSONL sink.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChargeKind::Warm => "warm",
+            ChargeKind::Flush => "flush",
+            ChargeKind::ReloadTransient => "reload",
+            ChargeKind::Lock => "lock",
+        }
+    }
+}
+
+/// One structured observation. All timestamps are in *virtual*
+/// microseconds: simulation time on the desim backend, the executing
+/// worker's vclock on the native backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObsEvent {
+    /// A message entered a run queue.
+    Enqueue {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Per-run unique message sequence number.
+        seq: u64,
+        /// Stream (connection) the message belongs to.
+        stream: u32,
+        /// Queue it landed in (worker/processor index, or [`SHARED_QUEUE`]).
+        queue: u32,
+        /// Queue depth *after* the insert.
+        depth: u32,
+    },
+    /// A worker began servicing a message.
+    Dispatch {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// Stream the message belongs to.
+        stream: u32,
+        /// Worker/processor executing the message.
+        worker: u32,
+        /// Total service time charged (µs), including reload transient
+        /// and lock overhead.
+        service_us: f64,
+        /// The stream's per-connection state last lived on a different
+        /// worker (an affinity miss).
+        stream_migrated: bool,
+        /// The protocol thread (Locking paradigm) last ran elsewhere.
+        thread_migrated: bool,
+        /// The message was obtained by work stealing.
+        stolen: bool,
+    },
+    /// A message moved between workers by stealing (native backend).
+    Steal {
+        /// Virtual timestamp (µs) at the thief.
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// Victim worker.
+        from: u32,
+        /// Thief worker.
+        to: u32,
+    },
+    /// A message finished service.
+    Complete {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// Stream the message belongs to.
+        stream: u32,
+        /// Worker/processor that executed it.
+        worker: u32,
+        /// Queueing + service delay since arrival (µs).
+        delay_us: f64,
+        /// `false` when the message was corrupted/faulted and its work
+        /// was wasted.
+        ok: bool,
+    },
+    /// A queued message was evicted by an overload drop policy before
+    /// ever being serviced.
+    Evict {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// Queue it was evicted from.
+        queue: u32,
+    },
+    /// Cache/lock cycles charged against a worker.
+    CacheCharge {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Worker/processor charged.
+        worker: u32,
+        /// What the charge pays for.
+        kind: ChargeKind,
+        /// Amount (µs); `0.0` for pure count events such as flushes
+        /// whose cost is already folded into the service time.
+        amount_us: f64,
+    },
+    /// A sampled queue-depth observation.
+    QueueDepth {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Queue sampled (worker/processor index, or [`SHARED_QUEUE`]).
+        queue: u32,
+        /// Depth at the sample point.
+        depth: u32,
+    },
+}
+
+impl ObsEvent {
+    /// Virtual timestamp of the event (µs).
+    pub fn t_us(&self) -> f64 {
+        match *self {
+            ObsEvent::Enqueue { t_us, .. }
+            | ObsEvent::Dispatch { t_us, .. }
+            | ObsEvent::Steal { t_us, .. }
+            | ObsEvent::Complete { t_us, .. }
+            | ObsEvent::Evict { t_us, .. }
+            | ObsEvent::CacheCharge { t_us, .. }
+            | ObsEvent::QueueDepth { t_us, .. } => t_us,
+        }
+    }
+
+    /// Message sequence number, for per-message events.
+    pub fn seq(&self) -> Option<u64> {
+        match *self {
+            ObsEvent::Enqueue { seq, .. }
+            | ObsEvent::Dispatch { seq, .. }
+            | ObsEvent::Steal { seq, .. }
+            | ObsEvent::Complete { seq, .. }
+            | ObsEvent::Evict { seq, .. } => Some(seq),
+            ObsEvent::CacheCharge { .. } | ObsEvent::QueueDepth { .. } => None,
+        }
+    }
+
+    /// Causal rank used to order events that share a timestamp when
+    /// per-worker streams are merged: a message is enqueued before it is
+    /// evicted or stolen, stolen before dispatched, dispatched (and
+    /// charged) before completed.
+    pub fn kind_rank(&self) -> u8 {
+        match self {
+            ObsEvent::Enqueue { .. } => 0,
+            ObsEvent::Evict { .. } => 1,
+            ObsEvent::Steal { .. } => 2,
+            ObsEvent::Dispatch { .. } => 3,
+            ObsEvent::CacheCharge { .. } => 4,
+            ObsEvent::QueueDepth { .. } => 5,
+            ObsEvent::Complete { .. } => 6,
+        }
+    }
+
+    /// Deterministic total-order key for merging per-worker event
+    /// streams: `(virtual time, sequence number, causal rank)`.
+    pub fn merge_key(&self) -> (u64, u64, u8) {
+        // f64 timestamps are non-negative here; their bit patterns order
+        // identically to their values, giving a total order without
+        // pulling `f64: Ord` tricks into every call site.
+        (self.t_us().to_bits(), self.seq().unwrap_or(u64::MAX), self.kind_rank())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_follow_message_lifecycle() {
+        let enq = ObsEvent::Enqueue { t_us: 1.0, seq: 0, stream: 0, queue: 0, depth: 1 };
+        let steal = ObsEvent::Steal { t_us: 1.0, seq: 0, from: 0, to: 1 };
+        let disp = ObsEvent::Dispatch {
+            t_us: 1.0,
+            seq: 0,
+            stream: 0,
+            worker: 1,
+            service_us: 5.0,
+            stream_migrated: true,
+            thread_migrated: false,
+            stolen: true,
+        };
+        let done = ObsEvent::Complete { t_us: 1.0, seq: 0, stream: 0, worker: 1, delay_us: 6.0, ok: true };
+        assert!(enq.kind_rank() < steal.kind_rank());
+        assert!(steal.kind_rank() < disp.kind_rank());
+        assert!(disp.kind_rank() < done.kind_rank());
+        assert!(enq.merge_key() < done.merge_key());
+    }
+
+    #[test]
+    fn merge_key_orders_by_time_first() {
+        let late = ObsEvent::Enqueue { t_us: 2.0, seq: 0, stream: 0, queue: 0, depth: 1 };
+        let early = ObsEvent::Complete { t_us: 1.0, seq: 9, stream: 0, worker: 0, delay_us: 0.5, ok: true };
+        assert!(early.merge_key() < late.merge_key());
+    }
+
+    #[test]
+    fn seq_absent_for_samples() {
+        let qd = ObsEvent::QueueDepth { t_us: 0.0, queue: 3, depth: 7 };
+        assert_eq!(qd.seq(), None);
+        assert_eq!(qd.t_us(), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! A fixed-footprint HDR-style log-bucketed histogram.
+//!
+//! Values (microseconds, or unitless counts) are quantized to integer
+//! nanoseconds and bucketed with 32 sub-buckets per power of two, giving
+//! a worst-case relative quantization error of about 3% across the full
+//! `u64` nanosecond range. The bucket array is allocated once up front
+//! (~15 KiB); recording is a handful of integer ops and never allocates,
+//! which keeps the recorder usable on the scheduling hot path.
+
+/// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Octaves above the linear range (exponents `SUB_BITS..=63`), each with
+/// `SUB` sub-buckets, plus the initial linear `0..SUB` range.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// Log-bucketed histogram with ~3% relative precision and O(1),
+/// allocation-free recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: f64,
+    min_us: f64,
+    max_us: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (allocates its bucket array eagerly).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0.0,
+            min_us: f64::INFINITY,
+            max_us: f64::NEG_INFINITY,
+        }
+    }
+
+    fn index(n: u64) -> usize {
+        if n < SUB {
+            return n as usize;
+        }
+        let exp = 63 - n.leading_zeros() as u64; // >= SUB_BITS
+        let shift = exp - SUB_BITS as u64;
+        let sub = (n >> shift) & (SUB - 1);
+        ((exp - SUB_BITS as u64 + 1) * SUB + sub) as usize
+    }
+
+    /// Upper edge (inclusive) of bucket `i`, in nanoseconds.
+    fn upper_ns(i: usize) -> u64 {
+        let band = i as u64 / SUB;
+        let sub = i as u64 % SUB;
+        if band == 0 {
+            return sub;
+        }
+        let exp = band - 1 + SUB_BITS as u64;
+        let shift = exp - SUB_BITS as u64;
+        ((SUB + sub) << shift) + ((1u64 << shift) - 1)
+    }
+
+    /// Record one value (µs). Negative or non-finite values clamp to 0.
+    pub fn record(&mut self, v_us: f64) {
+        let v = if v_us.is_finite() && v_us > 0.0 { v_us } else { 0.0 };
+        let ns = (v * 1e3).round().min(u64::MAX as f64) as u64;
+        self.counts[Self::index(ns)] += 1;
+        self.count += 1;
+        self.sum_us += v;
+        if v < self.min_us {
+            self.min_us = v;
+        }
+        if v > self.max_us {
+            self.max_us = v;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact running mean (µs); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+
+    /// Exact running sum (µs).
+    pub fn sum(&self) -> f64 {
+        self.sum_us
+    }
+
+    /// Exact minimum recorded value (µs); 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Exact maximum recorded value (µs); 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_us
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) as the upper edge of the bucket
+    /// holding the target rank, in µs. Quantization error is bounded by
+    /// the bucket width (~3% relative). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::upper_ns(i) as f64 / 1e3;
+            }
+        }
+        self.max()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_bounds() {
+        let mut last = 0usize;
+        for e in 0..64 {
+            let n = 1u64 << e;
+            for probe in [n, n + n / 3, n + n / 2] {
+                let i = LogHistogram::index(probe);
+                assert!(i < BUCKETS, "index {i} out of bounds for {probe}");
+                assert!(i >= last, "index not monotone at {probe}");
+                last = i;
+            }
+        }
+    }
+
+    #[test]
+    fn upper_edge_bounds_its_bucket() {
+        for probe in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, u64::MAX / 2] {
+            let i = LogHistogram::index(probe);
+            let hi = LogHistogram::upper_ns(i);
+            assert!(hi >= probe, "upper edge {hi} < member {probe}");
+            if i > 0 {
+                assert!(LogHistogram::upper_ns(i - 1) < probe);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data_within_precision() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.04, "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 990.0).abs() / 990.0 < 0.04, "p99={p99}");
+        assert!(h.quantile(1.0) >= 1000.0 * 0.97);
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.min(), 1.0);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        let mut h = LogHistogram::new();
+        h.record(-4.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 0..200 {
+            let x = (v * 37 % 991) as f64 * 0.5;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

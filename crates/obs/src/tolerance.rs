@@ -1,0 +1,68 @@
+//! Documented tolerances for the simulator ↔ native differential trace
+//! tests (`tests/obs_differential.rs` in the workspace root).
+//!
+//! The two backends are *structurally* equivalent but not numerically
+//! identical: the simulator models per-processor protocol-thread pools
+//! and analytic reload transients, while the native backend runs real
+//! pinned threads with round-robin thread placement, hardware-calibrated
+//! cycle costs and opportunistic stealing. The quantities below are
+//! per-dispatch *rates*, which both backends agree on to within the
+//! placement-policy differences; the tolerances document how much of a
+//! gap is expected rather than papering over bugs — a regression in
+//! either backend's affinity logic moves these rates by far more (an
+//! affinity policy flips a rate between ~0 and ~(w-1)/w).
+
+/// Absolute tolerance on the per-dispatch stream-migration rate
+/// (equivalently the affinity-hit rate, its complement). Affinity
+/// policies sit near 0 on both backends; random/shared placement sits
+/// near `(w-1)/w` on the simulator but lower on the native backend,
+/// where a host-fast worker pops *bursts* of consecutive packets from
+/// the shared pool and consecutive packets of a stream then count as
+/// hits — an effect that grows with optimization level (debug ≈ 0.35,
+/// release ≈ 0.2–0.3 observed at w = 2). A real affinity regression
+/// flips the rate between ~0 and ~`(w-1)/w` ≥ 0.5, well past this
+/// tolerance.
+pub const STREAM_MIGRATION_RATE_TOL: f64 = 0.35;
+
+/// Absolute tolerance on the per-dispatch thread-migration rate. Thread
+/// placement is where the backends differ most (simulator: FIFO thread
+/// pool per paradigm rules; native: static round-robin assignment), and
+/// the oblivious rung inherits the same host-speed burst effect as the
+/// stream rate: a worker that drains the pool in a burst keeps re-running
+/// threads it already owns.
+pub const THREAD_MIGRATION_RATE_TOL: f64 = 0.35;
+
+/// Absolute tolerance on flush charges per dispatch. A flush is charged
+/// per migrated footprint, so the backend gap is the *sum* of the two
+/// migration-rate gaps and the tolerance compounds accordingly.
+pub const FLUSH_RATE_TOL: f64 = STREAM_MIGRATION_RATE_TOL + THREAD_MIGRATION_RATE_TOL;
+
+/// Ceiling on the per-dispatch steal rate at the cross-validation smoke
+/// scenario (near-saturation but stable). Stealing is a rare rebalancing
+/// event there; a rate above this means the steal gate (vclock + depth
+/// threshold) regressed into churn.
+pub const STEAL_RATE_MAX: f64 = 0.10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerances_are_sane_fractions() {
+        // A regression flips a migration rate by at least (w-1)/w >= 0.5
+        // at the smallest scenario (w = 2), so per-rate tolerances must
+        // stay below 0.5 to keep their detection power.
+        for t in [
+            STREAM_MIGRATION_RATE_TOL,
+            THREAD_MIGRATION_RATE_TOL,
+            STEAL_RATE_MAX,
+        ] {
+            assert!(t > 0.0 && t < 0.5, "tolerance {t} out of range");
+        }
+        // Flush compounds the two migration gaps.
+        assert_eq!(
+            FLUSH_RATE_TOL,
+            STREAM_MIGRATION_RATE_TOL + THREAD_MIGRATION_RATE_TOL
+        );
+    }
+}

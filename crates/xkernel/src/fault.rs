@@ -160,6 +160,18 @@ impl FaultStats {
     pub fn total_injected(&self) -> u64 {
         self.drops + self.duplicates + self.reorders + self.corruptions + self.truncations
     }
+
+    /// Surface the injected-fault mix through the unified observability
+    /// counters, so harnesses can report "what the wire did" alongside
+    /// "what the receive path concluded" in one place.
+    pub fn observe_into(&self, c: &mut afs_obs::Counters) {
+        c.fault_examined += self.examined;
+        c.wire_drops += self.drops;
+        c.duplicates += self.duplicates;
+        c.reorders += self.reorders;
+        c.corruptions += self.corruptions;
+        c.truncations += self.truncations;
+    }
 }
 
 /// A frame parked in the reorder delay line.

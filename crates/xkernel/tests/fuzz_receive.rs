@@ -147,22 +147,34 @@ proptest! {
             emitted.extend(inj.admit(frame));
         }
         emitted.extend(inj.flush());
-        let mut delivered = 0usize;
+        // Per-case diagnostics: the injected fault mix and the typed
+        // outcome of every traversal, folded into one Counters value so
+        // a failing case prints *what the wire did* next to *what the
+        // engine concluded* instead of a bare pass/fail.
+        let mut obs = afs_obs::Counters::new();
+        inj.stats.observe_into(&mut obs);
         for frame in &emitted {
             let out = eng.receive_outcome(&mut hier, frame, ThreadId(0));
             assert_typed(&out);
-            if out.is_delivered() {
-                delivered += 1;
-            }
+            out.observe_into(&mut obs);
         }
+        prop_assert_eq!(obs.fault_examined, n_frames as u64);
+        prop_assert_eq!(
+            obs.delivered + obs.dropped_no_session + obs.dropped_queue_full + obs.errored,
+            emitted.len() as u64,
+            "every admitted frame gets exactly one typed outcome\n{}",
+            afs_obs::summary::render(&obs)
+        );
         // A damaged original shows up at most twice (itself + one
         // duplicate carrying the same damage); every undamaged frame
         // must deliver.
-        let damaged = (inj.stats.corruptions + inj.stats.truncations) as usize;
+        let delivered = obs.delivered as usize;
+        let damaged = (obs.corruptions + obs.truncations) as usize;
         prop_assert!(
             delivered + 2 * damaged >= emitted.len(),
-            "undamaged frames must deliver: {delivered} + 2*{damaged} < {}",
-            emitted.len()
+            "undamaged frames must deliver: {delivered} + 2*{damaged} < {}\n{}",
+            emitted.len(),
+            afs_obs::summary::render(&obs)
         );
     }
 
@@ -181,7 +193,7 @@ proptest! {
         corrupt_p in 0.0f64..0.4,
         truncate_p in 0.0f64..0.4,
     ) {
-        use afs_native::{run_native, NativeConfig, NativePacket, NativePolicy, Pinning, StealPolicy};
+        use afs_native::{run_native_recorded, NativeConfig, NativePacket, NativePolicy, Pinning, StealPolicy};
 
         let plan = FaultPlan {
             drop_p,
@@ -209,19 +221,17 @@ proptest! {
             eng.bind_stream(StreamId(s));
         }
         let mut hier = CostModel::default().hierarchy();
-        let (mut want_delivered, mut want_dropped, mut want_rejected) = (0u64, 0u64, 0u64);
+        let mut want = afs_obs::Counters::new();
+        inj.stats.observe_into(&mut want);
         for frame in &emitted {
             let out = eng.receive_outcome(&mut hier, frame, ThreadId(0));
             assert_typed(&out);
-            match out {
-                RxOutcome::Delivered(_) => want_delivered += 1,
-                RxOutcome::Dropped { .. } => want_dropped += 1,
-                RxOutcome::Error { .. } => want_rejected += 1,
-            }
+            out.observe_into(&mut want);
         }
 
         // Native run over the identical frames (arrivals spaced so the
-        // run exercises real queueing but stays fast).
+        // run exercises real queueing but stays fast), traced through
+        // the unified recorder so a failure prints both sides' counters.
         let workload: Vec<NativePacket> = emitted
             .iter()
             .enumerate()
@@ -236,18 +246,36 @@ proptest! {
             NativePolicy::Ips { steal: Some(StealPolicy::default()) },
         );
         cfg.pinning = Pinning::Off;
-        let report = run_native(&cfg, workload);
+        let (report, rec) = run_native_recorded(&cfg, workload);
+        let diag = || {
+            format!(
+                "wire + reference:\n{}\nnative trace:\n{}",
+                afs_obs::summary::render(&want),
+                afs_obs::summary::render(&rec.counters)
+            )
+        };
 
         prop_assert_eq!(report.offered, emitted.len() as u64);
-        prop_assert_eq!(report.outcomes.total(), report.offered, "lost frames");
-        prop_assert_eq!(report.outcomes.delivered, want_delivered);
-        prop_assert_eq!(report.outcomes.rejected, want_rejected);
+        prop_assert_eq!(report.outcomes.total(), report.offered, "lost frames\n{}", diag());
+        prop_assert_eq!(report.outcomes.delivered, want.delivered, "{}", diag());
+        prop_assert_eq!(report.outcomes.rejected, want.errored, "{}", diag());
         prop_assert_eq!(
             report.outcomes.no_session + report.outcomes.queue_full,
-            want_dropped
+            want.dropped_no_session + want.dropped_queue_full,
+            "{}", diag()
         );
         // The runtime drains each user queue on delivery, so overflow
         // cannot be the native backend's private failure mode here.
         prop_assert_eq!(report.outcomes.queue_full, 0);
+        // Trace-side conservation: every offered frame was enqueued,
+        // dispatched and completed exactly once — nothing in flight at
+        // join, nothing evicted (the dispatcher blocks, never drops).
+        let c = &rec.counters;
+        prop_assert_eq!(c.enqueued, report.offered, "{}", diag());
+        prop_assert_eq!(c.dispatched, report.offered, "{}", diag());
+        prop_assert_eq!(c.completed, report.offered, "{}", diag());
+        prop_assert_eq!(c.evicted, 0, "{}", diag());
+        prop_assert_eq!(c.in_flight(), 0, "{}", diag());
+        prop_assert_eq!(c.completed_ok, want.delivered, "{}", diag());
     }
 }

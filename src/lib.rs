@@ -25,6 +25,9 @@
 //!   path on real OS threads with per-worker run queues and
 //!   affinity-aware work stealing, cross-validated against the
 //!   simulator (`core::crossval`).
+//! * [`obs`] — the unified observability layer: structured per-message
+//!   events, aggregate counters and histograms, trace sinks, and the
+//!   documented tolerances for the backend differential tests.
 //!
 //! ```
 //! use affinity_sched::prelude::*;
@@ -42,6 +45,7 @@ pub use afs_cache as cache;
 pub use afs_core as core;
 pub use afs_desim as desim;
 pub use afs_native as native;
+pub use afs_obs as obs;
 pub use afs_workload as workload;
 pub use afs_xkernel as xkernel;
 

@@ -58,3 +58,36 @@ fn fig06_csv_is_bit_for_bit_stable() {
 fn fig07_csv_is_bit_for_bit_stable() {
     assert_golden(&artifacts::fig07(false).artifact);
 }
+
+/// Seeded-replay regression for the observability layer: regenerating
+/// the E23 golden trace must reproduce the committed JSONL byte for
+/// byte. This pins the event schema, the deterministic emission order
+/// and the numeric formatting all at once — any change to what the
+/// simulator traces (or when) shows up as a reviewable artifact diff.
+#[test]
+fn obs_golden_trace_is_bit_for_bit_stable() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(artifacts::OBS_TRACE_GOLDEN_FILE);
+    let want =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let (report, got) = artifacts::obs_trace_golden();
+    assert!(report.delivered > 0, "golden trace run delivered nothing");
+    if got != want {
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "results/{} line {} drifted from the committed golden trace",
+                artifacts::OBS_TRACE_GOLDEN_FILE,
+                i + 1
+            );
+        }
+        panic!(
+            "results/{} changed length: regenerated {} lines, committed {}",
+            artifacts::OBS_TRACE_GOLDEN_FILE,
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}
