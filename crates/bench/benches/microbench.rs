@@ -10,6 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use afs_cache::model::flush::{flushed_fraction, flushed_fraction_poisson};
 use afs_cache::model::footprint::MVS_WORKLOAD;
 use afs_cache::model::hierarchy::FlushModel;
+use afs_cache::model::{Age, ComponentAges, DispatchPricer};
 use afs_cache::model::platform::Platform;
 use afs_cache::sim::cache::{Cache, Replacement};
 use afs_cache::sim::trace::Region;
@@ -42,6 +43,24 @@ fn bench_event_queue(c: &mut Criterion) {
             assert!(q.cancel(id));
         });
     });
+    g.bench_function("cancel_heavy_with_compaction", |b| {
+        // Timer-wheel style churn: a standing population where most
+        // scheduled events are cancelled before they fire. Exercises
+        // the tombstone-compaction path.
+        let mut q = EventQueue::new();
+        let mut ids = std::collections::VecDeque::new();
+        let mut t = 0u64;
+        for _ in 0..512 {
+            t += 1;
+            ids.push_back(q.push(SimTime::from_micros(t + 1000), t));
+        }
+        b.iter(|| {
+            t += 1;
+            ids.push_back(q.push(SimTime::from_micros(t + 1000), black_box(t)));
+            let id = ids.pop_front().expect("standing population");
+            assert!(q.cancel(id));
+        });
+    });
     g.finish();
 }
 
@@ -62,6 +81,21 @@ fn bench_analytic_model(c: &mut Criterion) {
     let model = FlushModel::new(Platform::sgi_challenge_r4400(), MVS_WORKLOAD);
     g.bench_function("displacement_f1_f2", |b| {
         b.iter(|| model.displacement(black_box(SimDuration::from_micros(1_500))));
+    });
+    let exec = afs_core::ExecParams::calibrated();
+    let pricer = DispatchPricer::new(&exec.model);
+    g.bench_function("pricer_displacement", |b| {
+        b.iter(|| pricer.displacement(black_box(SimDuration::from_micros(1_500))));
+    });
+    g.bench_function("pricer_protocol_time", |b| {
+        // The simulator's per-dispatch service pricing: one Elapsed
+        // component (live displacement evaluation) plus two table hits.
+        let ages = ComponentAges {
+            code_global: Age::Elapsed(SimDuration::from_micros(1_500)),
+            thread: Age::Cold,
+            stream: Age::Warm,
+        };
+        b.iter(|| pricer.protocol_time(black_box(ages)));
     });
     g.finish();
 }

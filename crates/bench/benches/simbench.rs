@@ -59,9 +59,35 @@ fn bench_paradigms(c: &mut Criterion) {
     ];
     for (name, paradigm) in cases {
         g.bench_function(name, |b| {
-            b.iter_batched(|| short_cfg(paradigm.clone()), run, BatchSize::SmallInput);
+            b.iter_batched(
+                || short_cfg(paradigm.clone()),
+                |cfg| run(&cfg),
+                BatchSize::SmallInput,
+            );
         });
     }
+    g.finish();
+}
+
+fn bench_parallel_executor(c: &mut Criterion) {
+    // The afs_core::par fan-out against its own serial fallback on a
+    // small figure-style sweep. On a multi-core host the parallel case
+    // should approach jobs× the serial one; on one core they tie (the
+    // executor's overhead is a handful of thread spawns per sweep).
+    let _ = ExecParams::calibrated();
+    let mut g = c.benchmark_group("parallel_sweep_6pt");
+    g.sample_size(10);
+    let template = short_cfg(Paradigm::Locking {
+        policy: LockPolicy::Mru,
+    });
+    let rates: Vec<f64> = (1..=6).map(|i| 300.0 * i as f64).collect();
+    g.bench_function("serial", |b| {
+        b.iter(|| afs_core::sweep::rate_sweep_jobs(1, "s", &template, &rates));
+    });
+    let jobs = afs_core::par::default_jobs();
+    g.bench_function("all_cores", |b| {
+        b.iter(|| afs_core::sweep::rate_sweep_jobs(jobs, "p", &template, &rates));
+    });
     g.finish();
 }
 
@@ -77,6 +103,6 @@ fn bench_calibration(c: &mut Criterion) {
 criterion_group!(
     name = sim;
     config = Criterion::default();
-    targets = bench_paradigms, bench_calibration
+    targets = bench_paradigms, bench_parallel_executor, bench_calibration
 );
 criterion_main!(sim);

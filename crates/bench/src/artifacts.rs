@@ -171,7 +171,7 @@ pub fn obs_trace_golden() -> (RunReport, String) {
     cfg.warmup = SimDuration::from_millis(20);
     cfg.horizon = SimDuration::from_millis(120);
     let mut rec = MemRecorder::new();
-    let (report, _probe) = run_observed(cfg, &mut rec);
+    let (report, _probe) = run_observed(&cfg, &mut rec);
     (report, afs_obs::jsonl::render(&rec.events))
 }
 

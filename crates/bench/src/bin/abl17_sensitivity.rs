@@ -36,12 +36,12 @@ fn peak_reduction_for(exec: ExecParams) -> f64 {
             c.population = c.population.clone().with_rate(r);
             c
         };
-        let base = run(mk(LockPolicy::Baseline));
+        let base = run(&mk(LockPolicy::Baseline));
         if !base.stable || base.mean_delay_us > 5.0 * base.mean_service_us {
             continue;
         }
-        let mru = run(mk(LockPolicy::Mru));
-        let wired = run(mk(LockPolicy::Wired));
+        let mru = run(&mk(LockPolicy::Mru));
+        let wired = run(&mk(LockPolicy::Wired));
         let mru_d = if mru.stable {
             mru.mean_delay_us
         } else {

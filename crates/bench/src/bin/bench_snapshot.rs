@@ -1,0 +1,141 @@
+//! Benchmark snapshot — the committed performance baseline.
+//!
+//! Times the workspace's representative experiment families and writes
+//! `results/BENCH_perf.json`: simulated packets per wall-clock second
+//! on the single-run hot path, wall time per experiment family, and the
+//! serial-vs-parallel speedup of the `afs_core::par` executor — the
+//! trajectory document future sessions diff their optimizations
+//! against.
+//!
+//! The snapshot also *verifies* while it measures: the parallel sweep's
+//! delays must be bit-identical to the serial sweep's (the executor's
+//! core contract), and the process exits non-zero if they are not.
+//!
+//! `AFS_QUICK=1` shrinks the horizons for CI smoke runs; a committed
+//! baseline should be regenerated without it. Wall-clock numbers are
+//! machine-dependent — the JSON records the host's core count and the
+//! worker count used so a diff is read in context.
+
+use std::time::Instant;
+
+use afs_bench::{banner, json_object, quick_mode, template, write_json, Checks, K_STREAMS};
+use afs_core::crossval::{sim_matrix_jobs, smoke_matrix};
+use afs_core::par::{default_jobs, jobs_from_env};
+use afs_core::replicate::replicate_jobs;
+use afs_core::sweep::rate_sweep_jobs;
+use afs_core::prelude::*;
+
+/// Wall time of `f` in seconds alongside its result.
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+fn main() {
+    banner(
+        "BENCH SNAPSHOT",
+        "wall-clock baseline for the simulator hot path and the parallel executor",
+        "methodology artifact: committed as results/BENCH_perf.json",
+    );
+    let quick = quick_mode();
+    let host_cores = default_jobs();
+    let jobs = jobs_from_env();
+    println!("host cores: {host_cores}; AFS_JOBS resolved to {jobs}; quick = {quick}\n");
+
+    let mru = Paradigm::Locking {
+        policy: LockPolicy::Mru,
+    };
+
+    // Family 1 — single-run hot path: simulated packets per wall second.
+    // One moderate-load run, the unit every sweep point costs.
+    let mut single = template(mru.clone(), K_STREAMS);
+    single.population = single.population.clone().with_rate(700.0);
+    let (t_single, report) = timed(|| run(&single));
+    let sim_pkts_per_wall_s = report.delivered as f64 / t_single;
+    println!(
+        "single run: {} pkts delivered in {:.3} s wall = {:.0} simulated pkts/s",
+        report.delivered, t_single, sim_pkts_per_wall_s
+    );
+
+    // Family 2 — a figure-style rate sweep, serial then parallel. The
+    // speedup of this family is the executor's headline number; the
+    // byte-identity of the two series is its correctness contract.
+    let rates: Vec<f64> = (1..=8).map(|i| 250.0 * i as f64).collect();
+    let sweep_tpl = template(mru.clone(), K_STREAMS);
+    let (t_serial, serial) = timed(|| rate_sweep_jobs(1, "mru", &sweep_tpl, &rates));
+    let (t_parallel, parallel) = timed(|| rate_sweep_jobs(jobs, "mru", &sweep_tpl, &rates));
+    let sweep_speedup = t_serial / t_parallel.max(1e-9);
+    let identical = serial
+        .points
+        .iter()
+        .zip(&parallel.points)
+        .all(|(a, b)| {
+            a.report.mean_delay_us.to_bits() == b.report.mean_delay_us.to_bits()
+                && a.report.delivered == b.report.delivered
+        });
+    println!(
+        "rate sweep ({} pts): serial {:.3} s, parallel({jobs}) {:.3} s -> {:.2}x, bit-identical: {identical}",
+        rates.len(),
+        t_serial,
+        t_parallel,
+        sweep_speedup
+    );
+
+    // Family 3 — independent replications (the burst-figure workload).
+    let mut rep_cfg = template(mru, K_STREAMS);
+    rep_cfg.population = rep_cfg.population.clone().with_rate(600.0);
+    let n_reps = if quick { 4 } else { 8 };
+    let (t_replicate, reps) = timed(|| replicate_jobs(jobs, &rep_cfg, n_reps));
+    println!(
+        "replications ({n_reps}): {:.3} s, {} stable",
+        t_replicate, reps.stable_count
+    );
+
+    // Family 4 — the cross-validation matrix's simulator side.
+    let (t_crossval, cells) = timed(|| sim_matrix_jobs(jobs, &smoke_matrix()));
+    println!(
+        "crossval sim matrix ({} cells): {:.3} s",
+        cells.len(),
+        t_crossval
+    );
+
+    let body = json_object(&[
+        ("schema", "\"afs-bench-perf-v1\"".to_string()),
+        ("quick", quick.to_string()),
+        ("host_cores", host_cores.to_string()),
+        ("afs_jobs", jobs.to_string()),
+        ("sim_pkts_per_wall_s", format!("{sim_pkts_per_wall_s:.0}")),
+        ("single_run_wall_s", format!("{t_single:.4}")),
+        ("sweep_points", rates.len().to_string()),
+        ("sweep_serial_wall_s", format!("{t_serial:.4}")),
+        ("sweep_parallel_wall_s", format!("{t_parallel:.4}")),
+        ("sweep_speedup", format!("{sweep_speedup:.3}")),
+        ("sweep_bit_identical", identical.to_string()),
+        ("replicate_runs", n_reps.to_string()),
+        ("replicate_wall_s", format!("{t_replicate:.4}")),
+        ("crossval_cells", cells.len().to_string()),
+        ("crossval_sim_wall_s", format!("{t_crossval:.4}")),
+    ]);
+    write_json("BENCH_perf", &body);
+
+    let mut checks = Checks::new();
+    checks.expect(
+        "parallel sweep bit-identical to serial sweep",
+        identical,
+    );
+    checks.expect("single run delivered packets", report.delivered > 0);
+    checks.expect(
+        "parallel sweep not slower than 1.5x serial (sanity, any host)",
+        t_parallel < 1.5 * t_serial + 0.25,
+    );
+    if host_cores >= 4 {
+        checks.expect(
+            "parallel sweep at least 2x faster on a >=4-core host",
+            sweep_speedup >= 2.0,
+        );
+    } else {
+        println!("  [SKIP] >=2x speedup check needs >=4 cores (host has {host_cores})");
+    }
+    checks.finish();
+}

@@ -76,7 +76,7 @@ fn main() {
         );
         cb.exec = exec;
         cb.population = cb.population.clone().with_rate(r);
-        let base = run(cb);
+        let base = run(&cb);
         let mut cm = template(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
@@ -85,7 +85,7 @@ fn main() {
         );
         cm.exec = exec;
         cm.population = cm.population.clone().with_rate(r);
-        let mru = run(cm);
+        let mru = run(&cm);
         if base.stable && mru.stable {
             let red = 100.0 * (1.0 - mru.mean_delay_us / base.mean_delay_us);
             println!(

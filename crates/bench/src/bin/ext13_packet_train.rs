@@ -38,7 +38,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut mru_delays = Vec::new();
     let mut base_delays = Vec::new();
-    for &cars in &train_lengths {
+    // Each train length's three runs are independent: fan the cells out
+    // on the AFS_JOBS executor and print in train-length order.
+    let cells = parallel_map(&train_lengths, |&cars| {
         let pop = train_population(k, rate, cars, inter_car_us);
         let mut cm = template(
             Paradigm::Locking {
@@ -47,7 +49,6 @@ fn main() {
             k,
         );
         cm.population = pop.clone();
-        let mru = run(cm);
         let mut cb = template(
             Paradigm::Locking {
                 policy: LockPolicy::Baseline,
@@ -55,10 +56,11 @@ fn main() {
             k,
         );
         cb.population = pop.clone();
-        let base = run(cb);
         let mut ci = template(ips(IpsPolicy::Wired, k), k);
         ci.population = pop;
-        let ipsr = run(ci);
+        (run(&cm), run(&cb), run(&ci))
+    });
+    for (&cars, (mru, base, ipsr)) in train_lengths.iter().zip(&cells) {
         println!(
             "{cars:>8.0} {:>14.1} {:>14.1} {:>14.1}",
             mru.mean_delay_us, base.mean_delay_us, ipsr.mean_delay_us

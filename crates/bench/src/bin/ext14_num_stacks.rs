@@ -24,26 +24,33 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut wired_at = std::collections::HashMap::new();
-    for &ns in &stack_counts {
-        for &r in &rates {
-            let mut cw = template(
-                Paradigm::Ips {
-                    policy: IpsPolicy::Wired,
-                    n_stacks: ns,
-                },
-                k,
-            );
-            cw.population = cw.population.clone().with_rate(r);
-            let w = run(cw);
-            let mut cm = template(
-                Paradigm::Ips {
-                    policy: IpsPolicy::Mru,
-                    n_stacks: ns,
-                },
-                k,
-            );
-            cm.population = cm.population.clone().with_rate(r);
-            let m = run(cm);
+    // All (stacks, rate, policy) cells are independent runs: fan them
+    // out on the AFS_JOBS executor and reassemble in cell order.
+    let cells: Vec<(usize, f64)> = stack_counts
+        .iter()
+        .flat_map(|&ns| rates.iter().map(move |&r| (ns, r)))
+        .collect();
+    let reports = parallel_map(&cells, |&(ns, r)| {
+        let mut cw = template(
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: ns,
+            },
+            k,
+        );
+        cw.population = cw.population.clone().with_rate(r);
+        let mut cm = template(
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: ns,
+            },
+            k,
+        );
+        cm.population = cm.population.clone().with_rate(r);
+        (run(&cw), run(&cm))
+    });
+    for (&(ns, r), (w, m)) in cells.iter().zip(&reports) {
+        {
             let wtxt = if w.stable {
                 format!("{:.1}", w.mean_delay_us)
             } else {

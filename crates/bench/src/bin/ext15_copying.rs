@@ -44,8 +44,8 @@ fn main() {
             c.population = c.population.clone().with_rate(r);
             c
         };
-        let base = run(mk(LockPolicy::Baseline));
-        let mru = run(mk(LockPolicy::Mru));
+        let base = run(&mk(LockPolicy::Baseline));
+        let mru = run(&mk(LockPolicy::Mru));
         let red = 100.0 * (1.0 - mru.mean_delay_us / base.mean_delay_us);
         println!(
             "{size:>8.0} {copy_us:>10.1} {:>14.1} {:>14.1} {red:>12.1}",

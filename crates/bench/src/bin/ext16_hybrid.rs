@@ -43,9 +43,9 @@ fn main() {
             c.population = pop.clone();
             c
         };
-        let mru = run(mk(LockPolicy::Mru));
-        let wired = run(mk(LockPolicy::Wired));
-        let hybrid = run(mk(LockPolicy::Hybrid {
+        let mru = run(&mk(LockPolicy::Mru));
+        let wired = run(&mk(LockPolicy::Wired));
+        let hybrid = run(&mk(LockPolicy::Hybrid {
             wired: wired_mask.clone(),
         }));
         let tail_delay = |r: &RunReport| {

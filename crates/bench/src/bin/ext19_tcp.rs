@@ -94,7 +94,7 @@ fn main() {
             let mut c = template(Paradigm::Locking { policy }, k);
             c.exec = exec;
             c.population = c.population.clone().with_rate(r);
-            run(c)
+            run(&c)
         };
         let base = mk(LockPolicy::Baseline);
         let mru = mk(LockPolicy::Mru);

@@ -12,7 +12,7 @@ use afs_core::prelude::*;
 /// Largest K meeting the delay target (exponential probe + bisection).
 fn max_streams(mk: &dyn Fn(usize) -> SystemConfig, target_us: f64) -> usize {
     let meets = |k: usize| {
-        let r = run(mk(k));
+        let r = run(&mk(k));
         r.stable && r.mean_delay_us <= target_us
     };
     if !meets(1) {

@@ -148,7 +148,7 @@ fn main() {
         for &p in &fault_rates {
             let mut cfg = base_cfg(paradigm.clone(), MODERATE_RATE);
             cfg.faults = faults_at(p);
-            let r = run(cfg);
+            let r = run(&cfg);
             println!(
                 "{name:<16} {p:>8.2} {:>12.1} {:>12.1} {:>10.4} {:>10.4}",
                 r.goodput_pps, r.throughput_pps, r.drop_rate, r.wasted_service_frac
@@ -202,7 +202,7 @@ fn main() {
             let mut cfg = base_cfg(paradigm.clone(), OVERLOAD_RATE);
             cfg.queue_bound = bound;
             cfg.drop_policy = DropPolicy::TailDrop;
-            let r = run(cfg);
+            let r = run(&cfg);
             let delay = if r.stable {
                 format!("{:>12.1}", r.mean_delay_us)
             } else {
@@ -231,7 +231,7 @@ fn main() {
         let mut cfg = base_cfg(policies()[0].1.clone(), OVERLOAD_RATE);
         cfg.queue_bound = 32;
         cfg.drop_policy = dp;
-        let r = run(cfg);
+        let r = run(&cfg);
         let delay = if r.stable {
             format!("{:>12.1}", r.mean_delay_us)
         } else {

@@ -19,7 +19,7 @@
 
 use afs_bench::{banner, write_csv, Checks};
 use afs_core::crossval::{
-    default_matrix, relative_improvement, smoke_matrix, CrossPolicy, CrossvalScenario,
+    default_matrix, relative_improvement, sim_matrix, smoke_matrix, CrossPolicy,
     IMPROVEMENT_TOLERANCE, ORDERING_SLACK,
 };
 use afs_core::prelude::*;
@@ -30,13 +30,6 @@ use afs_native::NativeReport;
 struct Cell {
     sim: RunReport,
     native: NativeReport,
-}
-
-fn run_cell(s: &CrossvalScenario, p: CrossPolicy) -> Cell {
-    Cell {
-        sim: run(s.sim_config(p)),
-        native: run_scenario(s, p),
-    }
 }
 
 fn main() {
@@ -53,10 +46,17 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
 
+    // The simulator side of every (scenario, policy) cell fans out on
+    // the AFS_JOBS parallel executor — the runs are pure. The native
+    // side stays serial below: its runs time real threads on the host's
+    // real caches, and running them concurrently would perturb the very
+    // effect being measured.
+    let sim_cells = sim_matrix(&matrix);
+
     let mut checks = Checks::new();
     let mut rows: Vec<String> = Vec::new();
 
-    for s in &matrix {
+    for (si, s) in matrix.iter().enumerate() {
         println!(
             "scenario {}: {} workers, {} streams, {:.0} pkts/s/stream, {} pkts/stream",
             s.label(),
@@ -71,7 +71,18 @@ fn main() {
         );
         let cells: Vec<(CrossPolicy, Cell)> = CrossPolicy::ALL
             .iter()
-            .map(|&p| (p, run_cell(s, p)))
+            .enumerate()
+            .map(|(pi, &p)| {
+                let sim = &sim_cells[si * CrossPolicy::ALL.len() + pi];
+                debug_assert_eq!(sim.policy, p);
+                (
+                    p,
+                    Cell {
+                        sim: sim.report.clone(),
+                        native: run_scenario(s, p),
+                    },
+                )
+            })
             .collect();
         for (p, c) in &cells {
             println!(

@@ -84,7 +84,7 @@ fn run_cell(policy: LockPolicy, rate: f64) -> Cell {
     let mut cfg = template_with(Paradigm::Locking { policy }, 8, false);
     cfg.population = cfg.population.clone().with_rate(rate);
     let mut rec = TraceDelay::new(cfg.warmup.as_micros_f64());
-    let (report, _probe) = run_observed(cfg, &mut rec);
+    let (report, _probe) = run_observed(&cfg, &mut rec);
     Cell {
         stable: report.stable,
         report_delay_us: report.mean_delay_us,

@@ -18,9 +18,9 @@ fn burst_experiment() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let k = K_STREAMS;
     let batch_means = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
     let rate = 700.0; // per stream; moderate aggregate load
-    let mut lock = Vec::new();
-    let mut ipsd = Vec::new();
-    for &b in &batch_means {
+    // Each batch size's two runs are independent: fan the cells out on
+    // the AFS_JOBS executor and reassemble in batch order.
+    let cells = parallel_map(&batch_means, |&b| {
         let mut cfg = template(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
@@ -28,21 +28,23 @@ fn burst_experiment() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
             k,
         );
         cfg.population = Population::homogeneous_bursty(k, rate, b);
-        lock.push(run(cfg).mean_delay_us);
+        let lock = run(&cfg).mean_delay_us;
 
         let mut cfg = template(ips(IpsPolicy::Wired, k), k);
         cfg.population = Population::homogeneous_bursty(k, rate, b);
-        ipsd.push(run(cfg).mean_delay_us);
-    }
+        (lock, run(&cfg).mean_delay_us)
+    });
+    let (lock, ipsd) = cells.into_iter().unzip();
     (batch_means, lock, ipsd)
 }
 
 fn scalability_experiment() -> (Vec<usize>, Vec<f64>, Vec<f64>) {
-    // One stream, N processors: find the max sustainable rate.
-    let procs = vec![1, 2, 4, 8];
-    let mut lock = Vec::new();
-    let mut ipsd = Vec::new();
-    for &n in &procs {
+    // One stream, N processors: find the max sustainable rate. Whole
+    // capacity searches are independent, so they run concurrently; the
+    // bisection inside each stays serial (its probe sequence is
+    // adaptive — see `afs_core::sweep::capacity_search`).
+    let procs = vec![1usize, 2, 4, 8];
+    let cells = parallel_map(&procs, |&n| {
         let mut t = template(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
@@ -50,12 +52,13 @@ fn scalability_experiment() -> (Vec<usize>, Vec<f64>, Vec<f64>) {
             1,
         );
         t.n_procs = n;
-        lock.push(capacity_search(&t, 500.0, 60_000.0, 0.05));
+        let lock = capacity_search(&t, 500.0, 60_000.0, 0.05);
 
         let mut t = template(ips(IpsPolicy::Wired, 1), 1);
         t.n_procs = n;
-        ipsd.push(capacity_search(&t, 500.0, 60_000.0, 0.05));
-    }
+        (lock, capacity_search(&t, 500.0, 60_000.0, 0.05))
+    });
+    let (lock, ipsd) = cells.into_iter().unzip();
     (procs, lock, ipsd)
 }
 

@@ -48,7 +48,7 @@ fn knee_reduction(v: f64, k: usize) -> f64 {
         let base = {
             let mut c = mk(LockPolicy::Baseline);
             c.population = c.population.clone().with_rate(rate);
-            run(c)
+            run(&c)
         };
         if !base.stable {
             continue;
@@ -58,7 +58,7 @@ fn knee_reduction(v: f64, k: usize) -> f64 {
             .map(|p| {
                 let mut c = mk(p);
                 c.population = c.population.clone().with_rate(rate);
-                let r = run(c);
+                let r = run(&c);
                 if r.stable {
                     r.mean_delay_us
                 } else {
@@ -129,11 +129,14 @@ fn main() {
         "{:>6} {:>10} {:>12}  (* = baseline near saturation)",
         "V(us)", "rate/s", "reduction%"
     );
-    for &v in &vs {
-        let curve = reduction_curve(v, k);
+    // The four V curves are independent families of runs: fan them out
+    // on the AFS_JOBS executor (each curve's sweeps parallelize
+    // internally too) and print in V order afterwards.
+    let curves = parallel_map(&vs, |&v| (reduction_curve(v, k), knee_reduction(v, k)));
+    for (&v, (curve, knee_at_cap)) in vs.iter().zip(&curves) {
         let mut peak = 0.0f64;
         let mut knee = 0.0f64;
-        for (r, pct, saturated) in &curve {
+        for (r, pct, saturated) in curve {
             let mark = if *saturated { "*" } else { " " };
             println!("{v:>6.0} {r:>10.0} {pct:>12.1}{mark}");
             rows.push(format!("{v},{r:.0},{pct:.2},{}", u8::from(*saturated)));
@@ -143,7 +146,7 @@ fn main() {
                 peak = peak.max(*pct);
             }
         }
-        let knee = knee.max(knee_reduction(v, k));
+        let knee = knee.max(*knee_at_cap);
         println!("  V={v:>3.0}: pre-saturation peak {peak:.1}%, near-knee {knee:.1}%");
         peaks.push(peak);
         knee_peaks.push(knee);

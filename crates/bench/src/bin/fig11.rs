@@ -56,10 +56,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut peaks = Vec::new();
     println!("{:>6} {:>10} {:>12}", "V(us)", "rate/s", "reduction%");
-    for &v in &vs {
-        let curve = reduction_curve(v, k);
+    // Independent V families fan out on the AFS_JOBS executor (their
+    // sweeps parallelize internally too); print in V order afterwards.
+    let curves = parallel_map(&vs, |&v| reduction_curve(v, k));
+    for (&v, curve) in vs.iter().zip(&curves) {
         let mut peak = 0.0f64;
-        for (r, pct) in &curve {
+        for (r, pct) in curve {
             println!("{v:>6.0} {r:>10.0} {pct:>12.1}");
             rows.push(format!("{v},{r:.0},{pct:.2}"));
             peak = peak.max(*pct);

@@ -66,7 +66,7 @@ fn main() {
         for &(_, rate) in &loads {
             let mut cfg = template(paradigm.clone(), k);
             cfg.population = cfg.population.clone().with_rate(rate);
-            let r = run(cfg);
+            let r = run(&cfg);
             if r.stable {
                 print!(" {:>14.1}", r.mean_delay_us);
             } else {

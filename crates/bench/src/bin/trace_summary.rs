@@ -48,9 +48,9 @@ fn main() {
     ] {
         let mut cfg = template_with(paradigm, 8, quick);
         cfg.population = cfg.population.clone().with_rate(1400.0);
-        let plain = run(cfg.clone());
+        let plain = run(&cfg);
         let mut rec = MemRecorder::new();
-        let (report, probe) = run_observed(cfg, &mut rec);
+        let (report, probe) = run_observed(&cfg, &mut rec);
 
         println!("sim {label} @ 1400 pps/stream");
         println!("  {}", summary::render(&rec.counters));

@@ -75,6 +75,25 @@ impl SstParams {
         u.min(refs)
     }
 
+    /// Precompute the line-size-dependent constants of the power law for
+    /// repeated evaluation at one `line_bytes` (the per-dispatch hot
+    /// path evaluates `u(R, L)` for the two fixed cache line sizes on
+    /// every packet). The returned [`LineFootprint`] is bit-identical to
+    /// [`Self::footprint`] at the same line size — see
+    /// [`LineFootprint::footprint`] for the operation-order argument.
+    pub fn at_line(&self, line_bytes: f64) -> LineFootprint {
+        assert!(line_bytes >= 1.0, "line size must be >= 1 byte");
+        let log_l = line_bytes.log10();
+        LineFootprint {
+            // Exactly the first two terms of `log_u` as `footprint`
+            // associates them: `(W.log10() + a·log_l)`.
+            base: self.w.log10() + self.a * log_l,
+            b: self.b,
+            // The cross term's left-associated factor `(log_d·log_l)`.
+            cross: self.log_d * log_l,
+        }
+    }
+
     /// The number of references needed to touch `lines` unique lines
     /// (inverse of [`Self::footprint`] in `R`), via bisection.
     ///
@@ -103,9 +122,63 @@ impl SstParams {
     }
 }
 
+/// [`SstParams::footprint`] specialized to one line size, with the
+/// line-size-dependent subexpressions folded into constants.
+///
+/// Bit-identity argument: the original evaluates
+/// `log_u = ((W.log10() + a·log_l) + b·log_r) + (log_d·log_l)·log_r`
+/// (Rust's left-associated `+`/`*`). `base` and `cross` are exactly the
+/// two parenthesized groups that do not involve `log_r`; folding them
+/// performs the identical IEEE-754 operations in the identical order,
+/// so every intermediate — and the result — has the same bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFootprint {
+    /// `W.log10() + a·log_l`.
+    base: f64,
+    /// Temporal exponent `b` (unchanged).
+    b: f64,
+    /// `log_d · log_l`.
+    cross: f64,
+}
+
+impl LineFootprint {
+    /// Expected unique lines touched in `refs` references; bit-identical
+    /// to [`SstParams::footprint`] at the precomputed line size.
+    pub fn footprint(&self, refs: f64) -> f64 {
+        assert!(refs >= 0.0, "negative reference count");
+        if refs < 1.0 {
+            return refs.max(0.0);
+        }
+        let log_r = refs.log10();
+        let log_u = self.base + self.b * log_r + self.cross * log_r;
+        let u = 10f64.powf(log_u);
+        u.min(refs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn at_line_bitwise_matches_footprint() {
+        for &l in &[4.0, 16.0, 64.0, 128.0, 4096.0] {
+            let lf = MVS_WORKLOAD.at_line(l);
+            for i in 0..4000 {
+                // Awkward, non-round reference counts across 12 decades.
+                let refs = 0.37_f64 * (1.013_f64).powi(i) + (i as f64) * 0.61;
+                let a = MVS_WORKLOAD.footprint(refs, l);
+                let b = lf.footprint(refs);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "u({refs}, {l}) diverged: {a} vs {b}"
+                );
+            }
+            assert_eq!(lf.footprint(0.0).to_bits(), 0.0f64.to_bits());
+            assert_eq!(lf.footprint(0.5), MVS_WORKLOAD.footprint(0.5, l));
+        }
+    }
 
     #[test]
     fn mvs_constants_match_paper() {

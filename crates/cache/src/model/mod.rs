@@ -8,10 +8,12 @@ pub mod flush;
 pub mod footprint;
 pub mod hierarchy;
 pub mod platform;
+pub mod pricer;
 
 pub use exec_time::{Age, ComponentAges, ComponentWeights, ExecTimeModel, TimeBounds};
 pub use fit::{fit_sst, FootprintObs};
 pub use flush::{flushed_fraction, flushed_fraction_poisson};
-pub use footprint::{SstParams, MVS_WORKLOAD};
+pub use footprint::{LineFootprint, SstParams, MVS_WORKLOAD};
 pub use hierarchy::{Displacement, FlushModel};
 pub use platform::{CacheGeometry, Platform};
+pub use pricer::{Component, DispatchPricer};

@@ -1,0 +1,296 @@
+//! Precomputed per-dispatch pricing of the reload-transient model.
+//!
+//! [`ExecTimeModel::protocol_time`] sits on the simulator's hot path —
+//! it runs once per packet dispatch — and recomputes, per call, values
+//! that are constants of the configuration: the two reload spans, the
+//! full cold/remote cost of each footprint component, the line-size
+//! terms of the SST footprint power law. [`DispatchPricer`] folds those
+//! into constants once per run.
+//!
+//! The contract is **bit identity**: every committed artifact is a
+//! byte-for-byte golden, so the pricer must produce exactly the bits the
+//! plain model produces. Each folded constant is computed by the same
+//! IEEE-754 operations in the same order as the original expression (the
+//! individual functions document their operation-order argument), and
+//! the test module asserts `to_bits()` equality against the un-folded
+//! model over a dense grid of ages. There is no approximation anywhere —
+//! only hoisting of loop-invariant subexpressions.
+
+use afs_desim::time::SimDuration;
+
+use super::exec_time::{Age, ComponentAges, ExecTimeModel};
+use super::flush::flushed_fraction;
+use super::footprint::LineFootprint;
+use super::hierarchy::Displacement;
+use super::platform::Platform;
+
+/// The three independently aging footprint components, as indices into
+/// the pricer's precomputed cost tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// Protocol text + shared globals.
+    CodeGlobal = 0,
+    /// Thread stack and control block.
+    Thread = 1,
+    /// Per-connection stream state.
+    Stream = 2,
+}
+
+/// [`ExecTimeModel`] with every configuration-constant subexpression
+/// precomputed. Build once per run ([`DispatchPricer::new`]), then call
+/// [`DispatchPricer::protocol_time`] per dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchPricer {
+    /// Cache geometry/timing, for `refs_in` (kept whole so the
+    /// seconds→references conversion uses the original expression).
+    platform: Platform,
+    /// SST power law folded to the L1 line size.
+    l1_foot: LineFootprint,
+    /// SST power law folded to the L2 line size.
+    l2_foot: LineFootprint,
+    l1_sets: u64,
+    l1_assoc: u32,
+    l2_sets: u64,
+    l2_assoc: u32,
+    l1_split: bool,
+    t_warm_us: f64,
+    /// `t_L2 − t_warm`, exactly as `component_cost_us` computes it.
+    span1: f64,
+    /// `t_cold − t_L2`.
+    span2: f64,
+    /// Component weights in [`Component`] order.
+    weights: [f64; 3],
+    /// Full cold cost per component: the bits of
+    /// `w·((1·span1 + 1·span2) + 0·(span1+span2))`.
+    cold_us: [f64; 3],
+    /// Full remote-fetch cost per component: the bits of
+    /// `w·((1·span1 + 1·span2) + premium·(span1+span2))`.
+    remote_us: [f64; 3],
+}
+
+impl DispatchPricer {
+    /// Fold `model`'s configuration constants. Pure precomputation: the
+    /// pricer answers every query with the same bits as `model`.
+    pub fn new(model: &ExecTimeModel) -> Self {
+        let b = &model.bounds;
+        // Exactly the spans `component_cost_us` recomputes per call.
+        let span1 = b.t_l2_us - b.t_warm_us;
+        let span2 = b.t_cold_us - b.t_l2_us;
+        let weights = [
+            model.weights.code_global,
+            model.weights.thread,
+            model.weights.stream,
+        ];
+        // For Cold, `component_cost_us` evaluates, in order:
+        //   reload = 1.0·span1 + 1.0·span2
+        //   weight · (reload + 0.0·(span1 + span2))
+        // and for Remote the same with `premium` in place of `0.0`.
+        // Reproduce those exact operations here, once.
+        let priced = |weight: f64, premium: f64| {
+            let reload = 1.0 * span1 + 1.0 * span2;
+            weight * (reload + premium * (span1 + span2))
+        };
+        let p = &model.flush.platform;
+        DispatchPricer {
+            platform: *p,
+            l1_foot: model.flush.workload.at_line(p.l1.line_bytes as f64),
+            l2_foot: model.flush.workload.at_line(p.l2.line_bytes as f64),
+            l1_sets: p.l1.sets(),
+            l1_assoc: p.l1.associativity,
+            l2_sets: p.l2.sets(),
+            l2_assoc: p.l2.associativity,
+            l1_split: p.l1_split,
+            t_warm_us: b.t_warm_us,
+            span1,
+            span2,
+            weights,
+            cold_us: weights.map(|w| priced(w, 0.0)),
+            remote_us: weights.map(|w| priced(w, model.remote_premium)),
+        }
+    }
+
+    /// `F1(x)/F2(x)`; bit-identical to [`FlushModel::displacement`]
+    /// (same `refs_in` expression, [`LineFootprint`]s bit-identical to
+    /// the un-folded power law, same [`flushed_fraction`]).
+    ///
+    /// [`FlushModel::displacement`]: super::hierarchy::FlushModel::displacement
+    pub fn displacement(&self, x: SimDuration) -> Displacement {
+        let refs = self.platform.refs_in(x.as_secs_f64());
+        if refs <= 0.0 {
+            return Displacement::NONE;
+        }
+        let r1 = if self.l1_split { refs * 0.5 } else { refs };
+        Displacement {
+            f1: flushed_fraction(self.l1_foot.footprint(r1), self.l1_sets, self.l1_assoc),
+            f2: flushed_fraction(self.l2_foot.footprint(refs), self.l2_sets, self.l2_assoc),
+        }
+    }
+
+    /// Cost of one component at a displacement it has already evaluated
+    /// (an `Elapsed` age whose `F1/F2` the caller also needs for
+    /// telemetry — evaluate once, use twice). Matches the original
+    /// `weight · ((d.f1·span1 + d.f2·span2) + 0.0·(span1+span2))`:
+    /// adding literal `+0.0` to the non-negative finite reload leaves
+    /// its bits unchanged, so the trailing term is dropped.
+    pub fn elapsed_cost_us(&self, d: Displacement, c: Component) -> f64 {
+        self.weights[c as usize] * (d.f1 * self.span1 + d.f2 * self.span2)
+    }
+
+    /// Cost of one component at an arbitrary age; bit-identical to the
+    /// model's `component_cost_us`. (`Warm` is exactly `0.0` there:
+    /// every product has a `0.0` factor and non-negative cofactors.)
+    pub fn component_cost_us(&self, age: Age, c: Component) -> f64 {
+        match age {
+            Age::Warm => 0.0,
+            Age::Elapsed(x) => self.elapsed_cost_us(self.displacement(x), c),
+            Age::Cold => self.cold_us[c as usize],
+            Age::Remote => self.remote_us[c as usize],
+        }
+    }
+
+    /// `t_warm`, for callers assembling the sum themselves.
+    pub fn t_warm_us(&self) -> f64 {
+        self.t_warm_us
+    }
+
+    /// Protocol time with the code/global component priced from an
+    /// already-evaluated displacement (`code_disp`), sharing the one
+    /// `F1/F2` evaluation between telemetry and pricing. `code_disp`
+    /// must be `Some` exactly when the code age is `Elapsed`.
+    pub fn protocol_time_shared(
+        &self,
+        ages: ComponentAges,
+        code_disp: Option<Displacement>,
+    ) -> SimDuration {
+        let code = match (ages.code_global, code_disp) {
+            (Age::Elapsed(_), Some(d)) => self.elapsed_cost_us(d, Component::CodeGlobal),
+            (age, _) => self.component_cost_us(age, Component::CodeGlobal),
+        };
+        // The model's sum, in its order: t_warm + code + thread + stream.
+        let us = self.t_warm_us
+            + code
+            + self.component_cost_us(ages.thread, Component::Thread)
+            + self.component_cost_us(ages.stream, Component::Stream);
+        SimDuration::from_micros_f64(us)
+    }
+
+    /// Protocol time for the given ages; bit-identical to
+    /// [`ExecTimeModel::protocol_time`].
+    pub fn protocol_time(&self, ages: ComponentAges) -> SimDuration {
+        self.protocol_time_shared(ages, match ages.code_global {
+            Age::Elapsed(x) => Some(self.displacement(x)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::exec_time::{ComponentWeights, TimeBounds};
+    use crate::model::footprint::MVS_WORKLOAD;
+    use crate::model::hierarchy::FlushModel;
+
+    fn model() -> ExecTimeModel {
+        ExecTimeModel::new(
+            TimeBounds::new(150.0, 185.0, 284.3),
+            FlushModel::new(Platform::sgi_challenge_r4400(), MVS_WORKLOAD),
+            ComponentWeights::nominal(),
+        )
+    }
+
+    /// A dense, awkward (non-round) grid of elapsed times spanning
+    /// sub-microsecond to hundreds of seconds.
+    fn elapsed_grid() -> Vec<SimDuration> {
+        (0..600)
+            .map(|i| SimDuration::from_micros_f64(0.73 * (1.047_f64).powi(i) + i as f64 * 0.31))
+            .collect()
+    }
+
+    #[test]
+    fn displacement_bitwise_matches_flush_model() {
+        let m = model();
+        let p = DispatchPricer::new(&m);
+        for x in elapsed_grid() {
+            let a = m.flush.displacement(x);
+            let b = p.displacement(x);
+            assert_eq!(a.f1.to_bits(), b.f1.to_bits(), "F1({x}) diverged");
+            assert_eq!(a.f2.to_bits(), b.f2.to_bits(), "F2({x}) diverged");
+        }
+        assert_eq!(p.displacement(SimDuration::ZERO), Displacement::NONE);
+    }
+
+    #[test]
+    fn protocol_time_bitwise_matches_model() {
+        let m = model();
+        let p = DispatchPricer::new(&m);
+        let mut ages_pool = vec![Age::Warm, Age::Cold, Age::Remote];
+        for x in elapsed_grid().into_iter().step_by(37) {
+            ages_pool.push(Age::Elapsed(x));
+        }
+        for (i, &code) in ages_pool.iter().enumerate() {
+            for (j, &thread) in ages_pool.iter().enumerate() {
+                // Sample the stream axis to keep the cube affordable.
+                let stream = ages_pool[(i * 7 + j * 3) % ages_pool.len()];
+                let ages = ComponentAges {
+                    code_global: code,
+                    thread,
+                    stream,
+                };
+                let a = m.protocol_time(ages);
+                let b = p.protocol_time(ages);
+                assert_eq!(
+                    a.as_micros_f64().to_bits(),
+                    b.as_micros_f64().to_bits(),
+                    "protocol_time diverged for {ages:?}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_code_displacement_is_the_same_bits() {
+        let m = model();
+        let p = DispatchPricer::new(&m);
+        for x in elapsed_grid().into_iter().step_by(11) {
+            let ages = ComponentAges {
+                code_global: Age::Elapsed(x),
+                thread: Age::Remote,
+                stream: Age::Elapsed(x),
+            };
+            let d = p.displacement(x);
+            let shared = p.protocol_time_shared(ages, Some(d));
+            let plain = m.protocol_time(ages);
+            assert_eq!(shared.as_micros_f64().to_bits(), plain.as_micros_f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn component_cost_matches_weights_partition() {
+        let m = model();
+        let p = DispatchPricer::new(&m);
+        // Cold stream component alone = w_stream × full span.
+        let c = p.component_cost_us(Age::Cold, Component::Stream);
+        assert!((c - 0.30 * 134.3).abs() < 1e-9, "{c}");
+        // Warm components are free, remote beats cold.
+        assert_eq!(p.component_cost_us(Age::Warm, Component::Thread), 0.0);
+        assert!(
+            p.component_cost_us(Age::Remote, Component::Stream)
+                > p.component_cost_us(Age::Cold, Component::Stream)
+        );
+    }
+
+    #[test]
+    fn zero_weight_component_is_zero_bits() {
+        let m = ExecTimeModel::new(
+            TimeBounds::new(150.0, 185.0, 284.3),
+            FlushModel::new(Platform::sgi_challenge_r4400(), MVS_WORKLOAD),
+            ComponentWeights::new(1.0, 0.0, 0.0),
+        );
+        let p = DispatchPricer::new(&m);
+        for age in [Age::Cold, Age::Remote, Age::Warm] {
+            let c = p.component_cost_us(age, Component::Stream);
+            assert_eq!(c.to_bits(), 0.0f64.to_bits(), "{age:?}");
+        }
+    }
+}

@@ -27,7 +27,7 @@ pub struct WarmupCheck {
 pub fn validate_warmup(cfg: &SystemConfig) -> Option<WarmupCheck> {
     let horizon = cfg.horizon;
     let configured = cfg.warmup;
-    let (_, series) = run_with_series(cfg.clone(), true);
+    let (_, series) = run_with_series(cfg, true);
     let est = mser5(&series)?;
     let frac = est.truncate_at as f64 / series.len() as f64;
     let recommended = horizon.mul_f64(frac);

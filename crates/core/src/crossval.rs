@@ -167,6 +167,48 @@ pub fn smoke_matrix() -> Vec<CrossvalScenario> {
     }]
 }
 
+/// One simulator cell of the cross-validation matrix: the scenario, the
+/// policy rung, and the run's report.
+#[derive(Debug, Clone)]
+pub struct SimCell {
+    /// The scenario this cell belongs to.
+    pub scenario: CrossvalScenario,
+    /// The policy rung simulated.
+    pub policy: CrossPolicy,
+    /// The simulator's report for `scenario.sim_config(policy)`.
+    pub report: crate::metrics::RunReport,
+}
+
+/// Run the simulator side of a cross-validation matrix — every
+/// `(scenario, policy)` cell — on the [`crate::par`] executor.
+///
+/// Cells are independent runs, so they fan out across `AFS_JOBS`
+/// workers; results come back in row-major order (scenarios in the
+/// given order, [`CrossPolicy::ALL`] within each), byte-identical to
+/// the serial nested loop. The native side of the matrix stays serial:
+/// its runs share the host's real caches and threads, so running them
+/// concurrently would perturb the very effect being measured.
+pub fn sim_matrix(scenarios: &[CrossvalScenario]) -> Vec<SimCell> {
+    sim_matrix_jobs(crate::par::jobs_from_env(), scenarios)
+}
+
+/// [`sim_matrix`] with an explicit worker count (determinism tests pin
+/// `jobs` instead of racing on the process environment).
+pub fn sim_matrix_jobs(jobs: usize, scenarios: &[CrossvalScenario]) -> Vec<SimCell> {
+    let cells: Vec<(CrossvalScenario, CrossPolicy)> = scenarios
+        .iter()
+        .flat_map(|&s| CrossPolicy::ALL.into_iter().map(move |p| (s, p)))
+        .collect();
+    crate::par::parallel_map_jobs(jobs, &cells, |&(scenario, policy)| {
+        let cfg = scenario.sim_config(policy);
+        SimCell {
+            scenario,
+            policy,
+            report: crate::sim::run(&cfg),
+        }
+    })
+}
+
 /// Relative improvement of `better` over `base` (positive = `better`
 /// is faster). Returns 0 when `base` is not positive.
 pub fn relative_improvement(base: f64, better: f64) -> f64 {

@@ -19,6 +19,9 @@
 //!   detection and Little's-law checks.
 //! * [`sweep`] — rate sweeps and capacity search ([`sweep::rate_sweep`],
 //!   [`sweep::capacity_search`]).
+//! * [`par`] — the seeded, order-preserving parallel executor
+//!   ([`par::parallel_map`], `AFS_JOBS`) that fans independent runs out
+//!   across threads with byte-identical results.
 //! * [`mod@replicate`] — independent replications with cross-run
 //!   confidence intervals.
 //! * [`analysis`] — percent-delay-reduction curves, crossover detection
@@ -46,7 +49,7 @@
 //! );
 //! cfg.horizon = afs_desim::SimDuration::from_millis(300);
 //! cfg.warmup = afs_desim::SimDuration::from_millis(50);
-//! let report = afs_core::sim::run(cfg);
+//! let report = afs_core::sim::run(&cfg);
 //! assert!(report.stable);
 //! assert!(report.mean_delay_us > 0.0);
 //! ```
@@ -56,6 +59,7 @@ pub mod config;
 pub mod crossval;
 pub mod exec;
 pub mod metrics;
+pub mod par;
 pub mod replicate;
 pub mod sim;
 pub mod state;
@@ -63,9 +67,10 @@ pub mod sweep;
 pub mod trace;
 
 pub use config::{DropPolicy, FaultProfile, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
-pub use crossval::{CrossPolicy, CrossvalScenario};
+pub use crossval::{sim_matrix, CrossPolicy, CrossvalScenario, SimCell};
 pub use exec::ExecParams;
 pub use metrics::RunReport;
+pub use par::{jobs_from_env, parallel_map, parallel_map_jobs};
 pub use replicate::{replicate, MetricSummary, ReplicationSummary};
 pub use sweep::{capacity_search, rate_sweep, Series, SweepPoint};
 
@@ -74,6 +79,7 @@ pub mod prelude {
     pub use crate::config::{DropPolicy, FaultProfile, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
     pub use crate::exec::ExecParams;
     pub use crate::metrics::RunReport;
+    pub use crate::par::{parallel_map, parallel_map_jobs};
     pub use crate::replicate::{replicate, ReplicationSummary};
     pub use crate::sim::{run, run_observed};
     pub use afs_obs::{MemRecorder, NullRecorder, Recorder};

@@ -14,6 +14,7 @@ use afs_desim::stats::{ConfInterval, Welford};
 
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
+use crate::par;
 use crate::sim::run;
 
 /// Cross-replication summary of one scalar metric.
@@ -91,27 +92,38 @@ impl ReplicationSummary {
 /// Run `n` independent replications of `cfg`, deriving each seed from
 /// the configuration's seed. Metrics are summarized over the *stable*
 /// replications (an unstable replication's delay is meaningless).
+///
+/// Replications are independent runs, so they fan out on the
+/// [`crate::par`] executor (`AFS_JOBS` workers); the reports come back
+/// in seed order and the Welford accumulators fold them in that same
+/// order afterwards, so every summary statistic is bit-identical to the
+/// serial loop's.
 pub fn replicate(cfg: &SystemConfig, n: usize) -> ReplicationSummary {
+    replicate_jobs(par::jobs_from_env(), cfg, n)
+}
+
+/// [`replicate`] with an explicit worker count (determinism tests pin
+/// `jobs` instead of racing on the process environment).
+pub fn replicate_jobs(jobs: usize, cfg: &SystemConfig, n: usize) -> ReplicationSummary {
     assert!(n >= 2, "need at least two replications for an interval");
+    let indices: Vec<u64> = (0..n as u64).collect();
+    let reports = par::parallel_map_jobs(jobs, &indices, |&i| {
+        let mut c = cfg.clone();
+        // Distinct, deterministic seeds per replication.
+        c.seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1));
+        run(&c)
+    });
     let mut delay = Welford::new();
     let mut service = Welford::new();
     let mut throughput = Welford::new();
-    let mut reports = Vec::with_capacity(n);
     let mut stable_count = 0;
-    for i in 0..n {
-        let mut c = cfg.clone();
-        // Distinct, deterministic seeds per replication.
-        c.seed = cfg
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
-        let r = run(c);
+    for r in &reports {
         if r.stable {
             stable_count += 1;
             delay.add(r.mean_delay_us);
             service.add(r.mean_service_us);
             throughput.add(r.throughput_pps);
         }
-        reports.push(r);
     }
     ReplicationSummary {
         replications: n,
@@ -163,7 +175,7 @@ mod tests {
         // The single-run batch-means interval should overlap the
         // cross-replication interval — two estimators of one quantity.
         let s = replicate(&quick(), 6);
-        let single = run(quick());
+        let single = run(&quick());
         let lo = s.mean_delay_us.mean - s.mean_delay_us.ci_half - single.delay_ci_half_us;
         let hi = s.mean_delay_us.mean + s.mean_delay_us.ci_half + single.delay_ci_half_us;
         assert!(

@@ -26,6 +26,7 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 
 use afs_cache::model::exec_time::{Age, ComponentAges};
+use afs_cache::model::pricer::DispatchPricer;
 use afs_desim::engine::{Engine, Scheduler, Simulate};
 use afs_desim::rng::RngFactory;
 use afs_desim::time::{SimDuration, SimTime};
@@ -62,11 +63,18 @@ struct StackState {
 
 /// The simulator model.
 ///
-/// The lifetime parameter scopes the optional observability recorder
-/// ([`SchedSim::obs`]); plain runs use the elided `'_` and never notice
-/// it.
+/// The lifetime parameter scopes the borrowed configuration and the
+/// optional observability recorder ([`SchedSim::obs`]); plain runs use
+/// the elided `'_` and never notice it.
 pub struct SchedSim<'r> {
-    cfg: SystemConfig,
+    /// The (immutable) run configuration. Borrowed, not cloned: a sweep
+    /// can fan hundreds of runs out of one template without a per-run
+    /// deep copy of the population and policy tables.
+    cfg: &'r SystemConfig,
+    /// Configuration-constant folding of `cfg.exec.model` (reload spans,
+    /// cold/remote component costs, SST line constants) — bit-identical
+    /// to the plain model, evaluated once per run instead of per packet.
+    pricer: DispatchPricer,
     procs: Vec<ProcState>,
     /// Protocol threads (Locking). Under per-processor pools thread `p`
     /// is pinned to processor `p`; under the shared pool threads rotate.
@@ -117,7 +125,7 @@ pub struct SchedSim<'r> {
 
 impl<'r> SchedSim<'r> {
     /// Build the model and note per-stream generators.
-    pub fn new(cfg: SystemConfig) -> Self {
+    pub fn new(cfg: &'r SystemConfig) -> Self {
         cfg.validate();
         let n = cfg.n_procs;
         let k = cfg.population.len();
@@ -160,6 +168,7 @@ impl<'r> SchedSim<'r> {
             trace: None,
             obs: None,
             next_seq: 0,
+            pricer: DispatchPricer::new(&cfg.exec.model),
             cfg,
         }
     }
@@ -315,18 +324,21 @@ impl<'r> SchedSim<'r> {
     /// effectively does).
     fn random_idle(&mut self) -> Option<usize> {
         use rand::Rng as _;
-        let idle: Vec<usize> = self
-            .procs
+        // Count-then-select keeps this allocation-free on the dispatch
+        // hot path. The single `gen_range(0..count)` draw has the same
+        // bounds as the old `0..idle_vec.len()`, so the RNG stream and
+        // the selected processor are unchanged.
+        let idle_count = self.procs.iter().filter(|p| p.is_idle()).count();
+        if idle_count == 0 {
+            return None;
+        }
+        let k = self.policy_rng.gen_range(0..idle_count);
+        self.procs
             .iter()
             .enumerate()
             .filter(|(_, p)| p.is_idle())
+            .nth(k)
             .map(|(i, _)| i)
-            .collect();
-        if idle.is_empty() {
-            None
-        } else {
-            Some(idle[self.policy_rng.gen_range(0..idle.len())])
-        }
     }
 
     /// The idle processor with the *newest* protocol activity (the best
@@ -415,14 +427,19 @@ impl<'r> SchedSim<'r> {
             }
         };
 
-        // Telemetry: displacement of the code/global component.
-        match code_age {
-            Age::Elapsed(x) => {
-                let d = self.cfg.exec.model.flush.displacement(x);
+        // One F1/F2 evaluation for the code/global component, shared by
+        // the dispatch telemetry and the service-time pricing below
+        // (the model previously evaluated the same displacement twice).
+        let code_disp = match code_age {
+            Age::Elapsed(x) => Some(self.pricer.displacement(x)),
+            _ => None,
+        };
+        match (code_age, code_disp) {
+            (Age::Elapsed(_), Some(d)) => {
                 self.collector.f1_at_dispatch.add(d.f1);
                 self.collector.f2_at_dispatch.add(d.f2);
             }
-            Age::Cold => {
+            (Age::Cold, _) => {
                 self.collector.f1_at_dispatch.add(1.0);
                 self.collector.f2_at_dispatch.add(1.0);
             }
@@ -434,7 +451,7 @@ impl<'r> SchedSim<'r> {
             thread: thread_age,
             stream: stream_age,
         };
-        let mut proto = self.cfg.exec.model.protocol_time(ages);
+        let mut proto = self.pricer.protocol_time_shared(ages, code_disp);
         if pkt.corrupt {
             // Partial traversal: the checksum rejects the packet part-way
             // through the path. The fraction of the (already reduced —
@@ -515,8 +532,13 @@ impl<'r> SchedSim<'r> {
 
     /// One Locking dispatch attempt. Returns true if a packet started.
     fn dispatch_locking(&mut self, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
-        let policy = match &self.cfg.paradigm {
-            Paradigm::Locking { policy } => policy.clone(),
+        // `self.cfg` is a shared borrow with the run's own lifetime, so
+        // the policy can be borrowed out from under the `&mut self`
+        // methods below — no per-dispatch clone of the policy (which
+        // carries a Vec for the Hybrid wired table).
+        let cfg: &SystemConfig = self.cfg;
+        let policy = match &cfg.paradigm {
+            Paradigm::Locking { policy } => policy,
             _ => unreachable!("dispatch_locking under IPS"),
         };
 
@@ -774,14 +796,20 @@ impl<'r> Simulate for SchedSim<'r> {
 }
 
 /// Run a configuration to completion and report.
-pub fn run(cfg: SystemConfig) -> RunReport {
+///
+/// Takes the configuration by reference — the simulator borrows it for
+/// the run's duration (no clone at all), so fan-out layers like
+/// [`crate::par::parallel_map`] can share one template across workers.
+/// The run is a pure function of `(cfg, cfg.seed)`: identical inputs
+/// produce a bit-identical report on any thread.
+pub fn run(cfg: &SystemConfig) -> RunReport {
     run_with_series(cfg, false).0
 }
 
 /// Run a configuration; optionally also return the full per-packet delay
 /// series (µs, completion order, warm-up included) for output analysis
 /// such as MSER-5 warm-up validation.
-pub fn run_with_series(cfg: SystemConfig, capture: bool) -> (RunReport, Vec<f64>) {
+pub fn run_with_series(cfg: &SystemConfig, capture: bool) -> (RunReport, Vec<f64>) {
     let horizon = SimTime::ZERO + cfg.horizon;
     let n_procs = cfg.n_procs;
     let mut engine = Engine::new(SchedSim::new(cfg));
@@ -804,7 +832,7 @@ pub fn run_with_series(cfg: SystemConfig, capture: bool) -> (RunReport, Vec<f64>
 
 /// Run a configuration with a bounded scheduling trace attached;
 /// returns the report and the trace (newest `capacity` events).
-pub fn run_traced(cfg: SystemConfig, capacity: usize) -> (RunReport, SchedTrace) {
+pub fn run_traced(cfg: &SystemConfig, capacity: usize) -> (RunReport, SchedTrace) {
     let horizon = SimTime::ZERO + cfg.horizon;
     let n_procs = cfg.n_procs;
     let mut engine = Engine::new(SchedSim::new(cfg));
@@ -823,7 +851,7 @@ pub fn run_traced(cfg: SystemConfig, capacity: usize) -> (RunReport, SchedTrace)
 /// `rec` in the unified `afs-obs` schema, and the desim engine's probe
 /// is returned alongside the report. Attaching the recorder is pure
 /// observation — the report is bit-identical to [`run`]'s.
-pub fn run_observed(cfg: SystemConfig, rec: &mut dyn Recorder) -> (RunReport, EngineProbe) {
+pub fn run_observed<'r>(cfg: &'r SystemConfig, rec: &'r mut dyn Recorder) -> (RunReport, EngineProbe) {
     let horizon = SimTime::ZERO + cfg.horizon;
     let n_procs = cfg.n_procs;
     let mut engine = Engine::new(SchedSim::new(cfg));
@@ -873,7 +901,7 @@ mod tests {
 
     #[test]
     fn low_load_delay_near_service_time() {
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
             },
@@ -895,14 +923,14 @@ mod tests {
 
     #[test]
     fn delay_increases_toward_saturation() {
-        let lo = run(quick(
+        let lo = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
             },
             8,
             1000.0,
         ));
-        let hi = run(quick(
+        let hi = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
             },
@@ -922,7 +950,7 @@ mod tests {
     #[test]
     fn overload_detected_unstable() {
         // 8 streams × 8000/s × ≥160 µs ≫ 8 processors.
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Baseline,
             },
@@ -934,7 +962,7 @@ mod tests {
 
     #[test]
     fn determinism_same_seed() {
-        let a = run(quick(
+        let a = run(&quick(
             Paradigm::Ips {
                 policy: IpsPolicy::Mru,
                 n_stacks: 8,
@@ -942,7 +970,7 @@ mod tests {
             8,
             400.0,
         ));
-        let b = run(quick(
+        let b = run(&quick(
             Paradigm::Ips {
                 policy: IpsPolicy::Mru,
                 n_stacks: 8,
@@ -963,15 +991,15 @@ mod tests {
             8,
             400.0,
         );
-        let a = run(cfg.clone());
+        let a = run(&cfg);
         cfg.seed ^= 0xDEAD;
-        let b = run(cfg);
+        let b = run(&cfg);
         assert_ne!(a.mean_delay_us, b.mean_delay_us);
     }
 
     #[test]
     fn wired_never_migrates_streams() {
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Wired,
             },
@@ -984,7 +1012,7 @@ mod tests {
 
     #[test]
     fn ips_wired_never_migrates() {
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Ips {
                 policy: IpsPolicy::Wired,
                 n_stacks: 16,
@@ -997,7 +1025,7 @@ mod tests {
 
     #[test]
     fn baseline_migrates_heavily_at_low_load() {
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Baseline,
             },
@@ -1019,14 +1047,14 @@ mod tests {
 
     #[test]
     fn per_processor_pools_eliminate_thread_migration_cost_vs_baseline() {
-        let base = run(quick(
+        let base = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Baseline,
             },
             16,
             300.0,
         ));
-        let pools = run(quick(
+        let pools = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Pools,
             },
@@ -1044,14 +1072,14 @@ mod tests {
 
     #[test]
     fn mru_beats_baseline_at_moderate_load() {
-        let base = run(quick(
+        let base = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Baseline,
             },
             16,
             500.0,
         ));
-        let mru = run(quick(
+        let mru = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
             },
@@ -1068,7 +1096,7 @@ mod tests {
 
     #[test]
     fn littles_law_holds() {
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
             },
@@ -1080,7 +1108,7 @@ mod tests {
 
     #[test]
     fn conservation_delivered_close_to_offered_when_stable() {
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Ips {
                 policy: IpsPolicy::Wired,
                 n_stacks: 8,
@@ -1102,9 +1130,9 @@ mod tests {
             8,
             200.0,
         );
-        let r0 = run(cfg.clone());
+        let r0 = run(&cfg);
         cfg.v_fixed_us = 139.0;
-        let r139 = run(cfg);
+        let r139 = run(&cfg);
         let diff = r139.mean_service_us - r0.mean_service_us;
         assert!(
             (diff - 139.0).abs() < 10.0,
@@ -1125,9 +1153,9 @@ mod tests {
         for s in &mut cfg.population.streams {
             s.sizes = afs_workload::SizeDist::fddi_max();
         }
-        let r = run(cfg.clone());
+        let r = run(&cfg);
         cfg.copy_us_per_byte = 0.0;
-        let r0 = run(cfg);
+        let r0 = run(&cfg);
         let diff = r.mean_service_us - r0.mean_service_us;
         // 4432 bytes / 32 bytes/µs = 138.5 µs — the paper's worst case.
         assert!((diff - 138.5).abs() < 10.0, "copy diff {diff}");
@@ -1139,7 +1167,7 @@ mod tests {
         let mut wired = vec![false; k];
         wired[0] = true;
         wired[1] = true;
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Hybrid { wired },
             },
@@ -1160,7 +1188,7 @@ mod tests {
             1000.0,
         );
         cfg.n_procs = 1;
-        let r = run(cfg);
+        let r = run(&cfg);
         assert!(r.stable);
         // M/G/1 at ρ ≈ 0.2: delay modestly above service.
         assert!(r.mean_delay_us >= r.mean_service_us);
@@ -1180,7 +1208,7 @@ mod tests {
             2000.0, // aggregate 8000/s > 1/svc ≈ 6000/s
         );
         cfg.horizon = SimDuration::from_millis(800);
-        let r = run(cfg);
+        let r = run(&cfg);
         assert!(!r.stable, "one stack cannot carry 8000 pps");
         // Delivered rate respects the single-server bound.
         assert!(
@@ -1192,7 +1220,7 @@ mod tests {
 
     #[test]
     fn per_stream_delays_are_balanced_for_homogeneous_traffic() {
-        let r = run(quick(
+        let r = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Mru,
             },
@@ -1249,12 +1277,12 @@ mod fault_tests {
     fn noop_faults_and_unbounded_queues_change_nothing() {
         // Explicitly setting the defaults must reproduce the default
         // run bit-for-bit (the opt-in guarantee).
-        let base = run(quick(mru(), 8, 700.0));
+        let base = run(&quick(mru(), 8, 700.0));
         let mut cfg = quick(mru(), 8, 700.0);
         cfg.faults = FaultProfile::none();
         cfg.queue_bound = usize::MAX;
         cfg.drop_policy = DropPolicy::DropLongestQueue; // irrelevant when unbounded
-        let with_knobs = run(cfg);
+        let with_knobs = run(&cfg);
         assert_eq!(base, with_knobs);
         assert_eq!(base.drop_rate, 0.0);
         assert_eq!(base.goodput_pps, base.throughput_pps);
@@ -1277,8 +1305,8 @@ mod fault_tests {
             cfg.drop_policy = DropPolicy::TailDrop;
             cfg
         };
-        let a = run(make());
-        let b = run(make());
+        let a = run(&make());
+        let b = run(&make());
         assert_eq!(a, b);
         assert!(a.wire_drops > 0, "5% wire loss must show: {a:?}");
         assert!(a.corrupted > 0);
@@ -1291,9 +1319,9 @@ mod fault_tests {
             drop_p: 0.2,
             ..FaultProfile::none()
         };
-        let r = run(cfg);
+        let r = run(&cfg);
         assert_conservation(&r);
-        let clean = run(quick(mru(), 8, 700.0));
+        let clean = run(&quick(mru(), 8, 700.0));
         assert!(r.stable, "a lossy wire is not instability: {r:?}");
         assert!(
             (0.1..0.3).contains(&r.drop_rate),
@@ -1311,7 +1339,7 @@ mod fault_tests {
             corrupt_work_frac: 0.5,
             ..FaultProfile::none()
         };
-        let r = run(cfg);
+        let r = run(&cfg);
         assert!(r.corrupted > 0);
         assert!(r.wasted_service_frac > 0.05, "{r:?}");
         assert!(
@@ -1330,8 +1358,8 @@ mod fault_tests {
             duplicate_p: 0.5,
             ..FaultProfile::none()
         };
-        let r = run(cfg);
-        let clean = run(quick(mru(), 8, 400.0));
+        let r = run(&cfg);
+        let clean = run(&quick(mru(), 8, 400.0));
         assert!(
             r.offered_pps > 1.3 * clean.offered_pps,
             "50% duplication: {} vs {}",
@@ -1345,7 +1373,7 @@ mod fault_tests {
         // The same offered load that diverges with unbounded queues
         // (see `overload_detected_unstable`) terminates with a finite
         // delay and a nonzero drop rate once queues are bounded.
-        let unbounded = run(quick(
+        let unbounded = run(&quick(
             Paradigm::Locking {
                 policy: LockPolicy::Baseline,
             },
@@ -1363,7 +1391,7 @@ mod fault_tests {
         );
         cfg.queue_bound = 32;
         cfg.drop_policy = DropPolicy::TailDrop;
-        let r = run(cfg);
+        let r = run(&cfg);
         assert_conservation(&r);
         assert!(r.stable, "bounded overload must degrade, not diverge: {r:?}");
         assert!(r.queue_drops > 0);
@@ -1384,7 +1412,7 @@ mod fault_tests {
         let mut cfg = quick(mru(), 8, 8000.0);
         cfg.queue_bound = 64;
         cfg.drop_policy = DropPolicy::Backpressure;
-        let r = run(cfg);
+        let r = run(&cfg);
         assert_conservation(&r);
         assert!(r.stable, "{r:?}");
         assert!(r.shed_at_source > 0);
@@ -1404,7 +1432,7 @@ mod fault_tests {
         );
         cfg.queue_bound = 16;
         cfg.drop_policy = DropPolicy::DropLongestQueue;
-        let r = run(cfg);
+        let r = run(&cfg);
         assert_conservation(&r);
         assert!(r.stable, "{r:?}");
         assert!(r.queue_drops > 0);
@@ -1423,7 +1451,7 @@ mod fault_tests {
         );
         cfg.queue_bound = 16;
         cfg.drop_policy = DropPolicy::TailDrop;
-        let r = run(cfg);
+        let r = run(&cfg);
         assert_conservation(&r);
         assert!(r.stable, "{r:?}");
         assert!(r.queue_drops > 0);
@@ -1442,7 +1470,7 @@ mod fault_tests {
                 corrupt_work_frac: 0.5,
                 ..FaultProfile::none()
             };
-            run(cfg).goodput_pps
+            run(&cfg).goodput_pps
         };
         let g0 = goodput_at(0.0);
         let g2 = goodput_at(0.2);
@@ -1470,7 +1498,7 @@ mod balance_tests {
         // 16 streams on 8 processors, wired: each processor owns exactly
         // 2 streams; served counts should be near-equal.
         let (r, _) = run_with_series(
-            quick(
+            &quick(
                 Paradigm::Locking {
                     policy: LockPolicy::Wired,
                 },
@@ -1495,7 +1523,7 @@ mod balance_tests {
         // Global processor-MRU at light load keeps work on few
         // processors: the busiest handles many times the quietest.
         let (r, _) = run_with_series(
-            quick(
+            &quick(
                 Paradigm::Locking {
                     policy: LockPolicy::Mru,
                 },
@@ -1520,7 +1548,7 @@ mod balance_tests {
         // 8 stacks on 8 processors, wired: every processor serves only
         // its stack's share.
         let (r, _) = run_with_series(
-            quick(
+            &quick(
                 Paradigm::Ips {
                     policy: IpsPolicy::Wired,
                     n_stacks: 8,
@@ -1552,7 +1580,7 @@ mod trace_tests {
 
     #[test]
     fn trace_records_every_packet_when_capacity_suffices() {
-        let (report, trace) = run_traced(quick(LockPolicy::Mru, 4, 300.0), 1 << 16);
+        let (report, trace) = run_traced(&quick(LockPolicy::Mru, 4, 300.0), 1 << 16);
         assert_eq!(trace.dropped, 0);
         // Dispatches = completions recorded (all in-flight work finishes
         // being traced only if it completed before the horizon).
@@ -1567,7 +1595,7 @@ mod trace_tests {
     #[test]
     fn wired_trace_shows_static_assignment() {
         let k = 8;
-        let (_, trace) = run_traced(quick(LockPolicy::Wired, k, 400.0), 1 << 16);
+        let (_, trace) = run_traced(&quick(LockPolicy::Wired, k, 400.0), 1 << 16);
         for s in 0..k as u32 {
             let history = trace.processor_history(s);
             assert!(!history.is_empty());
@@ -1581,14 +1609,14 @@ mod trace_tests {
 
     #[test]
     fn baseline_trace_shows_migrations() {
-        let (_, trace) = run_traced(quick(LockPolicy::Baseline, 4, 500.0), 1 << 16);
+        let (_, trace) = run_traced(&quick(LockPolicy::Baseline, 4, 500.0), 1 << 16);
         let total_migrations: usize = (0..4).map(|s| trace.migrations_of(s)).sum();
         assert!(total_migrations > 10, "baseline should bounce streams");
     }
 
     #[test]
     fn trace_timestamps_nondecreasing() {
-        let (_, trace) = run_traced(quick(LockPolicy::Mru, 4, 300.0), 1 << 16);
+        let (_, trace) = run_traced(&quick(LockPolicy::Mru, 4, 300.0), 1 << 16);
         let times: Vec<f64> = trace.events().map(|e| e.time_us()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -1614,9 +1642,9 @@ mod obs_tests {
     #[test]
     fn recorder_is_pure_observation() {
         let cfg = quick(LockPolicy::Mru, 4, 300.0);
-        let plain = run(cfg.clone());
+        let plain = run(&cfg);
         let mut rec = MemRecorder::new();
-        let (observed, probe) = run_observed(cfg, &mut rec);
+        let (observed, probe) = run_observed(&cfg, &mut rec);
         assert_eq!(plain, observed, "attaching a recorder changed the run");
         assert!(probe.steps > 0);
         assert!(rec.counters.dispatched > 0);
@@ -1625,7 +1653,7 @@ mod obs_tests {
     #[test]
     fn obs_counts_are_self_consistent() {
         let mut rec = MemRecorder::new();
-        let (report, _) = run_observed(quick(LockPolicy::Baseline, 6, 400.0), &mut rec);
+        let (report, _) = run_observed(&quick(LockPolicy::Baseline, 6, 400.0), &mut rec);
         let c = &rec.counters;
         // Whole-run conservation as seen by the trace: every enqueued
         // packet completed, was evicted, or is still in flight.
@@ -1653,7 +1681,7 @@ mod obs_tests {
         let cfg = quick(LockPolicy::Mru, 4, 300.0);
         let warm = cfg.warmup.as_micros_f64();
         let mut rec = MemRecorder::new();
-        let (report, _) = run_observed(cfg, &mut rec);
+        let (report, _) = run_observed(&cfg, &mut rec);
         let mut w = afs_desim::stats::Welford::new();
         for ev in &rec.events {
             if let afs_obs::ObsEvent::Complete { t_us, delay_us, ok: true, .. } = ev {
@@ -1692,7 +1720,7 @@ mod fairness_tests {
         cfg.n_procs = 1;
         cfg.warmup = SimDuration::from_millis(50);
         cfg.horizon = SimDuration::from_millis(500);
-        let r = run(cfg);
+        let r = run(&cfg);
         assert!(r.stable);
         let d0 = r.per_stream_delay_us[0];
         let d1 = r.per_stream_delay_us[1];
@@ -1720,7 +1748,7 @@ mod fairness_tests {
         );
         cfg.warmup = SimDuration::from_millis(60);
         cfg.horizon = SimDuration::from_millis(500);
-        let r = run(cfg);
+        let r = run(&cfg);
         assert!(r.stable, "hybrid mix should be stable");
         // The pooled streams completed packets at a sane delay.
         for s in 8..10 {

@@ -6,6 +6,7 @@ use afs_workload::Population;
 
 use crate::config::{Paradigm, SystemConfig};
 use crate::metrics::RunReport;
+use crate::par;
 use crate::sim::run;
 
 /// One point of a rate sweep.
@@ -60,19 +61,35 @@ impl Series {
 ///
 /// `base_population` supplies the stream count and arrival-process
 /// *shape*; each point rescales its rate via [`Population::with_rate`].
+///
+/// Points run in parallel on the [`crate::par`] executor (`AFS_JOBS`
+/// workers): each is an independent run of a rate-rescaled clone of the
+/// template, and results are reassembled in rate order, so the series —
+/// and every artifact rendered from it — is byte-identical to the
+/// serial loop.
 pub fn rate_sweep(label: impl Into<String>, template: &SystemConfig, rates: &[f64]) -> Series {
-    let mut points = Vec::with_capacity(rates.len());
-    for &r in rates {
+    rate_sweep_jobs(par::jobs_from_env(), label, template, rates)
+}
+
+/// [`rate_sweep`] with an explicit worker count (determinism tests pin
+/// `jobs` instead of racing on the process environment).
+pub fn rate_sweep_jobs(
+    jobs: usize,
+    label: impl Into<String>,
+    template: &SystemConfig,
+    rates: &[f64],
+) -> Series {
+    let points = par::parallel_map_jobs(jobs, rates, |&r| {
         let mut cfg = template.clone();
         cfg.population = cfg.population.clone().with_rate(r);
         let offered = cfg.population.total_rate_per_sec();
-        let report = run(cfg);
-        points.push(SweepPoint {
+        let report = run(&cfg);
+        SweepPoint {
             rate_per_stream: r,
             offered_pps: offered,
             report,
-        });
-    }
+        }
+    });
     Series {
         label: label.into(),
         points,
@@ -81,19 +98,32 @@ pub fn rate_sweep(label: impl Into<String>, template: &SystemConfig, rates: &[f6
 
 /// Binary-search the largest stable per-stream rate in
 /// `[lo, hi]` packets/second (tolerance `tol` relative).
+///
+/// The two bracket probes are independent and run in parallel; the
+/// bisection itself is *deliberately serial* — each probe's rate depends
+/// on every previous verdict, so fanning it out would change which
+/// configurations are evaluated and with them the returned capacity
+/// (and any artifact derived from it). Callers wanting parallelism
+/// across *several* searches fan those out with
+/// [`crate::par::parallel_map`] instead.
 pub fn capacity_search(template: &SystemConfig, lo: f64, hi: f64, tol: f64) -> f64 {
     assert!(lo > 0.0 && hi > lo && tol > 0.0);
     let stable_at = |rate: f64| -> bool {
         let mut cfg = template.clone();
         cfg.population = cfg.population.clone().with_rate(rate);
-        run(cfg).report_stability()
+        run(&cfg).report_stability()
     };
     let mut lo = lo;
     let mut hi = hi;
-    if !stable_at(lo) {
+    // Both ends of the bracket are always needed when the search
+    // proceeds, so probe them concurrently. (When `lo` is already
+    // unstable the `hi` probe is wasted work, but never changes the
+    // result: runs are pure.)
+    let ends = par::parallel_map(&[lo, hi], |&r| stable_at(r));
+    if !ends[0] {
         return 0.0;
     }
-    if stable_at(hi) {
+    if ends[1] {
         return hi;
     }
     while (hi - lo) / lo > tol {

@@ -66,7 +66,7 @@ proptest! {
         let exec = cfg.exec;
         let is_locking = cfg.paradigm.is_locking();
         let v = cfg.v_fixed_us;
-        let r = run(cfg.clone());
+        let r = run(&cfg);
 
         // Conservation: deliveries never exceed arrivals plus the
         // backlog standing at the warm-up boundary (bounded by what the
@@ -115,7 +115,7 @@ proptest! {
         prop_assert!(r.mean_f1 >= r.mean_f2 - 1e-9, "F1 < F2");
 
         // Determinism.
-        let r2 = run(cfg);
+        let r2 = run(&cfg);
         prop_assert_eq!(r.mean_delay_us, r2.mean_delay_us);
         prop_assert_eq!(r.delivered, r2.delivered);
 
@@ -147,7 +147,7 @@ proptest! {
         cfg.seed = seed;
         cfg.warmup = SimDuration::from_millis(10);
         cfg.horizon = SimDuration::from_millis(100);
-        let r = run(cfg);
+        let r = run(&cfg);
         prop_assert_eq!(r.stream_migration_rate, 0.0);
         prop_assert_eq!(r.thread_migration_rate, 0.0);
     }
@@ -170,7 +170,7 @@ proptest! {
             cfg.v_fixed_us = v_us;
             cfg.warmup = SimDuration::from_millis(10);
             cfg.horizon = SimDuration::from_millis(100);
-            run(cfg)
+            run(&cfg)
         };
         let r0 = mk(0.0);
         let rv = mk(v);
@@ -205,7 +205,7 @@ proptest! {
         let window_s = 0.38;
         let n_batches = offered_exact * window_s / batch;
         prop_assume!(n_batches >= 20.0);
-        let r = run(cfg);
+        let r = run(&cfg);
         prop_assume!(r.stable);
         // The measured offered rate converges on the analytic one. The
         // count of packets in the window is a compound-Poisson sum whose

@@ -8,12 +8,37 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::time::SimTime;
 
 /// Opaque handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+/// Identity hasher for [`EventId`]s. Ids are allocated sequentially, so
+/// they are already uniformly spread over the table and SipHash buys
+/// nothing; the pending-set lookup sits on the event loop's hot path
+/// (one insert + one remove per event, plus one probe per tombstone
+/// skip), so the mixing cost is worth removing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("EventId hashes via write_u64 only");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type IdSet = HashSet<EventId, BuildHasherDefault<IdHasher>>;
 
 /// Internal heap entry. Ordered by `(time, seq)` ascending; `BinaryHeap` is
 /// a max-heap so the `Ord` implementation is reversed.
@@ -55,9 +80,13 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Ids of events currently scheduled and not cancelled. Entries whose
     /// id is absent from this set are tombstones, skipped on pop.
-    pending: HashSet<EventId>,
+    pending: IdSet,
     next_seq: u64,
 }
+
+/// Tombstones are compacted away only once the heap is at least this
+/// large; below it the dead entries cost less than a rebuild.
+const COMPACT_MIN_HEAP: usize = 64;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -70,7 +99,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            pending: HashSet::default(),
             next_seq: 0,
         }
     }
@@ -95,8 +124,34 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event was still pending. Cancelling an
     /// already-fired or already-cancelled event returns `false` and has no
     /// other effect.
+    ///
+    /// Cancellation is lazy — the heap entry becomes a tombstone — but
+    /// once tombstones outnumber live events the heap is compacted, so a
+    /// cancel-heavy workload holds O(live) memory instead of growing
+    /// without bound until the dead entries happen to reach the top.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id)
+        let was_pending = self.pending.remove(&id);
+        if was_pending
+            && self.heap.len() >= COMPACT_MIN_HEAP
+            && self.heap.len() > 2 * self.pending.len()
+        {
+            self.compact();
+        }
+        was_pending
+    }
+
+    /// Drop every tombstone by rebuilding the heap from its live entries.
+    /// O(n) for the filter plus O(n) for the re-heapify; amortized O(1)
+    /// per cancel because at least half the entries are discarded each
+    /// time. Pop order is unaffected: it is fixed by the total
+    /// `(time, seq)` order, not by the heap's internal layout.
+    fn compact(&mut self) {
+        let pending = &self.pending;
+        self.heap = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .filter(|e| pending.contains(&e.id))
+            .collect();
     }
 
     /// Remove and return the earliest live event, skipping tombstones.
@@ -130,6 +185,13 @@ impl<E> EventQueue<E> {
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// Entries physically held by the queue, tombstones included —
+    /// `retained() - len()` is the current tombstone count. Exposed so
+    /// memory-behavior tests (and diagnostics) can observe compaction.
+    pub fn retained(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -216,6 +278,83 @@ mod tests {
         q.push(t(7), 9);
         assert_eq!(q.pop(), Some((t(7), 9)));
         assert_eq!(q.pop(), Some((t(10), 1)));
+    }
+
+    #[test]
+    fn cancel_heavy_compacts_tombstones() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10_000).map(|i| q.push(t(i), i)).collect();
+        // Cancel all but every 100th event, scattered across the heap.
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 100 != 0 {
+                q.cancel(id);
+            }
+        }
+        assert_eq!(q.len(), 100);
+        // Compaction bounds physical memory: at most 2× live (+ the
+        // below-threshold slack), not the 10 000 entries pushed.
+        assert!(
+            q.retained() <= 2 * q.len() + COMPACT_MIN_HEAP,
+            "retained {} for {} live events",
+            q.retained(),
+            q.len()
+        );
+        // Survivors pop in exactly the original time order.
+        for i in (0..10_000).step_by(100) {
+            assert_eq!(q.pop(), Some((t(i), i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_cancel_push_pop_keeps_order_and_memory() {
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        let mut peak_live = 0usize;
+        // Waves of push-many / cancel-most / pop-some, with colliding
+        // timestamps, exercising compaction mid-stream.
+        for wave in 0u64..50 {
+            let ids: Vec<_> = (0u64..200)
+                .map(|i| q.push(t(wave * 10 + i % 7), (wave, i)))
+                .collect();
+            for (i, &id) in ids.iter().enumerate() {
+                let i = i as u64;
+                if i % 10 != 3 {
+                    assert!(q.cancel(id));
+                    assert!(!q.cancel(id), "double cancel must be a no-op");
+                } else {
+                    expected.push((t(wave * 10 + i % 7), (wave, i)));
+                }
+            }
+            peak_live = peak_live.max(q.len());
+            assert!(
+                q.retained() <= 2 * q.len() + COMPACT_MIN_HEAP,
+                "wave {wave}: retained {} for {} live",
+                q.retained(),
+                q.len()
+            );
+        }
+        // Same (time, insertion order) sort the queue guarantees.
+        expected.sort_by_key(|&(time, (wave, i))| (time, wave, i));
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, expected);
+        assert!(peak_live >= 20, "test must actually hold live events");
+    }
+
+    #[test]
+    fn small_heaps_skip_compaction() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..COMPACT_MIN_HEAP as u64 - 4).map(|i| q.push(t(i), i)).collect();
+        for &id in &ids[1..] {
+            q.cancel(id);
+        }
+        // Below the threshold the tombstones simply sit in the heap.
+        assert_eq!(q.retained(), COMPACT_MIN_HEAP - 4);
+        assert_eq!(q.pop(), Some((t(0), 0)));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -154,7 +154,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let mut rec = MemRecorder::new();
-        let (report, _probe) = run_observed(sim_cfg(policy_ix, streams, rate, procs, seed), &mut rec);
+        let (report, _probe) = run_observed(&sim_cfg(policy_ix, streams, rate, procs, seed), &mut rec);
         assert_lifecycle(&rec.events)?;
 
         let c = &rec.counters;
@@ -177,9 +177,9 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let cfg = sim_cfg(policy_ix, streams, rate, procs, seed);
-        let plain = run(cfg.clone());
+        let plain = run(&cfg);
         let mut rec = MemRecorder::new();
-        let (observed, _probe) = run_observed(cfg, &mut rec);
+        let (observed, _probe) = run_observed(&cfg, &mut rec);
         prop_assert_eq!(plain, observed, "recorder changed the report");
     }
 
@@ -193,8 +193,8 @@ proptest! {
     ) {
         let mut a = MemRecorder::new();
         let mut b = MemRecorder::new();
-        let (ra, _) = run_observed(sim_cfg(policy_ix, streams, rate, procs, seed), &mut a);
-        let (rb, _) = run_observed(sim_cfg(policy_ix, streams, rate, procs, seed), &mut b);
+        let (ra, _) = run_observed(&sim_cfg(policy_ix, streams, rate, procs, seed), &mut a);
+        let (rb, _) = run_observed(&sim_cfg(policy_ix, streams, rate, procs, seed), &mut b);
         prop_assert_eq!(ra, rb, "report replay diverged");
         prop_assert_eq!(
             afs_obs::jsonl::render(&a.events),

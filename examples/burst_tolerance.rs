@@ -32,7 +32,7 @@ fn main() {
             pop.clone(),
         );
         lock_cfg.horizon = SimDuration::from_secs(3);
-        let lock = run(lock_cfg);
+        let lock = run(&lock_cfg);
 
         let mut ips_cfg = SystemConfig::new(
             Paradigm::Ips {
@@ -42,7 +42,7 @@ fn main() {
             pop,
         );
         ips_cfg.horizon = SimDuration::from_secs(3);
-        let ips = run(ips_cfg);
+        let ips = run(&ips_cfg);
 
         let ratio = ips.mean_delay_us / lock.mean_delay_us;
         println!(

@@ -19,7 +19,7 @@ type ConfigFor = Box<dyn Fn(usize) -> SystemConfig>;
 /// Largest K for which the configuration meets the delay target.
 fn max_streams(make: &dyn Fn(usize) -> SystemConfig, target_delay_us: f64) -> usize {
     let meets = |k: usize| {
-        let report = run(make(k));
+        let report = run(&make(k));
         report.stable && report.mean_delay_us <= target_delay_us
     };
     if !meets(1) {

@@ -52,7 +52,7 @@ fn main() {
     );
     cfg.horizon = SimDuration::from_millis(800);
     cfg.warmup = SimDuration::from_millis(100);
-    let (report, series) = afs_core::sim::run_with_series(cfg, true);
+    let (report, series) = afs_core::sim::run_with_series(&cfg, true);
     println!(
         "\nMSER-5 warm-up check on a live run ({} completions):",
         series.len()

@@ -65,7 +65,7 @@ fn main() {
             let mut cfg =
                 SystemConfig::new(paradigm.clone(), Population::homogeneous_poisson(k, r));
             cfg.n_procs = n_procs;
-            let report = run(cfg);
+            let report = run(&cfg);
             if report.stable {
                 print!(" {:>11.1}", report.mean_delay_us);
             } else {

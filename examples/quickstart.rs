@@ -34,7 +34,7 @@ fn main() {
     );
 
     // 3. Run and report.
-    let report = run(cfg);
+    let report = run(&cfg);
     println!(
         "\nresult ({}):",
         if report.stable { "stable" } else { "UNSTABLE" }

@@ -21,7 +21,7 @@ fn main() {
     cfg.warmup = SimDuration::from_millis(50);
     cfg.horizon = SimDuration::from_millis(400);
 
-    let (report, trace) = run_traced(cfg.clone(), 1 << 16);
+    let (report, trace) = run_traced(&cfg, 1 << 16);
     println!(
         "run: {} dispatches traced, mean delay {:.1} us\n",
         trace.dispatches().count(),

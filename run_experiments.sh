@@ -2,7 +2,16 @@
 # Regenerates every table and figure of the paper plus the extension
 # experiments. Outputs: stdout (paper-style rows + shape checks) and
 # CSVs under results/.
+#
+# Independent simulation runs fan out across cores via the afs_core::par
+# executor; AFS_JOBS caps the worker count (AFS_JOBS=1 forces the serial
+# path). Either way the artifacts are byte-identical — results are
+# reassembled in submission order.
 set -u
+AFS_JOBS="${AFS_JOBS:-0}"
+[ "$AFS_JOBS" -ge 1 ] 2>/dev/null || AFS_JOBS=$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n1 )
+export AFS_JOBS
+echo "run_experiments: AFS_JOBS=$AFS_JOBS"
 BINS="table1 table2 fig01 fig02 fig03 fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11 \
       ext12_send_side ext13_packet_train ext14_num_stacks ext15_copying ext16_hybrid ext19_tcp ext20_stream_capacity \
       ext21_faults ext22_native ext23_obs \

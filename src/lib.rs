@@ -37,7 +37,7 @@
 //! let mut cfg = SystemConfig::new(Paradigm::Locking { policy: LockPolicy::Mru }, pop);
 //! cfg.horizon = SimDuration::from_millis(400);
 //! cfg.warmup = SimDuration::from_millis(80);
-//! let report = run(cfg);
+//! let report = run(&cfg);
 //! assert!(report.stable);
 //! ```
 

@@ -21,7 +21,7 @@ fn run_matrix() -> Vec<[(RunReport, NativeReport); 3]> {
     smoke_matrix()
         .iter()
         .map(|s| {
-            CrossPolicy::ALL.map(|p| (run(s.sim_config(p)), run_scenario(s, p)))
+            CrossPolicy::ALL.map(|p| (run(&s.sim_config(p)), run_scenario(s, p)))
         })
         .collect()
 }

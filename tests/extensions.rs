@@ -28,7 +28,7 @@ fn tcp_bounds_through_the_scheduler() {
             Population::homogeneous_poisson(12, 500.0),
         );
         c.exec = exec;
-        run(c)
+        run(&c)
     };
     let base = mk(LockPolicy::Baseline);
     let mru = mk(LockPolicy::Mru);
@@ -63,8 +63,8 @@ fn replayed_trace_drives_the_simulator_deterministically() {
         },
         population,
     );
-    let a = run(cfg.clone());
-    let b = run(cfg);
+    let a = run(&cfg);
+    let b = run(&cfg);
     assert!(a.stable);
     assert_eq!(a.mean_delay_us, b.mean_delay_us, "replay is deterministic");
     // Offered rate matches the trace's analytic rate closely (the trace
@@ -96,8 +96,8 @@ fn empirical_packet_sizes_flow_through_copy_costs() {
     with_copy.copy_us_per_byte = 1.0 / 32.0;
     let mut without = with_copy.clone();
     without.copy_us_per_byte = 0.0;
-    let rc = run(with_copy);
-    let r0 = run(without);
+    let rc = run(&with_copy);
+    let r0 = run(&without);
     let diff = rc.mean_service_us - r0.mean_service_us;
     let expect = mean_size / 32.0;
     assert!(

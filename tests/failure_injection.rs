@@ -166,7 +166,7 @@ fn unstable_overload_recovers_when_load_drops() {
         );
         cfg.warmup = SimDuration::from_millis(50);
         cfg.horizon = SimDuration::from_millis(400);
-        run(cfg)
+        run(&cfg)
     };
     assert!(!overload.stable);
     let recovered = {
@@ -178,7 +178,7 @@ fn unstable_overload_recovers_when_load_drops() {
         );
         cfg.warmup = SimDuration::from_millis(50);
         cfg.horizon = SimDuration::from_millis(400);
-        run(cfg)
+        run(&cfg)
     };
     assert!(recovered.stable);
     assert!(recovered.mean_delay_us < 1.5 * recovered.mean_service_us);

@@ -92,7 +92,7 @@ fn golden_simulation_outputs() {
     ];
     for pin in pins {
         let label = pin.paradigm.label();
-        let r = run(quick(pin.paradigm, 16, 700.0));
+        let r = run(&quick(pin.paradigm, 16, 700.0));
         // The pins carry 6 decimals; compare at that precision.
         assert!(
             (r.mean_delay_us - pin.delay).abs() < 5e-6,

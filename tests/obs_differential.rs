@@ -46,7 +46,7 @@ fn rates(c: &Counters) -> Rates {
 /// recorder attached and return the two traces' counters.
 fn both(s: &CrossvalScenario, p: CrossPolicy) -> (Counters, Counters) {
     let mut sim_rec = MemRecorder::new();
-    let (sim_report, _probe) = run_observed(s.sim_config(p), &mut sim_rec);
+    let (sim_report, _probe) = run_observed(&s.sim_config(p), &mut sim_rec);
     assert!(sim_report.stable, "{} {}: sim run unstable", s.label(), p.label());
 
     let (nat_report, nat_rec) = run_scenario_recorded(s, p);
@@ -138,9 +138,9 @@ fn traces_are_internally_consistent_on_both_backends() {
 fn recorder_attach_does_not_change_the_simulator_report() {
     for s in smoke_matrix() {
         for p in CrossPolicy::ALL {
-            let plain = run(s.sim_config(p));
+            let plain = run(&s.sim_config(p));
             let mut rec = MemRecorder::new();
-            let (observed, _probe) = run_observed(s.sim_config(p), &mut rec);
+            let (observed, _probe) = run_observed(&s.sim_config(p), &mut rec);
             assert_eq!(
                 plain,
                 observed,
@@ -191,7 +191,7 @@ fn fig06_golden_cells_survive_recorder_attachment() {
         let mut cfg = afs_bench::template_with(Paradigm::Locking { policy }, 8, false);
         cfg.population = cfg.population.clone().with_rate(rate);
         let mut rec = MemRecorder::new();
-        let (report, _probe) = run_observed(cfg, &mut rec);
+        let (report, _probe) = run_observed(&cfg, &mut rec);
 
         let want = committed
             .lines()

@@ -15,7 +15,7 @@ fn quick(paradigm: Paradigm, k: usize, rate: f64) -> SystemConfig {
 }
 
 fn delay(paradigm: Paradigm, k: usize, rate: f64) -> f64 {
-    let r = run(quick(paradigm, k, rate));
+    let r = run(&quick(paradigm, k, rate));
     assert!(r.stable, "{} at {rate}/s should be stable", r.mean_delay_us);
     r.mean_delay_us
 }
@@ -98,14 +98,14 @@ fn claim_ips_higher_throughput_capacity() {
     // Abstract: "significantly higher message throughput capacity".
     // At a rate past Locking's knee, IPS must still be comfortable.
     let rate = 2_650.0;
-    let lock = run(quick(
+    let lock = run(&quick(
         Paradigm::Locking {
             policy: LockPolicy::Mru,
         },
         16,
         rate,
     ));
-    let ips = run(quick(
+    let ips = run(&quick(
         Paradigm::Ips {
             policy: IpsPolicy::Wired,
             n_stacks: 16,
@@ -146,8 +146,8 @@ fn claim_ips_less_robust_to_bursts() {
         rate,
     );
     ips_cfg.population = bursty;
-    let lock = run(lock_cfg);
-    let ips = run(ips_cfg);
+    let lock = run(&lock_cfg);
+    let ips = run(&ips_cfg);
     assert!(lock.stable && ips.stable);
     assert!(
         ips.mean_delay_us > 1.5 * lock.mean_delay_us,
@@ -162,7 +162,7 @@ fn claim_ips_limited_intra_stream_scalability() {
     // Abstract: "and limited intra-stream scalability": one stream on 8
     // processors saturates IPS near one processor's worth.
     let rate = 8_000.0; // beyond one processor's ~6000/s
-    let ips = run(quick(
+    let ips = run(&quick(
         Paradigm::Ips {
             policy: IpsPolicy::Mru,
             n_stacks: 1,
@@ -170,7 +170,7 @@ fn claim_ips_limited_intra_stream_scalability() {
         1,
         rate,
     ));
-    let lock = run(quick(
+    let lock = run(&quick(
         Paradigm::Locking {
             policy: LockPolicy::Mru,
         },
@@ -203,14 +203,14 @@ fn claim_wired_wins_at_high_rate_under_locking() {
         low,
     );
     assert!(mru_low < wired_low, "MRU should win at low rate");
-    let mru_high = run(quick(
+    let mru_high = run(&quick(
         Paradigm::Locking {
             policy: LockPolicy::Mru,
         },
         k,
         high,
     ));
-    let wired_high = run(quick(
+    let wired_high = run(&quick(
         Paradigm::Locking {
             policy: LockPolicy::Wired,
         },
@@ -253,7 +253,7 @@ fn claim_ips_crossover_wired_vs_mru() {
         150.0,
     );
     assert!(mru_low < wired_low, "IPS-MRU should win at low rate");
-    let mru_high = run(quick(
+    let mru_high = run(&quick(
         Paradigm::Ips {
             policy: IpsPolicy::Mru,
             n_stacks: k,
@@ -261,7 +261,7 @@ fn claim_ips_crossover_wired_vs_mru() {
         k,
         2_700.0,
     ));
-    let wired_high = run(quick(
+    let wired_high = run(&quick(
         Paradigm::Ips {
             policy: IpsPolicy::Wired,
             n_stacks: k,
@@ -301,8 +301,8 @@ fn claim_v_dilutes_the_benefit() {
             rate,
         );
         m.v_fixed_us = v;
-        let base = run(b);
-        let mru = run(m);
+        let base = run(&b);
+        let mru = run(&m);
         assert!(base.stable && mru.stable);
         1.0 - mru.mean_delay_us / base.mean_delay_us
     };

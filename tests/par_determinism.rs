@@ -1,0 +1,138 @@
+//! Determinism contract of the parallel experiment executor: for any
+//! worker count, every fan-out layer (`rate_sweep`, `replicate`, the
+//! crossval sim matrix) must produce output *bit-identical* to the
+//! serial path. This is what lets the committed golden artifacts stay
+//! byte-for-byte stable while the experiments run on all cores.
+//!
+//! The comparisons here are `to_bits()` on every floating-point field —
+//! not approximate equality. A run is a pure function of
+//! `(SystemConfig, seed)`; the executor only reorders *scheduling*, so
+//! any bit that moves is a real defect.
+
+use afs_bench::template_with;
+use afs_core::config::{LockPolicy, Paradigm, SystemConfig};
+use afs_core::crossval::{sim_matrix_jobs, smoke_matrix};
+use afs_core::metrics::RunReport;
+use afs_core::replicate::replicate_jobs;
+use afs_core::sweep::rate_sweep_jobs;
+
+/// The worker counts compared against the serial reference.
+const JOB_COUNTS: [usize; 3] = [2, 8, 32];
+
+fn assert_reports_identical(a: &RunReport, b: &RunReport, ctx: &str) {
+    assert_eq!(a.arrivals, b.arrivals, "{ctx}: arrivals");
+    assert_eq!(a.delivered, b.delivered, "{ctx}: delivered");
+    assert_eq!(a.stable, b.stable, "{ctx}: stability");
+    for (name, x, y) in [
+        ("mean_delay_us", a.mean_delay_us, b.mean_delay_us),
+        ("mean_service_us", a.mean_service_us, b.mean_service_us),
+        ("throughput_pps", a.throughput_pps, b.throughput_pps),
+        ("utilization", a.utilization, b.utilization),
+        ("mean_f1", a.mean_f1, b.mean_f1),
+        ("mean_f2", a.mean_f2, b.mean_f2),
+        (
+            "stream_migration_rate",
+            a.stream_migration_rate,
+            b.stream_migration_rate,
+        ),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: {name} drifted");
+    }
+    assert_eq!(a.per_proc_served, b.per_proc_served, "{ctx}: per-proc counts");
+}
+
+/// Figure 6's cells (Locking K = 8, the committed golden grid) swept
+/// serially and with several worker counts: every point bit-identical.
+#[test]
+fn fig06_cells_parallel_sweep_is_bit_identical() {
+    // Figure 6's policy grid on the smoke horizon: same configurations,
+    // bounded runtime.
+    let rates = [200.0, 800.0, 2000.0, 3600.0, 4800.0];
+    for policy in [LockPolicy::Baseline, LockPolicy::Mru, LockPolicy::Wired] {
+        let t = template_with(
+            Paradigm::Locking {
+                policy: policy.clone(),
+            },
+            8,
+            true,
+        );
+        let serial = rate_sweep_jobs(1, "s", &t, &rates);
+        for jobs in JOB_COUNTS {
+            let par = rate_sweep_jobs(jobs, "p", &t, &rates);
+            assert_eq!(serial.points.len(), par.points.len());
+            for (a, b) in serial.points.iter().zip(&par.points) {
+                assert_eq!(a.rate_per_stream.to_bits(), b.rate_per_stream.to_bits());
+                assert_eq!(a.offered_pps.to_bits(), b.offered_pps.to_bits());
+                assert_reports_identical(
+                    &a.report,
+                    &b.report,
+                    &format!("fig06 {policy:?} rate {} jobs {jobs}", a.rate_per_stream),
+                );
+            }
+        }
+    }
+}
+
+/// The ext22 cross-validation matrix's simulator side, serial vs
+/// parallel: cell order and every report bit-identical.
+#[test]
+fn crossval_sim_matrix_parallel_is_bit_identical() {
+    let matrix = smoke_matrix();
+    let serial = sim_matrix_jobs(1, &matrix);
+    for jobs in JOB_COUNTS {
+        let par = sim_matrix_jobs(jobs, &matrix);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.policy, b.policy, "cell order must be row-major");
+            assert_eq!(a.scenario.seed, b.scenario.seed);
+            assert_reports_identical(
+                &a.report,
+                &b.report,
+                &format!("ext22 {} {:?} jobs {jobs}", a.scenario.label(), a.policy),
+            );
+        }
+    }
+}
+
+/// Replication summaries (Welford accumulation over per-seed runs) are
+/// bit-identical for any worker count: reports come back in seed order
+/// and are folded in that order.
+#[test]
+fn replication_parallel_is_bit_identical() {
+    let mut cfg = SystemConfig::new(
+        Paradigm::Locking {
+            policy: LockPolicy::Mru,
+        },
+        afs_workload::Population::homogeneous_poisson(8, 500.0),
+    );
+    cfg.warmup = afs_desim::SimDuration::from_millis(50);
+    cfg.horizon = afs_desim::SimDuration::from_millis(350);
+    let serial = replicate_jobs(1, &cfg, 6);
+    for jobs in JOB_COUNTS {
+        let par = replicate_jobs(jobs, &cfg, 6);
+        assert_eq!(serial.stable_count, par.stable_count);
+        for (name, x, y) in [
+            ("mean", serial.mean_delay_us.mean, par.mean_delay_us.mean),
+            (
+                "ci_half",
+                serial.mean_delay_us.ci_half,
+                par.mean_delay_us.ci_half,
+            ),
+            (
+                "throughput mean",
+                serial.throughput_pps.mean,
+                par.throughput_pps.mean,
+            ),
+            (
+                "service mean",
+                serial.mean_service_us.mean,
+                par.mean_service_us.mean,
+            ),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "replicate jobs {jobs}: {name}");
+        }
+        for (a, b) in serial.reports.iter().zip(&par.reports) {
+            assert_reports_identical(a, b, &format!("replicate jobs {jobs}"));
+        }
+    }
+}

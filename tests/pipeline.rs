@@ -29,7 +29,7 @@ fn calibration_feeds_simulation_consistently() {
     assert!((warm - cal.bounds.t_warm_us).abs() < 1e-3);
     assert!((cold - cal.bounds.t_cold_us).abs() < 1e-3);
     // And a simulated service time must live between them (plus lock).
-    let r = afs_core::sim::run(quick(
+    let r = afs_core::sim::run(&quick(
         Paradigm::Locking {
             policy: LockPolicy::Mru,
         },
@@ -83,7 +83,7 @@ fn mm1_sanity_single_processor() {
     );
     cfg.n_procs = 1;
     cfg.horizon = SimDuration::from_millis(900);
-    let r = afs_core::sim::run(cfg);
+    let r = afs_core::sim::run(&cfg);
     assert!(r.stable);
     let svc = r.mean_service_us;
     let rho = 2_000.0 * svc / 1e6;
@@ -100,7 +100,7 @@ fn mm1_sanity_single_processor() {
 
 #[test]
 fn littles_law_on_full_pipeline() {
-    let r = afs_core::sim::run(quick(
+    let r = afs_core::sim::run(&quick(
         Paradigm::Ips {
             policy: IpsPolicy::Wired,
             n_stacks: 8,
@@ -159,14 +159,14 @@ fn cache_sim_analytic_agreement_smoke() {
 
 #[test]
 fn end_to_end_determinism() {
-    let a = afs_core::sim::run(quick(
+    let a = afs_core::sim::run(&quick(
         Paradigm::Locking {
             policy: LockPolicy::Baseline,
         },
         12,
         500.0,
     ));
-    let b = afs_core::sim::run(quick(
+    let b = afs_core::sim::run(&quick(
         Paradigm::Locking {
             policy: LockPolicy::Baseline,
         },

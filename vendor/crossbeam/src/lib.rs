@@ -101,9 +101,67 @@ pub mod channel {
     }
 }
 
+pub mod thread {
+    //! Scoped threads in the `crossbeam::thread` shape, backed by
+    //! `std::thread::scope` (available since Rust 1.63). The subset this
+    //! workspace uses: `scope(|s| { s.spawn(|_| ...); })`, with spawned
+    //! closures receiving the scope so they could spawn further threads.
+
+    /// Result type returned by [`scope`]. With the std backing, a panic
+    /// in an unjoined spawned thread resurfaces as a panic from `scope`
+    /// itself rather than an `Err`, which is strictly stricter than
+    /// upstream crossbeam; callers that `.expect()` behave identically.
+    pub type ScopeResult<T> = std::thread::Result<T>;
+
+    /// A handle for spawning scoped threads, mirroring
+    /// `crossbeam::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to `'env` borrows. The closure receives
+        /// the scope (crossbeam's signature) so nested spawns work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let s = *self;
+            self.inner.spawn(move || f(&s))
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// caller's stack. All spawned threads are joined before `scope`
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|inner| f(&Scope { inner })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u32, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sum.fetch_add(chunk.iter().sum::<u32>(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
 
     #[test]
     fn unbounded_roundtrip() {
