@@ -10,8 +10,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use afs_cache::model::flush::{flushed_fraction, flushed_fraction_poisson};
 use afs_cache::model::footprint::MVS_WORKLOAD;
 use afs_cache::model::hierarchy::FlushModel;
-use afs_cache::model::{Age, ComponentAges, DispatchPricer};
 use afs_cache::model::platform::Platform;
+use afs_cache::model::{Age, ComponentAges, DispatchPricer};
 use afs_cache::sim::cache::{Cache, Replacement};
 use afs_cache::sim::trace::Region;
 use afs_desim::event::EventQueue;

@@ -21,9 +21,9 @@ use std::time::Instant;
 use afs_bench::{banner, json_object, quick_mode, template, write_json, Checks, K_STREAMS};
 use afs_core::crossval::{sim_matrix_jobs, smoke_matrix};
 use afs_core::par::{default_jobs, jobs_from_env};
+use afs_core::prelude::*;
 use afs_core::replicate::replicate_jobs;
 use afs_core::sweep::rate_sweep_jobs;
-use afs_core::prelude::*;
 
 /// Wall time of `f` in seconds alongside its result.
 fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
@@ -66,14 +66,10 @@ fn main() {
     let (t_serial, serial) = timed(|| rate_sweep_jobs(1, "mru", &sweep_tpl, &rates));
     let (t_parallel, parallel) = timed(|| rate_sweep_jobs(jobs, "mru", &sweep_tpl, &rates));
     let sweep_speedup = t_serial / t_parallel.max(1e-9);
-    let identical = serial
-        .points
-        .iter()
-        .zip(&parallel.points)
-        .all(|(a, b)| {
-            a.report.mean_delay_us.to_bits() == b.report.mean_delay_us.to_bits()
-                && a.report.delivered == b.report.delivered
-        });
+    let identical = serial.points.iter().zip(&parallel.points).all(|(a, b)| {
+        a.report.mean_delay_us.to_bits() == b.report.mean_delay_us.to_bits()
+            && a.report.delivered == b.report.delivered
+    });
     println!(
         "rate sweep ({} pts): serial {:.3} s, parallel({jobs}) {:.3} s -> {:.2}x, bit-identical: {identical}",
         rates.len(),
@@ -120,10 +116,7 @@ fn main() {
     write_json("BENCH_perf", &body);
 
     let mut checks = Checks::new();
-    checks.expect(
-        "parallel sweep bit-identical to serial sweep",
-        identical,
-    );
+    checks.expect("parallel sweep bit-identical to serial sweep", identical);
     checks.expect("single run delivered packets", report.delivered > 0);
     checks.expect(
         "parallel sweep not slower than 1.5x serial (sanity, any host)",

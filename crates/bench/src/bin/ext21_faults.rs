@@ -24,10 +24,7 @@ const OVERLOAD_RATE: f64 = 8_000.0;
 const K_STREAMS: usize = 8;
 
 fn base_cfg(paradigm: Paradigm, rate: f64) -> SystemConfig {
-    let mut cfg = SystemConfig::new(
-        paradigm,
-        Population::homogeneous_poisson(K_STREAMS, rate),
-    );
+    let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(K_STREAMS, rate));
     cfg.n_procs = N_PROCS;
     if std::env::var_os("AFS_QUICK").is_some() {
         cfg.warmup = SimDuration::from_millis(100);
@@ -167,7 +164,9 @@ fn main() {
         );
         checks.expect(
             &format!("{name}: goodput falls monotonically with the fault rate"),
-            sweep[i].windows(2).all(|w| w[1].goodput_pps < w[0].goodput_pps),
+            sweep[i]
+                .windows(2)
+                .all(|w| w[1].goodput_pps < w[0].goodput_pps),
         );
         checks.expect(
             &format!("{name}: drop rate rises monotonically with the fault rate"),

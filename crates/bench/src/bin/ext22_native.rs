@@ -39,11 +39,17 @@ fn main() {
         "Native pinned-thread backend vs. simulator",
         "cross-validation: the policy ordering and affinity win must reproduce on real threads",
     );
-    let matrix = if smoke { smoke_matrix() } else { default_matrix() };
+    let matrix = if smoke {
+        smoke_matrix()
+    } else {
+        default_matrix()
+    };
+    let labels: Vec<&str> = CrossPolicy::ALL.iter().map(|p| p.label()).collect();
     println!(
-        "{} scenario(s){}; policies: oblivious / locking / ips\n",
+        "{} scenario(s){}; policies: {}\n",
         matrix.len(),
-        if smoke { " (smoke)" } else { "" }
+        if smoke { " (smoke)" } else { "" },
+        labels.join(" / ")
     );
 
     // The simulator side of every (scenario, policy) cell fans out on
@@ -131,19 +137,24 @@ fn main() {
 
         // Ordering on both backends.
         checks.expect(
-            &format!("{}: sim delay ordering ips <= locking <= oblivious", s.label()),
+            &format!(
+                "{}: sim delay ordering ips <= locking <= oblivious",
+                s.label()
+            ),
             ips.sim.mean_delay_us <= ORDERING_SLACK * lck.sim.mean_delay_us
                 && lck.sim.mean_delay_us <= ORDERING_SLACK * obl.sim.mean_delay_us,
         );
         checks.expect(
-            &format!("{}: native delay ordering ips <= locking <= oblivious", s.label()),
+            &format!(
+                "{}: native delay ordering ips <= locking <= oblivious",
+                s.label()
+            ),
             ips.native.mean_delay_us <= ORDERING_SLACK * lck.native.mean_delay_us
                 && lck.native.mean_delay_us <= ORDERING_SLACK * obl.native.mean_delay_us,
         );
 
         // The affinity signal agrees across backends.
-        let sim_impr =
-            relative_improvement(obl.sim.mean_service_us, ips.sim.mean_service_us);
+        let sim_impr = relative_improvement(obl.sim.mean_service_us, ips.sim.mean_service_us);
         let native_impr =
             relative_improvement(obl.native.mean_service_us, ips.native.mean_service_us);
         println!(
@@ -168,7 +179,10 @@ fn main() {
         // both shared-stack policies bounce stream state between
         // workers constantly; IPS pins it (rare steals aside).
         checks.expect(
-            &format!("{}: shared-stack policies migrate streams, ips pins them", s.label()),
+            &format!(
+                "{}: shared-stack policies migrate streams, ips pins them",
+                s.label()
+            ),
             obl.native.stream_migrations > 10 * ips.native.stream_migrations.max(1)
                 && lck.native.stream_migrations > 10 * ips.native.stream_migrations.max(1),
         );
@@ -176,6 +190,58 @@ fn main() {
             &format!("{}: ips steals are bounded, not a freeway", s.label()),
             ips.native.steals < ips.native.offered / 4,
         );
+
+        // The unified-layer policies (mru-load, min-reload): each stays
+        // within the delay slack of the oblivious baseline on both
+        // backends, shows a positive affinity win whose magnitude agrees
+        // across backends, and keeps stream state more local than the
+        // baseline.
+        for p in [CrossPolicy::MruLoad, CrossPolicy::MinReload] {
+            let new = get(p);
+            checks.expect(
+                &format!(
+                    "{} {}: no delay regression vs oblivious, both backends",
+                    s.label(),
+                    p.label()
+                ),
+                new.sim.mean_delay_us <= ORDERING_SLACK * obl.sim.mean_delay_us
+                    && new.native.mean_delay_us <= ORDERING_SLACK * obl.native.mean_delay_us,
+            );
+            let sim_impr = relative_improvement(obl.sim.mean_service_us, new.sim.mean_service_us);
+            let native_impr =
+                relative_improvement(obl.native.mean_service_us, new.native.mean_service_us);
+            println!(
+                "  service-time improvement of {} over oblivious: sim {:.1}%, native {:.1}%",
+                p.label(),
+                100.0 * sim_impr,
+                100.0 * native_impr
+            );
+            checks.expect(
+                &format!(
+                    "{} {}: positive affinity win on both backends",
+                    s.label(),
+                    p.label()
+                ),
+                sim_impr > 0.0 && native_impr > 0.0,
+            );
+            checks.expect(
+                &format!(
+                    "{} {}: improvement bands agree within {:.0} points",
+                    s.label(),
+                    p.label(),
+                    100.0 * IMPROVEMENT_TOLERANCE
+                ),
+                (sim_impr - native_impr).abs() <= IMPROVEMENT_TOLERANCE,
+            );
+            checks.expect(
+                &format!(
+                    "{} {}: keeps streams more local than oblivious",
+                    s.label(),
+                    p.label()
+                ),
+                new.native.stream_migrations < obl.native.stream_migrations,
+            );
+        }
         println!();
     }
 

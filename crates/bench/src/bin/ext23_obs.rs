@@ -180,7 +180,10 @@ fn main() {
         &format!("trace-derived mean delay == report mean delay (max gap {max_gap:.2e} µs)"),
         max_gap < 1e-6,
     );
-    checks.expect("conservation: enqueued = completed + evicted + in-flight", conserved);
+    checks.expect(
+        "conservation: enqueued = completed + evicted + in-flight",
+        conserved,
+    );
     checks.expect(
         "lifecycle: completed <= dispatched <= enqueued, trace samples == report delivered",
         counted,
@@ -213,12 +216,18 @@ fn main() {
         .zip(mru_row.iter())
         .filter(|(b, m)| b.stable && m.stable)
         .all(|(b, m)| m.trace_delay_us < b.trace_delay_us);
-    checks.expect("affinity win (mru < baseline) at every mutually stable rate", affinity_win);
+    checks.expect(
+        "affinity win (mru < baseline) at every mutually stable rate",
+        affinity_win,
+    );
     let hit_ordered = base_row
         .iter()
         .zip(mru_row.iter())
         .all(|(b, m)| m.counters.affinity_hit_rate() >= b.counters.affinity_hit_rate());
-    checks.expect("mru affinity-hit rate >= baseline at every rate", hit_ordered);
+    checks.expect(
+        "mru affinity-hit rate >= baseline at every rate",
+        hit_ordered,
+    );
 
     let (header, rows) = {
         let mut header = String::from("rate_per_stream");
@@ -242,7 +251,10 @@ fn main() {
                     }
                 }
                 for row_cells in &cells {
-                    row.push_str(&format!(",{:.4}", row_cells[ri].counters.affinity_hit_rate()));
+                    row.push_str(&format!(
+                        ",{:.4}",
+                        row_cells[ri].counters.affinity_hit_rate()
+                    ));
                 }
                 row
             })
@@ -254,8 +266,17 @@ fn main() {
     // ------------------------------------------------------------------
     // Native backend: the same derivation on real threads.
     // ------------------------------------------------------------------
-    let matrix = if smoke { smoke_matrix() } else { default_matrix() };
-    println!("\nnative: {} scenario(s), policies oblivious / locking / ips", matrix.len());
+    let matrix = if smoke {
+        smoke_matrix()
+    } else {
+        default_matrix()
+    };
+    let labels: Vec<&str> = CrossPolicy::ALL.iter().map(|p| p.label()).collect();
+    println!(
+        "\nnative: {} scenario(s), policies {}",
+        matrix.len(),
+        labels.join(" / ")
+    );
     for s in &matrix {
         let mut delays = Vec::new();
         for p in CrossPolicy::ALL {
@@ -280,10 +301,12 @@ fn main() {
             );
             let c = &rec.counters;
             checks.expect(
-                &format!("{} {}: trace accounts for every offered packet", s.label(), p.label()),
-                c.enqueued == report.offered
-                    && c.completed == report.offered
-                    && c.in_flight() == 0,
+                &format!(
+                    "{} {}: trace accounts for every offered packet",
+                    s.label(),
+                    p.label()
+                ),
+                c.enqueued == report.offered && c.completed == report.offered && c.in_flight() == 0,
             );
             checks.expect(
                 &format!(
@@ -294,7 +317,11 @@ fn main() {
                 w.count() == report.recorded,
             );
             checks.expect(
-                &format!("{} {}: trace mean within 1e-6 of report", s.label(), p.label()),
+                &format!(
+                    "{} {}: trace mean within 1e-6 of report",
+                    s.label(),
+                    p.label()
+                ),
                 (w.mean() - report.mean_delay_us).abs() <= 1e-6 * report.mean_delay_us.max(1.0),
             );
             delays.push((p, w.mean()));
@@ -307,7 +334,10 @@ fn main() {
                 .unwrap_or(f64::NAN)
         };
         checks.expect(
-            &format!("{}: affinity win from traces (ips <= slack * oblivious)", s.label()),
+            &format!(
+                "{}: affinity win from traces (ips <= slack * oblivious)",
+                s.label()
+            ),
             get(CrossPolicy::Ips) <= ORDERING_SLACK * get(CrossPolicy::Oblivious),
         );
     }
@@ -323,7 +353,11 @@ fn main() {
     );
     let path = results_dir().join(OBS_TRACE_GOLDEN_FILE);
     fs::write(&path, &golden_trace).expect("write golden trace");
-    println!("\n  wrote {} ({} events)", path.display(), golden_trace.lines().count());
+    println!(
+        "\n  wrote {} ({} events)",
+        path.display(),
+        golden_trace.lines().count()
+    );
 
     checks.finish();
 }

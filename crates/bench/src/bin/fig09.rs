@@ -18,8 +18,8 @@ fn burst_experiment() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let k = K_STREAMS;
     let batch_means = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
     let rate = 700.0; // per stream; moderate aggregate load
-    // Each batch size's two runs are independent: fan the cells out on
-    // the AFS_JOBS executor and reassemble in batch order.
+                      // Each batch size's two runs are independent: fan the cells out on
+                      // the AFS_JOBS executor and reassemble in batch order.
     let cells = parallel_map(&batch_means, |&b| {
         let mut cfg = template(
             Paradigm::Locking {

@@ -97,11 +97,17 @@ fn main() {
             c.enqueued == report.offered && c.completed == report.offered && c.in_flight() == 0,
         );
         checks.expect(
-            &format!("native {}: steal events match the runtime's count", p.label()),
+            &format!(
+                "native {}: steal events match the runtime's count",
+                p.label()
+            ),
             c.steals == report.steals,
         );
         checks.expect(
-            &format!("native {}: offered totals agree with the plain run", p.label()),
+            &format!(
+                "native {}: offered totals agree with the plain run",
+                p.label()
+            ),
             plain.offered == report.offered,
         );
     }

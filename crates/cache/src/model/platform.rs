@@ -9,7 +9,6 @@
 //!   cycles (the value the paper uses when computing `F(x)` "for the
 //!   100-MHz clock rate of the MIPS R4400").
 
-
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {

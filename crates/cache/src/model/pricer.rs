@@ -177,10 +177,13 @@ impl DispatchPricer {
     /// Protocol time for the given ages; bit-identical to
     /// [`ExecTimeModel::protocol_time`].
     pub fn protocol_time(&self, ages: ComponentAges) -> SimDuration {
-        self.protocol_time_shared(ages, match ages.code_global {
-            Age::Elapsed(x) => Some(self.displacement(x)),
-            _ => None,
-        })
+        self.protocol_time_shared(
+            ages,
+            match ages.code_global {
+                Age::Elapsed(x) => Some(self.displacement(x)),
+                _ => None,
+            },
+        )
     }
 }
 
@@ -261,7 +264,10 @@ mod tests {
             let d = p.displacement(x);
             let shared = p.protocol_time_shared(ages, Some(d));
             let plain = m.protocol_time(ages);
-            assert_eq!(shared.as_micros_f64().to_bits(), plain.as_micros_f64().to_bits());
+            assert_eq!(
+                shared.as_micros_f64().to_bits(),
+                plain.as_micros_f64().to_bits()
+            );
         }
     }
 

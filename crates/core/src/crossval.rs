@@ -7,7 +7,7 @@
 //! `afs-native` pinned-thread backend, which executes the real
 //! `ProtocolEngine` receive path on OS threads. This module defines the
 //! *shared* stream/packet matrix both backends run, the mapping from
-//! the three cross-backend policy rungs onto simulator configurations,
+//! the cross-backend policy rungs onto simulator configurations,
 //! and the documented agreement tolerances the cross-validation harness
 //! (`ext22_native`, `tests/crossval_native.rs`) asserts.
 //!
@@ -30,40 +30,18 @@
 use afs_desim::time::SimDuration;
 use afs_workload::Population;
 
-use crate::config::{IpsPolicy, LockPolicy, Paradigm, SystemConfig};
+use crate::config::SystemConfig;
 
-/// The three policy rungs compared across backends, in decreasing
-/// affinity awareness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CrossPolicy {
-    /// Independent per-processor protocol stacks with affinity-preserving
-    /// scheduling (native: pinned per-worker pools + bounded stealing;
-    /// simulator: `IPS/mru` with one stack per processor).
-    Ips,
-    /// One shared stack behind locks with a work-conserving shared run
-    /// pool and per-processor threads (native: shared ring + per-worker
-    /// threads; simulator: `Locking/pools`, the paper's footnote 7).
-    Locking,
-    /// The affinity-oblivious baseline: any packet lands on any
-    /// processor with no regard for cache state (native: uniform random
-    /// placement + rotating shared thread pool; simulator:
-    /// `Locking/baseline`).
-    Oblivious,
-}
-
-impl CrossPolicy {
-    /// Every rung, in the order reports print them.
-    pub const ALL: [CrossPolicy; 3] = [CrossPolicy::Oblivious, CrossPolicy::Locking, CrossPolicy::Ips];
-
-    /// Short label for tables and CSV columns.
-    pub fn label(&self) -> &'static str {
-        match self {
-            CrossPolicy::Ips => "ips",
-            CrossPolicy::Locking => "locking",
-            CrossPolicy::Oblivious => "oblivious",
-        }
-    }
-}
+/// The cross-backend policy rungs — the canonical [`afs_sched`] spec.
+///
+/// Every rung is defined exactly once, in the scheduling crate, as a
+/// [`PolicySpec`][afs_sched::PolicySpec]: the simulator realizes a rung
+/// through [`PolicySpec::sim_paradigm`][afs_sched::PolicySpec::sim_paradigm]
+/// (used by [`CrossvalScenario::sim_config`] below) and the native
+/// backend through [`PolicySpec::native_layout`][afs_sched::PolicySpec::native_layout].
+/// The historical hand-rolled `CrossPolicy → {SystemConfig, NativeConfig}`
+/// mappings are gone; both backends consume the same table.
+pub use afs_sched::PolicySpec as CrossPolicy;
 
 /// One cell of the shared matrix: a (workers, streams, rate, length)
 /// tuple both backends execute.
@@ -105,18 +83,7 @@ impl CrossvalScenario {
     /// The horizon is sized so the measurement window carries the same
     /// expected packet count as the native run.
     pub fn sim_config(&self, policy: CrossPolicy) -> SystemConfig {
-        let paradigm = match policy {
-            CrossPolicy::Oblivious => Paradigm::Locking {
-                policy: LockPolicy::Baseline,
-            },
-            CrossPolicy::Locking => Paradigm::Locking {
-                policy: LockPolicy::Pools,
-            },
-            CrossPolicy::Ips => Paradigm::Ips {
-                policy: IpsPolicy::Mru,
-                n_stacks: self.workers,
-            },
-        };
+        let paradigm = policy.sim_paradigm(self.workers);
         let mut cfg = SystemConfig::new(
             paradigm,
             Population::homogeneous_poisson(self.streams as usize, self.rate_pps_per_stream),
@@ -252,9 +219,12 @@ mod tests {
 
     #[test]
     fn policy_mapping_matches_paper_rungs() {
+        use crate::config::Paradigm;
         let s = &smoke_matrix()[0];
         assert!(s.sim_config(CrossPolicy::Oblivious).paradigm.is_locking());
         assert!(s.sim_config(CrossPolicy::Locking).paradigm.is_locking());
+        assert!(s.sim_config(CrossPolicy::MruLoad).paradigm.is_locking());
+        assert!(s.sim_config(CrossPolicy::MinReload).paradigm.is_locking());
         let ips = s.sim_config(CrossPolicy::Ips);
         match ips.paradigm {
             Paradigm::Ips { n_stacks, .. } => assert_eq!(n_stacks, s.workers),

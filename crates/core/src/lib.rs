@@ -76,14 +76,16 @@ pub use sweep::{capacity_search, rate_sweep, Series, SweepPoint};
 
 /// One-stop imports for examples and benches.
 pub mod prelude {
-    pub use crate::config::{DropPolicy, FaultProfile, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
+    pub use crate::config::{
+        DropPolicy, FaultProfile, IpsPolicy, LockPolicy, Paradigm, SystemConfig,
+    };
     pub use crate::exec::ExecParams;
     pub use crate::metrics::RunReport;
     pub use crate::par::{parallel_map, parallel_map_jobs};
     pub use crate::replicate::{replicate, ReplicationSummary};
     pub use crate::sim::{run, run_observed};
-    pub use afs_obs::{MemRecorder, NullRecorder, Recorder};
     pub use crate::sweep::{capacity_search, rate_sweep, Series};
     pub use afs_desim::time::{SimDuration, SimTime};
+    pub use afs_obs::{MemRecorder, NullRecorder, Recorder};
     pub use afs_workload::{ArrivalGen, Population};
 }

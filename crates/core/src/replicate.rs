@@ -110,7 +110,9 @@ pub fn replicate_jobs(jobs: usize, cfg: &SystemConfig, n: usize) -> ReplicationS
     let reports = par::parallel_map_jobs(jobs, &indices, |&i| {
         let mut c = cfg.clone();
         // Distinct, deterministic seeds per replication.
-        c.seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1));
+        c.seed = cfg
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1));
         run(&c)
     });
     let mut delay = Welford::new();

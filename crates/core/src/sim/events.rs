@@ -1,0 +1,316 @@
+//! Event mechanics: arrivals (with wire faults), bounded-queue
+//! admission, enqueue routing and completion bookkeeping.
+//!
+//! *Where* an arriving packet queues is a scheduling decision, so the
+//! Locking-side routing is delegated to the shared policy crate's
+//! [`afs_sched::DispatchPolicy::route`]; this module owns everything
+//! mechanical around it — fault draws, drop policies, eviction, and the
+//! affinity bookkeeping at completion.
+
+use afs_desim::engine::{Scheduler, Simulate};
+use afs_desim::time::SimTime;
+use afs_obs::{ObsEvent, SHARED_QUEUE};
+use afs_sched::{DispatchPolicy, LockingDispatch, Route};
+
+use crate::config::{DropPolicy, Paradigm};
+use crate::state::{Packet, ProcActivity};
+use crate::trace::SchedEvent;
+
+use super::SchedSim;
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A packet of this stream arrives.
+    Arrival {
+        /// The arriving stream's id.
+        stream: u32,
+    },
+    /// The processor's in-flight packet completes.
+    Completion {
+        /// The completing processor's index.
+        proc: usize,
+    },
+}
+
+impl<'r> SchedSim<'r> {
+    /// The queue an arriving Locking packet joins, as decided by the
+    /// policy's routing rule over the state at the packet's arrival
+    /// instant. Routing never consumes randomness — the draw hook is a
+    /// poisoned closure so any policy that tried would fail loudly
+    /// instead of silently skewing the placement RNG stream.
+    fn lock_route(&self, pkt: &Packet) -> Route {
+        let policy = match &self.cfg.paradigm {
+            Paradigm::Locking { policy } => policy,
+            Paradigm::Ips { .. } => unreachable!("lock_route under IPS"),
+        };
+        let engine = LockingDispatch {
+            policy,
+            pricer: &self.pricer,
+        };
+        let view = self.lock_view(pkt.arrival);
+        engine.route(&view, pkt.stream, &mut |_| {
+            unreachable!("enqueue routing draws no randomness")
+        })
+    }
+
+    /// Enqueue an admitted packet on the queue its paradigm + policy
+    /// routes it to.
+    fn enqueue(&mut self, pkt: Packet) {
+        let (queue, depth) = match &self.cfg.paradigm {
+            Paradigm::Locking { .. } => match self.lock_route(&pkt) {
+                Route::Worker(p) => {
+                    self.proc_q[p].push_back(pkt);
+                    (p as u32, self.proc_q[p].len())
+                }
+                Route::Shared => {
+                    self.global_q.push_back(pkt);
+                    (SHARED_QUEUE, self.global_q.len())
+                }
+            },
+            Paradigm::Ips { .. } => {
+                let w = self.stream_to_stack[pkt.stream as usize] as usize;
+                self.stacks[w].queue.push_back(pkt);
+                (w as u32, self.stacks[w].queue.len())
+            }
+        };
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.record(ObsEvent::Enqueue {
+                t_us: pkt.arrival.as_micros_f64(),
+                seq: pkt.seq,
+                stream: pkt.stream,
+                queue,
+                depth: depth as u32,
+            });
+        }
+    }
+
+    /// Occupancy of the queue `pkt` would join (mirrors `enqueue`).
+    fn target_queue_len(&self, pkt: &Packet) -> usize {
+        match &self.cfg.paradigm {
+            Paradigm::Locking { .. } => match self.lock_route(pkt) {
+                Route::Worker(p) => self.proc_q[p].len(),
+                Route::Shared => self.global_q.len(),
+            },
+            Paradigm::Ips { .. } => self.stacks[self.stream_to_stack[pkt.stream as usize] as usize]
+                .queue
+                .len(),
+        }
+    }
+
+    /// Packets waiting across every queue (backpressure's shared bound).
+    fn total_backlog(&self) -> usize {
+        self.global_q.len()
+            + self.proc_q.iter().map(|q| q.len()).sum::<usize>()
+            + self.stacks.iter().map(|s| s.queue.len()).sum::<usize>()
+    }
+
+    /// Evict the oldest packet of the currently longest queue.
+    fn evict_from_longest(&mut self, now: SimTime) {
+        let longest_proc = (0..self.proc_q.len()).max_by_key(|&p| self.proc_q[p].len());
+        let longest_stack = (0..self.stacks.len()).max_by_key(|&w| self.stacks[w].queue.len());
+        let global_len = self.global_q.len();
+        let proc_len = longest_proc.map_or(0, |p| self.proc_q[p].len());
+        let stack_len = longest_stack.map_or(0, |w| self.stacks[w].queue.len());
+        let (evicted, queue) = if global_len >= proc_len && global_len >= stack_len {
+            (self.global_q.pop_front(), SHARED_QUEUE)
+        } else if proc_len >= stack_len {
+            (
+                longest_proc.and_then(|p| self.proc_q[p].pop_front()),
+                longest_proc.map_or(SHARED_QUEUE, |p| p as u32),
+            )
+        } else {
+            (
+                longest_stack.and_then(|w| self.stacks[w].queue.pop_front()),
+                longest_stack.map_or(SHARED_QUEUE, |w| w as u32),
+            )
+        };
+        if let Some(pkt) = evicted {
+            self.collector.on_evicted(now);
+            if let Some(rec) = self.obs.as_deref_mut() {
+                rec.record(ObsEvent::Evict {
+                    t_us: now.as_micros_f64(),
+                    seq: pkt.seq,
+                    queue,
+                });
+            }
+        }
+    }
+
+    /// Admit one packet through the bounded-queue policy, updating the
+    /// collector's offered/backlog/shed accounting. On the default
+    /// configuration (unbounded queues) this is exactly the historical
+    /// count-then-enqueue path.
+    fn admit(&mut self, now: SimTime, pkt: Packet) {
+        let bound = self.cfg.queue_bound;
+        if bound == usize::MAX {
+            self.collector.on_arrival(now);
+            self.enqueue(pkt);
+            return;
+        }
+        match self.cfg.drop_policy {
+            DropPolicy::Backpressure => {
+                if self.total_backlog() >= bound {
+                    self.collector.on_offered_only(now);
+                    if self.collector.recording(now) {
+                        self.collector.shed_at_source += 1;
+                    }
+                } else {
+                    self.collector.on_arrival(now);
+                    self.enqueue(pkt);
+                }
+            }
+            DropPolicy::TailDrop => {
+                if self.target_queue_len(&pkt) >= bound {
+                    self.collector.on_offered_only(now);
+                    if self.collector.recording(now) {
+                        self.collector.queue_drops += 1;
+                    }
+                } else {
+                    self.collector.on_arrival(now);
+                    self.enqueue(pkt);
+                }
+            }
+            DropPolicy::DropLongestQueue => {
+                if self.target_queue_len(&pkt) >= bound {
+                    self.evict_from_longest(now);
+                }
+                self.collector.on_arrival(now);
+                self.enqueue(pkt);
+            }
+        }
+    }
+}
+
+impl<'r> Simulate for SchedSim<'r> {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        // Warm-up reset and midpoint capture for the growth check.
+        if !self.warmup_reset && self.collector.recording(now) {
+            self.collector.backlog.reset(now);
+            self.warmup_reset = true;
+        }
+        if self.collector.backlog_first_half.is_none() && now >= self.midpoint {
+            self.collector.backlog_first_half = Some(self.collector.backlog.average(now));
+        }
+
+        match event {
+            Event::Arrival { stream } => {
+                let s = stream as usize;
+                let size = self.cfg.population.streams[s]
+                    .sizes
+                    .0
+                    .sample(&mut self.size_rngs[s]);
+                let mut pkt = Packet {
+                    seq: 0, // assigned per admitted copy below
+                    stream,
+                    arrival: now,
+                    size_bytes: size,
+                    corrupt: false,
+                };
+                // Wire faults (dedicated RNG substream; the clean wire
+                // draws nothing). Fixed draw order: drop, then corrupt,
+                // then duplicate.
+                let mut copies = 1usize;
+                if !self.cfg.faults.is_noop() {
+                    use rand::Rng as _;
+                    let f = self.cfg.faults;
+                    if f.drop_p > 0.0 && self.fault_rng.gen::<f64>() < f.drop_p {
+                        copies = 0;
+                        self.collector.on_offered_only(now);
+                        if self.collector.recording(now) {
+                            self.collector.wire_drops += 1;
+                        }
+                    } else {
+                        if f.corrupt_p > 0.0 && self.fault_rng.gen::<f64>() < f.corrupt_p {
+                            pkt.corrupt = true;
+                        }
+                        if f.duplicate_p > 0.0 && self.fault_rng.gen::<f64>() < f.duplicate_p {
+                            copies = 2;
+                        }
+                    }
+                }
+                for _ in 0..copies {
+                    pkt.seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.admit(now, pkt);
+                }
+                let gap = self.gens[s].next_gap(&mut self.arr_rngs[s]);
+                sched.schedule_in(now, gap, Event::Arrival { stream });
+                self.try_dispatch(now, sched);
+            }
+            Event::Completion { proc } => {
+                let activity =
+                    std::mem::replace(&mut self.procs[proc].activity, ProcActivity::NonProtocol);
+                let ProcActivity::Protocol {
+                    packet,
+                    stack,
+                    done_at,
+                } = activity
+                else {
+                    // A completion without an in-flight packet is an
+                    // event-bookkeeping bug; surface it in debug builds
+                    // but don't take a long experiment down in release.
+                    debug_assert!(false, "completion on an idle processor");
+                    return;
+                };
+                debug_assert_eq!(done_at, now);
+                let service = self.pending_service[proc];
+                // Clock bookkeeping: protocol time does not advance np.
+                self.procs[proc].proto_busy_us += service.as_micros_f64();
+                let np = self.procs[proc].np_now(now);
+                self.procs[proc].np_at_last_protocol = Some(np);
+                self.procs[proc].last_protocol_end = Some(now);
+                self.procs[proc].served += 1;
+
+                if !packet.corrupt {
+                    // Corrupt packets are rejected before the session
+                    // stage: stream state is never brought into this
+                    // processor's cache.
+                    self.streams[packet.stream as usize].record(proc, np);
+                }
+                if let Some(w) = stack {
+                    let st = &mut self.stacks[w as usize];
+                    st.running = false;
+                    st.loc.record(proc, np);
+                } else if let Some(t) = self.pending_thread[proc] {
+                    self.threads[t].record(proc, np);
+                    // A pool thread goes back to the shared FIFO; the
+                    // dispatcher recorded the policy's thread source, so
+                    // no policy is consulted here.
+                    if self.pending_pooled[proc] {
+                        self.shared_pool.push_back(t);
+                    }
+                }
+                self.pending_thread[proc] = None;
+
+                if let Some(trace) = &mut self.trace {
+                    trace.push(SchedEvent::Completion {
+                        time_us: now.as_micros_f64(),
+                        stream: packet.stream,
+                        proc,
+                        delay_us: now.since(packet.arrival).as_micros_f64(),
+                    });
+                }
+                if let Some(rec) = self.obs.as_deref_mut() {
+                    rec.record(ObsEvent::Complete {
+                        t_us: now.as_micros_f64(),
+                        seq: packet.seq,
+                        stream: packet.stream,
+                        worker: proc as u32,
+                        delay_us: now.since(packet.arrival).as_micros_f64(),
+                        ok: !packet.corrupt,
+                    });
+                }
+                if packet.corrupt {
+                    self.collector.on_corrupt_completion(now, service);
+                } else {
+                    self.collector
+                        .on_completion(now, packet.arrival, packet.stream, service);
+                }
+                self.try_dispatch(now, sched);
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The multiprocessor protocol-scheduling simulator.
+//!
+//! Follows the paper's simulation model: N processors serve packet
+//! streams under a parallelization paradigm (Locking or IPS) and an
+//! affinity scheduling policy, while the general non-protocol workload
+//! occupies every cycle the protocol does not use and erodes cached
+//! protocol state according to the analytic `F1/F2` displacement curves.
+//!
+//! Event structure:
+//!
+//! * `Arrival(stream)` — a packet joins the appropriate queue (global
+//!   FIFO, per-processor wired queue, or per-stack queue) and the next
+//!   arrival of that stream is scheduled.
+//! * `Completion(proc)` — the processor finishes its packet, all
+//!   affinity bookkeeping is updated, and dispatch runs again.
+//!
+//! Dispatch prices each packet at the moment it starts service: the
+//! component ages (code/global on the processor, thread stack, stream
+//! state) translate through the reload-transient model into a service
+//! time; Locking adds its per-packet lock overhead, and the
+//! data-touching knob `V` adds its fixed uncached cost. Protocol service
+//! is non-preemptible; the non-protocol workload yields instantly.
+//!
+//! The module splits along the paper's own seams:
+//!
+//! * `events` — event mechanics: arrivals, wire faults, bounded-queue
+//!   admission, completion bookkeeping.
+//! * `dispatch` — the [`afs_sched::SchedView`] adapters and the
+//!   dispatch loops that consume the shared policy crate's
+//!   [`afs_sched::DispatchPolicy`] decisions. No scheduling decision is
+//!   made in this crate anymore: the simulator supplies state views and
+//!   executes typed decisions.
+
+mod dispatch;
+mod events;
+#[cfg(test)]
+mod tests;
+
+pub use events::Event;
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+
+use afs_cache::model::pricer::DispatchPricer;
+use afs_desim::engine::Engine;
+use afs_desim::rng::RngFactory;
+use afs_desim::time::{SimDuration, SimTime};
+use afs_obs::{EngineProbe, Recorder};
+use afs_workload::ArrivalGen;
+
+use crate::config::{Paradigm, SystemConfig};
+// Glob-imported by the test modules (`use super::super::*`), which
+// exercise every policy and drop configuration.
+#[cfg(test)]
+use crate::config::IpsPolicy;
+use crate::metrics::{Collector, RunReport};
+use crate::state::{Locatable, Packet, ProcState};
+use crate::trace::SchedTrace;
+
+/// Per-stack state under IPS.
+#[derive(Debug, Default)]
+struct StackState {
+    queue: VecDeque<Packet>,
+    running: bool,
+    loc: Locatable,
+}
+
+/// The simulator model.
+///
+/// The lifetime parameter scopes the borrowed configuration and the
+/// optional observability recorder ([`SchedSim::obs`]); plain runs use
+/// the elided `'_` and never notice it.
+pub struct SchedSim<'r> {
+    /// The (immutable) run configuration. Borrowed, not cloned: a sweep
+    /// can fan hundreds of runs out of one template without a per-run
+    /// deep copy of the population and policy tables.
+    cfg: &'r SystemConfig,
+    /// Configuration-constant folding of `cfg.exec.model` (reload spans,
+    /// cold/remote component costs, SST line constants) — bit-identical
+    /// to the plain model, evaluated once per run instead of per packet.
+    pricer: DispatchPricer,
+    procs: Vec<ProcState>,
+    /// Protocol threads (Locking). Under per-processor pools thread `p`
+    /// is pinned to processor `p`; under the shared pool threads rotate.
+    threads: Vec<Locatable>,
+    /// Free thread ids for the shared pool (Baseline policy).
+    shared_pool: VecDeque<usize>,
+    /// Per-stream state locations.
+    streams: Vec<Locatable>,
+    /// IPS: stream → stack assignment (round-robin).
+    stream_to_stack: Vec<u32>,
+    /// IPS stacks.
+    stacks: Vec<StackState>,
+    /// Locking: the global FIFO.
+    global_q: VecDeque<Packet>,
+    /// Locking Wired/Hybrid and the enqueue-routed policies:
+    /// per-processor queues.
+    proc_q: Vec<VecDeque<Packet>>,
+    /// IPS round-robin scan offset (fairness across stacks).
+    stack_scan: usize,
+    /// Per-stream arrival generators and RNGs.
+    gens: Vec<ArrivalGen>,
+    arr_rngs: Vec<StdRng>,
+    size_rngs: Vec<StdRng>,
+    /// Whether backlog statistics were reset at warm-up.
+    warmup_reset: bool,
+    /// Midpoint of the measurement window (backlog growth check).
+    midpoint: SimTime,
+    /// RNG for affinity-oblivious (random) placement decisions.
+    policy_rng: StdRng,
+    /// RNG for wire-fault decisions (its own substream: a clean wire
+    /// draws nothing, leaving every other stream's path untouched).
+    fault_rng: StdRng,
+    /// Thread id in use per processor (Locking), cleared at completion.
+    pending_thread: Vec<Option<usize>>,
+    /// Whether the in-use thread came from the shared pool (the
+    /// policy's [`afs_sched::ThreadSource`]) and must return to it at
+    /// completion.
+    pending_pooled: Vec<bool>,
+    /// Service duration of the in-flight packet per processor.
+    pending_service: Vec<SimDuration>,
+    /// Metrics.
+    pub collector: Collector,
+    /// Optional structured scheduling trace.
+    pub trace: Option<SchedTrace>,
+    /// Optional observability recorder (the unified `afs-obs` schema).
+    /// Events are emitted for the whole run, warm-up included, and
+    /// recording is pure observation: attaching a recorder changes no
+    /// metric and no golden-artifact byte.
+    pub obs: Option<&'r mut dyn Recorder>,
+    /// Next per-packet observability sequence number.
+    next_seq: u64,
+}
+
+impl<'r> SchedSim<'r> {
+    /// Build the model and note per-stream generators.
+    pub fn new(cfg: &'r SystemConfig) -> Self {
+        cfg.validate();
+        let n = cfg.n_procs;
+        let k = cfg.population.len();
+        let factory = RngFactory::new(cfg.seed);
+        let n_stacks = match &cfg.paradigm {
+            Paradigm::Ips { n_stacks, .. } => *n_stacks,
+            _ => 0,
+        };
+        let warm_us = cfg.warmup.as_micros_f64();
+        let hor_us = cfg.horizon.as_micros_f64();
+        SchedSim {
+            procs: vec![ProcState::new(); n],
+            threads: vec![Locatable::default(); n],
+            shared_pool: (0..n).collect(),
+            streams: vec![Locatable::default(); k],
+            stream_to_stack: (0..k).map(|s| (s % n_stacks.max(1)) as u32).collect(),
+            stacks: (0..n_stacks).map(|_| StackState::default()).collect(),
+            global_q: VecDeque::new(),
+            proc_q: vec![VecDeque::new(); n],
+            stack_scan: 0,
+            gens: cfg
+                .population
+                .streams
+                .iter()
+                .map(|s| s.arrivals.clone())
+                .collect(),
+            arr_rngs: (0..k)
+                .map(|s| factory.stream_indexed("arrivals", s as u64))
+                .collect(),
+            size_rngs: (0..k)
+                .map(|s| factory.stream_indexed("sizes", s as u64))
+                .collect(),
+            warmup_reset: false,
+            midpoint: SimTime::from_micros_f64((warm_us + hor_us) * 0.5),
+            policy_rng: factory.stream("policy"),
+            fault_rng: factory.stream("faults"),
+            pending_thread: vec![None; n],
+            pending_pooled: vec![false; n],
+            pending_service: vec![SimDuration::ZERO; n],
+            collector: Collector::new(SimTime::from_micros_f64(warm_us), k),
+            trace: None,
+            obs: None,
+            next_seq: 0,
+            pricer: DispatchPricer::new(&cfg.exec.model),
+            cfg,
+        }
+    }
+
+    /// V (uncached per-packet overhead) for a packet, µs.
+    fn v_us(&self, size_bytes: f64) -> f64 {
+        self.cfg.v_fixed_us + self.cfg.copy_us_per_byte * size_bytes
+    }
+}
+
+/// Run a configuration to completion and report.
+///
+/// Takes the configuration by reference — the simulator borrows it for
+/// the run's duration (no clone at all), so fan-out layers like
+/// [`crate::par::parallel_map`] can share one template across workers.
+/// The run is a pure function of `(cfg, cfg.seed)`: identical inputs
+/// produce a bit-identical report on any thread.
+pub fn run(cfg: &SystemConfig) -> RunReport {
+    run_with_series(cfg, false).0
+}
+
+/// Run a configuration; optionally also return the full per-packet delay
+/// series (µs, completion order, warm-up included) for output analysis
+/// such as MSER-5 warm-up validation.
+pub fn run_with_series(cfg: &SystemConfig, capture: bool) -> (RunReport, Vec<f64>) {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let n_procs = cfg.n_procs;
+    let mut engine = Engine::new(SchedSim::new(cfg));
+    if capture {
+        engine.model_mut().collector.capture_series();
+    }
+    engine_prime(&mut engine);
+    engine.run_until(horizon);
+    let end = engine.now();
+    let mut report = engine.model_mut().collector.report(end, n_procs);
+    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    let series = engine
+        .model_mut()
+        .collector
+        .full_series
+        .take()
+        .unwrap_or_default();
+    (report, series)
+}
+
+/// Run a configuration with a bounded scheduling trace attached;
+/// returns the report and the trace (newest `capacity` events).
+pub fn run_traced(cfg: &SystemConfig, capacity: usize) -> (RunReport, SchedTrace) {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let n_procs = cfg.n_procs;
+    let mut engine = Engine::new(SchedSim::new(cfg));
+    engine.model_mut().trace = Some(SchedTrace::new(capacity));
+    engine_prime(&mut engine);
+    engine.run_until(horizon);
+    let end = engine.now();
+    let mut report = engine.model_mut().collector.report(end, n_procs);
+    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    let trace = engine.model_mut().trace.take().expect("trace attached");
+    (report, trace)
+}
+
+/// Run a configuration with an observability recorder attached: every
+/// scheduling event of the whole run (warm-up included) streams through
+/// `rec` in the unified `afs-obs` schema, and the desim engine's probe
+/// is returned alongside the report. Attaching the recorder is pure
+/// observation — the report is bit-identical to [`run`]'s.
+pub fn run_observed<'r>(
+    cfg: &'r SystemConfig,
+    rec: &'r mut dyn Recorder,
+) -> (RunReport, EngineProbe) {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let n_procs = cfg.n_procs;
+    let mut engine = Engine::new(SchedSim::new(cfg));
+    engine.model_mut().obs = Some(rec);
+    engine.attach_probe();
+    engine_prime(&mut engine);
+    engine.run_until(horizon);
+    let end = engine.now();
+    let mut report = engine.model_mut().collector.report(end, n_procs);
+    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    let probe = engine.take_probe().unwrap_or_default();
+    (report, probe)
+}
+
+/// Prime helper: schedules every stream's first arrival.
+fn engine_prime(engine: &mut Engine<SchedSim<'_>>) {
+    // Split borrows: scheduler and model are distinct fields, so prime
+    // through a small dance — collect the gaps first.
+    let gaps: Vec<(u32, SimDuration)> = {
+        let model = engine.model_mut();
+        (0..model.gens.len())
+            .map(|s| {
+                let gap = model.gens[s].next_gap(&mut model.arr_rngs[s]);
+                (s as u32, gap)
+            })
+            .collect()
+    };
+    for (stream, gap) in gaps {
+        engine
+            .scheduler()
+            .schedule_at(SimTime::ZERO + gap, Event::Arrival { stream });
+    }
+}

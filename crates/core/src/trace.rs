@@ -150,14 +150,18 @@ impl afs_obs::Recorder for SchedTrace {
                 service_us,
                 stream_migrated,
             }),
-            afs_obs::ObsEvent::Complete { t_us, stream, worker, delay_us, .. } => {
-                self.push(SchedEvent::Completion {
-                    time_us: t_us,
-                    stream,
-                    proc: worker as usize,
-                    delay_us,
-                })
-            }
+            afs_obs::ObsEvent::Complete {
+                t_us,
+                stream,
+                worker,
+                delay_us,
+                ..
+            } => self.push(SchedEvent::Completion {
+                time_us: t_us,
+                stream,
+                proc: worker as usize,
+                delay_us,
+            }),
             _ => {}
         }
     }
@@ -206,7 +210,13 @@ mod tests {
     fn obs_recorder_bridge_maps_dispatch_and_complete() {
         use afs_obs::{ObsEvent, Recorder as _};
         let mut tr = SchedTrace::new(8);
-        tr.record(ObsEvent::Enqueue { t_us: 0.5, seq: 0, stream: 3, queue: 0, depth: 1 });
+        tr.record(ObsEvent::Enqueue {
+            t_us: 0.5,
+            seq: 0,
+            stream: 3,
+            queue: 0,
+            depth: 1,
+        });
         tr.record(ObsEvent::Dispatch {
             t_us: 1.0,
             seq: 0,
@@ -217,13 +227,22 @@ mod tests {
             thread_migrated: false,
             stolen: false,
         });
-        tr.record(ObsEvent::Complete { t_us: 161.0, seq: 0, stream: 3, worker: 2, delay_us: 160.5, ok: true });
+        tr.record(ObsEvent::Complete {
+            t_us: 161.0,
+            seq: 0,
+            stream: 3,
+            worker: 2,
+            delay_us: 160.5,
+            ok: true,
+        });
         // The enqueue is ignored; dispatch/complete land in the ring.
         assert_eq!(tr.len(), 2);
         assert_eq!(tr.processor_history(3), vec![2]);
         let first = *tr.events().next().unwrap();
         match first {
-            SchedEvent::Dispatch { stream_migrated, .. } => assert!(stream_migrated),
+            SchedEvent::Dispatch {
+                stream_migrated, ..
+            } => assert!(stream_migrated),
             other => panic!("expected dispatch, got {other:?}"),
         }
     }

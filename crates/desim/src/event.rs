@@ -347,7 +347,9 @@ mod tests {
     #[test]
     fn small_heaps_skip_compaction() {
         let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..COMPACT_MIN_HEAP as u64 - 4).map(|i| q.push(t(i), i)).collect();
+        let ids: Vec<_> = (0..COMPACT_MIN_HEAP as u64 - 4)
+            .map(|i| q.push(t(i), i))
+            .collect();
         for &id in &ids[1..] {
             q.cancel(id);
         }

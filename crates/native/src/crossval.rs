@@ -9,19 +9,13 @@ use afs_core::crossval::{CrossPolicy, CrossvalScenario};
 use afs_obs::MemRecorder;
 
 use crate::runtime::{
-    poisson_workload, run_native, run_native_recorded, NativeConfig, NativePacket, NativePolicy,
-    NativeReport, StealPolicy,
+    poisson_workload, run_native, run_native_recorded, NativeConfig, NativePacket, NativeReport,
 };
 
-/// The native configuration for one policy rung of a scenario.
+/// The native configuration for one policy rung of a scenario. The
+/// policy→layout mapping is the canonical one in `afs-sched`
+/// (`PolicySpec::native_layout`), shared with the simulator side.
 pub fn native_config(s: &CrossvalScenario, policy: CrossPolicy) -> NativeConfig {
-    let policy = match policy {
-        CrossPolicy::Oblivious => NativePolicy::Oblivious,
-        CrossPolicy::Locking => NativePolicy::LockingPool,
-        CrossPolicy::Ips => NativePolicy::Ips {
-            steal: Some(StealPolicy::default()),
-        },
-    };
     let mut cfg = NativeConfig::new(s.workers, policy);
     cfg.seed = s.seed ^ 0xA71;
     cfg

@@ -6,7 +6,7 @@
 //! parameterized by measurement. This crate closes the loop from the
 //! other side: it *executes* the instrumented x-kernel receive path
 //! (`afs-xkernel`) on real OS threads pinned to cores, under the same
-//! three policy rungs the simulator models, and the cross-validation
+//! `afs-sched` policy rungs the simulator models, and the cross-validation
 //! harness (`ext22_native`, `tests/crossval_native.rs`) checks that both
 //! backends agree on the paper's qualitative claims — the policy
 //! ordering and the size of the affinity win.
@@ -40,10 +40,11 @@ pub mod pin;
 pub mod ring;
 pub mod runtime;
 
+pub use afs_sched::{NativeLayout, PolicySpec, Router, StealPolicy};
 pub use pin::{CorePinner, NoopPinner, OsPinner, PinError};
 pub use ring::RingQueue;
 pub use runtime::{
     poisson_workload, run_native, run_native_recorded, run_native_recorded_with_pinner,
-    run_native_with_pinner, NativeConfig, NativePacket, NativePolicy, NativeReport,
-    OutcomeTotals, Pinning, StealPolicy, WorkerStats,
+    run_native_with_pinner, NativeConfig, NativePacket, NativeReport, OutcomeTotals, Pinning,
+    WorkerStats,
 };

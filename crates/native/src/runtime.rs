@@ -2,11 +2,14 @@
 //!
 //! Executes the real [`ProtocolEngine`] receive path on OS threads — the
 //! same instrumented UDP/IP/FDDI code the calibration experiments run —
-//! under the three scheduling policies the cross-validation harness
-//! compares ([`NativePolicy`]). The dispatcher replays a pre-generated
-//! Poisson workload into per-worker ring run-queues; each worker owns a
-//! *private* [`MemoryHierarchy`] (its processor's caches) and advances a
-//! virtual clock:
+//! under the scheduling rungs of the shared policy crate
+//! ([`PolicySpec`]): the runtime consumes a [`NativeLayout`] (structural
+//! knobs) plus the `afs-sched` decision objects ([`afs_sched::Router`],
+//! [`afs_sched::StealPolicy`]) and contains no policy `match` of its
+//! own. The
+//! dispatcher replays a pre-generated Poisson workload into per-worker
+//! ring run-queues; each worker owns a *private* [`MemoryHierarchy`]
+//! (its processor's caches) and advances a virtual clock:
 //!
 //! ```text
 //! start   = max(worker_vclock, packet.arrival_us)
@@ -33,12 +36,15 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
+use afs_cache::model::pricer::DispatchPricer;
 use afs_cache::sim::{MemoryHierarchy, Region};
+use afs_core::exec::ExecParams;
 use afs_core::metrics::RunReport;
-use afs_obs::{ChargeKind, MemRecorder, ObsEvent, Recorder as _, SHARED_QUEUE};
 use afs_desim::dist::Dist;
 use afs_desim::rng::RngFactory;
 use afs_desim::stats::Welford;
+use afs_obs::{ChargeKind, MemRecorder, ObsEvent, Recorder as _, SHARED_QUEUE};
+use afs_sched::{DispatchPolicy as _, NativeLayout, PolicySpec, Route, RouterState, SchedView};
 use afs_xkernel::driver::{PacketFactory, RxFrame};
 use afs_xkernel::engine::CostModel;
 use afs_xkernel::lock_overhead_cycles;
@@ -50,63 +56,6 @@ use rand::Rng;
 
 use crate::pin::{CorePinner, NoopPinner, OsPinner};
 use crate::ring::RingQueue;
-
-/// Bounds on the IPS work-stealing escape hatch: affinity-preserving
-/// scheduling must not leave processors idle while others drown, but
-/// unbounded stealing would collapse IPS back into the oblivious pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StealPolicy {
-    /// A victim is eligible only when its backlog is at least this deep
-    /// (stealing from a shallow queue trades a cache reload for almost
-    /// no queueing relief).
-    pub threshold: usize,
-    /// At most this many packets are taken per steal visit.
-    pub max_batch: usize,
-}
-
-impl Default for StealPolicy {
-    fn default() -> Self {
-        StealPolicy {
-            threshold: 2,
-            max_batch: 2,
-        }
-    }
-}
-
-/// The three scheduling policies the native backend implements — the
-/// cross-backend rungs of `afs_core::crossval`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NativePolicy {
-    /// Affinity-oblivious: every packet is placed on a uniformly random
-    /// worker's queue and runs a thread from a rotating shared pool on a
-    /// shared locked stack — no placement decision ever consults cache
-    /// state.
-    Oblivious,
-    /// Locking paradigm with per-processor thread pools (the paper's
-    /// footnote-7 refinement): one shared, work-conserving run queue all
-    /// workers pop, a shared locked stack, but each worker reuses its own
-    /// thread stack.
-    LockingPool,
-    /// Independent protocol stacks: streams are partitioned
-    /// `stream % workers` ([`owner_of`]), each worker runs its own
-    /// lock-free stack, and an optional bounded steal
-    /// ([`StealPolicy`]) lets idle workers relieve deep backlogs.
-    Ips {
-        /// `None` disables stealing (strict partitioning).
-        steal: Option<StealPolicy>,
-    },
-}
-
-impl NativePolicy {
-    /// Short label for reports (matches `CrossPolicy::label`).
-    pub fn label(&self) -> &'static str {
-        match self {
-            NativePolicy::Oblivious => "oblivious",
-            NativePolicy::LockingPool => "locking",
-            NativePolicy::Ips { .. } => "ips",
-        }
-    }
-}
 
 /// Whether workers attempt to pin themselves to cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,8 +72,12 @@ pub enum Pinning {
 pub struct NativeConfig {
     /// Worker (processor) count.
     pub workers: usize,
-    /// Scheduling policy.
-    pub policy: NativePolicy,
+    /// The scheduling rung (labels, reporting).
+    pub spec: PolicySpec,
+    /// The structural layout derived from [`NativeConfig::spec`] —
+    /// overridable after construction (tests disable stealing by setting
+    /// `layout.steal = None`).
+    pub layout: NativeLayout,
     /// Core-pinning mode.
     pub pinning: Pinning,
     /// Per-ring capacity (the dispatcher blocks when full — lossless).
@@ -141,10 +94,11 @@ pub struct NativeConfig {
 
 impl NativeConfig {
     /// A config with the calibrated cost model and CI-safe defaults.
-    pub fn new(workers: usize, policy: NativePolicy) -> Self {
+    pub fn new(workers: usize, spec: PolicySpec) -> Self {
         NativeConfig {
             workers,
-            policy,
+            spec,
+            layout: spec.native_layout(),
             pinning: Pinning::Auto,
             queue_capacity: 1024,
             cost: CostModel::default(),
@@ -401,17 +355,13 @@ fn run_native_impl(
     );
     let w = cfg.workers;
     let offered = workload.len() as u64;
-    let n_streams = workload
-        .iter()
-        .map(|p| p.stream.0 + 1)
-        .max()
-        .unwrap_or(0) as usize;
+    let n_streams = workload.iter().map(|p| p.stream.0 + 1).max().unwrap_or(0) as usize;
     let last_arrival_us = workload.last().map_or(0.0, |p| p.arrival_us);
     let warmup_cut_us = cfg.warmup_frac * last_arrival_us;
 
     // Engines: one shared stack for the locked policies, one per worker
     // for IPS. Streams bind to the stack that owns them.
-    let shared_stack = !matches!(cfg.policy, NativePolicy::Ips { .. });
+    let shared_stack = cfg.layout.shared_stack;
     let n_stacks = if shared_stack { 1 } else { w };
     let engines: Vec<Mutex<ProtocolEngine>> = (0..n_stacks)
         .map(|stack| {
@@ -425,10 +375,10 @@ fn run_native_impl(
         })
         .collect();
 
-    // Run queues: one shared ring for LockingPool, one per worker
+    // Run queues: one shared ring for the pooled layout, one per worker
     // otherwise. Sized so the shared ring has the same aggregate
     // capacity as the per-worker rings.
-    let pooled = matches!(cfg.policy, NativePolicy::LockingPool);
+    let pooled = cfg.layout.pooled_queue;
     let queues: Vec<RingQueue<Job>> = if pooled {
         vec![RingQueue::with_capacity(cfg.queue_capacity * w)]
     } else {
@@ -479,13 +429,31 @@ fn run_native_impl(
 
         // The dispatcher runs on this thread: replay arrivals in order,
         // blocking (yield-spin) on a full ring so nothing is dropped.
+        // Routing goes through the shared policy crate's Router over the
+        // dispatcher's deterministic virtual-load model; the dispatcher
+        // owns the placement RNG and the ring pushes.
         let factory = RngFactory::new(cfg.seed);
         let mut place = factory.stream("native-placement");
+        let pricer = DispatchPricer::new(&ExecParams::calibrated().model);
+        let mut rstate = RouterState::new(w, pricer.t_warm_us());
         for (seq, pkt) in workload.into_iter().enumerate() {
-            let (target, thread) = match cfg.policy {
-                NativePolicy::Oblivious => (place.gen_range(0..w), (seq % w) as u32),
-                NativePolicy::LockingPool => (0, u32::MAX),
-                NativePolicy::Ips { .. } => (owner_of(pkt.stream, w), u32::MAX),
+            let route = cfg.layout.router.route(
+                &rstate.view_at(pkt.arrival_us),
+                pkt.stream.0,
+                &mut |n| place.gen_range(0..n),
+                &pricer,
+            );
+            let target = match route {
+                Route::Worker(p) => {
+                    rstate.note_routed(pkt.stream.0, p, pkt.arrival_us);
+                    p
+                }
+                Route::Shared => 0,
+            };
+            let thread = if cfg.layout.rotating_threads {
+                (seq % w) as u32
+            } else {
+                u32::MAX
             };
             let (stream, arrival_us) = (pkt.stream, pkt.arrival_us);
             let mut job = Job {
@@ -562,7 +530,7 @@ fn run_native_impl(
         .collect();
 
     NativeReport {
-        policy: cfg.policy.label(),
+        policy: cfg.spec.label(),
         workers: w,
         offered,
         outcomes,
@@ -642,30 +610,27 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     let mut vclock = 0.0f64;
     let mut slot = 0u32;
 
-    let pooled = matches!(cfg.policy, NativePolicy::LockingPool);
+    let pooled = cfg.layout.pooled_queue;
     let my_queue = if pooled { &queues[0] } else { &queues[wid] };
-    let steal = match cfg.policy {
-        NativePolicy::Ips { steal } => steal,
-        _ => None,
-    };
+    let steal = cfg.layout.steal;
 
     // One packet's full processing: migration purges, lock acquisition
     // (with overhead charge where the policy pays it), the real receive
     // path, and virtual-clock advance.
     let process = |job: Job,
-                       stack: usize,
-                       stolen: bool,
-                       queue: u32,
-                       qdepth: u32,
-                       rec: &mut Option<MemRecorder>,
-                       hier: &mut MemoryHierarchy,
-                       stats: &mut WorkerStats,
-                       vclock: &mut f64,
-                       slot: &mut u32,
-                       delay: &mut Welford,
-                       service: &mut Welford,
-                       wait: &mut Welford,
-                       outcomes: &mut OutcomeTotals| {
+                   stack: usize,
+                   stolen: bool,
+                   queue: u32,
+                   qdepth: u32,
+                   rec: &mut Option<MemRecorder>,
+                   hier: &mut MemoryHierarchy,
+                   stats: &mut WorkerStats,
+                   vclock: &mut f64,
+                   slot: &mut u32,
+                   delay: &mut Welford,
+                   service: &mut Welford,
+                   wait: &mut Welford,
+                   outcomes: &mut OutcomeTotals| {
         let me = wid as u32;
         // Stream-state migration: if another worker touched this
         // stream's state last, its lines are not in our caches.
@@ -686,7 +651,11 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         }
         // Thread-stack migration (pool threads under Oblivious).
         let mut t_mig = false;
-        let tid = if job.thread == u32::MAX { me } else { job.thread };
+        let tid = if job.thread == u32::MAX {
+            me
+        } else {
+            job.thread
+        };
         let t = tid as usize;
         if t < last_thread_worker.len() {
             let prev = last_thread_worker[t].swap(me, Ordering::AcqRel);
@@ -712,7 +681,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         *slot = slot.wrapping_add(1);
 
         let start_cycles = hier.stats.cycles;
-        let locked_path = shared_locked(&cfg.policy) || stolen;
+        let locked_path = cfg.layout.shared_stack || stolen;
         let outcome = {
             let engine = &engines[stack];
             let mut guard = match engine.try_lock() {
@@ -844,12 +813,24 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                     .unwrap_or(0);
         if may_pop {
             if let Some(job) = my_queue.pop() {
-                let stack = if shared_locked(&cfg.policy) { 0 } else { wid };
+                let stack = if cfg.layout.shared_stack { 0 } else { wid };
                 let queue = if pooled { SHARED_QUEUE } else { wid as u32 };
                 let depth = my_queue.len() as u32;
                 process(
-                    job, stack, false, queue, depth, &mut rec, &mut hier, &mut stats,
-                    &mut vclock, &mut slot, &mut delay, &mut service, &mut wait, &mut outcomes,
+                    job,
+                    stack,
+                    false,
+                    queue,
+                    depth,
+                    &mut rec,
+                    &mut hier,
+                    &mut stats,
+                    &mut vclock,
+                    &mut slot,
+                    &mut delay,
+                    &mut service,
+                    &mut wait,
+                    &mut outcomes,
                 );
                 continue;
             }
@@ -857,25 +838,20 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         // Own queue empty: under IPS-with-stealing, relieve the deepest
         // eligible victim — but only one that is *virtually* behind us
         // (its clock lags ours means its backlog is real work waiting,
-        // not just future arrivals the dispatcher pre-staged).
+        // not just future arrivals the dispatcher pre-staged). The
+        // decision is the shared `StealPolicy` evaluated over a live
+        // view of the rings and the published virtual clocks.
         if let Some(sp) = steal {
-            let mut victim = None;
-            let mut deepest = sp.threshold.max(1);
-            for (v, q) in queues.iter().enumerate() {
-                if v == wid {
-                    continue;
-                }
-                let depth = q.len();
-                if depth >= deepest
-                    && vclocks[v].load(Ordering::Acquire) > vclock.to_bits()
-                {
-                    deepest = depth;
-                    victim = Some(v);
-                }
-            }
-            if let Some(v) = victim {
+            let view = StealView {
+                queues,
+                vclocks,
+                thief: wid,
+                thief_bits: vclock.to_bits(),
+            };
+            if let Some(d) = sp.steal(&view, wid) {
+                let v = d.victim;
                 let mut got = 0;
-                while got < sp.max_batch.max(1) {
+                while got < d.max_batch {
                     match queues[v].pop() {
                         Some(job) => {
                             // Stolen packets run on the *victim's* stack
@@ -883,8 +859,19 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                             // lock — the steal handoff.
                             let depth = queues[v].len() as u32;
                             process(
-                                job, v, true, v as u32, depth, &mut rec, &mut hier, &mut stats,
-                                &mut vclock, &mut slot, &mut delay, &mut service, &mut wait,
+                                job,
+                                v,
+                                true,
+                                v as u32,
+                                depth,
+                                &mut rec,
+                                &mut hier,
+                                &mut stats,
+                                &mut vclock,
+                                &mut slot,
+                                &mut delay,
+                                &mut service,
+                                &mut wait,
                                 &mut outcomes,
                             );
                             got += 1;
@@ -917,13 +904,42 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     }
 }
 
-/// Whether every packet under this policy goes through the shared
-/// locked stack.
-fn shared_locked(policy: &NativePolicy) -> bool {
-    matches!(
-        policy,
-        NativePolicy::Oblivious | NativePolicy::LockingPool
-    )
+/// The worker-side [`SchedView`] the steal policy decides through: live
+/// ring occupancy plus the published per-worker virtual clocks. The
+/// thief's own clock comes from its local copy (the published atomic is
+/// updated after each packet, so they agree — this just avoids a
+/// self-load).
+struct StealView<'a> {
+    queues: &'a [RingQueue<Job>],
+    vclocks: &'a [AtomicU64],
+    thief: usize,
+    thief_bits: u64,
+}
+
+impl SchedView for StealView<'_> {
+    fn n_workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn is_idle(&self, w: usize) -> bool {
+        self.queues[w].is_empty()
+    }
+
+    fn queue_depth(&self, w: usize) -> usize {
+        self.queues[w].len()
+    }
+
+    fn last_worker(&self, _entity: u32) -> Option<usize> {
+        None
+    }
+
+    fn vclock_bits(&self, w: usize) -> u64 {
+        if w == self.thief {
+            self.thief_bits
+        } else {
+            self.vclocks[w].load(Ordering::Acquire)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -934,9 +950,16 @@ mod tests {
         poisson_workload(streams, per_stream, 2_000.0, 32, 7)
     }
 
-    fn cfg(workers: usize, policy: NativePolicy) -> NativeConfig {
-        let mut c = NativeConfig::new(workers, policy);
+    fn cfg(workers: usize, spec: PolicySpec) -> NativeConfig {
+        let mut c = NativeConfig::new(workers, spec);
         c.pinning = Pinning::Off;
+        c
+    }
+
+    /// The IPS rung with stealing disabled (strict partitioning).
+    fn ips_no_steal(workers: usize) -> NativeConfig {
+        let mut c = cfg(workers, PolicySpec::Ips);
+        c.layout.steal = None;
         c
     }
 
@@ -957,19 +980,16 @@ mod tests {
 
     #[test]
     fn every_policy_is_lossless() {
-        for policy in [
-            NativePolicy::Oblivious,
-            NativePolicy::LockingPool,
-            NativePolicy::Ips {
-                steal: Some(StealPolicy::default()),
-            },
-            NativePolicy::Ips { steal: None },
-        ] {
-            let r = run_native(&cfg(3, policy), small_workload(6, 20));
-            assert_eq!(r.offered, 120, "{policy:?}");
-            assert_eq!(r.outcomes.total(), 120, "{policy:?}");
-            assert_eq!(r.outcomes.delivered, 120, "{policy:?}");
-            assert_eq!(r.per_stream_delivered, vec![20; 6], "{policy:?}");
+        let mut configs: Vec<NativeConfig> =
+            PolicySpec::ALL.into_iter().map(|p| cfg(3, p)).collect();
+        configs.push(ips_no_steal(3));
+        for c in &configs {
+            let r = run_native(c, small_workload(6, 20));
+            let label = (c.spec, c.layout.steal);
+            assert_eq!(r.offered, 120, "{label:?}");
+            assert_eq!(r.outcomes.total(), 120, "{label:?}");
+            assert_eq!(r.outcomes.delivered, 120, "{label:?}");
+            assert_eq!(r.per_stream_delivered, vec![20; 6], "{label:?}");
             assert!(r.mean_delay_us > 0.0 && r.mean_service_us > 0.0);
             assert!(r.recorded > 0 && r.recorded <= 120);
         }
@@ -977,7 +997,7 @@ mod tests {
 
     #[test]
     fn ips_without_steal_partitions_streams() {
-        let r = run_native(&cfg(2, NativePolicy::Ips { steal: None }), small_workload(4, 30));
+        let r = run_native(&ips_no_steal(2), small_workload(4, 30));
         assert_eq!(r.steals, 0);
         // Strict partitioning: stream state never migrates.
         assert_eq!(r.stream_migrations, 0);
@@ -985,31 +1005,30 @@ mod tests {
     }
 
     #[test]
-    fn oblivious_migrates_more_than_ips() {
+    fn oblivious_migrates_more_than_affinity_policies() {
         let workload = small_workload(8, 40);
-        let obl = run_native(&cfg(4, NativePolicy::Oblivious), workload.clone());
-        let ips = run_native(
-            &cfg(4, NativePolicy::Ips { steal: Some(StealPolicy::default()) }),
-            workload,
-        );
-        assert!(
-            obl.stream_migrations > ips.stream_migrations,
-            "oblivious {} vs ips {}",
-            obl.stream_migrations,
-            ips.stream_migrations
-        );
+        let obl = run_native(&cfg(4, PolicySpec::Oblivious), workload.clone());
+        for spec in [PolicySpec::Ips, PolicySpec::MruLoad, PolicySpec::MinReload] {
+            let aff = run_native(&cfg(4, spec), workload.clone());
+            assert!(
+                obl.stream_migrations > aff.stream_migrations,
+                "oblivious {} vs {} {}",
+                obl.stream_migrations,
+                spec.label(),
+                aff.stream_migrations
+            );
+        }
     }
 
     #[test]
     fn single_worker_all_policies_agree_on_accounting() {
         let w = small_workload(3, 10);
-        for policy in [
-            NativePolicy::Oblivious,
-            NativePolicy::LockingPool,
-            NativePolicy::Ips { steal: None },
-        ] {
-            let r = run_native(&cfg(1, policy), w.clone());
-            assert_eq!(r.outcomes.delivered, 30);
+        let mut configs: Vec<NativeConfig> =
+            PolicySpec::ALL.into_iter().map(|p| cfg(1, p)).collect();
+        configs.push(ips_no_steal(1));
+        for c in &configs {
+            let r = run_native(c, w.clone());
+            assert_eq!(r.outcomes.delivered, 30, "{:?}", c.spec);
             assert_eq!(r.per_worker.len(), 1);
             assert_eq!(r.per_worker[0].processed, 30);
         }
@@ -1017,17 +1036,14 @@ mod tests {
 
     #[test]
     fn run_report_projection_is_consistent() {
-        let r = run_native(&cfg(2, NativePolicy::LockingPool), small_workload(4, 25));
+        let r = run_native(&cfg(2, PolicySpec::Locking), small_workload(4, 25));
         let rr = r.to_run_report();
         assert_eq!(rr.delivered, r.outcomes.delivered);
         assert_eq!(rr.arrivals, r.offered);
         assert!(rr.stable);
         assert!(rr.utilization > 0.0 && rr.utilization <= 1.0);
         assert_eq!(rr.per_proc_served.len(), 2);
-        assert_eq!(
-            rr.per_proc_served.iter().sum::<u64>(),
-            r.offered
-        );
+        assert_eq!(rr.per_proc_served.iter().sum::<u64>(), r.offered);
     }
 
     #[test]
@@ -1048,12 +1064,7 @@ mod tests {
                 arrival_us: t,
             });
         }
-        let mut c = cfg(
-            2,
-            NativePolicy::Ips {
-                steal: Some(StealPolicy::default()),
-            },
-        );
+        let mut c = cfg(2, PolicySpec::Ips);
         c.queue_capacity = 16; // keep the ring backlog visible to thieves
         let r = run_native(&c, workload);
         assert_eq!(r.outcomes.total(), 200);
@@ -1065,11 +1076,7 @@ mod tests {
 
     #[test]
     fn recorded_run_traces_every_packet() {
-        for policy in [
-            NativePolicy::Oblivious,
-            NativePolicy::LockingPool,
-            NativePolicy::Ips { steal: Some(StealPolicy::default()) },
-        ] {
+        for policy in PolicySpec::ALL {
             let (r, rec) = run_native_recorded(&cfg(3, policy), small_workload(6, 20));
             let c = &rec.counters;
             assert_eq!(c.enqueued, r.offered, "{policy:?}");
@@ -1090,7 +1097,9 @@ mod tests {
             );
             // Merged stream is in deterministic merge order.
             assert!(
-                rec.events.windows(2).all(|w| w[0].merge_key() <= w[1].merge_key()),
+                rec.events
+                    .windows(2)
+                    .all(|w| w[0].merge_key() <= w[1].merge_key()),
                 "{policy:?}"
             );
             // Virtual stamps only: nothing precedes the first arrival.
@@ -1106,7 +1115,7 @@ mod tests {
         // samples queue length at pop time and therefore races against
         // the dispatcher's pushes at host speed.
         let w = small_workload(4, 30);
-        let c = cfg(2, NativePolicy::Ips { steal: None });
+        let c = ips_no_steal(2);
         let mut plain = run_native(&c, w.clone());
         let (mut recorded, rec) = run_native_recorded(&c, w);
         for r in [&mut plain, &mut recorded] {
@@ -1134,7 +1143,7 @@ mod tests {
                 arrival_us: t,
             });
         }
-        let mut c = cfg(2, NativePolicy::Ips { steal: Some(StealPolicy::default()) });
+        let mut c = cfg(2, PolicySpec::Ips);
         c.queue_capacity = 16;
         let (r, rec) = run_native_recorded(&c, workload);
         assert!(r.steals > 0);
@@ -1155,7 +1164,7 @@ mod tests {
 
     #[test]
     fn warmup_excludes_early_packets() {
-        let mut c = cfg(1, NativePolicy::LockingPool);
+        let mut c = cfg(1, PolicySpec::Locking);
         c.warmup_frac = 0.5;
         let r = run_native(&c, small_workload(2, 40));
         assert_eq!(r.outcomes.total(), 80);

@@ -349,7 +349,10 @@ fn stress_steal_handoff_conserves_and_orders() {
     // strictly increasing positions, and the single producer pushed in
     // increasing order.
     for log in &logs {
-        assert!(log.windows(2).all(|w| w[0] < w[1]), "per-consumer order broken");
+        assert!(
+            log.windows(2).all(|w| w[0] < w[1]),
+            "per-consumer order broken"
+        );
     }
     let mut all: Vec<u64> = logs.concat();
     all.sort_unstable();

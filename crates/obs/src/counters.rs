@@ -165,7 +165,12 @@ impl Counters {
                 self.steals += 1;
                 self.lane(to).steals_in += 1;
             }
-            ObsEvent::Complete { worker, delay_us, ok, .. } => {
+            ObsEvent::Complete {
+                worker,
+                delay_us,
+                ok,
+                ..
+            } => {
                 self.completed += 1;
                 if ok {
                     self.completed_ok += 1;
@@ -176,7 +181,12 @@ impl Counters {
             ObsEvent::Evict { .. } => {
                 self.evicted += 1;
             }
-            ObsEvent::CacheCharge { worker, kind, amount_us, .. } => match kind {
+            ObsEvent::CacheCharge {
+                worker,
+                kind,
+                amount_us,
+                ..
+            } => match kind {
                 ChargeKind::Warm => self.warm_charges += 1,
                 ChargeKind::Flush => {
                     self.flushes += 1;
@@ -264,7 +274,8 @@ impl Counters {
         self.queue_depth.merge(&other.queue_depth);
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         if self.by_worker.len() < other.by_worker.len() {
-            self.by_worker.resize(other.by_worker.len(), WorkerLane::default());
+            self.by_worker
+                .resize(other.by_worker.len(), WorkerLane::default());
         }
         for (mine, theirs) in self.by_worker.iter_mut().zip(other.by_worker.iter()) {
             mine.dispatched += theirs.dispatched;
@@ -293,7 +304,13 @@ mod tests {
 
     fn lifecycle(seq: u64, worker: u32, migrated: bool) -> Vec<ObsEvent> {
         vec![
-            ObsEvent::Enqueue { t_us: seq as f64, seq, stream: 1, queue: worker, depth: 1 },
+            ObsEvent::Enqueue {
+                t_us: seq as f64,
+                seq,
+                stream: 1,
+                queue: worker,
+                depth: 1,
+            },
             ObsEvent::Dispatch {
                 t_us: seq as f64 + 1.0,
                 seq,
@@ -318,7 +335,10 @@ mod tests {
     #[test]
     fn counts_follow_lifecycle() {
         let mut c = Counters::new();
-        for ev in lifecycle(0, 0, false).iter().chain(lifecycle(1, 1, true).iter()) {
+        for ev in lifecycle(0, 0, false)
+            .iter()
+            .chain(lifecycle(1, 1, true).iter())
+        {
             c.observe(ev);
         }
         assert_eq!(c.enqueued, 2);
@@ -336,7 +356,12 @@ mod tests {
     #[test]
     fn steals_counted_from_steal_events_only() {
         let mut c = Counters::new();
-        c.observe(&ObsEvent::Steal { t_us: 0.0, seq: 7, from: 0, to: 1 });
+        c.observe(&ObsEvent::Steal {
+            t_us: 0.0,
+            seq: 7,
+            from: 0,
+            to: 1,
+        });
         c.observe(&ObsEvent::Dispatch {
             t_us: 1.0,
             seq: 7,
@@ -355,11 +380,34 @@ mod tests {
     #[test]
     fn charges_split_by_kind() {
         let mut c = Counters::new();
-        c.observe(&ObsEvent::CacheCharge { t_us: 0.0, worker: 0, kind: ChargeKind::Flush, amount_us: 0.0 });
-        c.observe(&ObsEvent::CacheCharge { t_us: 0.0, worker: 0, kind: ChargeKind::ReloadTransient, amount_us: 8.5 });
-        c.observe(&ObsEvent::CacheCharge { t_us: 0.0, worker: 0, kind: ChargeKind::Lock, amount_us: 1.0 });
-        c.observe(&ObsEvent::CacheCharge { t_us: 0.0, worker: 0, kind: ChargeKind::Warm, amount_us: 0.0 });
-        assert_eq!((c.flushes, c.reload_charges, c.lock_charges, c.warm_charges), (1, 1, 1, 1));
+        c.observe(&ObsEvent::CacheCharge {
+            t_us: 0.0,
+            worker: 0,
+            kind: ChargeKind::Flush,
+            amount_us: 0.0,
+        });
+        c.observe(&ObsEvent::CacheCharge {
+            t_us: 0.0,
+            worker: 0,
+            kind: ChargeKind::ReloadTransient,
+            amount_us: 8.5,
+        });
+        c.observe(&ObsEvent::CacheCharge {
+            t_us: 0.0,
+            worker: 0,
+            kind: ChargeKind::Lock,
+            amount_us: 1.0,
+        });
+        c.observe(&ObsEvent::CacheCharge {
+            t_us: 0.0,
+            worker: 0,
+            kind: ChargeKind::Warm,
+            amount_us: 0.0,
+        });
+        assert_eq!(
+            (c.flushes, c.reload_charges, c.lock_charges, c.warm_charges),
+            (1, 1, 1, 1)
+        );
         assert!((c.reload_transient_us - 8.5).abs() < 1e-12);
         assert!((c.lock_us - 1.0).abs() < 1e-12);
     }
@@ -372,7 +420,11 @@ mod tests {
         for seq in 0..10 {
             let evs = lifecycle(seq, (seq % 3) as u32, seq % 2 == 0);
             for ev in &evs {
-                if seq % 2 == 0 { a.observe(ev) } else { b.observe(ev) }
+                if seq % 2 == 0 {
+                    a.observe(ev)
+                } else {
+                    b.observe(ev)
+                }
                 whole.observe(ev);
             }
         }
@@ -383,8 +435,18 @@ mod tests {
     #[test]
     fn evictions_tracked_in_flight() {
         let mut c = Counters::new();
-        c.observe(&ObsEvent::Enqueue { t_us: 0.0, seq: 0, stream: 0, queue: 0, depth: 5 });
-        c.observe(&ObsEvent::Evict { t_us: 1.0, seq: 0, queue: 0 });
+        c.observe(&ObsEvent::Enqueue {
+            t_us: 0.0,
+            seq: 0,
+            stream: 0,
+            queue: 0,
+            depth: 5,
+        });
+        c.observe(&ObsEvent::Evict {
+            t_us: 1.0,
+            seq: 0,
+            queue: 0,
+        });
         assert_eq!(c.evicted, 1);
         assert_eq!(c.in_flight(), 0);
         assert_eq!(c.max_queue_depth, 5);

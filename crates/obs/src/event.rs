@@ -188,7 +188,11 @@ impl ObsEvent {
         // f64 timestamps are non-negative here; their bit patterns order
         // identically to their values, giving a total order without
         // pulling `f64: Ord` tricks into every call site.
-        (self.t_us().to_bits(), self.seq().unwrap_or(u64::MAX), self.kind_rank())
+        (
+            self.t_us().to_bits(),
+            self.seq().unwrap_or(u64::MAX),
+            self.kind_rank(),
+        )
     }
 }
 
@@ -198,8 +202,19 @@ mod tests {
 
     #[test]
     fn ranks_follow_message_lifecycle() {
-        let enq = ObsEvent::Enqueue { t_us: 1.0, seq: 0, stream: 0, queue: 0, depth: 1 };
-        let steal = ObsEvent::Steal { t_us: 1.0, seq: 0, from: 0, to: 1 };
+        let enq = ObsEvent::Enqueue {
+            t_us: 1.0,
+            seq: 0,
+            stream: 0,
+            queue: 0,
+            depth: 1,
+        };
+        let steal = ObsEvent::Steal {
+            t_us: 1.0,
+            seq: 0,
+            from: 0,
+            to: 1,
+        };
         let disp = ObsEvent::Dispatch {
             t_us: 1.0,
             seq: 0,
@@ -210,7 +225,14 @@ mod tests {
             thread_migrated: false,
             stolen: true,
         };
-        let done = ObsEvent::Complete { t_us: 1.0, seq: 0, stream: 0, worker: 1, delay_us: 6.0, ok: true };
+        let done = ObsEvent::Complete {
+            t_us: 1.0,
+            seq: 0,
+            stream: 0,
+            worker: 1,
+            delay_us: 6.0,
+            ok: true,
+        };
         assert!(enq.kind_rank() < steal.kind_rank());
         assert!(steal.kind_rank() < disp.kind_rank());
         assert!(disp.kind_rank() < done.kind_rank());
@@ -219,14 +241,31 @@ mod tests {
 
     #[test]
     fn merge_key_orders_by_time_first() {
-        let late = ObsEvent::Enqueue { t_us: 2.0, seq: 0, stream: 0, queue: 0, depth: 1 };
-        let early = ObsEvent::Complete { t_us: 1.0, seq: 9, stream: 0, worker: 0, delay_us: 0.5, ok: true };
+        let late = ObsEvent::Enqueue {
+            t_us: 2.0,
+            seq: 0,
+            stream: 0,
+            queue: 0,
+            depth: 1,
+        };
+        let early = ObsEvent::Complete {
+            t_us: 1.0,
+            seq: 9,
+            stream: 0,
+            worker: 0,
+            delay_us: 0.5,
+            ok: true,
+        };
         assert!(early.merge_key() < late.merge_key());
     }
 
     #[test]
     fn seq_absent_for_samples() {
-        let qd = ObsEvent::QueueDepth { t_us: 0.0, queue: 3, depth: 7 };
+        let qd = ObsEvent::QueueDepth {
+            t_us: 0.0,
+            queue: 3,
+            depth: 7,
+        };
         assert_eq!(qd.seq(), None);
         assert_eq!(qd.t_us(), 0.0);
     }

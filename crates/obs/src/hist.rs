@@ -67,7 +67,11 @@ impl LogHistogram {
 
     /// Record one value (µs). Negative or non-finite values clamp to 0.
     pub fn record(&mut self, v_us: f64) {
-        let v = if v_us.is_finite() && v_us > 0.0 { v_us } else { 0.0 };
+        let v = if v_us.is_finite() && v_us > 0.0 {
+            v_us
+        } else {
+            0.0
+        };
         let ns = (v * 1e3).round().min(u64::MAX as f64) as u64;
         self.counts[Self::index(ns)] += 1;
         self.count += 1;

@@ -14,7 +14,13 @@ use crate::event::ObsEvent;
 /// Append one event as a JSON line (including the trailing newline).
 pub fn write_event(out: &mut String, ev: &ObsEvent) {
     match *ev {
-        ObsEvent::Enqueue { t_us, seq, stream, queue, depth } => {
+        ObsEvent::Enqueue {
+            t_us,
+            seq,
+            stream,
+            queue,
+            depth,
+        } => {
             let _ = writeln!(
                 out,
                 "{{\"e\":\"enq\",\"t\":{t_us:.3},\"seq\":{seq},\"stream\":{stream},\"queue\":{queue},\"depth\":{depth}}}"
@@ -35,22 +41,42 @@ pub fn write_event(out: &mut String, ev: &ObsEvent) {
                 "{{\"e\":\"disp\",\"t\":{t_us:.3},\"seq\":{seq},\"stream\":{stream},\"worker\":{worker},\"service\":{service_us:.4},\"smig\":{stream_migrated},\"tmig\":{thread_migrated},\"stolen\":{stolen}}}"
             );
         }
-        ObsEvent::Steal { t_us, seq, from, to } => {
+        ObsEvent::Steal {
+            t_us,
+            seq,
+            from,
+            to,
+        } => {
             let _ = writeln!(
                 out,
                 "{{\"e\":\"steal\",\"t\":{t_us:.3},\"seq\":{seq},\"from\":{from},\"to\":{to}}}"
             );
         }
-        ObsEvent::Complete { t_us, seq, stream, worker, delay_us, ok } => {
+        ObsEvent::Complete {
+            t_us,
+            seq,
+            stream,
+            worker,
+            delay_us,
+            ok,
+        } => {
             let _ = writeln!(
                 out,
                 "{{\"e\":\"done\",\"t\":{t_us:.3},\"seq\":{seq},\"stream\":{stream},\"worker\":{worker},\"delay\":{delay_us:.4},\"ok\":{ok}}}"
             );
         }
         ObsEvent::Evict { t_us, seq, queue } => {
-            let _ = writeln!(out, "{{\"e\":\"evict\",\"t\":{t_us:.3},\"seq\":{seq},\"queue\":{queue}}}");
+            let _ = writeln!(
+                out,
+                "{{\"e\":\"evict\",\"t\":{t_us:.3},\"seq\":{seq},\"queue\":{queue}}}"
+            );
         }
-        ObsEvent::CacheCharge { t_us, worker, kind, amount_us } => {
+        ObsEvent::CacheCharge {
+            t_us,
+            worker,
+            kind,
+            amount_us,
+        } => {
             let _ = writeln!(
                 out,
                 "{{\"e\":\"charge\",\"t\":{t_us:.3},\"worker\":{worker},\"kind\":\"{}\",\"amount\":{amount_us:.4}}}",
@@ -83,7 +109,13 @@ mod tests {
     #[test]
     fn rendering_is_deterministic_and_line_oriented() {
         let events = vec![
-            ObsEvent::Enqueue { t_us: 1.2345, seq: 0, stream: 2, queue: u32::MAX, depth: 1 },
+            ObsEvent::Enqueue {
+                t_us: 1.2345,
+                seq: 0,
+                stream: 2,
+                queue: u32::MAX,
+                depth: 1,
+            },
             ObsEvent::Dispatch {
                 t_us: 2.0,
                 seq: 0,
@@ -94,11 +126,36 @@ mod tests {
                 thread_migrated: false,
                 stolen: false,
             },
-            ObsEvent::Steal { t_us: 2.0, seq: 1, from: 0, to: 1 },
-            ObsEvent::Complete { t_us: 12.5, seq: 0, stream: 2, worker: 1, delay_us: 11.2655, ok: true },
-            ObsEvent::Evict { t_us: 13.0, seq: 3, queue: 0 },
-            ObsEvent::CacheCharge { t_us: 2.0, worker: 1, kind: ChargeKind::ReloadTransient, amount_us: 8.5 },
-            ObsEvent::QueueDepth { t_us: 2.0, queue: 0, depth: 4 },
+            ObsEvent::Steal {
+                t_us: 2.0,
+                seq: 1,
+                from: 0,
+                to: 1,
+            },
+            ObsEvent::Complete {
+                t_us: 12.5,
+                seq: 0,
+                stream: 2,
+                worker: 1,
+                delay_us: 11.2655,
+                ok: true,
+            },
+            ObsEvent::Evict {
+                t_us: 13.0,
+                seq: 3,
+                queue: 0,
+            },
+            ObsEvent::CacheCharge {
+                t_us: 2.0,
+                worker: 1,
+                kind: ChargeKind::ReloadTransient,
+                amount_us: 8.5,
+            },
+            ObsEvent::QueueDepth {
+                t_us: 2.0,
+                queue: 0,
+                depth: 4,
+            },
         ];
         let a = render(&events);
         let b = render(&events);

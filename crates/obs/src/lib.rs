@@ -59,7 +59,13 @@ mod tests {
     #[test]
     fn crate_surface_round_trip() {
         let mut rec = MemRecorder::new();
-        rec.record(ObsEvent::Enqueue { t_us: 0.5, seq: 0, stream: 1, queue: SHARED_QUEUE, depth: 1 });
+        rec.record(ObsEvent::Enqueue {
+            t_us: 0.5,
+            seq: 0,
+            stream: 1,
+            queue: SHARED_QUEUE,
+            depth: 1,
+        });
         rec.record(ObsEvent::Dispatch {
             t_us: 1.0,
             seq: 0,
@@ -76,7 +82,14 @@ mod tests {
             kind: ChargeKind::ReloadTransient,
             amount_us: 2.5,
         });
-        rec.record(ObsEvent::Complete { t_us: 10.0, seq: 0, stream: 1, worker: 0, delay_us: 9.5, ok: true });
+        rec.record(ObsEvent::Complete {
+            t_us: 10.0,
+            seq: 0,
+            stream: 1,
+            worker: 0,
+            delay_us: 9.5,
+            ok: true,
+        });
         assert_eq!(rec.counters.enqueued, 1);
         assert_eq!(rec.counters.affinity_hits, 1);
         assert_eq!(rec.counters.in_flight(), 0);

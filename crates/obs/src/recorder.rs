@@ -109,7 +109,13 @@ mod tests {
     use super::*;
 
     fn ev(t: f64, seq: u64) -> ObsEvent {
-        ObsEvent::Enqueue { t_us: t, seq, stream: 0, queue: 0, depth: 1 }
+        ObsEvent::Enqueue {
+            t_us: t,
+            seq,
+            stream: 0,
+            queue: 0,
+            depth: 1,
+        }
     }
 
     #[test]
@@ -147,6 +153,9 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.events.len(), 2);
         assert_eq!(a.counters.enqueued, 2);
-        assert!(a.events.windows(2).all(|w| w[0].merge_key() <= w[1].merge_key()));
+        assert!(a
+            .events
+            .windows(2)
+            .all(|w| w[0].merge_key() <= w[1].merge_key()));
     }
 }

@@ -53,7 +53,9 @@ pub fn render(c: &Counters) -> String {
         c.queue_depth.mean(),
         c.max_queue_depth
     );
-    if c.fault_examined > 0 || c.delivered + c.dropped_no_session + c.dropped_queue_full + c.errored > 0 {
+    if c.fault_examined > 0
+        || c.delivered + c.dropped_no_session + c.dropped_queue_full + c.errored > 0
+    {
         let _ = writeln!(
             out,
             "  faults: {} examined, {} wire drops, {} dup, {} reorder, {} corrupt, {} trunc | outcomes: {} delivered, {} no-session, {} queue-full, {} errored",
@@ -100,7 +102,13 @@ mod tests {
     fn summary_mentions_the_headline_numbers() {
         let mut c = Counters::new();
         for seq in 0..4u64 {
-            c.observe(&ObsEvent::Enqueue { t_us: 0.0, seq, stream: 0, queue: 0, depth: 1 });
+            c.observe(&ObsEvent::Enqueue {
+                t_us: 0.0,
+                seq,
+                stream: 0,
+                queue: 0,
+                depth: 1,
+            });
             c.observe(&ObsEvent::Dispatch {
                 t_us: 1.0,
                 seq,
@@ -111,7 +119,14 @@ mod tests {
                 thread_migrated: false,
                 stolen: false,
             });
-            c.observe(&ObsEvent::Complete { t_us: 11.0, seq, stream: 0, worker: 0, delay_us: 11.0, ok: true });
+            c.observe(&ObsEvent::Complete {
+                t_us: 11.0,
+                seq,
+                stream: 0,
+                worker: 0,
+                delay_us: 11.0,
+                ok: true,
+            });
         }
         let s = render(&c);
         assert!(s.contains("4 enqueued"), "{s}");

@@ -19,16 +19,14 @@ use std::collections::{HashMap, HashSet};
 use proptest::prelude::*;
 
 use afs_core::prelude::*;
-use afs_native::{
-    poisson_workload, run_native, run_native_recorded, NativeConfig, NativePolicy, StealPolicy,
-};
+use afs_native::{poisson_workload, run_native, run_native_recorded, NativeConfig, PolicySpec};
 use afs_obs::{MemRecorder, ObsEvent};
 
 const CASES: u32 = 24;
 
 /// A small random simulator configuration: short horizon, any paradigm.
 fn sim_cfg(policy_ix: u8, streams: u8, rate: f64, procs: u8, seed: u64) -> SystemConfig {
-    let paradigm = match policy_ix % 5 {
+    let paradigm = match policy_ix % 7 {
         0 => Paradigm::Locking {
             policy: LockPolicy::Baseline,
         },
@@ -40,6 +38,12 @@ fn sim_cfg(policy_ix: u8, streams: u8, rate: f64, procs: u8, seed: u64) -> Syste
         },
         3 => Paradigm::Locking {
             policy: LockPolicy::Wired,
+        },
+        4 => Paradigm::Locking {
+            policy: LockPolicy::MruLoad { max_backlog: 2 },
+        },
+        5 => Paradigm::Locking {
+            policy: LockPolicy::MinReload,
         },
         _ => Paradigm::Ips {
             policy: IpsPolicy::Mru,
@@ -65,15 +69,17 @@ fn native_case(
     rate: f64,
     seed: u64,
 ) -> (NativeConfig, Vec<afs_native::NativePacket>) {
-    let policy = match policy_ix % 4 {
-        0 => NativePolicy::Oblivious,
-        1 => NativePolicy::LockingPool,
-        2 => NativePolicy::Ips { steal: None },
-        _ => NativePolicy::Ips {
-            steal: Some(StealPolicy::default()),
-        },
+    let spec = match policy_ix % 6 {
+        0 => PolicySpec::Oblivious,
+        1 => PolicySpec::Locking,
+        2 | 3 => PolicySpec::Ips,
+        4 => PolicySpec::MruLoad,
+        _ => PolicySpec::MinReload,
     };
-    let mut cfg = NativeConfig::new(1 + workers as usize % 3, policy);
+    let mut cfg = NativeConfig::new(1 + workers as usize % 3, spec);
+    if policy_ix % 6 == 2 {
+        cfg.layout.steal = None;
+    }
     cfg.seed = seed ^ 0x0B5;
     let workload = poisson_workload(1 + streams as u32 % 6, 40, 60.0 + rate, 64, seed);
     (cfg, workload)
@@ -132,7 +138,10 @@ fn assert_lifecycle(events: &[ObsEvent]) -> Result<(), TestCaseError> {
     }
     for (&seq, &n) in &comp {
         prop_assert_eq!(n, 1, "message {} completed {} times", seq, n);
-        prop_assert!(disp.contains_key(&seq), "completion of never-dispatched {seq}");
+        prop_assert!(
+            disp.contains_key(&seq),
+            "completion of never-dispatched {seq}"
+        );
     }
     prop_assert_eq!(
         steal_seqs,

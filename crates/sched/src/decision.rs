@@ -1,0 +1,40 @@
+//! Typed decisions policies hand back to their backend.
+
+/// Where an arriving packet is queued (enqueue-time routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The backend's shared queue (the Locking global FIFO, the pooled
+    /// native ring).
+    Shared,
+    /// Worker `w`'s own queue (wired family, load-aware routing).
+    Worker(usize),
+}
+
+/// Which protocol thread a Locking dispatch runs as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSource {
+    /// The chosen worker's own per-processor thread (footnote-7 pools).
+    Own,
+    /// The next free thread of the shared FIFO pool (Baseline) — the
+    /// backend pops its pool and may stall the dispatch if none is free.
+    SharedPool,
+}
+
+/// A dispatch-time decision for the head of a shared queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The worker that takes the packet.
+    pub worker: usize,
+    /// Where its protocol thread comes from (IPS drivers ignore this —
+    /// a stack *is* its thread).
+    pub thread: ThreadSource,
+}
+
+/// A work-stealing decision: which victim to relieve and how much.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealDecision {
+    /// The worker whose queue is popped.
+    pub victim: usize,
+    /// Upper bound on packets taken this visit (≥ 1).
+    pub max_batch: usize,
+}

@@ -1,0 +1,169 @@
+//! Parallelization paradigms and their scheduling policies — the shared
+//! vocabulary both backends configure themselves with.
+
+/// How protocol processing is parallelized (the paper's two alternatives).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Paradigm {
+    /// One shared protocol stack; fine-grained locks let any processor
+    /// process any packet concurrently (packet-level parallelism). Each
+    /// packet pays the lock overhead; stream state migrates between
+    /// caches as packets of one stream visit different processors.
+    Locking {
+        /// Scheduling policy.
+        policy: LockPolicy,
+    },
+    /// Independent Protocol Stacks: each stream is bound to one of
+    /// `n_stacks` private stack instances with no locking. A stack
+    /// processes one packet at a time (its state is single-threaded), so
+    /// a stream's throughput is capped by one processor — the paper's
+    /// "limited intra-stream scalability".
+    Ips {
+        /// Scheduling policy.
+        policy: IpsPolicy,
+        /// Number of independent stacks (streams are assigned
+        /// round-robin). The paper's extension iii varies this; the
+        /// default is one stack per stream.
+        n_stacks: usize,
+    },
+}
+
+impl Paradigm {
+    /// True for the Locking paradigm.
+    pub fn is_locking(&self) -> bool {
+        matches!(self, Paradigm::Locking { .. })
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Paradigm::Locking { policy } => format!("Locking/{}", policy.label()),
+            Paradigm::Ips { policy, n_stacks } => {
+                format!("IPS({n_stacks})/{}", policy.label())
+            }
+        }
+    }
+}
+
+/// Scheduling policies under Locking, ordered by increasing affinity
+/// awareness — the paper evaluates the marginal contribution of each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockPolicy {
+    /// Affinity-oblivious baseline: packets go to the idle processor
+    /// that has been away from protocol work the longest (a fair
+    /// round-robin, the worst case for cache state), threads from a
+    /// shared FIFO pool (thread stacks migrate freely).
+    Baseline,
+    /// Per-processor thread pools (footnote 7): each processor always
+    /// runs its own protocol thread, keeping thread state local;
+    /// processor choice still affinity-oblivious.
+    Pools,
+    /// MRU processor scheduling + per-processor pools: a packet prefers
+    /// the processor that most recently processed its *stream*; if that
+    /// processor is busy it overflows to the most-recently-protocol-
+    /// active idle processor (work-conserving, but migrates streams
+    /// under load).
+    Mru,
+    /// Wired-Streams: stream `s` is statically bound to processor
+    /// `s mod N`; packets wait for their processor even when others are
+    /// idle (not work-conserving, never migrates).
+    Wired,
+    /// The hybrid of TR-94-075: streams flagged in the mask are wired,
+    /// all others are MRU-scheduled. (Wire the hot streams, let the
+    /// long tail load-balance.)
+    Hybrid {
+        /// `wired[s]` = stream `s` is wired to processor `s mod N`.
+        wired: Vec<bool>,
+    },
+    /// MRU with a load threshold (load-aware affinity scheduling, after
+    /// Durbhakula): a packet is routed to the processor that last served
+    /// its stream *unless* that processor's backlog exceeds
+    /// `max_backlog`, in which case it falls back to the shallowest
+    /// queue (lowest index on ties). Routing happens at enqueue time —
+    /// like Wired, each processor serves its own queue — so affinity
+    /// holds at low load and degrades gracefully into load balancing
+    /// under bursts instead of head-of-line blocking.
+    MruLoad {
+        /// Maximum backlog (queued packets) the affine processor may
+        /// carry before the packet overflows to the shallowest queue.
+        max_backlog: usize,
+    },
+    /// Minimum-expected-reload scheduling: a packet is routed to the
+    /// processor minimizing the `DispatchPricer` reload estimate for its
+    /// stream's component ages *plus* one warm service time per queued
+    /// packet of backlog. The backlog term is what keeps the argmin from
+    /// collapsing onto the first-touched processor: affinity wins while
+    /// queues are short, load balance wins once waiting would cost more
+    /// than reloading. Enqueue-routed, per-processor queues, like
+    /// [`LockPolicy::MruLoad`].
+    MinReload,
+}
+
+impl LockPolicy {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LockPolicy::Baseline => "baseline",
+            LockPolicy::Pools => "pools",
+            LockPolicy::Mru => "mru",
+            LockPolicy::Wired => "wired",
+            LockPolicy::Hybrid { .. } => "hybrid",
+            LockPolicy::MruLoad { .. } => "mru-load",
+            LockPolicy::MinReload => "min-reload",
+        }
+    }
+}
+
+/// Scheduling policies under IPS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpsPolicy {
+    /// Affinity-oblivious baseline: a runnable stack is placed on a
+    /// uniformly random idle processor (Figure 11's reference curve).
+    Random,
+    /// A runnable stack prefers the processor it last ran on; if busy it
+    /// overflows to the most-recently-protocol-active idle processor.
+    Mru,
+    /// Stack `w` is wired to processor `w mod N` and waits for it.
+    Wired,
+}
+
+impl IpsPolicy {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IpsPolicy::Random => "random",
+            IpsPolicy::Mru => "mru",
+            IpsPolicy::Wired => "wired",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            Paradigm::Locking {
+                policy: LockPolicy::MruLoad { max_backlog: 3 }
+            }
+            .label(),
+            "Locking/mru-load"
+        );
+        assert_eq!(
+            Paradigm::Locking {
+                policy: LockPolicy::MinReload
+            }
+            .label(),
+            "Locking/min-reload"
+        );
+        assert_eq!(
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: 16
+            }
+            .label(),
+            "IPS(16)/wired"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Enqueue-time routing for the native dispatcher.
+//!
+//! The native backend routes packets *before* they touch a queue, from a
+//! single dispatcher thread. Consulting live ring occupancy or worker
+//! clocks there would make routing depend on host scheduling races, so
+//! the dispatcher instead keeps a [`RouterState`]: a deterministic
+//! virtual-load model (last-routed table + per-worker virtual drain
+//! clocks) that it updates as it routes. The same [`Router`] policies
+//! evaluated over this model produce identical placements on every run
+//! with the same workload — which is what cross-validation against the
+//! simulator requires.
+
+use afs_cache::model::exec_time::{Age, ComponentAges};
+use afs_cache::model::pricer::DispatchPricer;
+
+use crate::decision::Route;
+use crate::policy::{min_reload_route, mru_load_route, DrawFn};
+use crate::view::SchedView;
+
+/// The native dispatcher's enqueue-time routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Router {
+    /// A uniformly random worker (one draw per packet) — the oblivious
+    /// placement.
+    RandomWorker,
+    /// The single shared (pooled) ring; workers pop it min-vclock-first.
+    SharedQueue,
+    /// The stream's static owner, `stream mod workers` (the IPS
+    /// partition).
+    StreamOwner,
+    /// [`mru_load_route`] over the dispatcher's virtual view.
+    MruLoad {
+        /// Backlog bound before spilling to the shallowest queue.
+        max_backlog: usize,
+    },
+    /// [`min_reload_route`] over the dispatcher's virtual view.
+    MinReload,
+}
+
+impl Router {
+    /// Route one packet of `entity` (the stream id). `draw` is consumed
+    /// only by [`Router::RandomWorker`], exactly once per packet.
+    pub fn route(
+        &self,
+        view: &dyn SchedView,
+        entity: u32,
+        draw: DrawFn,
+        pricer: &DispatchPricer,
+    ) -> Route {
+        match self {
+            Router::RandomWorker => Route::Worker(draw(view.n_workers())),
+            Router::SharedQueue => Route::Shared,
+            Router::StreamOwner => Route::Worker(entity as usize % view.n_workers().max(1)),
+            Router::MruLoad { max_backlog } => {
+                Route::Worker(mru_load_route(view, entity, *max_backlog))
+            }
+            Router::MinReload => Route::Worker(min_reload_route(view, entity, pricer)),
+        }
+    }
+}
+
+/// The dispatcher-side virtual-load model backing load-aware routing.
+///
+/// Each routed packet charges its worker one estimated service time on a
+/// virtual drain clock; a worker's virtual backlog is how many estimated
+/// services its clock sits past "now". The model never reads worker-side
+/// state, so routing is a pure function of the (deterministic) workload.
+#[derive(Debug, Clone)]
+pub struct RouterState {
+    /// Worker that last received each stream (grown on demand).
+    last: Vec<Option<usize>>,
+    /// Virtual time at which each worker's routed backlog drains.
+    vfinish_us: Vec<f64>,
+    /// Estimated per-packet service time charged to the drain clocks.
+    est_service_us: f64,
+}
+
+impl RouterState {
+    /// A fresh model for `workers` workers charging `est_service_us` per
+    /// routed packet (typically the pricer's warm protocol time).
+    pub fn new(workers: usize, est_service_us: f64) -> Self {
+        RouterState {
+            last: Vec::new(),
+            vfinish_us: vec![0.0; workers],
+            est_service_us: est_service_us.max(1e-9),
+        }
+    }
+
+    /// Record that a packet of `stream` arriving at `arrival_us` was
+    /// routed to worker `w`: update the MRU table and charge `w`'s
+    /// virtual drain clock one estimated service.
+    pub fn note_routed(&mut self, stream: u32, w: usize, arrival_us: f64) {
+        let s = stream as usize;
+        if s >= self.last.len() {
+            self.last.resize(s + 1, None);
+        }
+        self.last[s] = Some(w);
+        self.vfinish_us[w] = self.vfinish_us[w].max(arrival_us) + self.est_service_us;
+    }
+
+    /// The model's [`SchedView`] at virtual time `now_us` (the arrival
+    /// timestamp of the packet being routed).
+    pub fn view_at(&self, now_us: f64) -> RouterView<'_> {
+        RouterView {
+            state: self,
+            now_us,
+        }
+    }
+}
+
+/// [`RouterState`]'s read window at one arrival instant.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterView<'s> {
+    state: &'s RouterState,
+    now_us: f64,
+}
+
+impl SchedView for RouterView<'_> {
+    fn n_workers(&self) -> usize {
+        self.state.vfinish_us.len()
+    }
+
+    fn is_idle(&self, w: usize) -> bool {
+        self.state.vfinish_us[w] <= self.now_us
+    }
+
+    fn queue_depth(&self, w: usize) -> usize {
+        let lag = self.state.vfinish_us[w] - self.now_us;
+        if lag <= 0.0 {
+            0
+        } else {
+            (lag / self.state.est_service_us).ceil() as usize
+        }
+    }
+
+    fn last_worker(&self, entity: u32) -> Option<usize> {
+        self.state.last.get(entity as usize).copied().flatten()
+    }
+
+    fn ages_on(&self, w: usize, entity: u32) -> ComponentAges {
+        ComponentAges {
+            // A worker that ever ran protocol work keeps warm code in
+            // this virtual model; per-worker threads stay local.
+            code_global: if self.state.vfinish_us[w] > 0.0 {
+                Age::Warm
+            } else {
+                Age::Cold
+            },
+            thread: Age::Warm,
+            stream: match self.last_worker(entity) {
+                None => Age::Cold,
+                Some(p) if p == w => Age::Warm,
+                Some(_) => Age::Remote,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_clocks_model_backlog() {
+        let mut st = RouterState::new(2, 10.0);
+        st.note_routed(0, 0, 100.0);
+        st.note_routed(0, 0, 100.0);
+        let v = st.view_at(100.0);
+        assert_eq!(v.queue_depth(0), 2);
+        assert_eq!(v.queue_depth(1), 0);
+        assert!(!v.is_idle(0));
+        assert!(v.is_idle(1));
+        assert_eq!(v.last_worker(0), Some(0));
+        // After the virtual drain the backlog is gone but MRU persists.
+        let v = st.view_at(121.0);
+        assert_eq!(v.queue_depth(0), 0);
+        assert_eq!(v.last_worker(0), Some(0));
+    }
+
+    #[test]
+    fn routing_is_deterministic_over_the_model() {
+        let pricer = DispatchPricer::new(&crate::policy::tests::test_model());
+        let r = Router::MruLoad { max_backlog: 1 };
+        let mut no_draw = |_: usize| -> usize { unreachable!() };
+        let mut st = RouterState::new(2, pricer.t_warm_us());
+        let mut placements = Vec::new();
+        for i in 0..6u32 {
+            let now = i as f64; // arrivals much faster than drain
+            let route = r.route(&st.view_at(now), 7, &mut no_draw, &pricer);
+            let Route::Worker(w) = route else {
+                panic!("worker route expected")
+            };
+            st.note_routed(7, w, now);
+            placements.push(w);
+        }
+        // First touch lands on the shallowest (worker 0), stays affine
+        // within the bound, spills to worker 1 past it, and re-homes.
+        assert_eq!(placements[0], 0);
+        assert!(placements.contains(&1), "bound must eventually spill");
+    }
+}

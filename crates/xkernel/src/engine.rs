@@ -514,9 +514,7 @@ impl ProtocolEngine {
             stream,
         };
         match verdict {
-            Verdict::Delivered { stream, payload } => {
-                RxOutcome::Delivered(timing(payload, stream))
-            }
+            Verdict::Delivered { stream, payload } => RxOutcome::Delivered(timing(payload, stream)),
             Verdict::QueueFull { stream, payload } => RxOutcome::Dropped {
                 reason: DropReason::UserQueueFull(stream),
                 timing: timing(payload, stream),

@@ -193,7 +193,7 @@ proptest! {
         corrupt_p in 0.0f64..0.4,
         truncate_p in 0.0f64..0.4,
     ) {
-        use afs_native::{run_native_recorded, NativeConfig, NativePacket, NativePolicy, Pinning, StealPolicy};
+        use afs_native::{run_native_recorded, NativeConfig, NativePacket, Pinning, PolicySpec};
 
         let plan = FaultPlan {
             drop_p,
@@ -241,10 +241,7 @@ proptest! {
                 arrival_us: 25.0 * i as f64,
             })
             .collect();
-        let mut cfg = NativeConfig::new(
-            workers,
-            NativePolicy::Ips { steal: Some(StealPolicy::default()) },
-        );
+        let mut cfg = NativeConfig::new(workers, PolicySpec::Ips);
         cfg.pinning = Pinning::Off;
         let (report, rec) = run_native_recorded(&cfg, workload);
         let diag = || {

@@ -48,9 +48,9 @@ fn max_streams(make: &dyn Fn(usize) -> SystemConfig, target_delay_us: f64) -> us
 
 fn main() {
     let rate = 1_000.0; // packets/s per stream
-    // An SLO between the affinity policies' service levels and the
-    // baseline's: cache state, not raw capacity, decides the answer
-    // (see the ext20_stream_capacity experiment for the full version).
+                        // An SLO between the affinity policies' service levels and the
+                        // baseline's: cache state, not raw capacity, decides the answer
+                        // (see the ext20_stream_capacity experiment for the full version).
     let target = 240.0; // µs mean-delay target
 
     println!("streams supported at {rate:.0} pkts/s/stream with mean delay <= {target:.0} us:\n");

@@ -16,27 +16,36 @@ use affinity_sched::core::sim::run;
 use affinity_sched::native::crossval::run_scenario;
 use affinity_sched::native::NativeReport;
 
-/// Run the whole smoke matrix once through both backends.
-fn run_matrix() -> Vec<[(RunReport, NativeReport); 3]> {
+/// Run the whole smoke matrix once through both backends — every rung
+/// of [`CrossPolicy::ALL`], the classic trio plus the policies added on
+/// the unified `afs-sched` layer.
+fn run_matrix() -> Vec<[(RunReport, NativeReport); 5]> {
     smoke_matrix()
         .iter()
-        .map(|s| {
-            CrossPolicy::ALL.map(|p| (run(&s.sim_config(p)), run_scenario(s, p)))
-        })
+        .map(|s| CrossPolicy::ALL.map(|p| (run(&s.sim_config(p)), run_scenario(s, p))))
         .collect()
 }
 
 #[test]
 fn backends_agree_on_policy_structure() {
     for cells in run_matrix() {
-        let [(sim_obl, nat_obl), (sim_lck, nat_lck), (sim_ips, nat_ips)] = &cells;
+        let [(sim_obl, nat_obl), (sim_lck, nat_lck), (sim_ips, nat_ips), (sim_mru, nat_mru), (sim_mrl, nat_mrl)] =
+            &cells;
 
         // Native bookkeeping: lossless, typed outcomes account for
         // every offered packet, statistics were actually recorded.
         for (_, n) in &cells {
             assert_eq!(n.outcomes.total(), n.offered, "{}: lost packets", n.policy);
-            assert_eq!(n.outcomes.delivered, n.offered, "{}: non-delivery", n.policy);
-            assert!(n.recorded > 0 && n.mean_delay_us > 0.0, "{}: no stats", n.policy);
+            assert_eq!(
+                n.outcomes.delivered, n.offered,
+                "{}: non-delivery",
+                n.policy
+            );
+            assert!(
+                n.recorded > 0 && n.mean_delay_us > 0.0,
+                "{}: no stats",
+                n.policy
+            );
         }
         for (s, _) in &cells {
             assert!(s.stable, "simulator run went unstable");
@@ -79,28 +88,67 @@ fn backends_agree_on_policy_structure() {
         // state across workers; IPS pins it modulo rare steals.
         let ips_migr = nat_ips.stream_migrations.max(1);
         assert!(
-            nat_obl.stream_migrations > 10 * ips_migr
-                && nat_lck.stream_migrations > 10 * ips_migr,
+            nat_obl.stream_migrations > 10 * ips_migr && nat_lck.stream_migrations > 10 * ips_migr,
             "migration telemetry inverted: obl {} lck {} ips {}",
             nat_obl.stream_migrations,
             nat_lck.stream_migrations,
             nat_ips.stream_migrations
         );
+
+        // The new unified-layer policies (mru-load, min-reload): on both
+        // backends each beats the oblivious baseline on delay and shows
+        // a positive affinity win whose magnitude agrees across backends
+        // within the documented tolerance.
+        for (label, (sim_new, nat_new)) in [
+            ("mru-load", (sim_mru, nat_mru)),
+            ("min-reload", (sim_mrl, nat_mrl)),
+        ] {
+            assert!(
+                sim_new.mean_delay_us <= ORDERING_SLACK * sim_obl.mean_delay_us,
+                "sim {label} slower than oblivious: {:.1} vs {:.1}",
+                sim_new.mean_delay_us,
+                sim_obl.mean_delay_us
+            );
+            assert!(
+                nat_new.mean_delay_us <= ORDERING_SLACK * nat_obl.mean_delay_us,
+                "native {label} slower than oblivious: {:.1} vs {:.1}",
+                nat_new.mean_delay_us,
+                nat_obl.mean_delay_us
+            );
+            let sim_impr = relative_improvement(sim_obl.mean_service_us, sim_new.mean_service_us);
+            let nat_impr = relative_improvement(nat_obl.mean_service_us, nat_new.mean_service_us);
+            assert!(
+                sim_impr > 0.0 && nat_impr > 0.0,
+                "{label} affinity win must be positive: sim {sim_impr:.3} native {nat_impr:.3}"
+            );
+            assert!(
+                (sim_impr - nat_impr).abs() <= IMPROVEMENT_TOLERANCE,
+                "{label} improvement bands diverge: sim {sim_impr:.3} native {nat_impr:.3} \
+                 (tolerance {IMPROVEMENT_TOLERANCE})"
+            );
+            // Both keep stream state far more local than the baseline.
+            assert!(
+                nat_new.stream_migrations < nat_obl.stream_migrations,
+                "native {label} migrates more than oblivious: {} vs {}",
+                nat_new.stream_migrations,
+                nat_obl.stream_migrations
+            );
+        }
     }
 }
 
 #[test]
 fn native_backend_is_deterministic_where_promised() {
-    // Oblivious placement and strict-IPS routing are deterministic
-    // functions of the seed; with a single worker even the execution
-    // order is, so the full report must reproduce bit-for-bit.
-    use affinity_sched::native::{
-        poisson_workload, run_native, NativeConfig, NativePolicy, Pinning,
-    };
+    // Every router is a deterministic function of the seed (the
+    // load-aware ones route over the dispatcher's virtual model, not
+    // live ring state); with a single worker even the execution order
+    // is, so the full report must reproduce bit-for-bit.
+    use affinity_sched::native::{poisson_workload, run_native, NativeConfig, Pinning, PolicySpec};
     let workload = || poisson_workload(4, 50, 1_000.0, 48, 0xD0_0D);
-    for policy in [NativePolicy::Oblivious, NativePolicy::Ips { steal: None }] {
+    for policy in PolicySpec::ALL {
         let mut cfg = NativeConfig::new(1, policy);
         cfg.pinning = Pinning::Off;
+        cfg.layout.steal = None;
         let a = run_native(&cfg, workload());
         let b = run_native(&cfg, workload());
         assert_eq!(a, b, "single-worker {policy:?} run must be reproducible");

@@ -69,8 +69,7 @@ fn obs_golden_trace_is_bit_for_bit_stable() {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("results")
         .join(artifacts::OBS_TRACE_GOLDEN_FILE);
-    let want =
-        fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     let (report, got) = artifacts::obs_trace_golden();
     assert!(report.delivered > 0, "golden trace run delivered nothing");
     if got != want {

@@ -47,7 +47,12 @@ fn rates(c: &Counters) -> Rates {
 fn both(s: &CrossvalScenario, p: CrossPolicy) -> (Counters, Counters) {
     let mut sim_rec = MemRecorder::new();
     let (sim_report, _probe) = run_observed(&s.sim_config(p), &mut sim_rec);
-    assert!(sim_report.stable, "{} {}: sim run unstable", s.label(), p.label());
+    assert!(
+        sim_report.stable,
+        "{} {}: sim run unstable",
+        s.label(),
+        p.label()
+    );
 
     let (nat_report, nat_rec) = run_scenario_recorded(s, p);
     assert_eq!(
@@ -165,7 +170,10 @@ fn recorder_attach_does_not_change_native_accounting() {
         let ctx = format!("{} {}", s.label(), p.label());
         assert_eq!(plain.offered, recorded.offered, "{ctx}: offered drifted");
         assert_eq!(plain.outcomes, recorded.outcomes, "{ctx}: outcomes drifted");
-        assert_eq!(plain.workers, recorded.workers, "{ctx}: worker count drifted");
+        assert_eq!(
+            plain.workers, recorded.workers,
+            "{ctx}: worker count drifted"
+        );
     }
 }
 

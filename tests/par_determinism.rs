@@ -38,7 +38,10 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, ctx: &str) {
     ] {
         assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: {name} drifted");
     }
-    assert_eq!(a.per_proc_served, b.per_proc_served, "{ctx}: per-proc counts");
+    assert_eq!(
+        a.per_proc_served, b.per_proc_served,
+        "{ctx}: per-proc counts"
+    );
 }
 
 /// Figure 6's cells (Locking K = 8, the committed golden grid) swept

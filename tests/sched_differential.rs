@@ -1,0 +1,107 @@
+//! Differential pin of the trait-driven simulator against the
+//! pre-refactor dispatch code.
+//!
+//! The bit patterns below were captured from the simulator *before* the
+//! scheduling decisions moved into `afs-sched` (same seeds, same
+//! configs). The refactor's contract is byte-for-byte equivalence: every
+//! RNG draw, tie-break and dispatch ordering must survive the move, so
+//! every report field must still reproduce these exact `f64` bits — a
+//! tolerance comparison would hide a drifted draw order.
+
+use afs_core::crossval::{smoke_matrix, CrossPolicy};
+use afs_core::prelude::*;
+use afs_core::sim::run;
+
+/// (policy label, mean_delay_us, mean_service_us, throughput_pps) bits
+/// for `smoke_matrix()[0]` under the three classic cross-policies,
+/// captured pre-refactor.
+const SMOKE_BITS: [(&str, u64, u64, u64); 3] = [
+    (
+        "oblivious",
+        0x406de8cee2d86068,
+        0x406bcdce2781af4f,
+        0x40a7ed9999947623,
+    ),
+    (
+        "locking",
+        0x406da14e3a5edbb7,
+        0x406b921bf1fe8be8,
+        0x40a7ed9999947623,
+    ),
+    (
+        "ips",
+        0x406a9476a78789ff,
+        0x40666a7138265683,
+        0x40a7ed9999947623,
+    ),
+];
+
+/// Same capture for the fig06 grid template (k = 8 streams, full
+/// horizon, offered rate 1400 pps) under three Locking policies.
+const FIG06_BITS: [(u64, u64, u64); 3] = [
+    (0x406dbf51aab9c032, 0x406db9d920bdd670, 0x40c601c000000000),
+    (0x406bc104db54dc1c, 0x406bbdb8ad901361, 0x40c601c000000000),
+    (0x406e8551e0dd2a4d, 0x40698c5eb57e3cf9, 0x40c6018000000000),
+];
+
+#[test]
+fn smoke_crossval_cells_are_bit_identical_to_pre_refactor() {
+    let s = &smoke_matrix()[0];
+    for (label, delay, svc, thr) in SMOKE_BITS {
+        let p = CrossPolicy::ALL
+            .into_iter()
+            .find(|p| p.label() == label)
+            .expect("classic policy present");
+        let r = run(&s.sim_config(p));
+        assert_eq!(
+            r.mean_delay_us.to_bits(),
+            delay,
+            "{label}: mean delay drifted (got {:#018x})",
+            r.mean_delay_us.to_bits()
+        );
+        assert_eq!(
+            r.mean_service_us.to_bits(),
+            svc,
+            "{label}: mean service drifted (got {:#018x})",
+            r.mean_service_us.to_bits()
+        );
+        assert_eq!(
+            r.throughput_pps.to_bits(),
+            thr,
+            "{label}: throughput drifted (got {:#018x})",
+            r.throughput_pps.to_bits()
+        );
+    }
+}
+
+#[test]
+fn fig06_template_cells_are_bit_identical_to_pre_refactor() {
+    let policies = [
+        ("baseline", LockPolicy::Baseline),
+        ("mru", LockPolicy::Mru),
+        ("wired", LockPolicy::Wired),
+    ];
+    for ((label, policy), (delay, svc, thr)) in policies.into_iter().zip(FIG06_BITS) {
+        let mut cfg = afs_bench::template_with(Paradigm::Locking { policy }, 8, false);
+        cfg.population = cfg.population.clone().with_rate(1400.0);
+        let r = run(&cfg);
+        assert_eq!(
+            r.mean_delay_us.to_bits(),
+            delay,
+            "fig06 {label}: mean delay drifted (got {:#018x})",
+            r.mean_delay_us.to_bits()
+        );
+        assert_eq!(
+            r.mean_service_us.to_bits(),
+            svc,
+            "fig06 {label}: mean service drifted (got {:#018x})",
+            r.mean_service_us.to_bits()
+        );
+        assert_eq!(
+            r.throughput_pps.to_bits(),
+            thr,
+            "fig06 {label}: throughput drifted (got {:#018x})",
+            r.throughput_pps.to_bits()
+        );
+    }
+}

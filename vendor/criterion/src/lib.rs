@@ -148,7 +148,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
             format!("  ({:.2} Melem/s)", n as f64 * 1e3 / median_ns)
         }
         Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
-            format!("  ({:.2} MiB/s)", n as f64 * 1e9 / median_ns / (1 << 20) as f64)
+            format!(
+                "  ({:.2} MiB/s)",
+                n as f64 * 1e9 / median_ns / (1 << 20) as f64
+            )
         }
         _ => String::new(),
     };

@@ -155,7 +155,10 @@ mod tests {
         super::thread::scope(|s| {
             for chunk in data.chunks(2) {
                 s.spawn(|_| {
-                    sum.fetch_add(chunk.iter().sum::<u32>(), std::sync::atomic::Ordering::Relaxed);
+                    sum.fetch_add(
+                        chunk.iter().sum::<u32>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
                 });
             }
         })

@@ -643,7 +643,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::Index`).
     pub mod prop {
@@ -819,10 +821,7 @@ mod tests {
     }
 
     fn shape_strategy() -> impl Strategy<Value = Shape> {
-        prop_oneof![
-            Just(Shape::Dot),
-            (1u32..100).prop_map(Shape::Line),
-        ]
+        prop_oneof![Just(Shape::Dot), (1u32..100).prop_map(Shape::Line),]
     }
 
     proptest! {
@@ -873,11 +872,15 @@ mod tests {
         let s = crate::collection::vec(crate::arbitrary::any::<u64>(), 3..9);
         let a: Vec<_> = {
             let mut rng = TestRng::for_test("x");
-            (0..10).map(|_| s.sample(&mut rng).expect("no filter")).collect()
+            (0..10)
+                .map(|_| s.sample(&mut rng).expect("no filter"))
+                .collect()
         };
         let b: Vec<_> = {
             let mut rng = TestRng::for_test("x");
-            (0..10).map(|_| s.sample(&mut rng).expect("no filter")).collect()
+            (0..10)
+                .map(|_| s.sample(&mut rng).expect("no filter"))
+                .collect()
         };
         assert_eq!(a, b);
     }
