@@ -136,6 +136,10 @@ mod tests {
             queue_drops: 0,
             shed_at_source: 0,
             corrupted: 0,
+            proc_crashes: 0,
+            proc_stalls: 0,
+            orphaned: 0,
+            requeued: 0,
             wasted_service_frac: 0.0,
             offered_total: 1000,
             completed_total: 1000,

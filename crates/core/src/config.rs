@@ -5,6 +5,7 @@ use afs_desim::time::SimDuration;
 use afs_workload::Population;
 
 use crate::exec::ExecParams;
+use crate::procfault::ProcFaultPlan;
 
 /// The parallelization-paradigm vocabulary now lives in the
 /// backend-agnostic policy crate; these re-exports keep the historical
@@ -100,6 +101,9 @@ pub struct SystemConfig {
     pub horizon: SimDuration,
     /// Wire-level fault model (default: clean wire).
     pub faults: FaultProfile,
+    /// Processor-level fault schedule (default: no faults — the empty
+    /// plan is guaranteed behaviorally invisible).
+    pub proc_faults: ProcFaultPlan,
     /// Per-queue capacity in packets (`usize::MAX` = unbounded, the
     /// paper's implicit assumption). Under
     /// [`DropPolicy::Backpressure`] the bound applies to the total
@@ -124,6 +128,7 @@ impl SystemConfig {
             warmup: SimDuration::from_millis(200),
             horizon: SimDuration::from_secs(2),
             faults: FaultProfile::none(),
+            proc_faults: ProcFaultPlan::none(),
             queue_bound: usize::MAX,
             drop_policy: DropPolicy::TailDrop,
         }
@@ -152,6 +157,9 @@ impl SystemConfig {
             );
         }
         assert!(self.queue_bound >= 1, "queue bound must admit one packet");
+        if let Err(e) = self.proc_faults.validate(self.n_procs) {
+            panic!("invalid processor-fault plan: {e}");
+        }
         if let Paradigm::Locking {
             policy: LockPolicy::Hybrid { wired },
         } = &self.paradigm

@@ -31,6 +31,7 @@ use afs_desim::time::SimDuration;
 use afs_workload::Population;
 
 use crate::config::SystemConfig;
+use crate::procfault::{FaultLoad, ProcFaultPlan};
 
 /// The cross-backend policy rungs — the canonical [`afs_sched`] spec.
 ///
@@ -132,6 +133,113 @@ pub fn smoke_matrix() -> Vec<CrossvalScenario> {
         payload_bytes: 64,
         seed: 0xAF5_2202,
     }]
+}
+
+/// The scenario `ext24_procfaults` sweeps fault levels over: enough
+/// workers that seeded plans can kill one and degrade others while the
+/// plan's survivor guarantee still leaves real capacity.
+pub fn procfault_scenario() -> CrossvalScenario {
+    CrossvalScenario {
+        workers: 4,
+        streams: 16,
+        packets_per_stream: 800,
+        rate_pps_per_stream: 380.0,
+        payload_bytes: 64,
+        seed: 0xAF5_2400,
+    }
+}
+
+/// The bounded `ext24_procfaults --smoke` scenario.
+pub fn procfault_smoke_scenario() -> CrossvalScenario {
+    CrossvalScenario {
+        workers: 4,
+        streams: 8,
+        packets_per_stream: 250,
+        rate_pps_per_stream: 380.0,
+        payload_bytes: 64,
+        seed: 0xAF5_2401,
+    }
+}
+
+/// The fault levels ext24 sweeps, in severity order.
+pub fn fault_levels() -> Vec<(&'static str, FaultLoad)> {
+    vec![
+        ("none", FaultLoad::none()),
+        ("light", FaultLoad::light()),
+        ("heavy", FaultLoad::heavy()),
+    ]
+}
+
+/// Seed offset that decouples the fault plan's RNG from the workload
+/// and placement streams (both backends use the same offset, so the
+/// plan is identical across backends up to the time window it spans).
+pub const FAULT_PLAN_SALT: u64 = 0xFA17;
+
+/// The simulator configuration for one (scenario, policy, fault-level)
+/// cell: [`CrossvalScenario::sim_config`] plus a seeded fault plan over
+/// the measurement window (warm-up untouched, so the faulted runs stay
+/// comparable to the clean ones over the same recorded packets).
+pub fn sim_fault_config(
+    s: &CrossvalScenario,
+    policy: CrossPolicy,
+    load: &FaultLoad,
+) -> SystemConfig {
+    let mut cfg = s.sim_config(policy);
+    cfg.proc_faults = ProcFaultPlan::seeded(
+        s.seed ^ FAULT_PLAN_SALT,
+        s.workers,
+        (cfg.warmup.as_micros_f64(), cfg.horizon.as_micros_f64()),
+        load,
+    );
+    cfg
+}
+
+/// One simulator cell of the fault matrix.
+#[derive(Debug, Clone)]
+pub struct SimFaultCell {
+    /// The fault-level label (`none` / `light` / `heavy`).
+    pub level: &'static str,
+    /// The policy rung simulated.
+    pub policy: CrossPolicy,
+    /// The report for `sim_fault_config(scenario, policy, level)`.
+    pub report: crate::metrics::RunReport,
+}
+
+/// Run the simulator side of the ext24 fault sweep — every
+/// `(fault level, policy)` cell of one scenario — on the [`crate::par`]
+/// executor. Cells are pure, independent runs; results come back in
+/// row-major order (levels in the given order, [`CrossPolicy::ALL`]
+/// within each), byte-identical for any `AFS_JOBS` worker count.
+pub fn sim_fault_matrix(
+    scenario: &CrossvalScenario,
+    levels: &[(&'static str, FaultLoad)],
+) -> Vec<SimFaultCell> {
+    sim_fault_matrix_jobs(crate::par::jobs_from_env(), scenario, levels)
+}
+
+/// [`sim_fault_matrix`] with an explicit worker count (the determinism
+/// test pins `jobs` instead of racing on the process environment).
+pub fn sim_fault_matrix_jobs(
+    jobs: usize,
+    scenario: &CrossvalScenario,
+    levels: &[(&'static str, FaultLoad)],
+) -> Vec<SimFaultCell> {
+    let cells: Vec<(&'static str, FaultLoad, CrossPolicy)> = levels
+        .iter()
+        .flat_map(|(label, load)| {
+            CrossPolicy::ALL
+                .into_iter()
+                .map(move |p| (*label, *load, p))
+        })
+        .collect();
+    crate::par::parallel_map_jobs(jobs, &cells, |(level, load, policy)| {
+        let cfg = sim_fault_config(scenario, *policy, load);
+        SimFaultCell {
+            level,
+            policy: *policy,
+            report: crate::sim::run(&cfg),
+        }
+    })
 }
 
 /// One simulator cell of the cross-validation matrix: the scenario, the

@@ -60,6 +60,7 @@ pub mod crossval;
 pub mod exec;
 pub mod metrics;
 pub mod par;
+pub mod procfault;
 pub mod replicate;
 pub mod sim;
 pub mod state;
@@ -71,6 +72,7 @@ pub use crossval::{sim_matrix, CrossPolicy, CrossvalScenario, SimCell};
 pub use exec::ExecParams;
 pub use metrics::RunReport;
 pub use par::{jobs_from_env, parallel_map, parallel_map_jobs};
+pub use procfault::{FaultLoad, ProcFault, ProcFaultKind, ProcFaultPlan};
 pub use replicate::{replicate, MetricSummary, ReplicationSummary};
 pub use sweep::{capacity_search, rate_sweep, Series, SweepPoint};
 
@@ -82,6 +84,7 @@ pub mod prelude {
     pub use crate::exec::ExecParams;
     pub use crate::metrics::RunReport;
     pub use crate::par::{parallel_map, parallel_map_jobs};
+    pub use crate::procfault::{FaultLoad, ProcFaultPlan};
     pub use crate::replicate::{replicate, ReplicationSummary};
     pub use crate::sim::{run, run_observed};
     pub use crate::sweep::{capacity_search, rate_sweep, Series};

@@ -46,6 +46,18 @@ pub struct Collector {
     /// Corrupted packets that completed their (partial) service without
     /// producing goodput (post-warmup).
     pub corrupt_completions: u64,
+    /// Processor crash events taken from the fault plan (post-warmup).
+    pub proc_crashes: u64,
+    /// Processor stall windows entered (post-warmup).
+    pub proc_stalls: u64,
+    /// Packets orphaned by a processor crash — in service or queued on
+    /// the dead worker at crash time (post-warmup).
+    pub orphaned: u64,
+    /// Orphaned packets re-routed to a live queue. Conservation requires
+    /// `requeued == orphaned`: the crash handler requeues every orphan
+    /// synchronously, so neither `live_backlog` nor the offered /
+    /// completed / shed identity ever observes an intermediate state.
+    pub requeued: u64,
     /// Service µs consumed by corrupted packets (post-warmup).
     pub wasted_service_us: f64,
     /// Packets offered over the *whole* run (warm-up included): every
@@ -91,6 +103,10 @@ impl Collector {
             queue_drops: 0,
             shed_at_source: 0,
             corrupt_completions: 0,
+            proc_crashes: 0,
+            proc_stalls: 0,
+            orphaned: 0,
+            requeued: 0,
             wasted_service_us: 0.0,
             offered_total: 0,
             completed_total: 0,
@@ -260,6 +276,10 @@ impl Collector {
             queue_drops: self.queue_drops,
             shed_at_source: self.shed_at_source,
             corrupted: self.corrupt_completions,
+            proc_crashes: self.proc_crashes,
+            proc_stalls: self.proc_stalls,
+            orphaned: self.orphaned,
+            requeued: self.requeued,
             wasted_service_frac: if busy > 0.0 {
                 self.wasted_service_us / busy
             } else {
@@ -330,6 +350,15 @@ pub struct RunReport {
     pub shed_at_source: u64,
     /// Corrupted packets that consumed (partial) service.
     pub corrupted: u64,
+    /// Processor crashes injected by the fault plan (post-warmup).
+    pub proc_crashes: u64,
+    /// Processor stall windows entered (post-warmup).
+    pub proc_stalls: u64,
+    /// Packets orphaned on crashed processors (post-warmup).
+    pub orphaned: u64,
+    /// Orphans re-routed to live queues; equals `orphaned` whenever the
+    /// fault plan is valid (a live processor always exists).
+    pub requeued: u64,
     /// Fraction of protocol busy time wasted on corrupted packets — the
     /// degradation-curve companion to `goodput_pps`.
     pub wasted_service_frac: f64,
@@ -378,6 +407,10 @@ impl RunReport {
             queue_drops: 0,
             shed_at_source: 0,
             corrupted: 0,
+            proc_crashes: 0,
+            proc_stalls: 0,
+            orphaned: 0,
+            requeued: 0,
             wasted_service_frac: 0.0,
             offered_total: 0,
             completed_total: 0,

@@ -19,7 +19,7 @@ use afs_obs::{ChargeKind, ObsEvent, SHARED_QUEUE};
 use afs_sched::{DispatchPolicy, IpsDispatch, LockingDispatch, SchedView, ThreadSource};
 
 use crate::config::{Paradigm, SystemConfig};
-use crate::state::{Locatable, Packet, ProcActivity, ProcState};
+use crate::state::{Locatable, Packet, ProcActivity, ProcHealth, ProcState};
 use crate::trace::SchedEvent;
 
 use super::{Event, SchedSim, StackState};
@@ -41,7 +41,18 @@ impl SchedView for LockView<'_> {
     }
 
     fn is_idle(&self, w: usize) -> bool {
-        self.procs[w].is_idle()
+        // Schedulability, not raw activity: a stalled or crashed
+        // processor must never look dispatchable to a policy. On a clean
+        // run this is exactly `is_idle`.
+        self.procs[w].is_available()
+    }
+
+    fn is_live(&self, w: usize) -> bool {
+        self.procs[w].health == ProcHealth::Up
+    }
+
+    fn service_scale(&self, w: usize) -> f64 {
+        self.procs[w].slow_factor
     }
 
     fn last_protocol_end(&self, w: usize) -> Option<u64> {
@@ -83,7 +94,15 @@ impl SchedView for IpsView<'_> {
     }
 
     fn is_idle(&self, w: usize) -> bool {
-        self.procs[w].is_idle()
+        self.procs[w].is_available()
+    }
+
+    fn is_live(&self, w: usize) -> bool {
+        self.procs[w].health == ProcHealth::Up
+    }
+
+    fn service_scale(&self, w: usize) -> f64 {
+        self.procs[w].slow_factor
     }
 
     fn last_protocol_end(&self, w: usize) -> Option<u64> {
@@ -125,7 +144,7 @@ impl<'r> SchedSim<'r> {
         now: SimTime,
         sched: &mut Scheduler<Event>,
     ) {
-        debug_assert!(self.procs[p].is_idle());
+        debug_assert!(self.procs[p].is_available());
         let np = self.procs[p].np_now(now);
         let code_age = self.procs[p].code_age(now);
 
@@ -211,7 +230,14 @@ impl<'r> SchedSim<'r> {
             0.0
         };
         let overhead = SimDuration::from_micros_f64(self.v_us(pkt.size_bytes) + lock_us);
-        let service = proto + overhead;
+        let mut service = proto + overhead;
+        // Persistent-slowdown fault: everything this processor runs is
+        // uniformly slower. Gated so the unfaulted path never roundtrips
+        // the duration through a multiply (bit-exact goldens).
+        let slow = self.procs[p].slow_factor;
+        if slow != 1.0 {
+            service = SimDuration::from_micros_f64(service.as_micros_f64() * slow);
+        }
         let done_at = now + service;
 
         if let Some(trace) = &mut self.trace {
@@ -291,7 +317,8 @@ impl<'r> SchedSim<'r> {
         // popped by the dispatcher).
         self.pending_thread[p] = thread;
         self.pending_service[p] = service;
-        sched.schedule_at(done_at, Event::Completion { proc: p });
+        self.pending_completion[p] =
+            Some(sched.schedule_at(done_at, Event::Completion { proc: p }));
     }
 
     /// One Locking dispatch attempt. Returns true if a packet started.
@@ -315,7 +342,7 @@ impl<'r> SchedSim<'r> {
         .uses_worker_queues();
         if uses_worker_queues {
             for p in 0..self.cfg.n_procs {
-                if self.procs[p].is_idle() {
+                if self.procs[p].is_available() {
                     if let Some(pkt) = self.proc_q[p].pop_front() {
                         if let Some(rec) = self.obs.as_deref_mut() {
                             rec.record(ObsEvent::QueueDepth {

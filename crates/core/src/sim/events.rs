@@ -13,7 +13,8 @@ use afs_obs::{ObsEvent, SHARED_QUEUE};
 use afs_sched::{DispatchPolicy, LockingDispatch, Route};
 
 use crate::config::{DropPolicy, Paradigm};
-use crate::state::{Packet, ProcActivity};
+use crate::procfault::ProcFaultKind;
+use crate::state::{Packet, ProcActivity, ProcHealth};
 use crate::trace::SchedEvent;
 
 use super::SchedSim;
@@ -31,6 +32,16 @@ pub enum Event {
         /// The completing processor's index.
         proc: usize,
     },
+    /// A processor fault from the plan fires (crash, stall or slowdown).
+    ProcFault {
+        /// Index into [`crate::procfault::ProcFaultPlan::faults`].
+        idx: u32,
+    },
+    /// A faulted processor recovers (stall window ends, crash revives).
+    ProcRecover {
+        /// Index into [`crate::procfault::ProcFaultPlan::faults`].
+        idx: u32,
+    },
 }
 
 impl<'r> SchedSim<'r> {
@@ -40,6 +51,13 @@ impl<'r> SchedSim<'r> {
     /// poisoned closure so any policy that tried would fail loudly
     /// instead of silently skewing the placement RNG stream.
     fn lock_route(&self, pkt: &Packet) -> Route {
+        self.lock_route_at(pkt.arrival, pkt.stream)
+    }
+
+    /// Routing at an explicit decision instant: the normal enqueue path
+    /// decides at the packet's arrival, crash recovery re-decides at the
+    /// crash instant over the degraded (dead-worker-masked) view.
+    fn lock_route_at(&self, now: SimTime, stream: u32) -> Route {
         let policy = match &self.cfg.paradigm {
             Paradigm::Locking { policy } => policy,
             Paradigm::Ips { .. } => unreachable!("lock_route under IPS"),
@@ -48,8 +66,8 @@ impl<'r> SchedSim<'r> {
             policy,
             pricer: &self.pricer,
         };
-        let view = self.lock_view(pkt.arrival);
-        engine.route(&view, pkt.stream, &mut |_| {
+        let view = self.lock_view(now);
+        engine.route(&view, stream, &mut |_| {
             unreachable!("enqueue routing draws no randomness")
         })
     }
@@ -180,6 +198,204 @@ impl<'r> SchedSim<'r> {
             }
         }
     }
+
+    /// Crash processor `p`: its cache state dies, its in-flight packet
+    /// and queued backlog are orphaned, and every orphan is immediately
+    /// re-routed through the *policy's own* routing rule over the
+    /// degraded view (dead workers masked out). The orphan/requeue pair
+    /// is synchronous, so the conservation identity never observes an
+    /// intermediate state and no packet is lost or double-completed.
+    fn crash_proc(&mut self, now: SimTime, p: usize, sched: &mut Scheduler<Event>) {
+        if self.procs[p].health == ProcHealth::Down {
+            return;
+        }
+        self.procs[p].health = ProcHealth::Down;
+        if self.collector.recording(now) {
+            self.collector.proc_crashes += 1;
+        }
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.record(ObsEvent::WorkerDown {
+                t_us: now.as_micros_f64(),
+                worker: p as u32,
+            });
+        }
+
+        // Reclaim the in-flight packet, if any: cancel its completion,
+        // release its stack/thread, and remember which stack it ran on
+        // (an IPS orphan returns to the head of its own stack queue).
+        let activity = std::mem::replace(&mut self.procs[p].activity, ProcActivity::NonProtocol);
+        let mut in_flight: Option<(Packet, Option<u32>)> = None;
+        if let ProcActivity::Protocol { packet, stack, .. } = activity {
+            if let Some(id) = self.pending_completion[p].take() {
+                sched.cancel(id);
+            }
+            if let Some(w) = stack {
+                self.stacks[w as usize].running = false;
+            } else if let Some(t) = self.pending_thread[p] {
+                if self.pending_pooled[p] {
+                    self.shared_pool.push_back(t);
+                }
+            }
+            self.pending_thread[p] = None;
+            self.pending_pooled[p] = false;
+            in_flight = Some((packet, stack));
+        }
+
+        // Cache death: the crashed processor loses its protocol code
+        // footprint, and every migratable entity last resident there is
+        // cold everywhere from now on.
+        self.procs[p].np_at_last_protocol = None;
+        self.procs[p].last_protocol_end = None;
+        for loc in self
+            .streams
+            .iter_mut()
+            .chain(self.threads.iter_mut())
+            .chain(self.stacks.iter_mut().map(|s| &mut s.loc))
+        {
+            if matches!(loc.last, Some(l) if l.proc == p) {
+                loc.last = None;
+            }
+        }
+
+        // Orphan recovery. The in-flight packet goes back to the *front*
+        // of its target queue (it was already at the head once); drained
+        // backlog keeps its relative order at the back.
+        let drained: Vec<Packet> = self.proc_q[p].drain(..).collect();
+        let recording = self.collector.recording(now);
+        let t_us = now.as_micros_f64();
+        if let Some((pkt, stack)) = in_flight {
+            let queue = match stack {
+                Some(w) => {
+                    self.stacks[w as usize].queue.push_front(pkt);
+                    w
+                }
+                None => match self.lock_route_at(now, pkt.stream) {
+                    Route::Shared => {
+                        self.global_q.push_front(pkt);
+                        SHARED_QUEUE
+                    }
+                    Route::Worker(q) => {
+                        self.proc_q[q].push_back(pkt);
+                        q as u32
+                    }
+                },
+            };
+            if recording {
+                self.collector.orphaned += 1;
+                self.collector.requeued += 1;
+            }
+            if let Some(rec) = self.obs.as_deref_mut() {
+                rec.record(ObsEvent::Orphaned {
+                    t_us,
+                    seq: pkt.seq,
+                    worker: p as u32,
+                });
+                rec.record(ObsEvent::Requeue {
+                    t_us,
+                    seq: pkt.seq,
+                    queue,
+                });
+            }
+        }
+        for pkt in drained {
+            let queue = match self.lock_route_at(now, pkt.stream) {
+                Route::Shared => {
+                    self.global_q.push_back(pkt);
+                    SHARED_QUEUE
+                }
+                Route::Worker(q) => {
+                    self.proc_q[q].push_back(pkt);
+                    q as u32
+                }
+            };
+            if recording {
+                self.collector.orphaned += 1;
+                self.collector.requeued += 1;
+            }
+            if let Some(rec) = self.obs.as_deref_mut() {
+                rec.record(ObsEvent::Orphaned {
+                    t_us,
+                    seq: pkt.seq,
+                    worker: p as u32,
+                });
+                rec.record(ObsEvent::Requeue {
+                    t_us,
+                    seq: pkt.seq,
+                    queue,
+                });
+            }
+        }
+    }
+
+    /// Stall processor `p` for `duration_us`: it freezes mid-service —
+    /// its in-flight completion slips by the stall length — and takes no
+    /// new work until the window ends. The non-protocol clock keeps
+    /// running while it is frozen, so its cached state *ages* through
+    /// the stall (the conservative reading: a frozen processor defends
+    /// no cache lines against the interrupting workload).
+    fn stall_proc(
+        &mut self,
+        now: SimTime,
+        p: usize,
+        duration_us: f64,
+        sched: &mut Scheduler<Event>,
+    ) {
+        if self.procs[p].health != ProcHealth::Up {
+            return;
+        }
+        self.procs[p].health = ProcHealth::Stalled;
+        if self.collector.recording(now) {
+            self.collector.proc_stalls += 1;
+        }
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.record(ObsEvent::WorkerDown {
+                t_us: now.as_micros_f64(),
+                worker: p as u32,
+            });
+        }
+        if let ProcActivity::Protocol {
+            packet,
+            stack,
+            done_at,
+        } = self.procs[p].activity
+        {
+            if let Some(id) = self.pending_completion[p].take() {
+                sched.cancel(id);
+            }
+            let done_at = done_at + afs_desim::time::SimDuration::from_micros_f64(duration_us);
+            self.procs[p].activity = ProcActivity::Protocol {
+                packet,
+                stack,
+                done_at,
+            };
+            self.pending_completion[p] =
+                Some(sched.schedule_at(done_at, Event::Completion { proc: p }));
+        }
+    }
+
+    /// Recovery for fault `idx`: the end of a stall window or a crash
+    /// revive. Guarded by the health state the fault left behind, so a
+    /// crash that lands inside a stall window wins (the stall's recovery
+    /// then fires as a no-op).
+    fn proc_recover(&mut self, now: SimTime, idx: u32) {
+        let fault = self.cfg.proc_faults.faults[idx as usize];
+        let p = fault.proc;
+        let recovered = match fault.kind {
+            ProcFaultKind::Stall { .. } => self.procs[p].health == ProcHealth::Stalled,
+            ProcFaultKind::Crash { .. } => self.procs[p].health == ProcHealth::Down,
+            ProcFaultKind::Slowdown { .. } => false,
+        };
+        if !recovered {
+            return;
+        }
+        self.procs[p].health = ProcHealth::Up;
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.record(ObsEvent::WorkerUp {
+                t_us: now.as_micros_f64(),
+                worker: p as u32,
+            });
+        }
+    }
 }
 
 impl<'r> Simulate for SchedSim<'r> {
@@ -241,6 +457,7 @@ impl<'r> Simulate for SchedSim<'r> {
                 self.try_dispatch(now, sched);
             }
             Event::Completion { proc } => {
+                self.pending_completion[proc] = None;
                 let activity =
                     std::mem::replace(&mut self.procs[proc].activity, ProcActivity::NonProtocol);
                 let ProcActivity::Protocol {
@@ -309,6 +526,25 @@ impl<'r> Simulate for SchedSim<'r> {
                     self.collector
                         .on_completion(now, packet.arrival, packet.stream, service);
                 }
+                self.try_dispatch(now, sched);
+            }
+            Event::ProcFault { idx } => {
+                let fault = self.cfg.proc_faults.faults[idx as usize];
+                match fault.kind {
+                    ProcFaultKind::Crash { .. } => self.crash_proc(now, fault.proc, sched),
+                    ProcFaultKind::Stall { duration_us } => {
+                        self.stall_proc(now, fault.proc, duration_us, sched)
+                    }
+                    ProcFaultKind::Slowdown { factor } => {
+                        self.procs[fault.proc].slow_factor = factor;
+                    }
+                }
+                // Requeued orphans may be dispatchable on live idle
+                // processors right away.
+                self.try_dispatch(now, sched);
+            }
+            Event::ProcRecover { idx } => {
+                self.proc_recover(now, idx);
                 self.try_dispatch(now, sched);
             }
         }

@@ -44,6 +44,7 @@ use rand::rngs::StdRng;
 
 use afs_cache::model::pricer::DispatchPricer;
 use afs_desim::engine::Engine;
+use afs_desim::event::EventId;
 use afs_desim::rng::RngFactory;
 use afs_desim::time::{SimDuration, SimTime};
 use afs_obs::{EngineProbe, Recorder};
@@ -120,6 +121,10 @@ pub struct SchedSim<'r> {
     pending_pooled: Vec<bool>,
     /// Service duration of the in-flight packet per processor.
     pending_service: Vec<SimDuration>,
+    /// Scheduled completion event per processor, so processor faults can
+    /// cancel (crash) or push back (stall) an in-flight service. `None`
+    /// whenever the processor has no packet in service.
+    pending_completion: Vec<Option<EventId>>,
     /// Metrics.
     pub collector: Collector,
     /// Optional structured scheduling trace.
@@ -175,6 +180,7 @@ impl<'r> SchedSim<'r> {
             pending_thread: vec![None; n],
             pending_pooled: vec![false; n],
             pending_service: vec![SimDuration::ZERO; n],
+            pending_completion: vec![None; n],
             collector: Collector::new(SimTime::from_micros_f64(warm_us), k),
             trace: None,
             obs: None,
@@ -264,7 +270,8 @@ pub fn run_observed<'r>(
     (report, probe)
 }
 
-/// Prime helper: schedules every stream's first arrival.
+/// Prime helper: schedules every stream's first arrival plus the
+/// processor-fault plan's injection (and recovery) events.
 fn engine_prime(engine: &mut Engine<SchedSim<'_>>) {
     // Split borrows: scheduler and model are distinct fields, so prime
     // through a small dance — collect the gaps first.
@@ -281,5 +288,28 @@ fn engine_prime(engine: &mut Engine<SchedSim<'_>>) {
         engine
             .scheduler()
             .schedule_at(SimTime::ZERO + gap, Event::Arrival { stream });
+    }
+    // Processor faults are plan-driven, so both the injection and its
+    // recovery (stall end, crash revive) are known up front. An empty
+    // plan schedules nothing — the clean-run event stream is untouched.
+    let faults = engine.model().cfg.proc_faults.faults.clone();
+    for (idx, fault) in faults.iter().enumerate() {
+        let idx = idx as u32;
+        engine.scheduler().schedule_at(
+            SimTime::from_micros_f64(fault.at_us),
+            Event::ProcFault { idx },
+        );
+        let recover_at = match fault.kind {
+            crate::procfault::ProcFaultKind::Stall { duration_us } => {
+                Some(fault.at_us + duration_us)
+            }
+            crate::procfault::ProcFaultKind::Crash { revive_at_us } => revive_at_us,
+            crate::procfault::ProcFaultKind::Slowdown { .. } => None,
+        };
+        if let Some(at) = recover_at {
+            engine
+                .scheduler()
+                .schedule_at(SimTime::from_micros_f64(at), Event::ProcRecover { idx });
+        }
     }
 }

@@ -889,3 +889,231 @@ mod fairness_tests {
         }
     }
 }
+
+/// Processor-fault injection: crashes orphan and requeue work through
+/// the policy's own routing, stalls slip in-flight completions, and
+/// slowdowns scale service — all without perturbing a clean run.
+mod procfault_tests {
+    use super::super::*;
+    use crate::config::LockPolicy;
+    use crate::procfault::{FaultLoad, ProcFault, ProcFaultKind, ProcFaultPlan};
+    use afs_obs::MemRecorder;
+    use afs_workload::Population;
+
+    fn quick(policy: LockPolicy, k: usize, rate: f64) -> SystemConfig {
+        let mut cfg = SystemConfig::new(
+            Paradigm::Locking { policy },
+            Population::homogeneous_poisson(k, rate),
+        );
+        cfg.warmup = SimDuration::from_millis(100);
+        cfg.horizon = SimDuration::from_millis(600);
+        cfg
+    }
+
+    fn assert_conservation(r: &crate::metrics::RunReport) {
+        assert_eq!(
+            r.offered_total,
+            r.completed_total + r.shed_total + r.in_flight,
+            "offered = completed + shed + in-flight violated: {r:?}"
+        );
+        assert_eq!(r.orphaned, r.requeued, "orphan/requeue imbalance: {r:?}");
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let base = run(&quick(LockPolicy::Mru, 8, 700.0));
+        let mut cfg = quick(LockPolicy::Mru, 8, 700.0);
+        cfg.proc_faults = ProcFaultPlan::none();
+        let with_plan = run(&cfg);
+        assert_eq!(base, with_plan);
+        assert_eq!(base.proc_crashes, 0);
+        assert_eq!(base.orphaned, 0);
+        assert_eq!(base.requeued, 0);
+    }
+
+    #[test]
+    fn crash_orphans_and_requeues_wired_backlog() {
+        // Wired + overload: processor 1's queue is certainly non-empty
+        // at the crash instant, so the crash must orphan backlog and
+        // re-route every packet through the policy's live-masked route.
+        let mut cfg = quick(LockPolicy::Wired, 8, 6000.0);
+        cfg.proc_faults = ProcFaultPlan {
+            faults: vec![ProcFault {
+                proc: 1,
+                at_us: 300_000.0,
+                kind: ProcFaultKind::Crash { revive_at_us: None },
+            }],
+        };
+        let r = run(&cfg);
+        assert_conservation(&r);
+        assert_eq!(r.proc_crashes, 1);
+        assert!(r.orphaned > 0, "overloaded wired queue must orphan: {r:?}");
+        // The dead processor served only the first half of the run.
+        assert!(
+            r.per_proc_served[1] < r.per_proc_served[2],
+            "crashed proc kept serving: {:?}",
+            r.per_proc_served
+        );
+    }
+
+    #[test]
+    fn crash_revive_restores_capacity() {
+        let make = |revive: Option<f64>| {
+            let mut cfg = quick(LockPolicy::Mru, 4, 4000.0);
+            cfg.n_procs = 2;
+            cfg.proc_faults = ProcFaultPlan {
+                faults: vec![ProcFault {
+                    proc: 1,
+                    at_us: 250_000.0,
+                    kind: ProcFaultKind::Crash {
+                        revive_at_us: revive,
+                    },
+                }],
+            };
+            run(&cfg)
+        };
+        let dead = make(None);
+        let revived = make(Some(320_000.0));
+        assert_conservation(&dead);
+        assert_conservation(&revived);
+        assert!(
+            revived.delivered > dead.delivered,
+            "revive must restore capacity: dead {} revived {}",
+            dead.delivered,
+            revived.delivered
+        );
+        // The revived processor comes back cold but keeps serving.
+        assert!(revived.per_proc_served[1] > dead.per_proc_served[1]);
+    }
+
+    #[test]
+    fn stall_slips_completions_without_losing_work() {
+        let base = run(&quick(LockPolicy::Mru, 4, 800.0));
+        let mut cfg = quick(LockPolicy::Mru, 4, 800.0);
+        // Stall every processor's window mid-run (staggered), so some
+        // in-flight packet certainly freezes.
+        cfg.proc_faults = ProcFaultPlan {
+            faults: (0..8)
+                .map(|p| ProcFault {
+                    proc: p,
+                    at_us: 250_000.0 + 10_000.0 * p as f64,
+                    kind: ProcFaultKind::Stall {
+                        duration_us: 50_000.0,
+                    },
+                })
+                .collect(),
+        };
+        let r = run(&cfg);
+        assert_conservation(&r);
+        assert_eq!(r.proc_stalls, 8);
+        assert_eq!(r.orphaned, 0, "stalls never orphan");
+        assert!(
+            r.max_delay_us > base.max_delay_us + 10_000.0,
+            "stalls must show up in tail delay: base {} stalled {}",
+            base.max_delay_us,
+            r.max_delay_us
+        );
+        assert_eq!(r.offered_total, base.offered_total, "arrivals unperturbed");
+    }
+
+    #[test]
+    fn slowdown_scales_service() {
+        let base = run(&quick(LockPolicy::Mru, 2, 300.0));
+        let mut cfg = quick(LockPolicy::Mru, 2, 300.0);
+        cfg.proc_faults = ProcFaultPlan {
+            faults: (0..8)
+                .map(|p| ProcFault {
+                    proc: p,
+                    at_us: 0.0,
+                    kind: ProcFaultKind::Slowdown { factor: 2.0 },
+                })
+                .collect(),
+        };
+        let r = run(&cfg);
+        assert_conservation(&r);
+        let ratio = r.mean_service_us / base.mean_service_us;
+        assert!(
+            (1.8..2.2).contains(&ratio),
+            "uniform 2x slowdown must double mean service: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn seeded_plan_replays_identically_and_differs_by_seed() {
+        let window = (150_000.0, 550_000.0);
+        let plan = |seed: u64| ProcFaultPlan::seeded(seed, 8, window, &FaultLoad::heavy());
+        assert_eq!(plan(7), plan(7));
+        assert_ne!(plan(7), plan(8));
+        let mut cfg = quick(LockPolicy::Mru, 8, 2000.0);
+        cfg.proc_faults = plan(7);
+        cfg.proc_faults.validate(8).expect("seeded plan valid");
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "fault-plan replay diverged");
+        assert_conservation(&a);
+        assert!(a.proc_crashes > 0 && a.proc_stalls > 0);
+    }
+
+    #[test]
+    fn obs_trace_conserves_and_never_double_completes_under_faults() {
+        use std::collections::HashMap;
+        for policy in [
+            LockPolicy::Baseline,
+            LockPolicy::Wired,
+            LockPolicy::MruLoad { max_backlog: 2 },
+            LockPolicy::MinReload,
+        ] {
+            let mut cfg = quick(policy.clone(), 8, 3000.0);
+            cfg.proc_faults =
+                ProcFaultPlan::seeded(42, 8, (150_000.0, 550_000.0), &FaultLoad::heavy());
+            let mut rec = MemRecorder::new();
+            let (r, _) = run_observed(&cfg, &mut rec);
+            assert_conservation(&r);
+            let c = &rec.counters;
+            assert_eq!(
+                c.enqueued as i64,
+                c.completed as i64 + c.evicted as i64 + c.in_flight(),
+                "obs conservation violated under faults ({policy:?})"
+            );
+            assert_eq!(c.orphaned, c.requeued, "obs orphan/requeue imbalance");
+            assert!(c.worker_downs >= c.worker_ups, "more ups than downs");
+            let mut completions: HashMap<u64, u32> = HashMap::new();
+            for ev in &rec.events {
+                if let afs_obs::ObsEvent::Complete { seq, .. } = ev {
+                    *completions.entry(*seq).or_insert(0) += 1;
+                }
+            }
+            for (seq, n) in completions {
+                assert_eq!(n, 1, "seq {seq} completed {n} times ({policy:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn ips_crash_requeues_the_stack_head() {
+        let mut cfg = SystemConfig::new(
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: 4,
+            },
+            Population::homogeneous_poisson(4, 3000.0),
+        );
+        cfg.warmup = SimDuration::from_millis(100);
+        cfg.horizon = SimDuration::from_millis(600);
+        cfg.n_procs = 2;
+        cfg.proc_faults = ProcFaultPlan {
+            faults: vec![ProcFault {
+                proc: 1,
+                at_us: 300_000.0,
+                kind: ProcFaultKind::Crash { revive_at_us: None },
+            }],
+        };
+        let r = run(&cfg);
+        assert_conservation(&r);
+        assert_eq!(r.proc_crashes, 1);
+        // IPS keeps its backlog on stack queues, so a crash orphans at
+        // most the in-flight packet; either way the run stays lossless.
+        assert!(r.orphaned <= 1, "IPS crash orphaned {} packets", r.orphaned);
+        assert!(r.per_proc_served[0] > r.per_proc_served[1]);
+    }
+}

@@ -48,6 +48,20 @@ pub enum ProcActivity {
     },
 }
 
+/// Processor health under the processor-fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProcHealth {
+    /// Healthy and schedulable.
+    #[default]
+    Up,
+    /// Frozen inside a stall window: finishes nothing, takes nothing,
+    /// keeps its cache.
+    Stalled,
+    /// Crashed: its cache state is gone and it takes no work until (and
+    /// unless) a revive event brings it back cold.
+    Down,
+}
+
 /// Per-processor state.
 #[derive(Debug, Clone)]
 pub struct ProcState {
@@ -64,6 +78,10 @@ pub struct ProcState {
     pub last_protocol_end: Option<SimTime>,
     /// Packets served.
     pub served: u64,
+    /// Fault-plan health (always [`ProcHealth::Up`] on a clean run).
+    pub health: ProcHealth,
+    /// Service-time multiplier from a slowdown fault (1.0 = nominal).
+    pub slow_factor: f64,
 }
 
 impl ProcState {
@@ -75,6 +93,8 @@ impl ProcState {
             np_at_last_protocol: None,
             last_protocol_end: None,
             served: 0,
+            health: ProcHealth::Up,
+            slow_factor: 1.0,
         }
     }
 
@@ -91,6 +111,14 @@ impl ProcState {
     /// Is the processor free to take protocol work?
     pub fn is_idle(&self) -> bool {
         matches!(self.activity, ProcActivity::NonProtocol)
+    }
+
+    /// Idle *and* healthy — the schedulability predicate dispatch and
+    /// the policy views consult under the fault plan. On a clean run
+    /// (health always [`ProcHealth::Up`]) this is exactly
+    /// [`ProcState::is_idle`].
+    pub fn is_available(&self) -> bool {
+        self.is_idle() && self.health == ProcHealth::Up
     }
 
     /// Age of the code/global footprint component at dispatch time.

@@ -9,6 +9,7 @@
 use proptest::prelude::*;
 
 use afs_core::prelude::*;
+use afs_core::{ProcFault, ProcFaultKind};
 
 /// Random but well-formed configurations.
 fn config_strategy() -> impl Strategy<Value = SystemConfig> {
@@ -55,6 +56,71 @@ fn config_strategy() -> impl Strategy<Value = SystemConfig> {
             cfg.horizon = SimDuration::from_millis(120);
             cfg
         })
+}
+
+/// One processor's raw fault draw: crash (with optional revive delta),
+/// one stall window, and a slowdown — each independently present.
+type ProcDraw = (
+    Option<(f64, Option<f64>)>, // crash: (at, revive delta)
+    Option<(f64, f64)>,         // stall: (at, duration)
+    Option<(f64, f64)>,         // slowdown: (at, factor)
+);
+
+/// 50/50 `None`/`Some` over `s` (the vendored proptest has no
+/// `prop::option` module).
+fn opt<S>(s: S) -> impl Strategy<Value = Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + 'static,
+{
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
+
+/// One processor's fault draw over a 120 ms horizon.
+fn proc_draw() -> impl Strategy<Value = ProcDraw> {
+    (
+        opt((5_000.0f64..115_000.0, opt(1_000.0f64..60_000.0))),
+        opt((0.0f64..100_000.0, 500.0f64..20_000.0)),
+        opt((0.0f64..115_000.0, 1.0f64..4.0)),
+    )
+}
+
+/// Build a fault plan from the first `n_procs` draws: any mix of
+/// permanent crashes, crash-and-revive reboots, stall windows and slow
+/// cores — except processor 0, which never crashes permanently (the
+/// validator's survivor guarantee).
+fn plan_from_draws(draws: &[ProcDraw], n_procs: usize) -> ProcFaultPlan {
+    let mut faults = Vec::new();
+    for (p, &(crash, stall, slow)) in draws.iter().take(n_procs).enumerate() {
+        if let Some((at, revive)) = crash {
+            // Processor 0 may reboot but never dies for good.
+            let revive_at_us = match revive {
+                Some(d) => Some(at + d),
+                None if p == 0 => Some(at + 10_000.0),
+                None => None,
+            };
+            faults.push(ProcFault {
+                proc: p,
+                at_us: at,
+                kind: ProcFaultKind::Crash { revive_at_us },
+            });
+        }
+        if let Some((at, duration_us)) = stall {
+            faults.push(ProcFault {
+                proc: p,
+                at_us: at,
+                kind: ProcFaultKind::Stall { duration_us },
+            });
+        }
+        if let Some((at, factor)) = slow {
+            faults.push(ProcFault {
+                proc: p,
+                at_us: at,
+                kind: ProcFaultKind::Slowdown { factor },
+            });
+        }
+    }
+    ProcFaultPlan { faults }
 }
 
 proptest! {
@@ -182,6 +248,60 @@ proptest! {
             (diff - v).abs() < 0.15 * v + 2.0,
             "V = {v}: service moved by {diff}"
         );
+    }
+
+    #[test]
+    fn fault_injected_runs_conserve_and_replay(
+        n_procs in 2usize..=4,
+        draws in prop::collection::vec(proc_draw(), 4),
+        k in 2usize..=10,
+        rate in 100.0f64..900.0,
+        seed in any::<u64>(),
+        use_ips in any::<bool>(),
+    ) {
+        let plan = plan_from_draws(&draws, n_procs);
+        prop_assume!(plan.validate(n_procs).is_ok());
+        let paradigm = if use_ips {
+            Paradigm::Ips {
+                policy: IpsPolicy::Mru,
+                n_stacks: k,
+            }
+        } else {
+            Paradigm::Locking {
+                policy: LockPolicy::Mru,
+            }
+        };
+        let mut cfg = SystemConfig::new(paradigm, Population::homogeneous_poisson(k, rate));
+        cfg.n_procs = n_procs;
+        cfg.seed = seed;
+        cfg.warmup = SimDuration::from_millis(20);
+        cfg.horizon = SimDuration::from_millis(120);
+        cfg.proc_faults = plan;
+        let r = run(&cfg);
+
+        // Conservation across arbitrary crash/revive/stall/slowdown
+        // schedules: every offered packet is completed, shed, or still
+        // in flight at the horizon — never silently lost — and every
+        // orphan the crash handler collected was re-dispatched.
+        prop_assert_eq!(
+            r.offered_total,
+            r.completed_total + r.shed_total + r.in_flight,
+            "conservation broken: {r:?}"
+        );
+        prop_assert_eq!(r.orphaned, r.requeued, "orphans not re-dispatched");
+        // Degradation telemetry stays coherent: orphans require a crash.
+        if r.orphaned > 0 {
+            prop_assert!(r.proc_crashes > 0, "orphans without a crash");
+        }
+
+        // A faulted run is still a pure function of (config, seed).
+        let r2 = run(&cfg);
+        prop_assert_eq!(r.mean_delay_us.to_bits(), r2.mean_delay_us.to_bits());
+        prop_assert_eq!(r.delivered, r2.delivered);
+        prop_assert_eq!(r.proc_crashes, r2.proc_crashes);
+        prop_assert_eq!(r.proc_stalls, r2.proc_stalls);
+        prop_assert_eq!(r.orphaned, r2.orphaned);
+        prop_assert_eq!(r.requeued, r2.requeued);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! `ext22_native` and `tests/crossval_native.rs` can run the *same*
 //! scenario through both backends and compare the policy structure.
 
-use afs_core::crossval::{CrossPolicy, CrossvalScenario};
+use afs_core::crossval::{CrossPolicy, CrossvalScenario, FAULT_PLAN_SALT};
+use afs_core::procfault::{FaultLoad, ProcFaultPlan};
 use afs_obs::MemRecorder;
 
 use crate::runtime::{
@@ -46,4 +47,36 @@ pub fn run_scenario_recorded(
     policy: CrossPolicy,
 ) -> (NativeReport, MemRecorder) {
     run_native_recorded(&native_config(s, policy), native_workload(s))
+}
+
+/// [`native_config`] plus a seeded processor-fault plan spanning the
+/// post-warm-up portion of the arrival horizon — the native half of the
+/// ext24 fault sweep. The plan seed matches the simulator side
+/// ([`afs_core::crossval::sim_fault_config`]); the window is each
+/// backend's own measurement span, since their clocks differ.
+pub fn native_fault_config(
+    s: &CrossvalScenario,
+    policy: CrossPolicy,
+    load: &FaultLoad,
+) -> NativeConfig {
+    let mut cfg = native_config(s, policy);
+    // Expected last arrival on the virtual clock, µs.
+    let horizon_us = s.packets_per_stream as f64 / s.rate_pps_per_stream * 1e6;
+    cfg.faults = ProcFaultPlan::seeded(
+        s.seed ^ FAULT_PLAN_SALT,
+        s.workers,
+        (cfg.warmup_frac * horizon_us, horizon_us),
+        load,
+    );
+    cfg
+}
+
+/// Run one (scenario, policy, fault-level) cell on the native backend,
+/// with the observability trace captured for conservation checks.
+pub fn run_fault_scenario_recorded(
+    s: &CrossvalScenario,
+    policy: CrossPolicy,
+    load: &FaultLoad,
+) -> (NativeReport, MemRecorder) {
+    run_native_recorded(&native_fault_config(s, policy, load), native_workload(s))
 }

@@ -20,6 +20,9 @@
 //!   virtual-clock delay measurement.
 //! * [`crossval`] — the native mapping of the shared scenario matrix
 //!   defined in `afs_core::crossval`.
+//! * [`watchdog`] — plan-driven worker health (crash/stall/slowdown
+//!   schedules on the virtual clock), the shared health board, and the
+//!   heartbeat-lag diagnostic backing orphan-work recovery.
 //!
 //! The runtime also speaks the unified `afs-obs` observability schema:
 //! [`runtime::run_native_recorded`] has every worker record
@@ -39,7 +42,9 @@ pub mod crossval;
 pub mod pin;
 pub mod ring;
 pub mod runtime;
+pub mod watchdog;
 
+pub use afs_core::procfault::{FaultLoad, ProcFault, ProcFaultKind, ProcFaultPlan};
 pub use afs_sched::{NativeLayout, PolicySpec, Router, StealPolicy};
 pub use pin::{CorePinner, NoopPinner, OsPinner, PinError};
 pub use ring::RingQueue;
@@ -48,3 +53,4 @@ pub use runtime::{
     run_native_with_pinner, NativeConfig, NativePacket, NativeReport, OutcomeTotals, Pinning,
     WorkerStats,
 };
+pub use watchdog::{HealthBoard, WorkerFaults};

@@ -40,6 +40,7 @@ use afs_cache::model::pricer::DispatchPricer;
 use afs_cache::sim::{MemoryHierarchy, Region};
 use afs_core::exec::ExecParams;
 use afs_core::metrics::RunReport;
+use afs_core::procfault::ProcFaultPlan;
 use afs_desim::dist::Dist;
 use afs_desim::rng::RngFactory;
 use afs_desim::stats::Welford;
@@ -56,6 +57,7 @@ use rand::Rng;
 
 use crate::pin::{CorePinner, NoopPinner, OsPinner};
 use crate::ring::RingQueue;
+use crate::watchdog::{HealthBoard, WorkerFaults};
 
 /// Whether workers attempt to pin themselves to cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +92,9 @@ pub struct NativeConfig {
     pub warmup_frac: f64,
     /// Seed for the placement RNG (workload generation seeds itself).
     pub seed: u64,
+    /// The processor-fault plan (crashes, stalls, slowdowns on the
+    /// virtual clock). Empty by default — a clean run is untouched.
+    pub faults: ProcFaultPlan,
 }
 
 impl NativeConfig {
@@ -104,6 +109,7 @@ impl NativeConfig {
             cost: CostModel::default(),
             warmup_frac: 0.2,
             seed: 0xAF5_0002,
+            faults: ProcFaultPlan::none(),
         }
     }
 }
@@ -237,6 +243,14 @@ pub struct NativeReport {
     pub makespan_us: f64,
     /// Whether every worker's pin attempt succeeded.
     pub all_pinned: bool,
+    /// Workers that crashed (permanent plan crashes that fired).
+    pub workers_crashed: u64,
+    /// Packets orphaned on crashed workers (in flight at the crash or
+    /// stranded in the dead worker's ring).
+    pub orphaned: u64,
+    /// Orphans the watchdog re-dispatched; always equals `orphaned` —
+    /// the conservation invariant the fault tests pin down.
+    pub requeued: u64,
     /// Per-worker telemetry.
     pub per_worker: Vec<WorkerStats>,
     /// Delivered packets per stream (from the engines' session tables).
@@ -266,6 +280,9 @@ impl NativeReport {
         r.per_proc_served = self.per_worker.iter().map(|w| w.processed).collect();
         r.goodput_pps = r.throughput_pps;
         r.stable = self.outcomes.total() == self.offered;
+        r.proc_crashes = self.workers_crashed;
+        r.orphaned = self.orphaned;
+        r.requeued = self.requeued;
         r
     }
 }
@@ -281,6 +298,13 @@ struct Job {
     thread: u32,
     /// Whether this packet counts toward the statistics (post-warm-up).
     record: bool,
+    /// Stack this packet must run on when it is not the processing
+    /// worker's own (`u32::MAX` = own stack). Under per-worker stacks a
+    /// stream's session lives on its owner's engine, so work diverted
+    /// off the owner — routed around a crashed worker, or orphaned and
+    /// requeued by the watchdog — runs on the home stack under its
+    /// lock, exactly the steal handoff path.
+    home_stack: u32,
 }
 
 /// What each worker thread hands back on join.
@@ -354,6 +378,9 @@ fn run_native_impl(
         "warmup_frac must be in [0, 1)"
     );
     let w = cfg.workers;
+    if let Err(e) = cfg.faults.validate(w) {
+        panic!("invalid processor-fault plan: {e}");
+    }
     let offered = workload.len() as u64;
     let n_streams = workload.iter().map(|p| p.stream.0 + 1).max().unwrap_or(0) as usize;
     let last_arrival_us = workload.last().map_or(0.0, |p| p.arrival_us);
@@ -402,6 +429,24 @@ fn run_native_impl(
     let lock_cycles = lock_overhead_cycles(&cfg.cost);
     let record_obs = obs.is_some();
 
+    // Processor-fault machinery: each worker gets its slice of the
+    // plan, crash flags flow through the health board, a fatal job is
+    // escrowed (with its worker id) for the watchdog, and live workers
+    // hold their exit until the watchdog declares recovery finished.
+    let worker_faults: Vec<WorkerFaults> = (0..w)
+        .map(|i| WorkerFaults::from_plan(&cfg.faults, i))
+        .collect();
+    let board = HealthBoard::new(w);
+    let escrow: Mutex<Vec<(u32, Job)>> = Mutex::new(Vec::new());
+    let recovery_done = AtomicBool::new(false);
+    // Workers with a permanent (revive-less) crash in the plan: masked
+    // out of every orphan re-route, and the set the watchdog waits on.
+    let permanent: Vec<usize> = (0..w)
+        .filter(|&i| matches!(worker_faults[i].crash, Some((_, None))))
+        .collect();
+    let mut orphaned = 0u64;
+    let mut requeued = 0u64;
+
     let mut results: Vec<WorkerResult> = Vec::with_capacity(w);
     let mut disp_rec: Option<MemRecorder> = if record_obs {
         Some(MemRecorder::new())
@@ -410,7 +455,7 @@ fn run_native_impl(
     };
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(w);
-        for wid in 0..w {
+        for (wid, faults) in worker_faults.iter().enumerate() {
             let ctx = WorkerCtx {
                 wid,
                 cfg,
@@ -423,6 +468,10 @@ fn run_native_impl(
                 done: &done,
                 lock_cycles,
                 record_obs,
+                faults,
+                board: &board,
+                escrow: &escrow,
+                recovery_done: &recovery_done,
             };
             handles.push(scope.spawn(move || worker_loop(ctx)));
         }
@@ -436,7 +485,23 @@ fn run_native_impl(
         let mut place = factory.stream("native-placement");
         let pricer = DispatchPricer::new(&ExecParams::calibrated().model);
         let mut rstate = RouterState::new(w, pricer.t_warm_us());
+        let has_crashes = worker_faults.iter().any(|f| f.crash.is_some());
         for (seq, pkt) in workload.into_iter().enumerate() {
+            // Plan-driven masking: a packet arriving inside a worker's
+            // crash window (crash..revive, or crash..∞ for a permanent
+            // crash) is routed around it — the policy's own fallback
+            // scan over a degraded view, not a runtime special case.
+            if has_crashes {
+                for (i, f) in worker_faults.iter().enumerate() {
+                    let live = match f.crash {
+                        Some((c, revive)) if pkt.arrival_us >= c => {
+                            matches!(revive, Some(r) if pkt.arrival_us >= r)
+                        }
+                        _ => true,
+                    };
+                    rstate.set_live(i, live);
+                }
+            }
             let route = cfg.layout.router.route(
                 &rstate.view_at(pkt.arrival_us),
                 pkt.stream.0,
@@ -456,6 +521,20 @@ fn run_native_impl(
                 u32::MAX
             };
             let (stream, arrival_us) = (pkt.stream, pkt.arrival_us);
+            // Under per-worker stacks a stream's session lives on its
+            // owner's engine. Routing normally targets the owner; when
+            // masking (a crashed owner) diverts the packet, it must
+            // still run on the home stack — the cross-stack handoff.
+            let home = if shared_stack {
+                u32::MAX
+            } else {
+                let h = owner_of(stream, w);
+                if h == target {
+                    u32::MAX
+                } else {
+                    h as u32
+                }
+            };
             let mut job = Job {
                 bytes: pkt.bytes,
                 stream,
@@ -463,12 +542,22 @@ fn run_native_impl(
                 seq: seq as u64,
                 thread,
                 record: arrival_us >= warmup_cut_us,
+                home_stack: home,
             };
             loop {
                 match queues[target].push(job) {
                     Ok(()) => break,
                     Err(back) => {
                         job = back;
+                        // A crashed worker stopped draining its ring;
+                        // blocking on it would wedge the replay (the
+                        // watchdog only runs after it). Park the job in
+                        // escrow — the watchdog re-routes it with the
+                        // other orphans.
+                        if !pooled && board.is_down(target) {
+                            escrow.lock().push((target as u32, job));
+                            break;
+                        }
                         std::thread::yield_now();
                     }
                 }
@@ -487,6 +576,87 @@ fn run_native_impl(
             }
         }
         done.store(true, Ordering::Release);
+        // Watchdog (runs on the dispatcher thread): once every worker
+        // with a permanent plan crash has stopped touching its ring,
+        // recover the orphans — escrowed in-flight fatal jobs plus
+        // whatever is stranded in dead rings — and re-dispatch each one
+        // through the policy's own router over the degraded view.
+        // `recovery_done` holds live workers in their loops until every
+        // orphan is back in a live ring, so recovered work is drained.
+        if !permanent.is_empty() {
+            for &p in &permanent {
+                while !board.has_exited(p) {
+                    std::thread::yield_now();
+                }
+            }
+            for &p in &permanent {
+                rstate.set_live(p, false);
+            }
+            let mut orphans: Vec<(u32, Job)> = std::mem::take(&mut *escrow.lock());
+            if !pooled {
+                // The pooled ring is shared — live workers keep draining
+                // it, so only escrowed in-flight jobs orphan there.
+                for &p in &permanent {
+                    while let Some(job) = queues[p].pop() {
+                        orphans.push((p as u32, job));
+                    }
+                }
+            }
+            // Deterministic recovery order regardless of which worker
+            // escrowed first on the host clock.
+            orphans.sort_by_key(|(_, j)| j.seq);
+            for (dead, mut job) in orphans {
+                orphaned += 1;
+                let crash_at = worker_faults[dead as usize].crash.map_or(0.0, |(c, _)| c);
+                // The re-route decision happens at the instant the crash
+                // was detected, never before the orphan's own arrival.
+                let t = job.arrival_us.max(crash_at);
+                let route = cfg.layout.router.route(
+                    &rstate.view_at(t),
+                    job.stream.0,
+                    &mut |n| place.gen_range(0..n),
+                    &pricer,
+                );
+                let target = match route {
+                    Route::Worker(p) => {
+                        rstate.note_routed(job.stream.0, p, t);
+                        p
+                    }
+                    Route::Shared => 0,
+                };
+                // Under per-worker stacks the dead worker's engine still
+                // holds the session — recovered work runs there, under
+                // its (now uncontended) lock.
+                if !shared_stack && job.home_stack == u32::MAX {
+                    job.home_stack = dead;
+                }
+                if let Some(r) = disp_rec.as_mut() {
+                    r.record(ObsEvent::Orphaned {
+                        t_us: t,
+                        seq: job.seq,
+                        worker: dead,
+                    });
+                    r.record(ObsEvent::Requeue {
+                        t_us: t,
+                        seq: job.seq,
+                        queue: if pooled { SHARED_QUEUE } else { target as u32 },
+                    });
+                }
+                let dest = if pooled { 0 } else { target };
+                let mut job = job;
+                loop {
+                    match queues[dest].push(job) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            job = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                requeued += 1;
+            }
+        }
+        recovery_done.store(true, Ordering::Release);
         for h in handles {
             results.push(h.join().expect("worker panicked"));
         }
@@ -545,6 +715,9 @@ fn run_native_impl(
         last_arrival_us,
         makespan_us: per_worker.iter().map(|s| s.vclock_us).fold(0.0, f64::max),
         all_pinned: per_worker.iter().all(|s| s.pinned),
+        workers_crashed: board.downs(),
+        orphaned,
+        requeued,
         per_worker,
         per_stream_delivered,
     }
@@ -563,6 +736,15 @@ struct WorkerCtx<'a> {
     done: &'a AtomicBool,
     lock_cycles: f64,
     record_obs: bool,
+    /// This worker's slice of the processor-fault plan.
+    faults: &'a WorkerFaults,
+    /// Shared health state (crash flags, exit flags, heartbeats).
+    board: &'a HealthBoard,
+    /// Fatal jobs parked for the watchdog, tagged with the dead worker.
+    escrow: &'a Mutex<Vec<(u32, Job)>>,
+    /// Set by the watchdog once every orphan is back in a live ring;
+    /// live workers hold their exit on it so recovered work is drained.
+    recovery_done: &'a AtomicBool,
 }
 
 fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
@@ -578,6 +760,10 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         done,
         lock_cycles,
         record_obs,
+        faults,
+        board,
+        escrow,
+        recovery_done,
     } = ctx;
     let core = wid % pinner.cores().max(1);
     let pinned = matches!(cfg.pinning, Pinning::Auto) && pinner.pin_current(core).is_ok();
@@ -613,6 +799,15 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     let pooled = cfg.layout.pooled_queue;
     let my_queue = if pooled { &queues[0] } else { &queues[wid] };
     let steal = cfg.layout.steal;
+    // Does the plan kill this worker for good? (Crash-with-revive is a
+    // reboot handled inline; only a permanent crash orphans work.)
+    let plan_crashed = matches!(faults.crash, Some((_, None)));
+    // Would starting a job at the current virtual instant kill us?
+    // Displacement first: a stall window can push the start past the
+    // crash instant, and the crash wins.
+    let fatal = |vclock: f64, job: &Job| -> Option<f64> {
+        faults.fatal_at(faults.displace(vclock.max(job.arrival_us)).start_v)
+    };
 
     // One packet's full processing: migration purges, lock acquisition
     // (with overhead charge where the policy pays it), the real receive
@@ -632,6 +827,46 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                    wait: &mut Welford,
                    outcomes: &mut OutcomeTotals| {
         let me = wid as u32;
+        // Fault displacement: push the virtual service start through any
+        // stall window (and the reboot window of a crash-with-revive)
+        // containing it. The vclock is monotone, so each window is
+        // crossed at most once — no dedup flags needed for the events.
+        let disp = faults.displace(vclock.max(job.arrival_us));
+        if let Some(r) = rec.as_mut() {
+            for &ix in &disp.stall_hits {
+                let (s, e) = faults.stalls[ix];
+                r.record(ObsEvent::WorkerDown {
+                    t_us: s,
+                    worker: me,
+                });
+                r.record(ObsEvent::WorkerUp {
+                    t_us: e,
+                    worker: me,
+                });
+            }
+        }
+        if disp.rebooted {
+            // The crash lost this worker's caches and its claim on every
+            // last-owner slot: the revived worker re-touches all state
+            // cold, without counting the re-touch as a migration from
+            // its pre-crash self.
+            *hier = cfg.cost.hierarchy();
+            for slot in last_stream_worker.iter().chain(last_thread_worker) {
+                let _ = slot.compare_exchange(me, u32::MAX, Ordering::AcqRel, Ordering::Relaxed);
+            }
+            if let Some(r) = rec.as_mut() {
+                if let Some((c, Some(rv))) = faults.crash {
+                    r.record(ObsEvent::WorkerDown {
+                        t_us: c,
+                        worker: me,
+                    });
+                    r.record(ObsEvent::WorkerUp {
+                        t_us: rv,
+                        worker: me,
+                    });
+                }
+            }
+        }
         // Stream-state migration: if another worker touched this
         // stream's state last, its lines are not in our caches.
         let mut s_mig = false;
@@ -681,7 +916,10 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         *slot = slot.wrapping_add(1);
 
         let start_cycles = hier.stats.cycles;
-        let locked_path = cfg.layout.shared_stack || stolen;
+        // Any off-stack run pays the lock: shared-stack policies always,
+        // steals and orphan recovery (both run on the session-owning
+        // worker's stack) under per-worker stacks.
+        let locked_path = cfg.layout.shared_stack || stack != wid;
         let outcome = {
             let engine = &engines[stack];
             let mut guard = match engine.try_lock() {
@@ -706,11 +944,13 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
             }
             outcome
         };
-        let service_us = hier
-            .platform()
-            .cycles_to_us(hier.stats.cycles - start_cycles);
+        let service_us = faults.scale_service(
+            disp.start_v,
+            hier.platform()
+                .cycles_to_us(hier.stats.cycles - start_cycles),
+        );
 
-        let start_v = vclock.max(job.arrival_us);
+        let start_v = disp.start_v;
         let wait_us = start_v - job.arrival_us;
         *vclock = start_v + service_us;
         stats.processed += 1;
@@ -720,13 +960,13 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         }
         if let Some(r) = rec.as_mut() {
             // Every stamp is virtual: the service start (`start_v`) and
-            // the post-service vclock. A steal always runs on the
-            // victim's stack, so under IPS `stack` names the victim.
+            // the post-service vclock. For a steal, `queue` names the
+            // victim ring the packet was lifted from.
             if stolen {
                 r.record(ObsEvent::Steal {
                     t_us: start_v,
                     seq: job.seq,
-                    from: stack as u32,
+                    from: queue,
                     to: me,
                 });
             }
@@ -797,7 +1037,8 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         vclocks[wid].store(vclock.to_bits(), Ordering::Release);
     };
 
-    loop {
+    'main: loop {
+        board.beat(wid);
         stats.max_queue_depth = stats.max_queue_depth.max(my_queue.len());
         // Shared-pool gate: the modeled system is a work-conserving
         // multi-server FIFO queue, so the next pooled packet belongs to
@@ -813,7 +1054,31 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                     .unwrap_or(0);
         if may_pop {
             if let Some(job) = my_queue.pop() {
-                let stack = if cfg.layout.shared_stack { 0 } else { wid };
+                // Starting this job would carry the vclock past our
+                // permanent crash instant: the worker dies here. The job
+                // is parked with the watchdog, which re-routes it (and
+                // whatever is left in our ring) once we have exited.
+                if let Some(c_at) = fatal(vclock, &job) {
+                    if let Some(r) = rec.as_mut() {
+                        r.record(ObsEvent::WorkerDown {
+                            t_us: c_at,
+                            worker: wid as u32,
+                        });
+                    }
+                    board.mark_down(wid);
+                    escrow.lock().push((wid as u32, job));
+                    break 'main;
+                }
+                // A requeued orphan must run on the dead owner's stack
+                // (its engine holds the session); everything else runs
+                // on ours (or the shared one).
+                let stack = if cfg.layout.shared_stack {
+                    0
+                } else if job.home_stack != u32::MAX {
+                    job.home_stack as usize
+                } else {
+                    wid
+                };
                 let queue = if pooled { SHARED_QUEUE } else { wid as u32 };
                 let depth = my_queue.len() as u32;
                 process(
@@ -853,14 +1118,36 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                 let mut got = 0;
                 while got < d.max_batch {
                     match queues[v].pop() {
-                        Some(job) => {
+                        Some(mut job) => {
+                            // Crashing mid-steal: the stolen packet's
+                            // session lives on the victim's stack — tag
+                            // it so recovery runs it there.
+                            if let Some(c_at) = fatal(vclock, &job) {
+                                if job.home_stack == u32::MAX {
+                                    job.home_stack = v as u32;
+                                }
+                                if let Some(r) = rec.as_mut() {
+                                    r.record(ObsEvent::WorkerDown {
+                                        t_us: c_at,
+                                        worker: wid as u32,
+                                    });
+                                }
+                                board.mark_down(wid);
+                                escrow.lock().push((wid as u32, job));
+                                break 'main;
+                            }
                             // Stolen packets run on the *victim's* stack
                             // (that's where the session lives) under its
                             // lock — the steal handoff.
                             let depth = queues[v].len() as u32;
+                            let stack = if job.home_stack != u32::MAX {
+                                job.home_stack as usize
+                            } else {
+                                v
+                            };
                             process(
                                 job,
-                                v,
+                                stack,
                                 true,
                                 v as u32,
                                 depth,
@@ -884,15 +1171,28 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                 }
             }
         }
-        if done.load(Ordering::Acquire) && queues.iter().all(|q| q.is_empty()) {
-            break;
+        if done.load(Ordering::Acquire) {
+            // A worker the plan permanently kills exits as soon as its
+            // own work is gone — the watchdog waits on that exit before
+            // draining its ring, so it must not gate on global
+            // emptiness. Live workers additionally hold until orphan
+            // recovery finished, so requeued work is drained.
+            if plan_crashed {
+                if my_queue.is_empty() {
+                    break;
+                }
+            } else if recovery_done.load(Ordering::Acquire) && queues.iter().all(|q| q.is_empty()) {
+                break;
+            }
         }
         std::thread::yield_now();
     }
 
     // Drop out of the min-vclock race so remaining pooled workers never
-    // wait on an exited peer's frozen clock.
+    // wait on an exited peer's frozen clock; then let the watchdog know
+    // this thread will never touch a ring again.
     vclocks[wid].store(f64::INFINITY.to_bits(), Ordering::Release);
+    board.mark_exited(wid);
     stats.vclock_us = vclock;
     WorkerResult {
         stats,
@@ -1169,5 +1469,209 @@ mod tests {
         let r = run_native(&c, small_workload(2, 40));
         assert_eq!(r.outcomes.total(), 80);
         assert!(r.recorded < 80, "warm-up must trim the sample");
+    }
+
+    mod procfault {
+        use super::*;
+        use afs_core::procfault::{FaultLoad, ProcFault, ProcFaultKind, ProcFaultPlan};
+
+        fn crash(proc: usize, at_us: f64, revive_at_us: Option<f64>) -> ProcFaultPlan {
+            ProcFaultPlan {
+                faults: vec![ProcFault {
+                    proc,
+                    at_us,
+                    kind: ProcFaultKind::Crash { revive_at_us },
+                }],
+            }
+        }
+
+        /// A 60 µs-spaced workload on streams 1 and 3: under two workers
+        /// both streams belong to worker 1, which falls far behind — a
+        /// guaranteed deep ring backlog on the (future) crash victim.
+        fn backlog_on_worker_1(n: u32) -> Vec<NativePacket> {
+            let mut factory = PacketFactory::new();
+            let mut t = 0.0;
+            (0..n)
+                .map(|i| {
+                    let s = StreamId(if i % 2 == 0 { 1 } else { 3 });
+                    t += 60.0;
+                    NativePacket {
+                        bytes: factory.frame_for(s, 32),
+                        stream: s,
+                        arrival_us: t,
+                    }
+                })
+                .collect()
+        }
+
+        #[test]
+        fn clean_run_reports_no_fault_activity() {
+            let r = run_native(&cfg(3, PolicySpec::Ips), small_workload(6, 20));
+            assert_eq!((r.workers_crashed, r.orphaned, r.requeued), (0, 0, 0));
+        }
+
+        #[test]
+        fn permanent_crash_recovers_every_orphan() {
+            let mut c = ips_no_steal(2);
+            c.faults = crash(1, 3_000.0, None);
+            let r = run_native(&c, backlog_on_worker_1(200));
+            assert_eq!(r.workers_crashed, 1);
+            assert!(r.orphaned > 0, "a backlogged crash must orphan work");
+            assert_eq!(r.orphaned, r.requeued, "conservation across the crash");
+            // Lossless: every packet still completes a receive-path
+            // traversal and finds its session (recovered work runs on
+            // the dead worker's stack).
+            assert_eq!(r.outcomes.total(), 200);
+            assert_eq!(r.outcomes.delivered, 200);
+            assert_eq!(r.outcomes.no_session, 0);
+            // The survivor did the recovered work.
+            assert!(r.per_worker[0].processed > 0);
+            assert_eq!(r.per_worker[0].processed + r.per_worker[1].processed, 200);
+        }
+
+        #[test]
+        fn crash_is_lossless_for_every_policy() {
+            let mut configs: Vec<NativeConfig> =
+                PolicySpec::ALL.into_iter().map(|p| cfg(3, p)).collect();
+            configs.push(ips_no_steal(3));
+            for c in &mut configs {
+                c.faults = crash(1, 2_000.0, None);
+                let r = run_native(c, small_workload(6, 40));
+                let label = (c.spec, c.layout.steal);
+                assert_eq!(r.offered, 240, "{label:?}");
+                assert_eq!(r.outcomes.total(), 240, "{label:?}");
+                assert_eq!(r.outcomes.delivered, 240, "{label:?}");
+                assert_eq!(r.orphaned, r.requeued, "{label:?}");
+                assert!(r.workers_crashed <= 1, "{label:?}");
+            }
+        }
+
+        #[test]
+        fn crash_with_revive_reboots_inline() {
+            let mut c = ips_no_steal(2);
+            c.faults = crash(1, 3_000.0, Some(6_000.0));
+            let (r, rec) = run_native_recorded(&c, backlog_on_worker_1(200));
+            // A reboot is not a permanent crash: nothing orphans, the
+            // worker rejoins with cold caches and keeps processing.
+            assert_eq!((r.workers_crashed, r.orphaned, r.requeued), (0, 0, 0));
+            assert_eq!(r.outcomes.total(), 200);
+            assert_eq!(r.outcomes.delivered, 200);
+            let down = rec.events.iter().any(
+                |e| matches!(*e, ObsEvent::WorkerDown { t_us, worker } if worker == 1 && t_us == 3_000.0),
+            );
+            let up = rec.events.iter().any(
+                |e| matches!(*e, ObsEvent::WorkerUp { t_us, worker } if worker == 1 && t_us == 6_000.0),
+            );
+            assert!(down && up, "the reboot must be visible in the trace");
+            // The backlog guarantees work straddles the window, so the
+            // displaced restart shows up as added delay.
+            assert!(r.max_delay_us > 3_000.0);
+        }
+
+        #[test]
+        fn stall_displaces_and_slowdown_scales() {
+            let base = {
+                let c = cfg(1, PolicySpec::Locking);
+                run_native(&c, small_workload(2, 40))
+            };
+            // A single long stall: same work, later completions.
+            let mut c = cfg(1, PolicySpec::Locking);
+            c.faults = ProcFaultPlan {
+                faults: vec![ProcFault {
+                    proc: 0,
+                    at_us: 1_000.0,
+                    kind: ProcFaultKind::Stall {
+                        duration_us: 5_000.0,
+                    },
+                }],
+            };
+            let stalled = run_native(&c, small_workload(2, 40));
+            assert_eq!(stalled.outcomes.delivered, 80);
+            assert_eq!((stalled.workers_crashed, stalled.orphaned), (0, 0));
+            assert!(
+                stalled.mean_delay_us > base.mean_delay_us,
+                "a stall window must push completions back: {} vs {}",
+                stalled.mean_delay_us,
+                base.mean_delay_us
+            );
+            // A 2× slow core: same packets, double the modeled service.
+            let mut c = cfg(1, PolicySpec::Locking);
+            c.faults = ProcFaultPlan {
+                faults: vec![ProcFault {
+                    proc: 0,
+                    at_us: 0.0,
+                    kind: ProcFaultKind::Slowdown { factor: 2.0 },
+                }],
+            };
+            let slow = run_native(&c, small_workload(2, 40));
+            let ratio = slow.mean_service_us / base.mean_service_us;
+            assert!(
+                (1.8..=2.2).contains(&ratio),
+                "slowdown should double modeled service, got ×{ratio:.3}"
+            );
+        }
+
+        #[test]
+        fn crash_runs_replay_the_conserved_structure() {
+            // No-steal + per-worker rings: dispatch, the fatal-job
+            // decision, and watchdog recovery (sorted by seq) are all
+            // plan-driven, so the *structure* of a faulted run — who
+            // crashed, what orphaned, who processed what, where every
+            // packet landed — replays exactly. Micro-timing does not:
+            // once worker 0 runs diverted stream-1 work on worker 1's
+            // engine while worker 1 is still draining its own backlog,
+            // the two threads' host interleaving on that shared engine
+            // perturbs cache warmth by a few cycles per packet.
+            let mut c = ips_no_steal(2);
+            c.faults = crash(1, 3_000.0, None);
+            let a = run_native(&c, backlog_on_worker_1(200));
+            let b = run_native(&c, backlog_on_worker_1(200));
+            assert!(a.orphaned > 0);
+            assert_eq!(a.workers_crashed, b.workers_crashed);
+            assert_eq!(a.orphaned, b.orphaned);
+            assert_eq!(a.requeued, b.requeued);
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.per_stream_delivered, b.per_stream_delivered);
+            assert_eq!(a.steals, b.steals);
+            assert_eq!(a.recorded, b.recorded);
+            let processed = |r: &NativeReport| {
+                r.per_worker
+                    .iter()
+                    .map(|ws| ws.processed)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(processed(&a), processed(&b));
+        }
+
+        #[test]
+        fn recorded_fault_runs_balance_the_conservation_ledger() {
+            // Seeded heavy fault plans across every policy rung: the
+            // merged trace's counters must balance — every arrival
+            // completes exactly once, and every orphan is requeued.
+            let workload = small_workload(8, 40);
+            let horizon = workload.last().unwrap().arrival_us;
+            for policy in PolicySpec::ALL {
+                let mut c = cfg(4, policy);
+                c.faults =
+                    ProcFaultPlan::seeded(0xFA17, 4, (0.2 * horizon, horizon), &FaultLoad::heavy());
+                let (r, rec) = run_native_recorded(&c, workload.clone());
+                let cs = &rec.counters;
+                assert_eq!(cs.enqueued, r.offered, "{policy:?}");
+                assert_eq!(cs.completed, r.offered, "{policy:?}");
+                assert_eq!(cs.in_flight(), 0, "{policy:?}");
+                assert_eq!(cs.orphaned, r.orphaned, "{policy:?}");
+                assert_eq!(cs.requeued, r.requeued, "{policy:?}");
+                assert_eq!(cs.orphaned, cs.requeued, "{policy:?}");
+                assert_eq!(r.outcomes.total(), r.offered, "{policy:?}");
+                // No packet completes twice: every seq's Complete is
+                // unique in the merged stream.
+                let mut seen = std::collections::HashSet::new();
+                for e in &rec.events {
+                    if let ObsEvent::Complete { seq, .. } = *e {
+                        assert!(seen.insert(seq), "{policy:?}: double completion of {seq}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -92,6 +92,19 @@ pub struct Counters {
     /// Receive-path outcomes: rejected as malformed by a protocol layer.
     pub errored: u64,
 
+    /// Workers observed leaving service (crash or stall window start).
+    pub worker_downs: u64,
+    /// Workers observed returning to service.
+    pub worker_ups: u64,
+    /// Messages orphaned by a worker failure.
+    pub orphaned: u64,
+    /// Orphaned messages re-routed into a queue. Conservation across
+    /// failures requires `requeued == orphaned`: nothing a failed
+    /// worker held may be lost, and [`Counters::in_flight`] is
+    /// unchanged by the orphan/requeue pair (the message was already
+    /// enqueued once and completes at most once).
+    pub requeued: u64,
+
     /// Queueing + service delay distribution (µs).
     pub delay_us: LogHistogram,
     /// Service-time distribution (µs).
@@ -205,6 +218,18 @@ impl Counters {
                 self.queue_depth.record(depth as f64);
                 self.max_queue_depth = self.max_queue_depth.max(depth as u64);
             }
+            ObsEvent::WorkerDown { .. } => {
+                self.worker_downs += 1;
+            }
+            ObsEvent::WorkerUp { .. } => {
+                self.worker_ups += 1;
+            }
+            ObsEvent::Orphaned { .. } => {
+                self.orphaned += 1;
+            }
+            ObsEvent::Requeue { .. } => {
+                self.requeued += 1;
+            }
         }
     }
 
@@ -269,6 +294,10 @@ impl Counters {
         self.dropped_no_session += other.dropped_no_session;
         self.dropped_queue_full += other.dropped_queue_full;
         self.errored += other.errored;
+        self.worker_downs += other.worker_downs;
+        self.worker_ups += other.worker_ups;
+        self.orphaned += other.orphaned;
+        self.requeued += other.requeued;
         self.delay_us.merge(&other.delay_us);
         self.service_us.merge(&other.service_us);
         self.queue_depth.merge(&other.queue_depth);
@@ -430,6 +459,52 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn orphan_requeue_pair_conserves_in_flight() {
+        let mut c = Counters::new();
+        c.observe(&ObsEvent::Enqueue {
+            t_us: 0.0,
+            seq: 3,
+            stream: 0,
+            queue: 1,
+            depth: 1,
+        });
+        c.observe(&ObsEvent::WorkerDown {
+            t_us: 5.0,
+            worker: 1,
+        });
+        c.observe(&ObsEvent::Orphaned {
+            t_us: 5.0,
+            seq: 3,
+            worker: 1,
+        });
+        c.observe(&ObsEvent::Requeue {
+            t_us: 5.0,
+            seq: 3,
+            queue: 0,
+        });
+        // The orphan/requeue ledger balances and does not disturb the
+        // enqueue/complete conservation identity.
+        assert_eq!(c.orphaned, 1);
+        assert_eq!(c.requeued, 1);
+        assert_eq!(c.worker_downs, 1);
+        assert_eq!(c.in_flight(), 1);
+        c.observe(&ObsEvent::Complete {
+            t_us: 9.0,
+            seq: 3,
+            stream: 0,
+            worker: 0,
+            delay_us: 9.0,
+            ok: true,
+        });
+        assert_eq!(c.in_flight(), 0);
+        c.observe(&ObsEvent::WorkerUp {
+            t_us: 20.0,
+            worker: 1,
+        });
+        assert_eq!(c.worker_ups, 1);
     }
 
     #[test]

@@ -138,6 +138,43 @@ pub enum ObsEvent {
         /// Depth at the sample point.
         depth: u32,
     },
+    /// A worker left service (processor fault: crash or stall window).
+    WorkerDown {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// The worker that went down.
+        worker: u32,
+    },
+    /// A worker returned to service (stall ended, or a crash revived it
+    /// with cold caches).
+    WorkerUp {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// The worker that came back.
+        worker: u32,
+    },
+    /// A message was orphaned by its worker's failure (it was in flight
+    /// or queued there) and must be re-routed. Every `Orphaned` is
+    /// followed by exactly one [`ObsEvent::Requeue`] of the same `seq`
+    /// — the pair is the conservation ledger across a failure.
+    Orphaned {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// The failed worker it was recovered from.
+        worker: u32,
+    },
+    /// An orphaned message re-entered a queue via the policy's own
+    /// routing decision over the degraded view.
+    Requeue {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// Queue it landed in (worker index, or [`SHARED_QUEUE`]).
+        queue: u32,
+    },
 }
 
 impl ObsEvent {
@@ -150,7 +187,11 @@ impl ObsEvent {
             | ObsEvent::Complete { t_us, .. }
             | ObsEvent::Evict { t_us, .. }
             | ObsEvent::CacheCharge { t_us, .. }
-            | ObsEvent::QueueDepth { t_us, .. } => t_us,
+            | ObsEvent::QueueDepth { t_us, .. }
+            | ObsEvent::WorkerDown { t_us, .. }
+            | ObsEvent::WorkerUp { t_us, .. }
+            | ObsEvent::Orphaned { t_us, .. }
+            | ObsEvent::Requeue { t_us, .. } => t_us,
         }
     }
 
@@ -161,24 +202,38 @@ impl ObsEvent {
             | ObsEvent::Dispatch { seq, .. }
             | ObsEvent::Steal { seq, .. }
             | ObsEvent::Complete { seq, .. }
-            | ObsEvent::Evict { seq, .. } => Some(seq),
-            ObsEvent::CacheCharge { .. } | ObsEvent::QueueDepth { .. } => None,
+            | ObsEvent::Evict { seq, .. }
+            | ObsEvent::Orphaned { seq, .. }
+            | ObsEvent::Requeue { seq, .. } => Some(seq),
+            ObsEvent::CacheCharge { .. }
+            | ObsEvent::QueueDepth { .. }
+            | ObsEvent::WorkerDown { .. }
+            | ObsEvent::WorkerUp { .. } => None,
         }
     }
 
     /// Causal rank used to order events that share a timestamp when
     /// per-worker streams are merged: a message is enqueued before it is
     /// evicted or stolen, stolen before dispatched, dispatched (and
-    /// charged) before completed.
+    /// charged) before completed. Failure events slot in causally too:
+    /// within one message's timestamp an orphan records before its
+    /// requeue, and a requeue before any steal/dispatch of the same
+    /// message. The *relative* order of the pre-fault kinds is
+    /// unchanged, so existing merged traces sort identically (ranks are
+    /// never serialized).
     pub fn kind_rank(&self) -> u8 {
         match self {
             ObsEvent::Enqueue { .. } => 0,
             ObsEvent::Evict { .. } => 1,
-            ObsEvent::Steal { .. } => 2,
-            ObsEvent::Dispatch { .. } => 3,
-            ObsEvent::CacheCharge { .. } => 4,
-            ObsEvent::QueueDepth { .. } => 5,
-            ObsEvent::Complete { .. } => 6,
+            ObsEvent::WorkerDown { .. } => 2,
+            ObsEvent::WorkerUp { .. } => 3,
+            ObsEvent::Orphaned { .. } => 4,
+            ObsEvent::Requeue { .. } => 5,
+            ObsEvent::Steal { .. } => 6,
+            ObsEvent::Dispatch { .. } => 7,
+            ObsEvent::CacheCharge { .. } => 8,
+            ObsEvent::QueueDepth { .. } => 9,
+            ObsEvent::Complete { .. } => 10,
         }
     }
 
@@ -257,6 +312,44 @@ mod tests {
             ok: true,
         };
         assert!(early.merge_key() < late.merge_key());
+    }
+
+    #[test]
+    fn fault_events_order_causally_within_a_message() {
+        let orphan = ObsEvent::Orphaned {
+            t_us: 3.0,
+            seq: 4,
+            worker: 1,
+        };
+        let requeue = ObsEvent::Requeue {
+            t_us: 3.0,
+            seq: 4,
+            queue: 2,
+        };
+        let disp = ObsEvent::Dispatch {
+            t_us: 3.0,
+            seq: 4,
+            stream: 0,
+            worker: 2,
+            service_us: 5.0,
+            stream_migrated: true,
+            thread_migrated: false,
+            stolen: false,
+        };
+        assert!(orphan.merge_key() < requeue.merge_key());
+        assert!(requeue.merge_key() < disp.merge_key());
+        let down = ObsEvent::WorkerDown {
+            t_us: 3.0,
+            worker: 1,
+        };
+        let up = ObsEvent::WorkerUp {
+            t_us: 3.0,
+            worker: 1,
+        };
+        assert_eq!(down.seq(), None);
+        assert_eq!(up.seq(), None);
+        assert!(down.merge_key() < up.merge_key());
+        assert_eq!(down.t_us(), 3.0);
     }
 
     #[test]

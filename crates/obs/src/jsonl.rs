@@ -89,6 +89,27 @@ pub fn write_event(out: &mut String, ev: &ObsEvent) {
                 "{{\"e\":\"qdepth\",\"t\":{t_us:.3},\"queue\":{queue},\"depth\":{depth}}}"
             );
         }
+        ObsEvent::WorkerDown { t_us, worker } => {
+            let _ = writeln!(
+                out,
+                "{{\"e\":\"wdown\",\"t\":{t_us:.3},\"worker\":{worker}}}"
+            );
+        }
+        ObsEvent::WorkerUp { t_us, worker } => {
+            let _ = writeln!(out, "{{\"e\":\"wup\",\"t\":{t_us:.3},\"worker\":{worker}}}");
+        }
+        ObsEvent::Orphaned { t_us, seq, worker } => {
+            let _ = writeln!(
+                out,
+                "{{\"e\":\"orphan\",\"t\":{t_us:.3},\"seq\":{seq},\"worker\":{worker}}}"
+            );
+        }
+        ObsEvent::Requeue { t_us, seq, queue } => {
+            let _ = writeln!(
+                out,
+                "{{\"e\":\"requeue\",\"t\":{t_us:.3},\"seq\":{seq},\"queue\":{queue}}}"
+            );
+        }
     }
 }
 
@@ -156,6 +177,24 @@ mod tests {
                 queue: 0,
                 depth: 4,
             },
+            ObsEvent::WorkerDown {
+                t_us: 14.0,
+                worker: 2,
+            },
+            ObsEvent::Orphaned {
+                t_us: 14.0,
+                seq: 4,
+                worker: 2,
+            },
+            ObsEvent::Requeue {
+                t_us: 14.0,
+                seq: 4,
+                queue: 1,
+            },
+            ObsEvent::WorkerUp {
+                t_us: 20.0,
+                worker: 2,
+            },
         ];
         let a = render(&events);
         let b = render(&events);
@@ -164,6 +203,10 @@ mod tests {
         assert!(a.starts_with("{\"e\":\"enq\",\"t\":1.234,"), "{a}");
         assert!(a.contains("\"kind\":\"reload\""));
         assert!(a.contains("\"queue\":4294967295"));
+        assert!(a.contains("{\"e\":\"wdown\",\"t\":14.000,\"worker\":2}"));
+        assert!(a.contains("{\"e\":\"orphan\",\"t\":14.000,\"seq\":4,\"worker\":2}"));
+        assert!(a.contains("{\"e\":\"requeue\",\"t\":14.000,\"seq\":4,\"queue\":1}"));
+        assert!(a.contains("{\"e\":\"wup\",\"t\":20.000,\"worker\":2}"));
         for line in a.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }

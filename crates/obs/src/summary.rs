@@ -71,6 +71,21 @@ pub fn render(c: &Counters) -> String {
             c.errored
         );
     }
+    if c.worker_downs > 0 || c.orphaned > 0 {
+        let _ = writeln!(
+            out,
+            "  proc faults: {} down, {} up | {} orphaned, {} requeued ({})",
+            c.worker_downs,
+            c.worker_ups,
+            c.orphaned,
+            c.requeued,
+            if c.requeued == c.orphaned {
+                "conserved"
+            } else {
+                "IMBALANCED"
+            }
+        );
+    }
     for (w, lane) in c.by_worker.iter().enumerate() {
         if lane.dispatched == 0 && lane.steals_in == 0 {
             continue;

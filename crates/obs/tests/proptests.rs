@@ -124,7 +124,12 @@ fn assert_lifecycle(events: &[ObsEvent]) -> Result<(), TestCaseError> {
             ObsEvent::Evict { seq, .. } => {
                 evicted.insert(seq);
             }
-            ObsEvent::CacheCharge { .. } | ObsEvent::QueueDepth { .. } => {}
+            ObsEvent::CacheCharge { .. }
+            | ObsEvent::QueueDepth { .. }
+            | ObsEvent::WorkerDown { .. }
+            | ObsEvent::WorkerUp { .. }
+            | ObsEvent::Orphaned { .. }
+            | ObsEvent::Requeue { .. } => {}
         }
     }
 

@@ -46,9 +46,9 @@ pub mod view;
 pub use decision::{Assignment, Route, StealDecision, ThreadSource};
 pub use paradigm::{IpsPolicy, LockPolicy, Paradigm};
 pub use policy::{
-    min_reload_route, mru_load_route, newest_idle, random_idle, shallowest_queue, DispatchPolicy,
-    IpsDispatch, LockingDispatch, StealPolicy,
+    min_reload_route, mru_load_route, newest_idle, next_live, random_idle, shallowest_queue,
+    DispatchPolicy, IpsDispatch, LockingDispatch, StealPolicy,
 };
 pub use router::{Router, RouterState};
 pub use spec::{NativeLayout, PolicySpec, DEFAULT_MRU_LOAD_BOUND};
-pub use view::SchedView;
+pub use view::{MaskedView, SchedView};

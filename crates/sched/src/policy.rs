@@ -59,22 +59,27 @@ pub trait DispatchPolicy {
 /// A uniformly random idle worker — the affinity-oblivious placement.
 ///
 /// Exactly one `draw(idle_count)` is consumed, and only when at least
-/// one worker is idle (count-then-select, allocation-free).
+/// one live worker is idle (count-then-select, allocation-free). Dead
+/// or stalled workers are excluded from both the count and the
+/// selection, so masking never perturbs the draw sequence seen for
+/// live-worker choices: with everything live the count — and therefore
+/// every draw — is bit-identical to the pre-fault-layer scan.
 pub fn random_idle(view: &dyn SchedView, draw: DrawFn) -> Option<usize> {
-    let idle_count = (0..view.n_workers()).filter(|&w| view.is_idle(w)).count();
+    let eligible = |w: &usize| view.is_idle(*w) && view.is_live(*w);
+    let idle_count = (0..view.n_workers()).filter(eligible).count();
     if idle_count == 0 {
         return None;
     }
     let k = draw(idle_count);
-    (0..view.n_workers()).filter(|&w| view.is_idle(w)).nth(k)
+    (0..view.n_workers()).filter(eligible).nth(k)
 }
 
-/// The idle worker with the *newest* protocol activity (the best
+/// The live idle worker with the *newest* protocol activity (the best
 /// fallback when the preferred worker is busy). Never-protocol workers
 /// rank lowest; ties break toward the lowest index.
 pub fn newest_idle(view: &dyn SchedView) -> Option<usize> {
     (0..view.n_workers())
-        .filter(|&w| view.is_idle(w))
+        .filter(|&w| view.is_idle(w) && view.is_live(w))
         .max_by_key(|&w| {
             (
                 view.last_protocol_end(w)
@@ -85,49 +90,69 @@ pub fn newest_idle(view: &dyn SchedView) -> Option<usize> {
         })
 }
 
-/// MRU choice for an entity: its last worker if idle, else the
-/// newest-protocol idle worker.
+/// MRU choice for an entity: its last worker if live and idle, else the
+/// newest-protocol live idle worker.
 fn mru_choice(view: &dyn SchedView, entity: u32) -> Option<usize> {
     if let Some(last) = view.last_worker(entity) {
-        if view.is_idle(last) {
+        if view.is_idle(last) && view.is_live(last) {
             return Some(last);
         }
     }
     newest_idle(view)
 }
 
-/// The worker with the shallowest queue (lowest index on ties).
+/// The preferred worker if live, else the next live worker cyclically
+/// upward — the degraded-mode fallback for statically wired routes.
+/// With everything live this is the identity on `preferred`.
+pub fn next_live(view: &dyn SchedView, preferred: usize) -> usize {
+    let n = view.n_workers().max(1);
+    let preferred = preferred % n;
+    (0..n)
+        .map(|k| (preferred + k) % n)
+        .find(|&w| view.is_live(w))
+        .unwrap_or(preferred)
+}
+
+/// The live worker with the shallowest queue (lowest index on ties).
 pub fn shallowest_queue(view: &dyn SchedView) -> usize {
     (0..view.n_workers())
+        .filter(|&w| view.is_live(w))
         .min_by_key(|&w| (view.queue_depth(w), w))
         .unwrap_or(0)
 }
 
-/// MRU-with-load-threshold routing: the entity's last worker while its
-/// backlog is within `max_backlog`, else the shallowest queue.
+/// MRU-with-load-threshold routing: the entity's last worker while it
+/// is live and its backlog is within `max_backlog`, else the shallowest
+/// live queue. A dead last worker is treated as no history.
 pub fn mru_load_route(view: &dyn SchedView, entity: u32, max_backlog: usize) -> usize {
     if let Some(w) = view.last_worker(entity) {
-        if view.queue_depth(w) <= max_backlog {
+        if view.is_live(w) && view.queue_depth(w) <= max_backlog {
             return w;
         }
     }
     shallowest_queue(view)
 }
 
-/// Minimum-expected-reload routing: argmin over workers of the priced
-/// reload transient for the entity's component ages on that worker,
-/// plus one warm protocol service per queued packet of backlog (the
-/// waiting cost that keeps affinity from collapsing onto one worker).
-/// Strict `<` comparison keeps the lowest index on exact ties.
+/// Minimum-expected-reload routing: argmin over live workers of the
+/// priced reload transient for the entity's component ages on that
+/// worker, plus one warm protocol service per queued packet of backlog
+/// (the waiting cost that keeps affinity from collapsing onto one
+/// worker), all scaled by the worker's service multiplier so degraded
+/// cores price honestly. Strict `<` comparison keeps the lowest index
+/// on exact ties; with every worker live at nominal speed the costs —
+/// and the argmin — are bit-identical to the unscaled scan.
 pub fn min_reload_route(view: &dyn SchedView, entity: u32, pricer: &DispatchPricer) -> usize {
     let mut best = 0usize;
     let mut best_cost = f64::INFINITY;
     for w in 0..view.n_workers() {
+        if !view.is_live(w) {
+            continue;
+        }
         let reload_us = pricer
             .protocol_time(view.ages_on(w, entity))
             .as_micros_f64();
         let wait_us = view.queue_depth(w) as f64 * pricer.t_warm_us();
-        let cost = reload_us + wait_us;
+        let cost = view.service_scale(w) * (reload_us + wait_us);
         if cost < best_cost {
             best_cost = cost;
             best = w;
@@ -160,9 +185,11 @@ impl DispatchPolicy for LockingDispatch<'_> {
 
     fn route(&self, view: &dyn SchedView, entity: u32, _draw: DrawFn) -> Route {
         match self.policy {
-            LockPolicy::Wired => Route::Worker(entity as usize % view.n_workers()),
+            // Wired bindings fall through to the next live worker while
+            // their home is dead or stalled (identity when all live).
+            LockPolicy::Wired => Route::Worker(next_live(view, entity as usize)),
             LockPolicy::Hybrid { wired } if wired[entity as usize] => {
-                Route::Worker(entity as usize % view.n_workers())
+                Route::Worker(next_live(view, entity as usize))
             }
             LockPolicy::MruLoad { max_backlog } => {
                 Route::Worker(mru_load_route(view, entity, *max_backlog))
@@ -203,8 +230,8 @@ impl DispatchPolicy for IpsDispatch {
     fn select(&self, view: &dyn SchedView, stack: u32, draw: DrawFn) -> Option<Assignment> {
         let worker = match self.policy {
             IpsPolicy::Wired => {
-                let target = stack as usize % view.n_workers();
-                view.is_idle(target).then_some(target)
+                let target = next_live(view, stack as usize);
+                (view.is_idle(target) && view.is_live(target)).then_some(target)
             }
             IpsPolicy::Mru => mru_choice(view, stack),
             IpsPolicy::Random => random_idle(view, draw),
@@ -249,7 +276,7 @@ impl DispatchPolicy for StealPolicy {
         let mut victim = None;
         let mut deepest = self.threshold.max(1);
         for v in 0..view.n_workers() {
-            if v == thief {
+            if v == thief || !view.is_live(v) {
                 continue;
             }
             let depth = view.queue_depth(v);
@@ -289,6 +316,8 @@ pub(crate) mod tests {
         pub depths: Vec<usize>,
         pub last: Vec<Option<usize>>,
         pub vclocks: Vec<u64>,
+        pub live: Vec<bool>,
+        pub scale: Vec<f64>,
     }
 
     impl TestView {
@@ -299,6 +328,8 @@ pub(crate) mod tests {
                 depths: vec![0; n],
                 last: vec![None; 64],
                 vclocks: vec![0; n],
+                live: vec![true; n],
+                scale: vec![1.0; n],
             }
         }
     }
@@ -332,6 +363,12 @@ pub(crate) mod tests {
         }
         fn vclock_bits(&self, w: usize) -> u64 {
             self.vclocks[w]
+        }
+        fn is_live(&self, w: usize) -> bool {
+            self.live[w]
+        }
+        fn service_scale(&self, w: usize) -> f64 {
+            self.scale[w]
         }
     }
 
@@ -400,6 +437,100 @@ pub(crate) mod tests {
         v.vclocks = vec![10, 20, 30];
         v.depths = vec![0, 1, 1];
         assert!(sp.steal(&v, 0).is_none());
+    }
+
+    #[test]
+    fn empty_mask_preserves_draw_order_exactly() {
+        // Satellite regression: wrapping a view in an all-live
+        // `MaskedView` must leave every decision AND every RNG draw
+        // bit-identical — the fault layer is free when no fault fired.
+        use crate::view::MaskedView;
+        let pricer = DispatchPricer::new(&test_model());
+        let mut v = TestView::idle(4);
+        v.idle = vec![true, false, true, true];
+        v.ends = vec![Some(3), None, Some(9), None];
+        v.depths = vec![2, 0, 1, 3];
+        v.last[5] = Some(1);
+        v.vclocks = vec![10, 40, 20, 30];
+        let dead = vec![false; 4];
+
+        let mut raw_draws = Vec::new();
+        let mut masked_draws = Vec::new();
+        for seed in 0..8usize {
+            let masked = MaskedView::new(&v, &dead);
+            let mut raw_draw = |n: usize| {
+                raw_draws.push(n);
+                seed % n
+            };
+            let mut masked_draw = |n: usize| {
+                masked_draws.push(n);
+                seed % n
+            };
+            assert_eq!(
+                random_idle(&v, &mut raw_draw),
+                random_idle(&masked, &mut masked_draw)
+            );
+            assert_eq!(newest_idle(&v), newest_idle(&masked));
+            assert_eq!(shallowest_queue(&v), shallowest_queue(&masked));
+            assert_eq!(mru_load_route(&v, 5, 1), mru_load_route(&masked, 5, 1));
+            assert_eq!(
+                min_reload_route(&v, 5, &pricer),
+                min_reload_route(&masked, 5, &pricer)
+            );
+            assert_eq!(
+                StealPolicy::default().steal(&v, 0),
+                StealPolicy::default().steal(&masked, 0)
+            );
+            assert_eq!(next_live(&v, seed), seed % 4);
+        }
+        assert_eq!(raw_draws, masked_draws, "draw sequences must match");
+        assert!(!raw_draws.is_empty());
+    }
+
+    #[test]
+    fn masked_workers_are_skipped_without_extra_draws() {
+        let mut v = TestView::idle(4);
+        v.live = vec![true, false, true, true];
+        let mut draws = Vec::new();
+        let mut draw = |n: usize| {
+            draws.push(n);
+            n - 1
+        };
+        // The dead worker is excluded from the idle count: one draw
+        // over the three live workers, never landing on worker 1.
+        assert_eq!(random_idle(&v, &mut draw), Some(3));
+        assert_eq!(draws, vec![3]);
+        assert_eq!(newest_idle(&v), Some(0));
+        v.depths = vec![5, 0, 2, 4];
+        assert_eq!(shallowest_queue(&v), 2, "dead empty queue is skipped");
+        // A dead last worker is no history: spill to shallowest live.
+        v.last[7] = Some(1);
+        assert_eq!(mru_load_route(&v, 7, 8), 2);
+        // Wired bindings fall through to the next live worker.
+        assert_eq!(next_live(&v, 1), 2);
+        assert_eq!(next_live(&v, 5), 2);
+        assert_eq!(next_live(&v, 0), 0);
+    }
+
+    #[test]
+    fn steal_and_min_reload_respect_mask_and_scale() {
+        let pricer = DispatchPricer::new(&test_model());
+        let sp = StealPolicy::default();
+        let mut v = TestView::idle(3);
+        v.depths = vec![0, 5, 3];
+        v.vclocks = vec![10, 20, 30];
+        // The deepest victim is dead: the scan settles on the live one.
+        v.live = vec![true, false, true];
+        assert_eq!(sp.steal(&v, 0).expect("live victim").victim, 2);
+        // Min-reload never picks a dead worker even when it is the warm
+        // one, and a slow scale tips the argmin off a degraded core.
+        let mut v = TestView::idle(2);
+        v.last[3] = Some(1);
+        v.live = vec![true, false];
+        assert_eq!(min_reload_route(&v, 3, &pricer), 0);
+        v.live = vec![true, true];
+        v.scale = vec![1.0, 100.0];
+        assert_eq!(min_reload_route(&v, 3, &pricer), 0, "slow core repels");
     }
 
     #[test]

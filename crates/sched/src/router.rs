@@ -14,7 +14,7 @@ use afs_cache::model::exec_time::{Age, ComponentAges};
 use afs_cache::model::pricer::DispatchPricer;
 
 use crate::decision::Route;
-use crate::policy::{min_reload_route, mru_load_route, DrawFn};
+use crate::policy::{min_reload_route, mru_load_route, next_live, DrawFn};
 use crate::view::SchedView;
 
 /// The native dispatcher's enqueue-time routing policy.
@@ -48,9 +48,22 @@ impl Router {
         pricer: &DispatchPricer,
     ) -> Route {
         match self {
-            Router::RandomWorker => Route::Worker(draw(view.n_workers())),
+            Router::RandomWorker => {
+                // Draw over the *live* workers only, so dead cores
+                // never receive new placements. With everything live
+                // the count equals `n_workers()` and the draw — value
+                // and sequence position — is exactly the historical one.
+                let n = view.n_workers();
+                let live = (0..n).filter(|&w| view.is_live(w)).count();
+                if live == 0 || live == n {
+                    Route::Worker(draw(n))
+                } else {
+                    let k = draw(live);
+                    Route::Worker((0..n).filter(|&w| view.is_live(w)).nth(k).unwrap_or(0))
+                }
+            }
             Router::SharedQueue => Route::Shared,
-            Router::StreamOwner => Route::Worker(entity as usize % view.n_workers().max(1)),
+            Router::StreamOwner => Route::Worker(next_live(view, entity as usize)),
             Router::MruLoad { max_backlog } => {
                 Route::Worker(mru_load_route(view, entity, *max_backlog))
             }
@@ -73,6 +86,11 @@ pub struct RouterState {
     vfinish_us: Vec<f64>,
     /// Estimated per-packet service time charged to the drain clocks.
     est_service_us: f64,
+    /// Plan-derived liveness mask: `false` masks a worker out of every
+    /// routing decision. Derived from the fault *plan*, never from racy
+    /// host-side health observation, so routing stays a pure function
+    /// of the workload.
+    live: Vec<bool>,
 }
 
 impl RouterState {
@@ -83,7 +101,18 @@ impl RouterState {
             last: Vec::new(),
             vfinish_us: vec![0.0; workers],
             est_service_us: est_service_us.max(1e-9),
+            live: vec![true; workers],
         }
+    }
+
+    /// Mask worker `w` in (`true`) or out (`false`) of routing.
+    pub fn set_live(&mut self, w: usize, live: bool) {
+        self.live[w] = live;
+    }
+
+    /// Whether worker `w` is currently routed to.
+    pub fn is_live(&self, w: usize) -> bool {
+        self.live.get(w).copied().unwrap_or(true)
     }
 
     /// Record that a packet of `stream` arriving at `arrival_us` was
@@ -137,6 +166,10 @@ impl SchedView for RouterView<'_> {
         self.state.last.get(entity as usize).copied().flatten()
     }
 
+    fn is_live(&self, w: usize) -> bool {
+        self.state.live[w]
+    }
+
     fn ages_on(&self, w: usize, entity: u32) -> ComponentAges {
         ComponentAges {
             // A worker that ever ran protocol work keeps warm code in
@@ -175,6 +208,51 @@ mod tests {
         let v = st.view_at(121.0);
         assert_eq!(v.queue_depth(0), 0);
         assert_eq!(v.last_worker(0), Some(0));
+    }
+
+    #[test]
+    fn masked_workers_never_receive_routes() {
+        let pricer = DispatchPricer::new(&crate::policy::tests::test_model());
+        let mut st = RouterState::new(3, 10.0);
+        st.set_live(1, false);
+        // RandomWorker draws over the two live workers and maps the
+        // draw onto {0, 2}; the masked worker is unreachable.
+        let mut draws = Vec::new();
+        for pick in 0..2usize {
+            let mut draw = |n: usize| {
+                draws.push(n);
+                pick
+            };
+            let route = Router::RandomWorker.route(&st.view_at(0.0), 0, &mut draw, &pricer);
+            assert_eq!(route, Route::Worker(if pick == 0 { 0 } else { 2 }));
+        }
+        assert_eq!(draws, vec![2, 2]);
+        // Wired stream ownership falls through to the next live worker.
+        let mut no_draw = |_: usize| -> usize { unreachable!() };
+        assert_eq!(
+            Router::StreamOwner.route(&st.view_at(0.0), 4, &mut no_draw, &pricer),
+            Route::Worker(2)
+        );
+        // Load-aware routing skips the masked worker even when it has
+        // the shallowest virtual queue.
+        st.note_routed(0, 0, 0.0);
+        st.note_routed(0, 2, 0.0);
+        st.note_routed(0, 2, 0.0);
+        let r = Router::MruLoad { max_backlog: 0 };
+        assert_eq!(
+            r.route(&st.view_at(0.0), 9, &mut no_draw, &pricer),
+            Route::Worker(0)
+        );
+        // Unmasking restores the historical draw width.
+        st.set_live(1, true);
+        let mut draw = |n: usize| {
+            assert_eq!(n, 3);
+            1
+        };
+        assert_eq!(
+            Router::RandomWorker.route(&st.view_at(0.0), 0, &mut draw, &pricer),
+            Route::Worker(1)
+        );
     }
 
     #[test]

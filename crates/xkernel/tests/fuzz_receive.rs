@@ -6,11 +6,12 @@
 //! requires that every input terminates in a *typed* outcome — never a
 //! panic — with partial work charged on rejection.
 //!
-//! Six suites × 256 cases = 1536 cases per run (the vendored proptest
-//! honours `PROPTEST_CASES` as a global cap for CI smoke runs). The
-//! final suite replays injector-damaged traffic through the native
-//! pinned-thread backend and cross-checks its typed-outcome accounting
-//! against a single-engine reference.
+//! Seven suites × 256 cases per run (the vendored proptest honours
+//! `PROPTEST_CASES` as a global cap for CI smoke runs). The last two
+//! suites replay injector-damaged traffic through the native
+//! pinned-thread backend and cross-check its typed-outcome accounting
+//! against a single-engine reference — the final one while a seeded
+//! processor-fault plan crashes, stalls and slows workers mid-run.
 
 use proptest::prelude::*;
 
@@ -22,6 +23,16 @@ use afs_xkernel::proto::StreamId;
 use afs_xkernel::{ip, CostModel, FaultInjector, FaultPlan, ProtocolEngine, RxOutcome, ThreadId};
 
 const CASES: u32 = 256;
+
+/// 50/50 `None`/`Some` over `s` (the vendored proptest has no
+/// `prop::option` module).
+fn opt<S>(s: S) -> impl Strategy<Value = Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + 'static,
+{
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
 
 fn frame_at(bytes: Vec<u8>, stream: u32, slot: u32) -> RxFrame {
     RxFrame {
@@ -274,5 +285,141 @@ proptest! {
         prop_assert_eq!(c.evicted, 0, "{}", diag());
         prop_assert_eq!(c.in_flight(), 0, "{}", diag());
         prop_assert_eq!(c.completed_ok, want.delivered, "{}", diag());
+    }
+
+    /// Packet faults and processor faults at once: the injector damages
+    /// the wire while a seeded plan crashes, stalls and slows workers
+    /// mid-run. The deliver/reject verdict must still depend only on
+    /// the frame (it matches the single-engine reference exactly), and
+    /// the conservation ledger must balance across the crash — every
+    /// orphan re-dispatched, nothing lost, nothing in flight at join.
+    #[test]
+    fn native_backend_survives_combined_packet_and_processor_faults(
+        seed in any::<u64>(),
+        n_frames in 8usize..60,
+        workers in 2usize..=4,
+        drop_p in 0.0f64..0.4,
+        corrupt_p in 0.0f64..0.4,
+        truncate_p in 0.0f64..0.4,
+        victim_r in 0.0f64..1.0,
+        crash_frac in 0.1f64..0.8,
+        revive in opt(0.05f64..0.4),
+        stall in opt((0.0f64..0.6, 0.05f64..0.3)),
+        slow in opt((0.0f64..0.7, 1.0f64..3.0)),
+    ) {
+        use afs_native::{
+            run_native_recorded, NativeConfig, NativePacket, Pinning, PolicySpec, ProcFault,
+            ProcFaultKind, ProcFaultPlan,
+        };
+
+        let plan = FaultPlan {
+            drop_p,
+            corrupt_p,
+            truncate_p,
+            duplicate_p: 0.2,
+            reorder_p: 0.2,
+            ..FaultPlan::none()
+        };
+        let factory_rng = RngFactory::new(seed);
+        let mut inj = FaultInjector::from_factory(plan, &factory_rng);
+        let mut packets = PacketFactory::new();
+        let streams = 4u32;
+        let mut emitted = Vec::new();
+        for i in 0..n_frames {
+            let s = i as u32 % streams;
+            let frame = frame_at(packets.frame_for(StreamId(s), 32 + i % 256), s, i as u32);
+            emitted.extend(inj.admit(frame));
+        }
+        emitted.extend(inj.flush());
+        prop_assume!(!emitted.is_empty());
+
+        // Reference verdicts: one engine, one thread, same bytes.
+        let mut eng = ProtocolEngine::new(CostModel::default());
+        for s in 0..streams {
+            eng.bind_stream(StreamId(s));
+        }
+        let mut hier = CostModel::default().hierarchy();
+        let mut want = afs_obs::Counters::new();
+        inj.stats.observe_into(&mut want);
+        for frame in &emitted {
+            let out = eng.receive_outcome(&mut hier, frame, ThreadId(0));
+            assert_typed(&out);
+            out.observe_into(&mut want);
+        }
+
+        let workload: Vec<NativePacket> = emitted
+            .iter()
+            .enumerate()
+            .map(|(i, f)| NativePacket {
+                bytes: f.bytes.clone(),
+                stream: f.stream,
+                arrival_us: 25.0 * i as f64,
+            })
+            .collect();
+        let horizon_us = 25.0 * workload.len() as f64;
+
+        // The processor-fault plan: one crash (never worker 0 — the
+        // survivor guarantee), plus an optional stall and slow core.
+        let victim = 1 + ((victim_r * (workers - 1) as f64) as usize).min(workers - 2);
+        let mut proc_faults = vec![ProcFault {
+            proc: victim,
+            at_us: crash_frac * horizon_us,
+            kind: ProcFaultKind::Crash {
+                revive_at_us: revive.map(|d| (crash_frac + d) * horizon_us),
+            },
+        }];
+        if let Some((at, dur)) = stall {
+            proc_faults.push(ProcFault {
+                proc: 0,
+                at_us: at * horizon_us,
+                kind: ProcFaultKind::Stall {
+                    duration_us: dur * horizon_us,
+                },
+            });
+        }
+        if let Some((at, factor)) = slow {
+            proc_faults.push(ProcFault {
+                proc: victim % workers.saturating_sub(1) + 1,
+                at_us: at * horizon_us,
+                kind: ProcFaultKind::Slowdown { factor },
+            });
+        }
+        let proc_plan = ProcFaultPlan { faults: proc_faults };
+        prop_assert!(proc_plan.validate(workers).is_ok());
+
+        let mut cfg = NativeConfig::new(workers, PolicySpec::Ips);
+        cfg.pinning = Pinning::Off;
+        cfg.faults = proc_plan;
+        let (report, rec) = run_native_recorded(&cfg, workload);
+        let diag = || {
+            format!(
+                "wire + reference:\n{}\nnative trace:\n{}\nreport: {report:?}",
+                afs_obs::summary::render(&want),
+                afs_obs::summary::render(&rec.counters)
+            )
+        };
+
+        // Verdicts are frame properties, crash or no crash: home-stack
+        // routing keeps diverted streams on their session state, so the
+        // typed-outcome totals match the single-engine reference.
+        prop_assert_eq!(report.offered, emitted.len() as u64);
+        prop_assert_eq!(report.outcomes.total(), report.offered, "lost frames\n{}", diag());
+        prop_assert_eq!(report.outcomes.delivered, want.delivered, "{}", diag());
+        prop_assert_eq!(report.outcomes.rejected, want.errored, "{}", diag());
+        prop_assert_eq!(report.outcomes.no_session, 0, "session lost in a crash\n{}", diag());
+
+        // Conservation across the crash: the ledger balances and every
+        // orphan was re-dispatched.
+        let c = &rec.counters;
+        prop_assert_eq!(c.enqueued, report.offered, "{}", diag());
+        prop_assert_eq!(c.completed, report.offered, "{}", diag());
+        prop_assert_eq!(c.in_flight(), 0, "{}", diag());
+        prop_assert_eq!(c.evicted, 0, "{}", diag());
+        prop_assert_eq!(c.orphaned, c.requeued, "{}", diag());
+        prop_assert_eq!(c.orphaned, report.orphaned, "{}", diag());
+        prop_assert_eq!(report.orphaned, report.requeued, "{}", diag());
+        if report.workers_crashed > 0 {
+            prop_assert!(c.worker_downs > 0, "crash without a WorkerDown event\n{}", diag());
+        }
     }
 }

@@ -11,7 +11,9 @@
 
 use afs_bench::template_with;
 use afs_core::config::{LockPolicy, Paradigm, SystemConfig};
-use afs_core::crossval::{sim_matrix_jobs, smoke_matrix};
+use afs_core::crossval::{
+    fault_levels, procfault_smoke_scenario, sim_fault_matrix_jobs, sim_matrix_jobs, smoke_matrix,
+};
 use afs_core::metrics::RunReport;
 use afs_core::replicate::replicate_jobs;
 use afs_core::sweep::rate_sweep_jobs;
@@ -42,6 +44,11 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, ctx: &str) {
         a.per_proc_served, b.per_proc_served,
         "{ctx}: per-proc counts"
     );
+    // Fault accounting (zero on clean runs) must replay exactly too.
+    assert_eq!(a.proc_crashes, b.proc_crashes, "{ctx}: proc_crashes");
+    assert_eq!(a.proc_stalls, b.proc_stalls, "{ctx}: proc_stalls");
+    assert_eq!(a.orphaned, b.orphaned, "{ctx}: orphaned");
+    assert_eq!(a.requeued, b.requeued, "{ctx}: requeued");
 }
 
 /// Figure 6's cells (Locking K = 8, the committed golden grid) swept
@@ -92,6 +99,37 @@ fn crossval_sim_matrix_parallel_is_bit_identical() {
                 &a.report,
                 &b.report,
                 &format!("ext22 {} {:?} jobs {jobs}", a.scenario.label(), a.policy),
+            );
+        }
+    }
+}
+
+/// The ext24 fault matrix's simulator side — crash, stall and slow-core
+/// injection over every policy rung — serial vs parallel: a faulted run
+/// is still a pure function of `(config, seed)`, so every cell
+/// (including its orphan/requeue accounting) must come back
+/// bit-identical for any `AFS_JOBS` worker count.
+#[test]
+fn ext24_fault_matrix_parallel_is_bit_identical() {
+    let s = procfault_smoke_scenario();
+    let levels = fault_levels();
+    let serial = sim_fault_matrix_jobs(1, &s, &levels);
+    // The faulted levels actually fire in this scenario; otherwise the
+    // test degenerates into the clean ext22 case above.
+    assert!(
+        serial.iter().any(|c| c.report.proc_crashes > 0),
+        "smoke scenario must exercise the fault machinery"
+    );
+    for jobs in JOB_COUNTS {
+        let par = sim_fault_matrix_jobs(jobs, &s, &levels);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.level, b.level, "cell order must be row-major");
+            assert_eq!(a.policy, b.policy, "cell order must be row-major");
+            assert_reports_identical(
+                &a.report,
+                &b.report,
+                &format!("ext24 {} {:?} jobs {jobs}", a.level, a.policy),
             );
         }
     }
