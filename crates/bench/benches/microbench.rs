@@ -5,7 +5,7 @@
 //! the ablation data for DESIGN.md's implementation choices (exact
 //! binomial tail vs direct-mapped closed form, LRU bookkeeping cost).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use afs_cache::model::flush::{flushed_fraction, flushed_fraction_poisson};
 use afs_cache::model::footprint::MVS_WORKLOAD;
@@ -42,6 +42,27 @@ fn bench_event_queue(c: &mut Criterion) {
             let id = q.push(SimTime::from_micros(black_box(5)), 0u64);
             assert!(q.cancel(id));
         });
+    });
+    g.bench_function("resize_grow_drain", |b| {
+        // Growth path: push a wide-spread batch through the heap->
+        // calendar transition and its doubling rebuilds, then drain it
+        // back down (shrink rebuilds + empty reset). One iteration is a
+        // full grow/drain cycle, so the resize machinery dominates.
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..512u64 {
+                    // Large, irregular gaps keep the day width honest
+                    // across rebuilds.
+                    q.push(SimTime::from_micros(i * 977 + (i % 7) * 131), i);
+                }
+                while let Some((_, v)) = q.pop() {
+                    black_box(v);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        );
     });
     g.bench_function("cancel_heavy_with_compaction", |b| {
         // Timer-wheel style churn: a standing population where most

@@ -18,18 +18,60 @@
 
 use std::time::Instant;
 
-use afs_bench::{banner, json_object, quick_mode, template, write_json, Checks, K_STREAMS};
+use afs_bench::{
+    banner, json_object, quick_mode, results_dir, template, write_json, Checks, K_STREAMS,
+};
 use afs_core::crossval::{sim_matrix_jobs, smoke_matrix};
 use afs_core::par::{default_jobs, jobs_from_env};
 use afs_core::prelude::*;
 use afs_core::replicate::replicate_jobs;
+use afs_core::state::{LocTable, Procs};
 use afs_core::sweep::rate_sweep_jobs;
+use afs_desim::event::EventQueue;
+use afs_desim::time::SimTime;
 
 /// Wall time of `f` in seconds alongside its result.
 fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let t0 = Instant::now();
     let r = f();
     (t0.elapsed().as_secs_f64(), r)
+}
+
+/// The committed baseline's `sim_pkts_per_wall_s`, read from
+/// `results/BENCH_perf.json` *before* this run overwrites it. `None`
+/// when the file is absent or unparseable (first run on a fresh tree).
+fn committed_baseline_pkts_per_s() -> Option<f64> {
+    let text = std::fs::read_to_string(results_dir().join("BENCH_perf.json")).ok()?;
+    let tail = text.split("\"sim_pkts_per_wall_s\":").nth(1)?;
+    tail.trim_start()
+        .split(|c: char| c == ',' || c == '}')
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Event-queue op rate: a standing-population push/pop churn loop over
+/// the calendar queue, the exact access pattern of the simulator's
+/// schedule/fire cycle. Returns ops/second (one push or one pop = one
+/// op).
+fn event_queue_ops_per_s(pairs: u64) -> f64 {
+    let mut q = EventQueue::new();
+    for i in 0..1024u64 {
+        q.push(SimTime::from_micros(i), i);
+    }
+    let (t, _) = timed(|| {
+        let mut t_now = 1024u64;
+        let mut acc = 0u64;
+        for _ in 0..pairs {
+            let (_, v) = q.pop().expect("standing population");
+            acc ^= v;
+            t_now += 1 + (acc & 7); // irregular gaps, data-dependent
+            q.push(SimTime::from_micros(t_now), v);
+        }
+        acc
+    });
+    (2 * pairs) as f64 / t
 }
 
 fn main() {
@@ -43,9 +85,32 @@ fn main() {
     let jobs = jobs_from_env();
     println!("host cores: {host_cores}; AFS_JOBS resolved to {jobs}; quick = {quick}\n");
 
+    // The committed baseline, read before this run overwrites the file:
+    // the perf-regression gate below compares the fresh hot-path number
+    // against it.
+    let baseline_pkts_per_s = committed_baseline_pkts_per_s();
+
     let mru = Paradigm::Locking {
         policy: LockPolicy::Mru,
     };
+
+    // Family 0 — the event core in isolation: calendar-queue ops/s under
+    // the simulator's own schedule/fire churn pattern, plus the static
+    // hot-state cost of one dispatch. Together they give future perf
+    // PRs a finer-grained trajectory than the end-to-end number alone.
+    let eq_pairs: u64 = if quick { 300_000 } else { 3_000_000 };
+    let eq_ops_per_s = event_queue_ops_per_s(eq_pairs);
+    // One Locking dispatch reads/writes one processor record and two
+    // location records (thread stack + stream state).
+    let hot_bytes_per_packet = Procs::hot_bytes_per_proc() + 2 * LocTable::hot_bytes_per_entity();
+    println!(
+        "event queue: {:.0} ops/s ({} push+pop pairs); hot state: {} B/proc, {} B/entity, {} B/packet",
+        eq_ops_per_s,
+        eq_pairs,
+        Procs::hot_bytes_per_proc(),
+        LocTable::hot_bytes_per_entity(),
+        hot_bytes_per_packet
+    );
 
     // Family 1 — single-run hot path: simulated packets per wall second.
     // One moderate-load run, the unit every sweep point costs.
@@ -97,12 +162,25 @@ fn main() {
     );
 
     let body = json_object(&[
-        ("schema", "\"afs-bench-perf-v1\"".to_string()),
+        ("schema", "\"afs-bench-perf-v2\"".to_string()),
         ("quick", quick.to_string()),
         ("host_cores", host_cores.to_string()),
         ("afs_jobs", jobs.to_string()),
         ("sim_pkts_per_wall_s", format!("{sim_pkts_per_wall_s:.0}")),
         ("single_run_wall_s", format!("{t_single:.4}")),
+        ("event_queue_ops_per_s", format!("{eq_ops_per_s:.0}")),
+        (
+            "hot_state_bytes_per_proc",
+            Procs::hot_bytes_per_proc().to_string(),
+        ),
+        (
+            "hot_state_bytes_per_entity",
+            LocTable::hot_bytes_per_entity().to_string(),
+        ),
+        (
+            "hot_state_bytes_per_packet",
+            hot_bytes_per_packet.to_string(),
+        ),
         ("sweep_points", rates.len().to_string()),
         ("sweep_serial_wall_s", format!("{t_serial:.4}")),
         ("sweep_parallel_wall_s", format!("{t_parallel:.4}")),
@@ -118,6 +196,19 @@ fn main() {
     let mut checks = Checks::new();
     checks.expect("parallel sweep bit-identical to serial sweep", identical);
     checks.expect("single run delivered packets", report.delivered > 0);
+    // Perf-regression gate against the committed baseline. The margin
+    // is deliberately wide (0.5x) because wall-clock numbers cross
+    // hosts and the CI smoke run uses shortened horizons — the gate is
+    // for algorithmic regressions in the event core / hot state (an
+    // accidental O(n) queue shows up as 10-100x, not 2x), while honest
+    // same-host comparisons read the JSON diff instead.
+    match baseline_pkts_per_s {
+        Some(base) => checks.expect(
+            "hot path not slower than 0.5x the committed baseline",
+            sim_pkts_per_wall_s >= 0.5 * base,
+        ),
+        None => println!("  [SKIP] no committed baseline to gate against"),
+    }
     checks.expect(
         "parallel sweep not slower than 1.5x serial (sanity, any host)",
         t_parallel < 1.5 * t_serial + 0.25,

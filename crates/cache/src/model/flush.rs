@@ -35,8 +35,7 @@ pub fn flushed_fraction(n: f64, sets: u64, assoc: u32) -> f64 {
     }
     let p = 1.0 / sets as f64;
     if assoc == 1 {
-        // 1 − (1−p)^n, computed stably for small p·n.
-        return -f64::exp_m1(n * f64::ln_1p(-p));
+        return flushed_fraction_direct(n, f64::ln_1p(-p));
     }
     // P[X < A] = Σ_{k<A} C(n,k) p^k (1−p)^(n−k), generalized to real n via
     // the product form C(n,k) = Π_{j<k} (n−j)/(j+1). Terms are built
@@ -55,6 +54,35 @@ pub fn flushed_fraction(n: f64, sets: u64, assoc: u32) -> f64 {
         below += term;
     }
     (1.0 - below).clamp(0.0, 1.0)
+}
+
+/// The direct-mapped (`A = 1`) closed form `1 − (1−p)^n`, computed
+/// stably as `−expm1(n · ln(1−p))` with `ln_q = ln(1−p) = ln_1p(−1/S)`
+/// supplied by the caller.
+///
+/// `ln_q` is a constant of the cache geometry, so per-dispatch callers
+/// ([`DispatchPricer`]) fold it once per run instead of paying a `ln_1p`
+/// per evaluation. Bit-identity with [`flushed_fraction`] holds because
+/// the folded value is produced by exactly the same expression — only
+/// *when* it is computed changes, never *what*.
+///
+/// [`DispatchPricer`]: super::pricer::DispatchPricer
+#[inline]
+pub fn flushed_fraction_direct(n: f64, ln_q: f64) -> f64 {
+    if n == 0.0 {
+        // Exactly the +0.0 the general entry point returns (the formula
+        // would produce -0.0: different bits).
+        return 0.0;
+    }
+    -f64::exp_m1(n * ln_q)
+}
+
+/// `ln(1 − 1/sets)`: the per-geometry constant [`flushed_fraction_direct`]
+/// consumes, computed by the same expression `flushed_fraction` uses
+/// inline.
+pub fn ln_retention(sets: u64) -> f64 {
+    assert!(sets >= 1, "cache must have at least one set");
+    f64::ln_1p(-(1.0 / sets as f64))
 }
 
 /// Poisson approximation of [`flushed_fraction`]: for `sets ≫ 1` the

@@ -19,7 +19,7 @@
 use afs_desim::time::SimDuration;
 
 use super::exec_time::{Age, ComponentAges, ExecTimeModel};
-use super::flush::flushed_fraction;
+use super::flush::{flushed_fraction, flushed_fraction_direct, ln_retention};
 use super::footprint::LineFootprint;
 use super::hierarchy::Displacement;
 use super::platform::Platform;
@@ -52,6 +52,10 @@ pub struct DispatchPricer {
     l1_assoc: u32,
     l2_sets: u64,
     l2_assoc: u32,
+    /// `ln(1 − 1/sets)` per level, folded for the direct-mapped
+    /// closed form (unused when the level is set-associative).
+    l1_ln_q: f64,
+    l2_ln_q: f64,
     l1_split: bool,
     t_warm_us: f64,
     /// `t_L2 − t_warm`, exactly as `component_cost_us` computes it.
@@ -99,6 +103,8 @@ impl DispatchPricer {
             l1_assoc: p.l1.associativity,
             l2_sets: p.l2.sets(),
             l2_assoc: p.l2.associativity,
+            l1_ln_q: ln_retention(p.l1.sets()),
+            l2_ln_q: ln_retention(p.l2.sets()),
             l1_split: p.l1_split,
             t_warm_us: b.t_warm_us,
             span1,
@@ -120,10 +126,20 @@ impl DispatchPricer {
             return Displacement::NONE;
         }
         let r1 = if self.l1_split { refs * 0.5 } else { refs };
-        Displacement {
-            f1: flushed_fraction(self.l1_foot.footprint(r1), self.l1_sets, self.l1_assoc),
-            f2: flushed_fraction(self.l2_foot.footprint(refs), self.l2_sets, self.l2_assoc),
-        }
+        // Direct-mapped levels (every platform in this workspace) take
+        // the closed form with the folded `ln_q` — the same bits as
+        // `flushed_fraction` minus its per-call `ln_1p`.
+        let f1 = if self.l1_assoc == 1 {
+            flushed_fraction_direct(self.l1_foot.footprint(r1), self.l1_ln_q)
+        } else {
+            flushed_fraction(self.l1_foot.footprint(r1), self.l1_sets, self.l1_assoc)
+        };
+        let f2 = if self.l2_assoc == 1 {
+            flushed_fraction_direct(self.l2_foot.footprint(refs), self.l2_ln_q)
+        } else {
+            flushed_fraction(self.l2_foot.footprint(refs), self.l2_sets, self.l2_assoc)
+        };
+        Displacement { f1, f2 }
     }
 
     /// Cost of one component at a displacement it has already evaluated
@@ -157,20 +173,58 @@ impl DispatchPricer {
     /// already-evaluated displacement (`code_disp`), sharing the one
     /// `F1/F2` evaluation between telemetry and pricing. `code_disp`
     /// must be `Some` exactly when the code age is `Elapsed`.
+    ///
+    /// Components whose `Elapsed` ages carry bit-equal durations also
+    /// share a single displacement evaluation: `displacement` is a pure
+    /// function of the elapsed time, so reusing its result for an equal
+    /// input returns exactly the bits a fresh evaluation would — and the
+    /// equal-age case is the common one (a thread that last ran on the
+    /// dispatching processor aged in lockstep with its code footprint,
+    /// and the IPS stack prices thread and stream at one shared age).
+    /// Each saved evaluation avoids two `log10`+`powf` footprint calls
+    /// and two `exp_m1` flush calls — the dispatch path's dominant cost.
     pub fn protocol_time_shared(
         &self,
         ages: ComponentAges,
         code_disp: Option<Displacement>,
     ) -> SimDuration {
-        let code = match (ages.code_global, code_disp) {
-            (Age::Elapsed(_), Some(d)) => self.elapsed_cost_us(d, Component::CodeGlobal),
-            (age, _) => self.component_cost_us(age, Component::CodeGlobal),
+        let code_x = match ages.code_global {
+            Age::Elapsed(x) => Some(x),
+            _ => None,
+        };
+        let code_d = match (code_x, code_disp) {
+            (Some(x), None) => Some(self.displacement(x)),
+            (_, d) => d,
+        };
+        let code = match code_d {
+            Some(d) => self.elapsed_cost_us(d, Component::CodeGlobal),
+            None => self.component_cost_us(ages.code_global, Component::CodeGlobal),
+        };
+        let mut thread_xd = None;
+        let thread = match ages.thread {
+            Age::Elapsed(x) => {
+                let d = match code_d {
+                    Some(d) if code_x == Some(x) => d,
+                    _ => self.displacement(x),
+                };
+                thread_xd = Some((x, d));
+                self.elapsed_cost_us(d, Component::Thread)
+            }
+            age => self.component_cost_us(age, Component::Thread),
+        };
+        let stream = match ages.stream {
+            Age::Elapsed(x) => {
+                let d = match (code_d, thread_xd) {
+                    (Some(d), _) if code_x == Some(x) => d,
+                    (_, Some((tx, d))) if tx == x => d,
+                    _ => self.displacement(x),
+                };
+                self.elapsed_cost_us(d, Component::Stream)
+            }
+            age => self.component_cost_us(age, Component::Stream),
         };
         // The model's sum, in its order: t_warm + code + thread + stream.
-        let us = self.t_warm_us
-            + code
-            + self.component_cost_us(ages.thread, Component::Thread)
-            + self.component_cost_us(ages.stream, Component::Stream);
+        let us = self.t_warm_us + code + thread + stream;
         SimDuration::from_micros_f64(us)
     }
 

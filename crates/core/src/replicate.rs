@@ -10,12 +10,13 @@
 //! verification and for the figures where run-to-run variability itself
 //! matters (burst response).
 
+use afs_cache::model::pricer::DispatchPricer;
 use afs_desim::stats::{ConfInterval, Welford};
 
 use crate::config::SystemConfig;
 use crate::metrics::RunReport;
 use crate::par;
-use crate::sim::run;
+use crate::sim::run_with_pricer;
 
 /// Cross-replication summary of one scalar metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,13 +108,17 @@ pub fn replicate(cfg: &SystemConfig, n: usize) -> ReplicationSummary {
 pub fn replicate_jobs(jobs: usize, cfg: &SystemConfig, n: usize) -> ReplicationSummary {
     assert!(n >= 2, "need at least two replications for an interval");
     let indices: Vec<u64> = (0..n as u64).collect();
+    // Replications differ only in seed, so the pricer's policy-table
+    // fold is shared across all of them (it depends only on the
+    // execution-time model).
+    let pricer = DispatchPricer::new(&cfg.exec.model);
     let reports = par::parallel_map_jobs(jobs, &indices, |&i| {
         let mut c = cfg.clone();
         // Distinct, deterministic seeds per replication.
         c.seed = cfg
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1));
-        run(&c)
+        run_with_pricer(&c, &pricer)
     });
     let mut delay = Welford::new();
     let mut service = Welford::new();
@@ -177,7 +182,7 @@ mod tests {
         // The single-run batch-means interval should overlap the
         // cross-replication interval — two estimators of one quantity.
         let s = replicate(&quick(), 6);
-        let single = run(&quick());
+        let single = crate::sim::run(&quick());
         let lo = s.mean_delay_us.mean - s.mean_delay_us.ci_half - single.delay_ci_half_us;
         let hi = s.mean_delay_us.mean + s.mean_delay_us.ci_half + single.delay_ci_half_us;
         assert!(

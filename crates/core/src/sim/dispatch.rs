@@ -19,18 +19,19 @@ use afs_obs::{ChargeKind, ObsEvent, SHARED_QUEUE};
 use afs_sched::{DispatchPolicy, IpsDispatch, LockingDispatch, SchedView, ThreadSource};
 
 use crate::config::{Paradigm, SystemConfig};
-use crate::state::{Locatable, Packet, ProcActivity, ProcHealth, ProcState};
+use crate::state::{LocTable, Packet, ProcActivity, ProcHealth, Procs};
 use crate::trace::SchedEvent;
 
-use super::{Event, SchedSim, StackState};
+use super::{Event, SchedSim, Stacks};
 
 /// The Locking paradigm's [`SchedView`]: processors, per-processor
 /// threads, per-stream MRU state and the wired/load-aware worker queues,
-/// frozen at one decision instant.
+/// frozen at one decision instant. Every accessor indexes a field-major
+/// array, so a policy's worker scan walks contiguous memory.
 pub(super) struct LockView<'a> {
-    pub procs: &'a [ProcState],
-    pub threads: &'a [Locatable],
-    pub streams: &'a [Locatable],
+    pub procs: &'a Procs,
+    pub threads: &'a LocTable,
+    pub streams: &'a LocTable,
     pub proc_q: &'a [VecDeque<Packet>],
     pub now: SimTime,
 }
@@ -44,19 +45,19 @@ impl SchedView for LockView<'_> {
         // Schedulability, not raw activity: a stalled or crashed
         // processor must never look dispatchable to a policy. On a clean
         // run this is exactly `is_idle`.
-        self.procs[w].is_available()
+        self.procs.is_available(w)
     }
 
     fn is_live(&self, w: usize) -> bool {
-        self.procs[w].health == ProcHealth::Up
+        self.procs.health(w) == ProcHealth::Up
     }
 
     fn service_scale(&self, w: usize) -> f64 {
-        self.procs[w].slow_factor
+        self.procs.slow_factor(w)
     }
 
     fn last_protocol_end(&self, w: usize) -> Option<u64> {
-        self.procs[w].last_protocol_end.map(|t| t.ticks())
+        self.procs.last_protocol_end(w).map(|t| t.ticks())
     }
 
     fn queue_depth(&self, w: usize) -> usize {
@@ -64,28 +65,28 @@ impl SchedView for LockView<'_> {
         // in-service packet, matching the native dispatcher's virtual
         // drain clocks — otherwise load-aware routing queues behind a
         // busy worker it believes is free.
-        self.proc_q[w].len() + usize::from(!self.procs[w].is_idle())
+        self.proc_q[w].len() + usize::from(!self.procs.is_idle(w))
     }
 
     fn last_worker(&self, stream: u32) -> Option<usize> {
-        self.streams[stream as usize].last.map(|l| l.proc)
+        self.streams.last_proc(stream as usize)
     }
 
     fn ages_on(&self, w: usize, stream: u32) -> ComponentAges {
-        let np = self.procs[w].np_now(self.now);
+        let np = self.procs.np_now(w, self.now);
         ComponentAges {
-            code_global: self.procs[w].code_age(self.now),
-            thread: self.threads[w].age_on(w, np),
-            stream: self.streams[stream as usize].age_on(w, np),
+            code_global: self.procs.code_age(w, self.now),
+            thread: self.threads.age_on(w, w, np),
+            stream: self.streams.age_on(stream as usize, w, np),
         }
     }
 }
 
 /// The IPS paradigm's [`SchedView`]: the schedulable entity is the
-/// *stack*, whose `Locatable` bundles thread + stream footprints.
+/// *stack*, whose location bundles thread + stream footprints.
 pub(super) struct IpsView<'a> {
-    pub procs: &'a [ProcState],
-    pub stacks: &'a [StackState],
+    pub procs: &'a Procs,
+    pub stacks: &'a Stacks,
 }
 
 impl SchedView for IpsView<'_> {
@@ -94,19 +95,19 @@ impl SchedView for IpsView<'_> {
     }
 
     fn is_idle(&self, w: usize) -> bool {
-        self.procs[w].is_available()
+        self.procs.is_available(w)
     }
 
     fn is_live(&self, w: usize) -> bool {
-        self.procs[w].health == ProcHealth::Up
+        self.procs.health(w) == ProcHealth::Up
     }
 
     fn service_scale(&self, w: usize) -> f64 {
-        self.procs[w].slow_factor
+        self.procs.slow_factor(w)
     }
 
     fn last_protocol_end(&self, w: usize) -> Option<u64> {
-        self.procs[w].last_protocol_end.map(|t| t.ticks())
+        self.procs.last_protocol_end(w).map(|t| t.ticks())
     }
 
     fn queue_depth(&self, _w: usize) -> usize {
@@ -116,7 +117,7 @@ impl SchedView for IpsView<'_> {
     }
 
     fn last_worker(&self, stack: u32) -> Option<usize> {
-        self.stacks[stack as usize].loc.last.map(|l| l.proc)
+        self.stacks.loc.last_proc(stack as usize)
     }
 }
 
@@ -144,9 +145,9 @@ impl<'r> SchedSim<'r> {
         now: SimTime,
         sched: &mut Scheduler<Event>,
     ) {
-        debug_assert!(self.procs[p].is_available());
-        let np = self.procs[p].np_now(now);
-        let code_age = self.procs[p].code_age(now);
+        debug_assert!(self.procs.is_available(p));
+        let np = self.procs.np_now(p, now);
+        let code_age = self.procs.code_age(p, now);
 
         let recording = self.collector.recording(now);
         // A corrupt packet is rejected at validation, before the
@@ -155,8 +156,8 @@ impl<'r> SchedSim<'r> {
         let (thread_age, stream_age, s_mig, t_mig) = match stack {
             Some(w) => {
                 // Stack state bundles the thread and stream footprints.
-                let a = self.stacks[w as usize].loc.age_on(p, np);
-                let mig = self.stacks[w as usize].loc.migrates_to(p);
+                let a = self.stacks.loc.age_on(w as usize, p, np);
+                let mig = self.stacks.loc.migrates_to(w as usize, p);
                 if recording && mig {
                     if !pkt.corrupt {
                         self.collector.stream_migrations += 1;
@@ -172,14 +173,14 @@ impl<'r> SchedSim<'r> {
             }
             None => {
                 let t = thread.expect("locking dispatch supplies a thread");
-                let ta = self.threads[t].age_on(p, np);
+                let ta = self.threads.age_on(t, p, np);
                 let sa = if pkt.corrupt {
                     Age::Warm
                 } else {
-                    self.streams[pkt.stream as usize].age_on(p, np)
+                    self.streams.age_on(pkt.stream as usize, p, np)
                 };
-                let t_mig = self.threads[t].migrates_to(p);
-                let s_mig = !pkt.corrupt && self.streams[pkt.stream as usize].migrates_to(p);
+                let t_mig = self.threads.migrates_to(t, p);
+                let s_mig = !pkt.corrupt && self.streams.migrates_to(pkt.stream as usize, p);
                 if recording && t_mig {
                     self.collector.thread_migrations += 1;
                 }
@@ -234,7 +235,7 @@ impl<'r> SchedSim<'r> {
         // Persistent-slowdown fault: everything this processor runs is
         // uniformly slower. Gated so the unfaulted path never roundtrips
         // the duration through a multiply (bit-exact goldens).
-        let slow = self.procs[p].slow_factor;
+        let slow = self.procs.slow_factor(p);
         if slow != 1.0 {
             service = SimDuration::from_micros_f64(service.as_micros_f64() * slow);
         }
@@ -307,11 +308,14 @@ impl<'r> SchedSim<'r> {
                 });
             }
         }
-        self.procs[p].activity = ProcActivity::Protocol {
-            packet: pkt,
-            stack,
-            done_at,
-        };
+        self.procs.set_activity(
+            p,
+            ProcActivity::Protocol {
+                packet: pkt,
+                stack,
+                done_at,
+            },
+        );
         // Thread bookkeeping is deferred to completion; remember which
         // thread is in use by parking it out of the shared pool (already
         // popped by the dispatcher).
@@ -323,6 +327,13 @@ impl<'r> SchedSim<'r> {
 
     /// One Locking dispatch attempt. Returns true if a packet started.
     fn dispatch_locking(&mut self, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+        // Saturated system: every select below would stall, drawing no
+        // RNG and recording nothing (policies count idle workers before
+        // drawing), so the whole attempt is a provable no-op. At load
+        // this skips the vast majority of dispatch scans.
+        if !self.procs.any_available() {
+            return false;
+        }
         // `self.cfg` is a shared borrow with the run's own lifetime, so
         // the policy can be borrowed out from under the `&mut self`
         // methods below — no per-dispatch clone of the policy (which
@@ -342,7 +353,7 @@ impl<'r> SchedSim<'r> {
         .uses_worker_queues();
         if uses_worker_queues {
             for p in 0..self.cfg.n_procs {
-                if self.procs[p].is_available() {
+                if self.procs.is_available(p) {
                     if let Some(pkt) = self.proc_q[p].pop_front() {
                         if let Some(rec) = self.obs.as_deref_mut() {
                             rec.record(ObsEvent::QueueDepth {
@@ -411,6 +422,11 @@ impl<'r> SchedSim<'r> {
 
     /// One IPS dispatch attempt.
     fn dispatch_ips(&mut self, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
+        // Same proof as the Locking early-out: no idle worker means
+        // every stack's select stalls with zero side effects.
+        if !self.procs.any_available() {
+            return false;
+        }
         let policy = match &self.cfg.paradigm {
             Paradigm::Ips { policy, .. } => *policy,
             _ => unreachable!("dispatch_ips under Locking"),
@@ -419,7 +435,7 @@ impl<'r> SchedSim<'r> {
         let n_stacks = self.stacks.len();
         for off in 0..n_stacks {
             let w = (self.stack_scan + off) % n_stacks;
-            let runnable = !self.stacks[w].running && !self.stacks[w].queue.is_empty();
+            let runnable = !self.stacks.running[w] && !self.stacks.queue[w].is_empty();
             if !runnable {
                 continue;
             }
@@ -432,18 +448,18 @@ impl<'r> SchedSim<'r> {
                 engine.select(&view, w as u32, &mut |n| rng.gen_range(0..n))
             };
             if let Some(a) = assignment {
-                let Some(pkt) = self.stacks[w].queue.pop_front() else {
+                let Some(pkt) = self.stacks.queue[w].pop_front() else {
                     // `runnable` checked non-emptiness; stay graceful if
                     // that ever changes.
                     continue;
                 };
-                self.stacks[w].running = true;
+                self.stacks.running[w] = true;
                 self.stack_scan = (w + 1) % n_stacks;
                 if let Some(rec) = self.obs.as_deref_mut() {
                     rec.record(ObsEvent::QueueDepth {
                         t_us: now.as_micros_f64(),
                         queue: w as u32,
-                        depth: self.stacks[w].queue.len() as u32,
+                        depth: self.stacks.queue[w].len() as u32,
                     });
                 }
                 self.begin_service(a.worker, pkt, None, Some(w as u32), now, sched);

@@ -88,8 +88,8 @@ impl<'r> SchedSim<'r> {
             },
             Paradigm::Ips { .. } => {
                 let w = self.stream_to_stack[pkt.stream as usize] as usize;
-                self.stacks[w].queue.push_back(pkt);
-                (w as u32, self.stacks[w].queue.len())
+                self.stacks.queue[w].push_back(pkt);
+                (w as u32, self.stacks.queue[w].len())
             }
         };
         if let Some(rec) = self.obs.as_deref_mut() {
@@ -110,9 +110,9 @@ impl<'r> SchedSim<'r> {
                 Route::Worker(p) => self.proc_q[p].len(),
                 Route::Shared => self.global_q.len(),
             },
-            Paradigm::Ips { .. } => self.stacks[self.stream_to_stack[pkt.stream as usize] as usize]
-                .queue
-                .len(),
+            Paradigm::Ips { .. } => {
+                self.stacks.queue[self.stream_to_stack[pkt.stream as usize] as usize].len()
+            }
         }
     }
 
@@ -120,16 +120,16 @@ impl<'r> SchedSim<'r> {
     fn total_backlog(&self) -> usize {
         self.global_q.len()
             + self.proc_q.iter().map(|q| q.len()).sum::<usize>()
-            + self.stacks.iter().map(|s| s.queue.len()).sum::<usize>()
+            + self.stacks.queue.iter().map(|q| q.len()).sum::<usize>()
     }
 
     /// Evict the oldest packet of the currently longest queue.
     fn evict_from_longest(&mut self, now: SimTime) {
         let longest_proc = (0..self.proc_q.len()).max_by_key(|&p| self.proc_q[p].len());
-        let longest_stack = (0..self.stacks.len()).max_by_key(|&w| self.stacks[w].queue.len());
+        let longest_stack = (0..self.stacks.len()).max_by_key(|&w| self.stacks.queue[w].len());
         let global_len = self.global_q.len();
         let proc_len = longest_proc.map_or(0, |p| self.proc_q[p].len());
-        let stack_len = longest_stack.map_or(0, |w| self.stacks[w].queue.len());
+        let stack_len = longest_stack.map_or(0, |w| self.stacks.queue[w].len());
         let (evicted, queue) = if global_len >= proc_len && global_len >= stack_len {
             (self.global_q.pop_front(), SHARED_QUEUE)
         } else if proc_len >= stack_len {
@@ -139,7 +139,7 @@ impl<'r> SchedSim<'r> {
             )
         } else {
             (
-                longest_stack.and_then(|w| self.stacks[w].queue.pop_front()),
+                longest_stack.and_then(|w| self.stacks.queue[w].pop_front()),
                 longest_stack.map_or(SHARED_QUEUE, |w| w as u32),
             )
         };
@@ -206,10 +206,10 @@ impl<'r> SchedSim<'r> {
     /// is synchronous, so the conservation identity never observes an
     /// intermediate state and no packet is lost or double-completed.
     fn crash_proc(&mut self, now: SimTime, p: usize, sched: &mut Scheduler<Event>) {
-        if self.procs[p].health == ProcHealth::Down {
+        if self.procs.health(p) == ProcHealth::Down {
             return;
         }
-        self.procs[p].health = ProcHealth::Down;
+        self.procs.set_health(p, ProcHealth::Down);
         if self.collector.recording(now) {
             self.collector.proc_crashes += 1;
         }
@@ -223,14 +223,14 @@ impl<'r> SchedSim<'r> {
         // Reclaim the in-flight packet, if any: cancel its completion,
         // release its stack/thread, and remember which stack it ran on
         // (an IPS orphan returns to the head of its own stack queue).
-        let activity = std::mem::replace(&mut self.procs[p].activity, ProcActivity::NonProtocol);
+        let activity = self.procs.take_activity(p);
         let mut in_flight: Option<(Packet, Option<u32>)> = None;
         if let ProcActivity::Protocol { packet, stack, .. } = activity {
             if let Some(id) = self.pending_completion[p].take() {
                 sched.cancel(id);
             }
             if let Some(w) = stack {
-                self.stacks[w as usize].running = false;
+                self.stacks.running[w as usize] = false;
             } else if let Some(t) = self.pending_thread[p] {
                 if self.pending_pooled[p] {
                     self.shared_pool.push_back(t);
@@ -244,18 +244,10 @@ impl<'r> SchedSim<'r> {
         // Cache death: the crashed processor loses its protocol code
         // footprint, and every migratable entity last resident there is
         // cold everywhere from now on.
-        self.procs[p].np_at_last_protocol = None;
-        self.procs[p].last_protocol_end = None;
-        for loc in self
-            .streams
-            .iter_mut()
-            .chain(self.threads.iter_mut())
-            .chain(self.stacks.iter_mut().map(|s| &mut s.loc))
-        {
-            if matches!(loc.last, Some(l) if l.proc == p) {
-                loc.last = None;
-            }
-        }
+        self.procs.forget_cache(p);
+        self.streams.evict_proc(p);
+        self.threads.evict_proc(p);
+        self.stacks.loc.evict_proc(p);
 
         // Orphan recovery. The in-flight packet goes back to the *front*
         // of its target queue (it was already at the head once); drained
@@ -266,7 +258,7 @@ impl<'r> SchedSim<'r> {
         if let Some((pkt, stack)) = in_flight {
             let queue = match stack {
                 Some(w) => {
-                    self.stacks[w as usize].queue.push_front(pkt);
+                    self.stacks.queue[w as usize].push_front(pkt);
                     w
                 }
                 None => match self.lock_route_at(now, pkt.stream) {
@@ -340,10 +332,10 @@ impl<'r> SchedSim<'r> {
         duration_us: f64,
         sched: &mut Scheduler<Event>,
     ) {
-        if self.procs[p].health != ProcHealth::Up {
+        if self.procs.health(p) != ProcHealth::Up {
             return;
         }
-        self.procs[p].health = ProcHealth::Stalled;
+        self.procs.set_health(p, ProcHealth::Stalled);
         if self.collector.recording(now) {
             self.collector.proc_stalls += 1;
         }
@@ -357,17 +349,20 @@ impl<'r> SchedSim<'r> {
             packet,
             stack,
             done_at,
-        } = self.procs[p].activity
+        } = self.procs.activity(p)
         {
             if let Some(id) = self.pending_completion[p].take() {
                 sched.cancel(id);
             }
             let done_at = done_at + afs_desim::time::SimDuration::from_micros_f64(duration_us);
-            self.procs[p].activity = ProcActivity::Protocol {
-                packet,
-                stack,
-                done_at,
-            };
+            self.procs.set_activity(
+                p,
+                ProcActivity::Protocol {
+                    packet,
+                    stack,
+                    done_at,
+                },
+            );
             self.pending_completion[p] =
                 Some(sched.schedule_at(done_at, Event::Completion { proc: p }));
         }
@@ -381,14 +376,14 @@ impl<'r> SchedSim<'r> {
         let fault = self.cfg.proc_faults.faults[idx as usize];
         let p = fault.proc;
         let recovered = match fault.kind {
-            ProcFaultKind::Stall { .. } => self.procs[p].health == ProcHealth::Stalled,
-            ProcFaultKind::Crash { .. } => self.procs[p].health == ProcHealth::Down,
+            ProcFaultKind::Stall { .. } => self.procs.health(p) == ProcHealth::Stalled,
+            ProcFaultKind::Crash { .. } => self.procs.health(p) == ProcHealth::Down,
             ProcFaultKind::Slowdown { .. } => false,
         };
         if !recovered {
             return;
         }
-        self.procs[p].health = ProcHealth::Up;
+        self.procs.set_health(p, ProcHealth::Up);
         if let Some(rec) = self.obs.as_deref_mut() {
             rec.record(ObsEvent::WorkerUp {
                 t_us: now.as_micros_f64(),
@@ -458,8 +453,7 @@ impl<'r> Simulate for SchedSim<'r> {
             }
             Event::Completion { proc } => {
                 self.pending_completion[proc] = None;
-                let activity =
-                    std::mem::replace(&mut self.procs[proc].activity, ProcActivity::NonProtocol);
+                let activity = self.procs.take_activity(proc);
                 let ProcActivity::Protocol {
                     packet,
                     stack,
@@ -475,24 +469,21 @@ impl<'r> Simulate for SchedSim<'r> {
                 debug_assert_eq!(done_at, now);
                 let service = self.pending_service[proc];
                 // Clock bookkeeping: protocol time does not advance np.
-                self.procs[proc].proto_busy_us += service.as_micros_f64();
-                let np = self.procs[proc].np_now(now);
-                self.procs[proc].np_at_last_protocol = Some(np);
-                self.procs[proc].last_protocol_end = Some(now);
-                self.procs[proc].served += 1;
+                let np = self
+                    .procs
+                    .note_protocol_end(proc, now, service.as_micros_f64());
 
                 if !packet.corrupt {
                     // Corrupt packets are rejected before the session
                     // stage: stream state is never brought into this
                     // processor's cache.
-                    self.streams[packet.stream as usize].record(proc, np);
+                    self.streams.record(packet.stream as usize, proc, np);
                 }
                 if let Some(w) = stack {
-                    let st = &mut self.stacks[w as usize];
-                    st.running = false;
-                    st.loc.record(proc, np);
+                    self.stacks.running[w as usize] = false;
+                    self.stacks.loc.record(w as usize, proc, np);
                 } else if let Some(t) = self.pending_thread[proc] {
-                    self.threads[t].record(proc, np);
+                    self.threads.record(t, proc, np);
                     // A pool thread goes back to the shared FIFO; the
                     // dispatcher recorded the policy's thread source, so
                     // no policy is consulted here.
@@ -536,7 +527,7 @@ impl<'r> Simulate for SchedSim<'r> {
                         self.stall_proc(now, fault.proc, duration_us, sched)
                     }
                     ProcFaultKind::Slowdown { factor } => {
-                        self.procs[fault.proc].slow_factor = factor;
+                        self.procs.set_slow_factor(fault.proc, factor);
                     }
                 }
                 // Requeued orphans may be dispatchable on live idle

@@ -56,15 +56,31 @@ use crate::config::{Paradigm, SystemConfig};
 #[cfg(test)]
 use crate::config::IpsPolicy;
 use crate::metrics::{Collector, RunReport};
-use crate::state::{Locatable, Packet, ProcState};
+use crate::state::{LocTable, Packet, Procs};
 use crate::trace::SchedTrace;
 
-/// Per-stack state under IPS.
-#[derive(Debug, Default)]
-struct StackState {
-    queue: VecDeque<Packet>,
-    running: bool,
-    loc: Locatable,
+/// IPS stack state, field-major like the rest of the hot state: the
+/// per-stack queues, the running flags the dispatch scan reads, and the
+/// stack footprint locations.
+#[derive(Debug)]
+struct Stacks {
+    queue: Vec<VecDeque<Packet>>,
+    running: Vec<bool>,
+    loc: LocTable,
+}
+
+impl Stacks {
+    fn new(n: usize) -> Self {
+        Stacks {
+            queue: (0..n).map(|_| VecDeque::new()).collect(),
+            running: vec![false; n],
+            loc: LocTable::new(n),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.running.len()
+    }
 }
 
 /// The simulator model.
@@ -81,18 +97,19 @@ pub struct SchedSim<'r> {
     /// cold/remote component costs, SST line constants) — bit-identical
     /// to the plain model, evaluated once per run instead of per packet.
     pricer: DispatchPricer,
-    procs: Vec<ProcState>,
-    /// Protocol threads (Locking). Under per-processor pools thread `p`
-    /// is pinned to processor `p`; under the shared pool threads rotate.
-    threads: Vec<Locatable>,
+    procs: Procs,
+    /// Protocol thread locations (Locking). Under per-processor pools
+    /// thread `p` is pinned to processor `p`; under the shared pool
+    /// threads rotate.
+    threads: LocTable,
     /// Free thread ids for the shared pool (Baseline policy).
     shared_pool: VecDeque<usize>,
     /// Per-stream state locations.
-    streams: Vec<Locatable>,
+    streams: LocTable,
     /// IPS: stream → stack assignment (round-robin).
     stream_to_stack: Vec<u32>,
     /// IPS stacks.
-    stacks: Vec<StackState>,
+    stacks: Stacks,
     /// Locking: the global FIFO.
     global_q: VecDeque<Packet>,
     /// Locking Wired/Hybrid and the enqueue-routed policies:
@@ -141,6 +158,16 @@ pub struct SchedSim<'r> {
 impl<'r> SchedSim<'r> {
     /// Build the model and note per-stream generators.
     pub fn new(cfg: &'r SystemConfig) -> Self {
+        Self::with_pricer(cfg, DispatchPricer::new(&cfg.exec.model))
+    }
+
+    /// [`SchedSim::new`] with the configuration-constant fold supplied
+    /// by the caller. A sweep prices every point against the same
+    /// execution model, so fan-out layers ([`crate::sweep`],
+    /// [`crate::replicate`]) fold it once per *sweep* instead of once
+    /// per run. The pricer is plain `Copy` data — bit-identical whether
+    /// folded here or there.
+    pub fn with_pricer(cfg: &'r SystemConfig, pricer: DispatchPricer) -> Self {
         cfg.validate();
         let n = cfg.n_procs;
         let k = cfg.population.len();
@@ -152,12 +179,12 @@ impl<'r> SchedSim<'r> {
         let warm_us = cfg.warmup.as_micros_f64();
         let hor_us = cfg.horizon.as_micros_f64();
         SchedSim {
-            procs: vec![ProcState::new(); n],
-            threads: vec![Locatable::default(); n],
+            procs: Procs::new(n),
+            threads: LocTable::new(n),
             shared_pool: (0..n).collect(),
-            streams: vec![Locatable::default(); k],
+            streams: LocTable::new(k),
             stream_to_stack: (0..k).map(|s| (s % n_stacks.max(1)) as u32).collect(),
-            stacks: (0..n_stacks).map(|_| StackState::default()).collect(),
+            stacks: Stacks::new(n_stacks),
             global_q: VecDeque::new(),
             proc_q: vec![VecDeque::new(); n],
             stack_scan: 0,
@@ -185,7 +212,7 @@ impl<'r> SchedSim<'r> {
             trace: None,
             obs: None,
             next_seq: 0,
-            pricer: DispatchPricer::new(&cfg.exec.model),
+            pricer,
             cfg,
         }
     }
@@ -207,6 +234,23 @@ pub fn run(cfg: &SystemConfig) -> RunReport {
     run_with_series(cfg, false).0
 }
 
+/// [`run`] with the execution-model fold supplied by the caller: sweep
+/// layers build one [`DispatchPricer`] per template and reuse it across
+/// every point instead of re-folding the same model per run. The report
+/// is bit-identical to [`run`]'s — the pricer is a pure function of
+/// `cfg.exec.model`, which rate rescaling never touches.
+pub fn run_with_pricer(cfg: &SystemConfig, pricer: &DispatchPricer) -> RunReport {
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let n_procs = cfg.n_procs;
+    let mut engine = Engine::new(SchedSim::with_pricer(cfg, *pricer));
+    engine_prime(&mut engine);
+    engine.run_until(horizon);
+    let end = engine.now();
+    let mut report = engine.model_mut().collector.report(end, n_procs);
+    report.per_proc_served = engine.model().procs.served().to_vec();
+    report
+}
+
 /// Run a configuration; optionally also return the full per-packet delay
 /// series (µs, completion order, warm-up included) for output analysis
 /// such as MSER-5 warm-up validation.
@@ -221,7 +265,7 @@ pub fn run_with_series(cfg: &SystemConfig, capture: bool) -> (RunReport, Vec<f64
     engine.run_until(horizon);
     let end = engine.now();
     let mut report = engine.model_mut().collector.report(end, n_procs);
-    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    report.per_proc_served = engine.model().procs.served().to_vec();
     let series = engine
         .model_mut()
         .collector
@@ -242,7 +286,7 @@ pub fn run_traced(cfg: &SystemConfig, capacity: usize) -> (RunReport, SchedTrace
     engine.run_until(horizon);
     let end = engine.now();
     let mut report = engine.model_mut().collector.report(end, n_procs);
-    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    report.per_proc_served = engine.model().procs.served().to_vec();
     let trace = engine.model_mut().trace.take().expect("trace attached");
     (report, trace)
 }
@@ -265,7 +309,7 @@ pub fn run_observed<'r>(
     engine.run_until(horizon);
     let end = engine.now();
     let mut report = engine.model_mut().collector.report(end, n_procs);
-    report.per_proc_served = engine.model().procs.iter().map(|p| p.served).collect();
+    report.per_proc_served = engine.model().procs.served().to_vec();
     let probe = engine.take_probe().unwrap_or_default();
     (report, probe)
 }

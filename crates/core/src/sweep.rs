@@ -4,10 +4,12 @@
 use afs_desim::time::SimDuration;
 use afs_workload::Population;
 
+use afs_cache::model::pricer::DispatchPricer;
+
 use crate::config::{Paradigm, SystemConfig};
 use crate::metrics::RunReport;
 use crate::par;
-use crate::sim::run;
+use crate::sim::run_with_pricer;
 
 /// One point of a rate sweep.
 #[derive(Debug, Clone)]
@@ -79,11 +81,17 @@ pub fn rate_sweep_jobs(
     template: &SystemConfig,
     rates: &[f64],
 ) -> Series {
+    // Every point shares the template's execution-time model, so the
+    // policy-table fold (log-space cache constants, per-component cold
+    // and remote costs) happens once per sweep instead of once per run.
+    // `DispatchPricer` is plain `Copy` data, safely shared across the
+    // executor's workers.
+    let pricer = DispatchPricer::new(&template.exec.model);
     let points = par::parallel_map_jobs(jobs, rates, |&r| {
         let mut cfg = template.clone();
         cfg.population = cfg.population.clone().with_rate(r);
         let offered = cfg.population.total_rate_per_sec();
-        let report = run(&cfg);
+        let report = run_with_pricer(&cfg, &pricer);
         SweepPoint {
             rate_per_stream: r,
             offered_pps: offered,
@@ -108,10 +116,13 @@ pub fn rate_sweep_jobs(
 /// [`crate::par::parallel_map`] instead.
 pub fn capacity_search(template: &SystemConfig, lo: f64, hi: f64, tol: f64) -> f64 {
     assert!(lo > 0.0 && hi > lo && tol > 0.0);
+    // One pricer fold for the whole bisection (the probes differ only
+    // in arrival rate, never in the execution-time model).
+    let pricer = DispatchPricer::new(&template.exec.model);
     let stable_at = |rate: f64| -> bool {
         let mut cfg = template.clone();
         cfg.population = cfg.population.clone().with_rate(rate);
-        run(&cfg).report_stability()
+        run_with_pricer(&cfg, &pricer).report_stability()
     };
     let mut lo = lo;
     let mut hi = hi;

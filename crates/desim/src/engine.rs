@@ -203,17 +203,24 @@ impl<M: Simulate> Engine<M> {
             if budget == 0 {
                 return StopReason::EventBudget;
             }
-            match self.sched.queue.peek_time() {
-                None => return StopReason::Drained,
-                Some(t) if t > horizon => {
+            // Pop-if-due fuses the peek + pop pair into one queue scan.
+            match self.sched.queue.pop_at_or_before(horizon) {
+                Some((time, event)) => {
+                    debug_assert!(time >= self.sched.now, "clock went backwards");
+                    self.sched.now = time;
+                    self.events_handled += 1;
+                    self.model.handle(time, event, &mut self.sched);
+                    if let Some(p) = &mut self.probe {
+                        p.on_step(time.as_micros_f64(), self.sched.queue.len());
+                    }
+                    budget -= 1;
+                }
+                None if self.sched.queue.is_empty() => return StopReason::Drained,
+                None => {
                     // Advance the clock to the horizon so elapsed-time
                     // metrics cover the full requested window.
                     self.sched.now = horizon;
                     return StopReason::Horizon;
-                }
-                Some(_) => {
-                    self.step();
-                    budget -= 1;
                 }
             }
         }

@@ -48,6 +48,56 @@ impl ModelQueue {
     }
 }
 
+/// Reference model #2: a real `BinaryHeap` ordered by `(time, seq)`
+/// ascending, with lazily-applied cancellation — the exact structure
+/// (and contract) of the pre-calendar event core. Differential target
+/// for the calendar queue: whatever the bucket layout, width, or resize
+/// instants do internally, pop order must match this heap bit-for-bit.
+#[derive(Default)]
+struct HeapModel {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl HeapModel {
+    fn push(&mut self, t: u64, payload: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse((t, seq, payload)));
+        self.live += 1;
+        seq
+    }
+    fn cancel(&mut self, seq: u64) -> bool {
+        if seq >= self.next_seq || self.cancelled.contains(&seq) {
+            return false;
+        }
+        // Only live entries can be cancelled; popped seqs are gone from
+        // the heap, so probe for presence.
+        if self
+            .heap
+            .iter()
+            .any(|std::cmp::Reverse((_, s, _))| *s == seq)
+        {
+            self.cancelled.insert(seq);
+            self.live -= 1;
+            return true;
+        }
+        false
+    }
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        while let Some(std::cmp::Reverse((t, seq, p))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            self.live -= 1;
+            return Some((t, p));
+        }
+        None
+    }
+}
+
 /// Operations applied to both queues.
 #[derive(Debug, Clone)]
 enum Op {
@@ -101,6 +151,148 @@ proptest! {
             let want = model.pop();
             prop_assert_eq!(got.map(|(t, p)| (t.ticks() / 1000, p)), want);
             if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_matches_binary_heap_under_heavy_ties(
+        ops in prop::collection::vec(
+            prop_oneof![
+                // A tiny time domain: most pushes collide, so FIFO
+                // tie-breaking carries nearly all of the ordering.
+                (0u64..8, any::<u32>()).prop_map(|(t, p)| Op::Push(t, p)),
+                Just(Op::Pop),
+                (0usize..64).prop_map(Op::Cancel),
+            ],
+            1..300,
+        ),
+    ) {
+        let mut real = EventQueue::new();
+        let mut heap = HeapModel::default();
+        let mut ids = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(t, p) => {
+                    let id = real.push(SimTime::from_micros(t), p);
+                    let seq = heap.push(t, p);
+                    ids.push((id, seq));
+                }
+                Op::Pop => {
+                    let got = real.pop().map(|(t, p)| (t.ticks() / 1000, p));
+                    prop_assert_eq!(got, heap.pop());
+                }
+                Op::Cancel(i) => {
+                    if !ids.is_empty() {
+                        let (id, seq) = ids[i % ids.len()];
+                        prop_assert_eq!(real.cancel(id), heap.cancel(seq));
+                    }
+                }
+            }
+            prop_assert_eq!(real.len(), heap.live);
+        }
+        loop {
+            let got = real.pop().map(|(t, p)| (t.ticks() / 1000, p));
+            let want = heap.pop();
+            let done = got.is_none();
+            prop_assert_eq!(got, want);
+            if done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn resize_boundaries_preserve_pop_order(
+        // Live counts that straddle both the single-bucket threshold
+        // (64) and several power-of-two calendar sizes.
+        n_push in 1usize..300,
+        drain in 1usize..300,
+        spread in prop_oneof![Just(1u64), Just(37), Just(1009), Just(250_007)],
+    ) {
+        let mut real = EventQueue::new();
+        let mut heap = HeapModel::default();
+        for i in 0..n_push {
+            let t = (i as u64).wrapping_mul(2_654_435_761) % (spread * n_push as u64);
+            real.push(SimTime::from_micros(t), i as u32);
+            heap.push(t, i as u32);
+        }
+        // Partial drain crosses shrink thresholds; then a second growth
+        // wave crosses the split threshold again from a scanned state.
+        for _ in 0..drain.min(n_push) {
+            let got = real.pop().map(|(t, p)| (t.ticks() / 1000, p));
+            prop_assert_eq!(got, heap.pop());
+        }
+        prop_assert!(real.n_buckets() >= 1);
+        for i in 0..n_push {
+            let t = (i as u64).wrapping_mul(40_503) % (spread * 4);
+            real.push(SimTime::from_micros(t), (n_push + i) as u32);
+            heap.push(t, (n_push + i) as u32);
+        }
+        loop {
+            let got = real.pop().map(|(t, p)| (t.ticks() / 1000, p));
+            let want = heap.pop();
+            let done = got.is_none();
+            prop_assert_eq!(got, want);
+            if done {
+                break;
+            }
+        }
+        prop_assert_eq!(real.n_buckets(), 1, "empty queue collapses to one bucket");
+    }
+
+    #[test]
+    fn tombstone_heavy_workload_bounds_memory_and_keeps_order(
+        n in 64usize..600,
+        keep_every in 2usize..17,
+        horizon_frac in 0.0f64..1.2,
+    ) {
+        let mut real = EventQueue::new();
+        let mut heap = HeapModel::default();
+        let mut ids = Vec::new();
+        let t_max = 10 * n as u64;
+        for i in 0..n {
+            let t = (i as u64).wrapping_mul(7_368_787) % t_max;
+            ids.push((real.push(SimTime::from_micros(t), i as u32), heap.push(t, i as u32)));
+        }
+        for (i, &(id, seq)) in ids.iter().enumerate() {
+            if i % keep_every != 0 {
+                prop_assert_eq!(real.cancel(id), heap.cancel(seq));
+            }
+        }
+        // The PR-4 memory bound survives the calendar rewrite: dead
+        // entries never exceed live ones beyond the small-queue slack.
+        prop_assert!(
+            real.retained() <= 2 * real.len() + 64,
+            "retained {} for {} live",
+            real.retained(),
+            real.len(),
+        );
+        // Horizon-bounded pops agree with the model: deliver while the
+        // model head is at or before the horizon, then stop.
+        let horizon = (t_max as f64 * horizon_frac) as u64;
+        loop {
+            let got = real.pop_at_or_before(SimTime::from_micros(horizon));
+            match got {
+                Some((t, p)) => {
+                    prop_assert!(t.ticks() / 1000 <= horizon);
+                    prop_assert_eq!(Some((t.ticks() / 1000, p)), heap.pop());
+                }
+                None => break,
+            }
+        }
+        // Whatever remains is strictly past the horizon; full pops
+        // drain it in model order.
+        loop {
+            let got = real.pop().map(|(t, p)| (t.ticks() / 1000, p));
+            if let Some((t, _)) = got {
+                prop_assert!(t > horizon);
+            }
+            let want = heap.pop();
+            let done = got.is_none();
+            prop_assert_eq!(got, want);
+            if done {
                 break;
             }
         }

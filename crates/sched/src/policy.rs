@@ -35,7 +35,7 @@ pub trait DispatchPolicy {
 
     /// Route an arriving packet of `entity` to a queue. Policies that
     /// dispatch from the shared queue return [`Route::Shared`].
-    fn route(&self, view: &dyn SchedView, entity: u32, draw: DrawFn) -> Route {
+    fn route<V: SchedView + ?Sized>(&self, view: &V, entity: u32, draw: DrawFn) -> Route {
         let _ = (view, entity, draw);
         Route::Shared
     }
@@ -43,14 +43,19 @@ pub trait DispatchPolicy {
     /// Pick a worker (and thread source) for the shared-queue head
     /// belonging to `entity`; `None` stalls the dispatch (no eligible
     /// worker, or the policy never serves the shared queue).
-    fn select(&self, view: &dyn SchedView, entity: u32, draw: DrawFn) -> Option<Assignment> {
+    fn select<V: SchedView + ?Sized>(
+        &self,
+        view: &V,
+        entity: u32,
+        draw: DrawFn,
+    ) -> Option<Assignment> {
         let _ = (view, entity, draw);
         None
     }
 
     /// Pick a steal victim for idle worker `thief`, if the policy
     /// steals at all.
-    fn steal(&self, view: &dyn SchedView, thief: usize) -> Option<StealDecision> {
+    fn steal<V: SchedView + ?Sized>(&self, view: &V, thief: usize) -> Option<StealDecision> {
         let _ = (view, thief);
         None
     }
@@ -64,7 +69,7 @@ pub trait DispatchPolicy {
 /// selection, so masking never perturbs the draw sequence seen for
 /// live-worker choices: with everything live the count — and therefore
 /// every draw — is bit-identical to the pre-fault-layer scan.
-pub fn random_idle(view: &dyn SchedView, draw: DrawFn) -> Option<usize> {
+pub fn random_idle<V: SchedView + ?Sized>(view: &V, draw: DrawFn) -> Option<usize> {
     let eligible = |w: &usize| view.is_idle(*w) && view.is_live(*w);
     let idle_count = (0..view.n_workers()).filter(eligible).count();
     if idle_count == 0 {
@@ -77,7 +82,7 @@ pub fn random_idle(view: &dyn SchedView, draw: DrawFn) -> Option<usize> {
 /// The live idle worker with the *newest* protocol activity (the best
 /// fallback when the preferred worker is busy). Never-protocol workers
 /// rank lowest; ties break toward the lowest index.
-pub fn newest_idle(view: &dyn SchedView) -> Option<usize> {
+pub fn newest_idle<V: SchedView + ?Sized>(view: &V) -> Option<usize> {
     (0..view.n_workers())
         .filter(|&w| view.is_idle(w) && view.is_live(w))
         .max_by_key(|&w| {
@@ -92,7 +97,7 @@ pub fn newest_idle(view: &dyn SchedView) -> Option<usize> {
 
 /// MRU choice for an entity: its last worker if live and idle, else the
 /// newest-protocol live idle worker.
-fn mru_choice(view: &dyn SchedView, entity: u32) -> Option<usize> {
+fn mru_choice<V: SchedView + ?Sized>(view: &V, entity: u32) -> Option<usize> {
     if let Some(last) = view.last_worker(entity) {
         if view.is_idle(last) && view.is_live(last) {
             return Some(last);
@@ -104,7 +109,7 @@ fn mru_choice(view: &dyn SchedView, entity: u32) -> Option<usize> {
 /// The preferred worker if live, else the next live worker cyclically
 /// upward — the degraded-mode fallback for statically wired routes.
 /// With everything live this is the identity on `preferred`.
-pub fn next_live(view: &dyn SchedView, preferred: usize) -> usize {
+pub fn next_live<V: SchedView + ?Sized>(view: &V, preferred: usize) -> usize {
     let n = view.n_workers().max(1);
     let preferred = preferred % n;
     (0..n)
@@ -114,7 +119,7 @@ pub fn next_live(view: &dyn SchedView, preferred: usize) -> usize {
 }
 
 /// The live worker with the shallowest queue (lowest index on ties).
-pub fn shallowest_queue(view: &dyn SchedView) -> usize {
+pub fn shallowest_queue<V: SchedView + ?Sized>(view: &V) -> usize {
     (0..view.n_workers())
         .filter(|&w| view.is_live(w))
         .min_by_key(|&w| (view.queue_depth(w), w))
@@ -124,7 +129,7 @@ pub fn shallowest_queue(view: &dyn SchedView) -> usize {
 /// MRU-with-load-threshold routing: the entity's last worker while it
 /// is live and its backlog is within `max_backlog`, else the shallowest
 /// live queue. A dead last worker is treated as no history.
-pub fn mru_load_route(view: &dyn SchedView, entity: u32, max_backlog: usize) -> usize {
+pub fn mru_load_route<V: SchedView + ?Sized>(view: &V, entity: u32, max_backlog: usize) -> usize {
     if let Some(w) = view.last_worker(entity) {
         if view.is_live(w) && view.queue_depth(w) <= max_backlog {
             return w;
@@ -141,7 +146,11 @@ pub fn mru_load_route(view: &dyn SchedView, entity: u32, max_backlog: usize) -> 
 /// cores price honestly. Strict `<` comparison keeps the lowest index
 /// on exact ties; with every worker live at nominal speed the costs —
 /// and the argmin — are bit-identical to the unscaled scan.
-pub fn min_reload_route(view: &dyn SchedView, entity: u32, pricer: &DispatchPricer) -> usize {
+pub fn min_reload_route<V: SchedView + ?Sized>(
+    view: &V,
+    entity: u32,
+    pricer: &DispatchPricer,
+) -> usize {
     let mut best = 0usize;
     let mut best_cost = f64::INFINITY;
     for w in 0..view.n_workers() {
@@ -183,7 +192,7 @@ impl DispatchPolicy for LockingDispatch<'_> {
         )
     }
 
-    fn route(&self, view: &dyn SchedView, entity: u32, _draw: DrawFn) -> Route {
+    fn route<V: SchedView + ?Sized>(&self, view: &V, entity: u32, _draw: DrawFn) -> Route {
         match self.policy {
             // Wired bindings fall through to the next live worker while
             // their home is dead or stalled (identity when all live).
@@ -199,7 +208,12 @@ impl DispatchPolicy for LockingDispatch<'_> {
         }
     }
 
-    fn select(&self, view: &dyn SchedView, _entity: u32, draw: DrawFn) -> Option<Assignment> {
+    fn select<V: SchedView + ?Sized>(
+        &self,
+        view: &V,
+        _entity: u32,
+        draw: DrawFn,
+    ) -> Option<Assignment> {
         let (worker, thread) = match self.policy {
             LockPolicy::Baseline => (random_idle(view, draw), ThreadSource::SharedPool),
             LockPolicy::Pools => (random_idle(view, draw), ThreadSource::Own),
@@ -227,7 +241,12 @@ pub struct IpsDispatch {
 }
 
 impl DispatchPolicy for IpsDispatch {
-    fn select(&self, view: &dyn SchedView, stack: u32, draw: DrawFn) -> Option<Assignment> {
+    fn select<V: SchedView + ?Sized>(
+        &self,
+        view: &V,
+        stack: u32,
+        draw: DrawFn,
+    ) -> Option<Assignment> {
         let worker = match self.policy {
             IpsPolicy::Wired => {
                 let target = next_live(view, stack as usize);
@@ -271,7 +290,7 @@ impl DispatchPolicy for StealPolicy {
     /// backlog is real waiting work, not future arrivals a dispatcher
     /// pre-staged). Highest index wins depth ties, matching the
     /// historical scan.
-    fn steal(&self, view: &dyn SchedView, thief: usize) -> Option<StealDecision> {
+    fn steal<V: SchedView + ?Sized>(&self, view: &V, thief: usize) -> Option<StealDecision> {
         let my_bits = view.vclock_bits(thief);
         let mut victim = None;
         let mut deepest = self.threshold.max(1);

@@ -40,9 +40,9 @@ pub enum Router {
 impl Router {
     /// Route one packet of `entity` (the stream id). `draw` is consumed
     /// only by [`Router::RandomWorker`], exactly once per packet.
-    pub fn route(
+    pub fn route<V: SchedView + ?Sized>(
         &self,
-        view: &dyn SchedView,
+        view: &V,
         entity: u32,
         draw: DrawFn,
         pricer: &DispatchPricer,

@@ -5,10 +5,11 @@ use afs_cache::model::exec_time::ComponentAges;
 /// A backend's scheduler state, as seen by a [`crate::DispatchPolicy`].
 ///
 /// Each backend implements this over its own structures — the simulator
-/// over `ProcState`/`Locatable` tables at the current simulation time,
-/// the native runtime over its ring queues, atomic last-owner tables and
-/// published virtual clocks. Policies only *read* through it; every
-/// mutation (queue pops, RNG draws, bookkeeping) stays in the backend.
+/// over its field-major `Procs`/`LocTable` arrays at the current
+/// simulation time, the native runtime over its ring queues, atomic
+/// last-owner tables and published virtual clocks. Policies only *read*
+/// through it; every mutation (queue pops, RNG draws, bookkeeping)
+/// stays in the backend.
 ///
 /// The `entity` argument of the per-entity methods is whatever unit the
 /// calling paradigm schedules: the stream id under Locking, the stack id

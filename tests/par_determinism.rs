@@ -18,8 +18,10 @@ use afs_core::metrics::RunReport;
 use afs_core::replicate::replicate_jobs;
 use afs_core::sweep::rate_sweep_jobs;
 
-/// The worker counts compared against the serial reference.
-const JOB_COUNTS: [usize; 3] = [2, 8, 32];
+/// The worker counts compared against the serial reference. `1` pins
+/// the degenerate executor (single worker, but still the parallel code
+/// path and its channel plumbing) against the same reference.
+const JOB_COUNTS: [usize; 4] = [1, 2, 8, 32];
 
 fn assert_reports_identical(a: &RunReport, b: &RunReport, ctx: &str) {
     assert_eq!(a.arrivals, b.arrivals, "{ctx}: arrivals");

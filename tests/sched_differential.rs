@@ -37,11 +37,17 @@ const SMOKE_BITS: [(&str, u64, u64, u64); 3] = [
 ];
 
 /// Same capture for the fig06 grid template (k = 8 streams, full
-/// horizon, offered rate 1400 pps) under three Locking policies.
-const FIG06_BITS: [(u64, u64, u64); 3] = [
+/// horizon, offered rate 1400 pps) under all five Locking policy rungs.
+/// The first three were captured before the PR-5 `afs-sched` extraction;
+/// the `mru_load`/`min_reload` rows were captured from that engine
+/// before the PR-7 calendar-queue + SoA rewrite. Together they pin the
+/// current core bit-for-bit to both predecessors.
+const FIG06_BITS: [(u64, u64, u64); 5] = [
     (0x406dbf51aab9c032, 0x406db9d920bdd670, 0x40c601c000000000),
     (0x406bc104db54dc1c, 0x406bbdb8ad901361, 0x40c601c000000000),
     (0x406e8551e0dd2a4d, 0x40698c5eb57e3cf9, 0x40c6018000000000),
+    (0x406dd5b2ea5a3d02, 0x40693b1af5ec58af, 0x40c6018000000000),
+    (0x406b09e22fd8adf6, 0x406b01c6163f58e7, 0x40c601c000000000),
 ];
 
 #[test]
@@ -80,6 +86,13 @@ fn fig06_template_cells_are_bit_identical_to_pre_refactor() {
         ("baseline", LockPolicy::Baseline),
         ("mru", LockPolicy::Mru),
         ("wired", LockPolicy::Wired),
+        (
+            "mru_load",
+            LockPolicy::MruLoad {
+                max_backlog: afs_sched::DEFAULT_MRU_LOAD_BOUND,
+            },
+        ),
+        ("min_reload", LockPolicy::MinReload),
     ];
     for ((label, policy), (delay, svc, thr)) in policies.into_iter().zip(FIG06_BITS) {
         let mut cfg = afs_bench::template_with(Paradigm::Locking { policy }, 8, false);
