@@ -44,7 +44,7 @@ fn committed_baseline_pkts_per_s() -> Option<f64> {
     let text = std::fs::read_to_string(results_dir().join("BENCH_perf.json")).ok()?;
     let tail = text.split("\"sim_pkts_per_wall_s\":").nth(1)?;
     tail.trim_start()
-        .split(|c: char| c == ',' || c == '}')
+        .split([',', '}'])
         .next()?
         .trim()
         .parse()

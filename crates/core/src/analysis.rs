@@ -145,6 +145,9 @@ mod tests {
             completed_total: 1000,
             shed_total: 0,
             in_flight: 0,
+            ooo_deliveries: 0,
+            table_misses: 0,
+            rebinds: 0,
         }
     }
 

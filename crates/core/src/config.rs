@@ -111,6 +111,18 @@ pub struct SystemConfig {
     pub queue_bound: usize,
     /// Overflow behaviour when a bound is hit.
     pub drop_policy: DropPolicy,
+    /// NIC front-end steering (`None` = legacy enqueue routing via the
+    /// policy, byte-identical to every committed golden). When set, the
+    /// front-end owns arrival routing into per-processor queues and the
+    /// Locking policy supplies only the dispatch order; requires the
+    /// Locking paradigm.
+    pub frontend: Option<afs_sched::FrontEndPlan>,
+    /// Bound on the host's stream-state table (`None` = dense, one slot
+    /// per stream). `Some(c)` caches at most `c` streams in a hashed
+    /// LRU: an evicted stream's next packet pays the full cold
+    /// stream-footprint reload — the capacity model of the
+    /// million-stream experiments.
+    pub stream_cache: Option<usize>,
 }
 
 impl SystemConfig {
@@ -131,6 +143,8 @@ impl SystemConfig {
             proc_faults: ProcFaultPlan::none(),
             queue_bound: usize::MAX,
             drop_policy: DropPolicy::TailDrop,
+            frontend: None,
+            stream_cache: None,
         }
     }
 
@@ -172,6 +186,16 @@ impl SystemConfig {
         }
         if let Paradigm::Ips { n_stacks, .. } = &self.paradigm {
             assert!(*n_stacks >= 1, "need at least one stack");
+        }
+        if let Some(plan) = &self.frontend {
+            assert!(
+                self.paradigm.is_locking(),
+                "the NIC front-end steers per-processor queues; IPS routes by stack"
+            );
+            plan.validate();
+        }
+        if let Some(cap) = self.stream_cache {
+            assert!(cap >= 1, "stream cache must hold at least one stream");
         }
     }
 }
@@ -217,6 +241,24 @@ mod tests {
             afs_workload::Population::homogeneous_poisson(4, 100.0),
         );
         c.n_procs = 2;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "IPS routes by stack")]
+    fn frontend_requires_locking() {
+        let mut c = SystemConfig::new(
+            Paradigm::Ips {
+                policy: IpsPolicy::Wired,
+                n_stacks: 4,
+            },
+            afs_workload::Population::homogeneous_poisson(4, 100.0),
+        );
+        c.frontend = Some(afs_sched::FrontEndPlan::new(
+            afs_sched::FrontEndKind::Rss,
+            16,
+            afs_sched::Router::StreamOwner,
+        ));
         c.validate();
     }
 

@@ -284,6 +284,204 @@ pub fn sim_matrix_jobs(jobs: usize, scenarios: &[CrossvalScenario]) -> Vec<SimCe
     })
 }
 
+/// The policy axis of the million-stream front-end matrix (`ext25`):
+/// the rungs whose router steers per-worker queues. The `Locking` rung
+/// is excluded — its `Router::SharedQueue` fallback routes to the
+/// shared pool, which a NIC front-end cannot target
+/// ([`afs_sched::FrontEndPlan::validate`] rejects it) — and so is
+/// `Ips`, which routes by protocol stack rather than by NIC queue.
+pub const STREAM_POLICIES: [CrossPolicy; 3] = [
+    CrossPolicy::Oblivious,
+    CrossPolicy::MruLoad,
+    CrossPolicy::MinReload,
+];
+
+/// One cell shape of the stream-scale matrix: a Zipf-weighted flow
+/// population steered by a NIC front-end through bounded stream tables.
+/// Both backends run every `(front-end, policy)` combination of it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamScenario {
+    /// Processors (native workers == simulator `n_procs`).
+    pub workers: usize,
+    /// Flow-population size (the experiment sweeps 10³–10⁵).
+    pub streams: u32,
+    /// Total packets offered (sets the native packet budget and the
+    /// simulator horizon, so both backends see comparable samples).
+    pub total_packets: u64,
+    /// Aggregate offered rate across the whole population, packets/s.
+    pub aggregate_rate_pps: f64,
+    /// Zipf exponent of the per-flow rate weights.
+    pub alpha: f64,
+    /// Mean arrival-batch size (1 = pure Poisson; larger = bursty, the
+    /// regime where Flow-Director churn reorders).
+    pub batch_mean: f64,
+    /// NIC learning-table slots (Flow-Director only; ≪ `streams`).
+    pub table_capacity: usize,
+    /// Host stream-state slots: the hashed-LRU bound on resident stream
+    /// footprints (≪ `streams`; an eviction prices a full cold reload).
+    pub cache_capacity: usize,
+    /// UDP payload bytes per packet (native backend).
+    pub payload_bytes: usize,
+    /// Master seed; both backends derive their RNG streams from it.
+    pub seed: u64,
+}
+
+impl StreamScenario {
+    /// Compact label for rows: `w4s100000`.
+    pub fn label(&self) -> String {
+        format!("w{}s{}", self.workers, self.streams)
+    }
+
+    /// The front-end plan for one `(kind, policy)` cell: the NIC table
+    /// bound plus the rung's router as the miss-path fallback — the
+    /// same [`Router`][afs_sched::Router] object the native dispatcher
+    /// consumes, so the policy axis is defined exactly once.
+    pub fn frontend_plan(
+        &self,
+        kind: afs_sched::FrontEndKind,
+        policy: CrossPolicy,
+    ) -> afs_sched::FrontEndPlan {
+        afs_sched::FrontEndPlan::new(kind, self.table_capacity, policy.native_layout().router)
+    }
+
+    /// The Zipf flow population both backends offer.
+    pub fn population(&self) -> Population {
+        if self.batch_mean > 1.0 {
+            Population::zipf_bursty(
+                self.streams as usize,
+                self.aggregate_rate_pps,
+                self.alpha,
+                self.batch_mean,
+            )
+        } else {
+            Population::zipf(self.streams as usize, self.aggregate_rate_pps, self.alpha)
+        }
+    }
+
+    /// The simulator configuration for one `(front-end, policy)` cell.
+    pub fn sim_config(&self, kind: afs_sched::FrontEndKind, policy: CrossPolicy) -> SystemConfig {
+        let mut cfg = SystemConfig::new(policy.sim_paradigm(self.workers), self.population());
+        cfg.n_procs = self.workers;
+        cfg.seed = self.seed ^ 0xC105_5A1E;
+        cfg.frontend = Some(self.frontend_plan(kind, policy));
+        cfg.stream_cache = Some(self.cache_capacity);
+        let measure_s = self.total_packets as f64 / self.aggregate_rate_pps;
+        cfg.warmup = SimDuration::from_millis(150);
+        cfg.horizon = cfg.warmup + SimDuration::from_secs_f64(measure_s);
+        cfg
+    }
+}
+
+/// The default `ext25_streams` sweep: three decades of flow-population
+/// size at a fixed moderate utilization, tables held far below the
+/// population so steering churn and stream-state eviction are both
+/// live effects. Arrivals are bursty (batched) — the regime in which
+/// Flow-Director's migration pathology reorders.
+pub fn stream_matrix() -> Vec<StreamScenario> {
+    [
+        (1_000u32, 30_000u64, 64usize, 128usize),
+        (10_000, 30_000, 256, 1_024),
+        (100_000, 40_000, 1_024, 4_096),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(
+        |(i, (streams, total_packets, table, cache))| StreamScenario {
+            workers: 4,
+            streams,
+            total_packets,
+            aggregate_rate_pps: 15_000.0,
+            alpha: 1.1,
+            batch_mean: 4.0,
+            table_capacity: table,
+            cache_capacity: cache,
+            payload_bytes: 64,
+            seed: 0xAF5_2500 + i as u64,
+        },
+    )
+    .collect()
+}
+
+/// The bounded matrix for CI smoke runs (`ext25_streams --smoke`) and
+/// the debug-profile cross-validation test: one small scenario.
+pub fn stream_smoke_matrix() -> Vec<StreamScenario> {
+    vec![StreamScenario {
+        workers: 4,
+        streams: 2_048,
+        total_packets: 5_000,
+        aggregate_rate_pps: 12_000.0,
+        alpha: 1.1,
+        batch_mean: 4.0,
+        table_capacity: 64,
+        cache_capacity: 256,
+        payload_bytes: 64,
+        seed: 0xAF5_2510,
+    }]
+}
+
+/// The pinned reordering-pathology cell: a learning table far below the
+/// flow population under bursty arrivals, at a seed verified to make
+/// Flow-Director churn visibly reorder on both backends
+/// (`tests/reordering.rs` asserts the strict inequality).
+pub fn stream_pathology_scenario() -> StreamScenario {
+    StreamScenario {
+        workers: 4,
+        streams: 2_048,
+        total_packets: 8_000,
+        aggregate_rate_pps: 15_000.0,
+        alpha: 1.1,
+        batch_mean: 8.0,
+        table_capacity: 32,
+        cache_capacity: 256,
+        payload_bytes: 64,
+        seed: 0xAF5_2520,
+    }
+}
+
+/// One simulator cell of the stream matrix.
+#[derive(Debug, Clone)]
+pub struct SimStreamCell {
+    /// The scenario this cell belongs to.
+    pub scenario: StreamScenario,
+    /// The NIC front-end steering the cell.
+    pub frontend: afs_sched::FrontEndKind,
+    /// The policy rung supplying the miss-path fallback and dispatch.
+    pub policy: CrossPolicy,
+    /// The simulator's report for `scenario.sim_config(frontend, policy)`.
+    pub report: crate::metrics::RunReport,
+}
+
+/// Run the simulator side of the stream matrix — every
+/// `(scenario, front-end, policy)` cell — on the [`crate::par`]
+/// executor. Results come back in row-major order (scenarios in the
+/// given order, [`afs_sched::FrontEndKind::ALL`] within each,
+/// [`STREAM_POLICIES`] innermost), byte-identical for any `AFS_JOBS`.
+pub fn sim_stream_matrix(scenarios: &[StreamScenario]) -> Vec<SimStreamCell> {
+    sim_stream_matrix_jobs(crate::par::jobs_from_env(), scenarios)
+}
+
+/// [`sim_stream_matrix`] with an explicit worker count (determinism
+/// tests pin `jobs` instead of racing on the process environment).
+pub fn sim_stream_matrix_jobs(jobs: usize, scenarios: &[StreamScenario]) -> Vec<SimStreamCell> {
+    let cells: Vec<(StreamScenario, afs_sched::FrontEndKind, CrossPolicy)> = scenarios
+        .iter()
+        .flat_map(|&s| {
+            afs_sched::FrontEndKind::ALL
+                .into_iter()
+                .flat_map(move |k| STREAM_POLICIES.into_iter().map(move |p| (s, k, p)))
+        })
+        .collect();
+    crate::par::parallel_map_jobs(jobs, &cells, |&(scenario, frontend, policy)| {
+        let cfg = scenario.sim_config(frontend, policy);
+        SimStreamCell {
+            scenario,
+            frontend,
+            policy,
+            report: crate::sim::run(&cfg),
+        }
+    })
+}
+
 /// Relative improvement of `better` over `base` (positive = `better`
 /// is faster). Returns 0 when `base` is not positive.
 pub fn relative_improvement(base: f64, better: f64) -> f64 {
@@ -308,6 +506,19 @@ pub const ORDERING_SLACK: f64 = 1.05;
 /// 10–25 % at the default matrix — is required to agree only within
 /// this band, while its *sign and ordering* are required exactly.
 pub const IMPROVEMENT_TOLERANCE: f64 = 0.15;
+
+/// Documented multiplicative band on front-end *steering telemetry*
+/// between backends: table-miss and first-placement counts must agree
+/// within this factor (`max/min ≤ factor`) for the same stream
+/// scenario. The counts cannot match exactly — each backend draws its
+/// own arrival randomness, and Flow-Director churn depends on
+/// completion timing, which the two methodologies price differently —
+/// but both look up the *same* bounded tables over the *same* Zipf
+/// population, so the miss volume must land in the same band. The
+/// structural facts (RSS/transport-friendly deliver in order, the
+/// learning table far below the population misses, Flow-Director
+/// reorders at the pathology cell) are required exactly.
+pub const STEERING_AGREEMENT_FACTOR: f64 = 2.5;
 
 #[cfg(test)]
 mod tests {
@@ -352,5 +563,45 @@ mod tests {
         let m = default_matrix();
         assert_ne!(m[0].label(), m[1].label());
         assert_eq!(m[0].label(), "w2k8");
+    }
+
+    #[test]
+    fn stream_configs_validate_for_every_cell() {
+        for s in stream_smoke_matrix()
+            .iter()
+            .chain([stream_pathology_scenario()].iter())
+        {
+            for kind in afs_sched::FrontEndKind::ALL {
+                for p in STREAM_POLICIES {
+                    let cfg = s.sim_config(kind, p);
+                    cfg.validate();
+                    assert_eq!(cfg.n_procs, s.workers);
+                    assert_eq!(cfg.n_streams(), s.streams as usize);
+                    assert_eq!(cfg.stream_cache, Some(s.cache_capacity));
+                    assert!(cfg.frontend.is_some());
+                }
+            }
+        }
+        // The full matrix's configs validate too (cheap: no runs).
+        for s in stream_matrix() {
+            s.sim_config(afs_sched::FrontEndKind::Rss, CrossPolicy::Oblivious)
+                .validate();
+        }
+    }
+
+    #[test]
+    fn stream_tables_are_far_below_the_population() {
+        for s in stream_matrix() {
+            assert!(s.table_capacity * 8 <= s.streams as usize, "{s:?}");
+            assert!(s.cache_capacity * 4 <= s.streams as usize, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared")]
+    fn locking_rung_is_rejected_by_the_frontend() {
+        let s = stream_smoke_matrix()[0];
+        s.frontend_plan(afs_sched::FrontEndKind::Rss, CrossPolicy::Locking)
+            .validate();
     }
 }

@@ -69,6 +69,7 @@ pub mod trace;
 
 pub use config::{DropPolicy, FaultProfile, IpsPolicy, LockPolicy, Paradigm, SystemConfig};
 pub use crossval::{sim_matrix, CrossPolicy, CrossvalScenario, SimCell};
+pub use crossval::{sim_stream_matrix, SimStreamCell, StreamScenario, STREAM_POLICIES};
 pub use exec::ExecParams;
 pub use metrics::RunReport;
 pub use par::{jobs_from_env, parallel_map, parallel_map_jobs};

@@ -289,6 +289,12 @@ impl Collector {
             completed_total: self.completed_total,
             shed_total: self.shed_total,
             in_flight: self.live_backlog,
+            // Owned by the simulator (and the native runtime), not the
+            // collector — filled in after the report is built, like
+            // `per_proc_served`.
+            ooo_deliveries: 0,
+            table_misses: 0,
+            rebinds: 0,
         }
     }
 }
@@ -374,6 +380,21 @@ pub struct RunReport {
     /// conservation identity `offered_total == completed_total +
     /// shed_total + in_flight` holds exactly for every drop policy.
     pub in_flight: u64,
+    /// Completions delivered out of per-stream arrival order (whole
+    /// run, like `offered_total`): a completion whose sequence number
+    /// is below its stream's completion high-water mark. Zero without a
+    /// NIC front-end (per-stream FIFO service is structural) and
+    /// structurally zero for the RSS and transport-friendly front-ends;
+    /// Flow Director's mid-burst rebinds make it positive.
+    pub ooo_deliveries: u64,
+    /// NIC front-end steering-table misses over the whole run (learning
+    /// table misses for Flow Director, first placements for the
+    /// transport-friendly pin, zero for RSS). Zero without a front-end.
+    pub table_misses: u64,
+    /// NIC front-end flow rebinds over the whole run (a packet routed
+    /// to a different worker than its flow's previous packet). Zero
+    /// without a front-end.
+    pub rebinds: u64,
 }
 
 impl RunReport {
@@ -416,6 +437,9 @@ impl RunReport {
             completed_total: 0,
             shed_total: 0,
             in_flight: 0,
+            ooo_deliveries: 0,
+            table_misses: 0,
+            rebinds: 0,
         }
     }
 }

@@ -19,7 +19,7 @@ use afs_obs::{ChargeKind, ObsEvent, SHARED_QUEUE};
 use afs_sched::{DispatchPolicy, IpsDispatch, LockingDispatch, SchedView, ThreadSource};
 
 use crate::config::{Paradigm, SystemConfig};
-use crate::state::{LocTable, Packet, ProcActivity, ProcHealth, Procs};
+use crate::state::{LocTable, Packet, ProcActivity, ProcHealth, Procs, StreamTable};
 use crate::trace::SchedEvent;
 
 use super::{Event, SchedSim, Stacks};
@@ -31,7 +31,7 @@ use super::{Event, SchedSim, Stacks};
 pub(super) struct LockView<'a> {
     pub procs: &'a Procs,
     pub threads: &'a LocTable,
-    pub streams: &'a LocTable,
+    pub streams: &'a StreamTable,
     pub proc_q: &'a [VecDeque<Packet>],
     pub now: SimTime,
 }
@@ -345,12 +345,16 @@ impl<'r> SchedSim<'r> {
         };
 
         // Worker queues first: an enqueue-routed packet may only use its
-        // queue's processor (wired binding or load-aware placement).
-        let uses_worker_queues = LockingDispatch {
-            policy,
-            pricer: &self.pricer,
-        }
-        .uses_worker_queues();
+        // queue's processor (wired binding or load-aware placement). A
+        // NIC front-end routes *every* arrival to a worker queue, so
+        // front-end mode forces the scan even under policies (Baseline,
+        // Pools) that never use worker queues themselves.
+        let uses_worker_queues = self.frontend.is_some()
+            || LockingDispatch {
+                policy,
+                pricer: &self.pricer,
+            }
+            .uses_worker_queues();
         if uses_worker_queues {
             for p in 0..self.cfg.n_procs {
                 if self.procs.is_available(p) {

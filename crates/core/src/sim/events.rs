@@ -17,6 +17,7 @@ use crate::procfault::ProcFaultKind;
 use crate::state::{Packet, ProcActivity, ProcHealth};
 use crate::trace::SchedEvent;
 
+use super::dispatch::LockView;
 use super::SchedSim;
 
 /// Simulation events.
@@ -70,6 +71,96 @@ impl<'r> SchedSim<'r> {
         engine.route(&view, stream, &mut |_| {
             unreachable!("enqueue routing draws no randomness")
         })
+    }
+
+    /// Steer one packet through the NIC front-end. The route is
+    /// computed exactly once per packet: steering lookups mutate state
+    /// (LRU promotion, the rebind ledger) and a randomized fallback
+    /// router draws from the policy RNG, so routing twice would skew
+    /// both. Emits the steering observability events, so the obs
+    /// counters stay exactly equal to the front-end's own totals.
+    fn route_via_frontend(&mut self, now: SimTime, seq: u64, stream: u32) -> usize {
+        use rand::Rng as _;
+        let fes = self.frontend.as_mut().expect("front-end active");
+        let prev = fes.previous_route(stream);
+        let misses_before = fes.table_misses();
+        let view = LockView {
+            procs: &self.procs,
+            threads: &self.threads,
+            streams: &self.streams,
+            proc_q: &self.proc_q,
+            now,
+        };
+        let rng = &mut self.policy_rng;
+        let w = fes.route(&view, stream, &mut |n| rng.gen_range(0..n), &self.pricer);
+        let missed = fes.table_misses() > misses_before;
+        if let Some(rec) = self.obs.as_deref_mut() {
+            let t_us = now.as_micros_f64();
+            if missed {
+                rec.record(ObsEvent::TableMiss { t_us, seq, stream });
+            }
+            if let Some(p) = prev {
+                if p != w {
+                    rec.record(ObsEvent::Rebind {
+                        t_us,
+                        seq,
+                        stream,
+                        from: p as u32,
+                        to: w as u32,
+                    });
+                }
+            }
+        }
+        w
+    }
+
+    /// Front-end admission: the NIC steers the arrival to a worker
+    /// queue before any drop policy sees it, and the bound applies to
+    /// the routed queue (total backlog under backpressure). The route
+    /// decision happens even for a packet the bound then sheds — the
+    /// NIC steered it; the queue overflowed afterwards — which keeps
+    /// the steering counters a pure function of the arrival stream.
+    fn admit_frontend(&mut self, now: SimTime, pkt: Packet) {
+        let w = self.route_via_frontend(now, pkt.seq, pkt.stream);
+        let bound = self.cfg.queue_bound;
+        if bound != usize::MAX {
+            match self.cfg.drop_policy {
+                DropPolicy::Backpressure => {
+                    if self.total_backlog() >= bound {
+                        self.collector.on_offered_only(now);
+                        if self.collector.recording(now) {
+                            self.collector.shed_at_source += 1;
+                        }
+                        return;
+                    }
+                }
+                DropPolicy::TailDrop => {
+                    if self.proc_q[w].len() >= bound {
+                        self.collector.on_offered_only(now);
+                        if self.collector.recording(now) {
+                            self.collector.queue_drops += 1;
+                        }
+                        return;
+                    }
+                }
+                DropPolicy::DropLongestQueue => {
+                    if self.proc_q[w].len() >= bound {
+                        self.evict_from_longest(now);
+                    }
+                }
+            }
+        }
+        self.collector.on_arrival(now);
+        self.proc_q[w].push_back(pkt);
+        if let Some(rec) = self.obs.as_deref_mut() {
+            rec.record(ObsEvent::Enqueue {
+                t_us: pkt.arrival.as_micros_f64(),
+                seq: pkt.seq,
+                stream: pkt.stream,
+                queue: w as u32,
+                depth: self.proc_q[w].len() as u32,
+            });
+        }
     }
 
     /// Enqueue an admitted packet on the queue its paradigm + policy
@@ -160,6 +251,10 @@ impl<'r> SchedSim<'r> {
     /// configuration (unbounded queues) this is exactly the historical
     /// count-then-enqueue path.
     fn admit(&mut self, now: SimTime, pkt: Packet) {
+        if self.frontend.is_some() {
+            self.admit_frontend(now, pkt);
+            return;
+        }
         let bound = self.cfg.queue_bound;
         if bound == usize::MAX {
             self.collector.on_arrival(now);
@@ -261,6 +356,14 @@ impl<'r> SchedSim<'r> {
                     self.stacks.queue[w as usize].push_front(pkt);
                     w
                 }
+                None if self.frontend.is_some() => {
+                    // The NIC re-steers the orphan over the degraded
+                    // view (the dead worker is masked out of next_live
+                    // and the fallback router alike).
+                    let q = self.route_via_frontend(now, pkt.seq, pkt.stream);
+                    self.proc_q[q].push_back(pkt);
+                    q as u32
+                }
                 None => match self.lock_route_at(now, pkt.stream) {
                     Route::Shared => {
                         self.global_q.push_front(pkt);
@@ -290,14 +393,20 @@ impl<'r> SchedSim<'r> {
             }
         }
         for pkt in drained {
-            let queue = match self.lock_route_at(now, pkt.stream) {
-                Route::Shared => {
-                    self.global_q.push_back(pkt);
-                    SHARED_QUEUE
-                }
-                Route::Worker(q) => {
-                    self.proc_q[q].push_back(pkt);
-                    q as u32
+            let queue = if self.frontend.is_some() {
+                let q = self.route_via_frontend(now, pkt.seq, pkt.stream);
+                self.proc_q[q].push_back(pkt);
+                q as u32
+            } else {
+                match self.lock_route_at(now, pkt.stream) {
+                    Route::Shared => {
+                        self.global_q.push_back(pkt);
+                        SHARED_QUEUE
+                    }
+                    Route::Worker(q) => {
+                        self.proc_q[q].push_back(pkt);
+                        q as u32
+                    }
                 }
             };
             if recording {
@@ -478,6 +587,26 @@ impl<'r> Simulate for SchedSim<'r> {
                     // stage: stream state is never brought into this
                     // processor's cache.
                     self.streams.record(packet.stream as usize, proc, np);
+                }
+                if let Some(fes) = self.frontend.as_mut() {
+                    // Flow-Director completion feedback: the NIC learns
+                    // the flow's next binding from the core that just
+                    // finished it (RSS/transport-friendly ignore this).
+                    fes.note_complete(packet.stream, proc as u32);
+                }
+                {
+                    // Out-of-order delivery: a completion whose arrival
+                    // sequence precedes the stream's completion
+                    // high-water mark. Counted whole-run, corrupt
+                    // completions included, mirroring the offline
+                    // `afs_obs::SequenceChecker` exactly.
+                    let s = packet.stream as usize;
+                    let hw = self.ooo_seen[s];
+                    if hw != u64::MAX && packet.seq < hw {
+                        self.ooo_deliveries += 1;
+                    } else {
+                        self.ooo_seen[s] = packet.seq;
+                    }
                 }
                 if let Some(w) = stack {
                     self.stacks.running[w as usize] = false;

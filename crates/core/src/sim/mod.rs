@@ -50,13 +50,15 @@ use afs_desim::time::{SimDuration, SimTime};
 use afs_obs::{EngineProbe, Recorder};
 use afs_workload::ArrivalGen;
 
+use afs_sched::FrontEndState;
+
 use crate::config::{Paradigm, SystemConfig};
 // Glob-imported by the test modules (`use super::super::*`), which
 // exercise every policy and drop configuration.
 #[cfg(test)]
 use crate::config::IpsPolicy;
 use crate::metrics::{Collector, RunReport};
-use crate::state::{LocTable, Packet, Procs};
+use crate::state::{LocTable, Packet, Procs, StreamTable};
 use crate::trace::SchedTrace;
 
 /// IPS stack state, field-major like the rest of the hot state: the
@@ -104,8 +106,20 @@ pub struct SchedSim<'r> {
     threads: LocTable,
     /// Free thread ids for the shared pool (Baseline policy).
     shared_pool: VecDeque<usize>,
-    /// Per-stream state locations.
-    streams: LocTable,
+    /// Per-stream state locations (dense, or a bounded hashed cache
+    /// under `cfg.stream_cache`).
+    streams: StreamTable,
+    /// NIC front-end steering state, when `cfg.frontend` is set. Owns
+    /// arrival routing into `proc_q`; the Locking policy then only
+    /// orders dispatch.
+    frontend: Option<FrontEndState>,
+    /// Per-stream completion high-water sequence number (`u64::MAX` =
+    /// no completion yet) — the online out-of-order delivery counter,
+    /// definitionally identical to `afs_obs::SequenceChecker` over the
+    /// emission-ordered trace.
+    ooo_seen: Vec<u64>,
+    /// Completions below their stream's high-water mark (whole run).
+    ooo_deliveries: u64,
     /// IPS: stream → stack assignment (round-robin).
     stream_to_stack: Vec<u32>,
     /// IPS stacks.
@@ -164,7 +178,7 @@ impl<'r> SchedSim<'r> {
     /// [`SchedSim::new`] with the configuration-constant fold supplied
     /// by the caller. A sweep prices every point against the same
     /// execution model, so fan-out layers ([`crate::sweep`],
-    /// [`crate::replicate`]) fold it once per *sweep* instead of once
+    /// [`mod@crate::replicate`]) fold it once per *sweep* instead of once
     /// per run. The pricer is plain `Copy` data — bit-identical whether
     /// folded here or there.
     pub fn with_pricer(cfg: &'r SystemConfig, pricer: DispatchPricer) -> Self {
@@ -182,7 +196,13 @@ impl<'r> SchedSim<'r> {
             procs: Procs::new(n),
             threads: LocTable::new(n),
             shared_pool: (0..n).collect(),
-            streams: LocTable::new(k),
+            streams: match cfg.stream_cache {
+                None => StreamTable::dense(k),
+                Some(cap) => StreamTable::hashed(cap),
+            },
+            frontend: cfg.frontend.map(FrontEndState::new),
+            ooo_seen: vec![u64::MAX; k],
+            ooo_deliveries: 0,
             stream_to_stack: (0..k).map(|s| (s % n_stacks.max(1)) as u32).collect(),
             stacks: Stacks::new(n_stacks),
             global_q: VecDeque::new(),
@@ -221,6 +241,18 @@ impl<'r> SchedSim<'r> {
     fn v_us(&self, size_bytes: f64) -> f64 {
         self.cfg.v_fixed_us + self.cfg.copy_us_per_byte * size_bytes
     }
+
+    /// Fill the report fields the simulator owns directly rather than
+    /// through the [`Collector`]: per-processor serve counts, the
+    /// online reordering count, and the front-end steering totals.
+    fn finalize_report(&self, report: &mut RunReport) {
+        report.per_proc_served = self.procs.served().to_vec();
+        report.ooo_deliveries = self.ooo_deliveries;
+        if let Some(fes) = &self.frontend {
+            report.table_misses = fes.table_misses();
+            report.rebinds = fes.rebinds;
+        }
+    }
 }
 
 /// Run a configuration to completion and report.
@@ -247,7 +279,7 @@ pub fn run_with_pricer(cfg: &SystemConfig, pricer: &DispatchPricer) -> RunReport
     engine.run_until(horizon);
     let end = engine.now();
     let mut report = engine.model_mut().collector.report(end, n_procs);
-    report.per_proc_served = engine.model().procs.served().to_vec();
+    engine.model().finalize_report(&mut report);
     report
 }
 
@@ -265,7 +297,7 @@ pub fn run_with_series(cfg: &SystemConfig, capture: bool) -> (RunReport, Vec<f64
     engine.run_until(horizon);
     let end = engine.now();
     let mut report = engine.model_mut().collector.report(end, n_procs);
-    report.per_proc_served = engine.model().procs.served().to_vec();
+    engine.model().finalize_report(&mut report);
     let series = engine
         .model_mut()
         .collector
@@ -286,7 +318,7 @@ pub fn run_traced(cfg: &SystemConfig, capacity: usize) -> (RunReport, SchedTrace
     engine.run_until(horizon);
     let end = engine.now();
     let mut report = engine.model_mut().collector.report(end, n_procs);
-    report.per_proc_served = engine.model().procs.served().to_vec();
+    engine.model().finalize_report(&mut report);
     let trace = engine.model_mut().trace.take().expect("trace attached");
     (report, trace)
 }
@@ -309,7 +341,7 @@ pub fn run_observed<'r>(
     engine.run_until(horizon);
     let end = engine.now();
     let mut report = engine.model_mut().collector.report(end, n_procs);
-    report.per_proc_served = engine.model().procs.served().to_vec();
+    engine.model().finalize_report(&mut report);
     let probe = engine.take_probe().unwrap_or_default();
     (report, probe)
 }

@@ -1117,3 +1117,161 @@ mod procfault_tests {
         assert!(r.per_proc_served[0] > r.per_proc_served[1]);
     }
 }
+
+#[cfg(test)]
+mod frontend_tests {
+    use super::super::*;
+    use crate::config::LockPolicy;
+    use afs_obs::{MemRecorder, SequenceChecker};
+    use afs_sched::FrontEndKind::FlowDirector;
+    use afs_sched::{FrontEndKind, FrontEndPlan, Router};
+    use afs_workload::Population;
+
+    /// A front-ended configuration: `streams` Zipf(α)-weighted flows at
+    /// an aggregate rate, steered by `kind` over a `table` slot NIC
+    /// table with a random-worker miss fallback, into a `cache`-slot
+    /// hashed host stream table.
+    fn frontend_cfg(
+        kind: FrontEndKind,
+        streams: usize,
+        table: usize,
+        cache: usize,
+        bursty: bool,
+    ) -> SystemConfig {
+        let pop = if bursty {
+            Population::zipf_bursty(streams, 18_000.0, 1.1, 8.0)
+        } else {
+            Population::zipf(streams, 18_000.0, 1.1)
+        };
+        let mut cfg = SystemConfig::new(
+            Paradigm::Locking {
+                policy: LockPolicy::Baseline,
+            },
+            pop,
+        );
+        cfg.warmup = SimDuration::from_millis(50);
+        cfg.horizon = SimDuration::from_millis(400);
+        cfg.frontend = Some(FrontEndPlan::new(kind, table, Router::RandomWorker));
+        cfg.stream_cache = Some(cache);
+        cfg
+    }
+
+    fn assert_conservation(r: &crate::metrics::RunReport) {
+        assert_eq!(
+            r.offered_total,
+            r.completed_total + r.shed_total + r.in_flight,
+            "conservation violated: {r:?}"
+        );
+    }
+
+    #[test]
+    fn rss_is_structurally_in_order() {
+        // Hash steering never splits a live flow across queues, and the
+        // per-worker FIFOs are served in order: zero reordering, zero
+        // table traffic, by construction.
+        let r = run(&frontend_cfg(FrontEndKind::Rss, 512, 64, 256, true));
+        assert_conservation(&r);
+        assert!(r.completed_total > 0);
+        assert_eq!(r.ooo_deliveries, 0, "RSS must never reorder: {r:?}");
+        assert_eq!(r.table_misses, 0);
+        assert_eq!(r.rebinds, 0);
+    }
+
+    #[test]
+    fn transport_friendly_is_sticky_and_in_order() {
+        let r = run(&frontend_cfg(
+            FrontEndKind::TransportFriendly,
+            512,
+            64,
+            256,
+            true,
+        ));
+        assert_conservation(&r);
+        assert_eq!(r.ooo_deliveries, 0, "sticky routing must not reorder");
+        assert_eq!(r.rebinds, 0, "a pinned flow never moves");
+        // Every distinct flow pays exactly one first-placement "miss".
+        assert!(r.table_misses >= 1 && r.table_misses <= 512);
+    }
+
+    #[test]
+    fn flow_director_reorders_under_bursty_arrivals() {
+        // A learning table far smaller than the flow population churns;
+        // evicted flows re-route through the random fallback while
+        // packets from the old binding still queue — the Wu et al.
+        // migration/reordering pathology.
+        let r = run(&frontend_cfg(FlowDirector, 2048, 32, 256, true));
+        assert_conservation(&r);
+        assert!(r.table_misses > 0, "tiny table must churn: {r:?}");
+        assert!(r.rebinds > 0, "churn must rebind flows: {r:?}");
+        assert!(
+            r.ooo_deliveries > 0,
+            "Flow-Director churn must reorder under bursty load: {r:?}"
+        );
+    }
+
+    #[test]
+    fn online_ooo_matches_offline_checker_and_obs_counters() {
+        // The report's counters are pure functions of the obs trace:
+        // the offline SequenceChecker over the emitted events must land
+        // on exactly the online out-of-order count, and the recorder's
+        // steering counters on exactly the front-end's totals.
+        let cfg = frontend_cfg(FlowDirector, 1024, 32, 128, true);
+        let mut rec = MemRecorder::new();
+        let (report, _) = run_observed(&cfg, &mut rec);
+        assert_conservation(&report);
+        let seq = SequenceChecker::check(&rec.events);
+        assert_eq!(seq.ooo_deliveries, report.ooo_deliveries);
+        assert_eq!(seq.completions, report.completed_total);
+        assert_eq!(rec.counters.table_misses, report.table_misses);
+        assert_eq!(rec.counters.rebinds, report.rebinds);
+    }
+
+    #[test]
+    fn frontend_recorder_is_pure_observation() {
+        let cfg = frontend_cfg(FlowDirector, 1024, 32, 128, true);
+        let plain = run(&cfg);
+        let mut rec = MemRecorder::new();
+        let (observed, _) = run_observed(&cfg, &mut rec);
+        assert_eq!(plain, observed, "recorder perturbed a front-end run");
+    }
+
+    #[test]
+    fn stream_cache_eviction_prices_cold_reloads() {
+        // Shrinking the host stream table below the hot set forces
+        // evicted flows to pay full cold stream-footprint reloads: mean
+        // service must rise, everything else held fixed.
+        let mut roomy = frontend_cfg(FrontEndKind::Rss, 512, 64, 512, false);
+        let mut tiny = frontend_cfg(FrontEndKind::Rss, 512, 64, 8, false);
+        roomy.seed = 0xCAFE;
+        tiny.seed = 0xCAFE;
+        let r_roomy = run(&roomy);
+        let r_tiny = run(&tiny);
+        assert_conservation(&r_roomy);
+        assert_conservation(&r_tiny);
+        assert!(
+            r_tiny.mean_service_us > r_roomy.mean_service_us,
+            "8-slot cache {} µs must out-price 512-slot {} µs",
+            r_tiny.mean_service_us,
+            r_roomy.mean_service_us
+        );
+    }
+
+    #[test]
+    fn frontend_survives_a_crash() {
+        // A mid-run crash orphans the dead worker's backlog; the NIC
+        // re-steers every orphan over the degraded view and the run
+        // still conserves packets.
+        let mut cfg = frontend_cfg(FlowDirector, 512, 32, 256, true);
+        cfg.proc_faults = crate::procfault::ProcFaultPlan {
+            faults: vec![crate::procfault::ProcFault {
+                proc: 3,
+                at_us: 150_000.0,
+                kind: crate::procfault::ProcFaultKind::Crash { revive_at_us: None },
+            }],
+        };
+        let r = run(&cfg);
+        assert_conservation(&r);
+        assert_eq!(r.proc_crashes, 1);
+        assert!(r.per_proc_served[3] < *r.per_proc_served.iter().max().unwrap());
+    }
+}

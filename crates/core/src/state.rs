@@ -30,6 +30,7 @@
 use afs_desim::time::{SimDuration, SimTime};
 
 use afs_cache::model::exec_time::Age;
+use afs_sched::{HashedLru, LruStats};
 
 /// A packet waiting for or receiving service.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -346,6 +347,118 @@ impl LocTable {
     }
 }
 
+/// Stream-state locations: dense (one slot per stream — the historical
+/// representation, exact at any population) or a bounded hashed-LRU
+/// cache sized far below the stream population.
+///
+/// The hashed representation is the million-stream capacity model: a
+/// stream evicted from the table is simply *absent*, and an absent
+/// stream is cold everywhere — so the next dispatch of that stream pays
+/// the full cold stream-footprint reload through the existing
+/// [`DispatchPricer`](afs_cache::model::pricer::DispatchPricer) with no
+/// new pricing code. Reads ([`StreamTable::age_on`],
+/// [`StreamTable::last_proc`], [`StreamTable::migrates_to`]) peek
+/// without promoting, so policy scans never perturb the eviction order;
+/// only [`StreamTable::record`] (a completed service) refreshes
+/// recency.
+#[derive(Debug, Clone)]
+pub enum StreamTable {
+    /// One slot per stream, never evicted.
+    Dense(LocTable),
+    /// Bounded cache of `(processor, np-clock)` keyed by stream id.
+    Hashed(HashedLru<(u32, f64)>),
+}
+
+impl StreamTable {
+    /// The dense table for `n` streams (the default).
+    pub fn dense(n: usize) -> Self {
+        StreamTable::Dense(LocTable::new(n))
+    }
+
+    /// A bounded hashed-LRU cache holding at most `capacity` streams.
+    pub fn hashed(capacity: usize) -> Self {
+        StreamTable::Hashed(HashedLru::new(capacity))
+    }
+
+    /// Age of stream `i` on processor `p` at np-clock `np_now`. Absent
+    /// (never recorded, evicted, or host crashed) means cold.
+    pub fn age_on(&self, i: usize, p: usize, np_now: f64) -> Age {
+        match self {
+            StreamTable::Dense(t) => t.age_on(i, p, np_now),
+            StreamTable::Hashed(t) => match t.peek(i as u64) {
+                Some((q, np_then)) if q != NOWHERE => {
+                    if q as usize == p {
+                        Age::Elapsed(SimDuration::from_micros_f64((np_now - np_then).max(0.0)))
+                    } else {
+                        Age::Remote
+                    }
+                }
+                _ => Age::Cold,
+            },
+        }
+    }
+
+    /// Record a completed run of stream `i` on `p` (inserts or promotes
+    /// in the hashed representation; may evict the LRU stream).
+    pub fn record(&mut self, i: usize, p: usize, np_now: f64) {
+        match self {
+            StreamTable::Dense(t) => t.record(i, p, np_now),
+            StreamTable::Hashed(t) => {
+                t.insert(i as u64, (p as u32, np_now));
+            }
+        }
+    }
+
+    /// True when stream `i` would migrate if dispatched on `p`.
+    pub fn migrates_to(&self, i: usize, p: usize) -> bool {
+        match self {
+            StreamTable::Dense(t) => t.migrates_to(i, p),
+            StreamTable::Hashed(t) => matches!(
+                t.peek(i as u64),
+                Some((q, _)) if q != NOWHERE && q as usize != p
+            ),
+        }
+    }
+
+    /// The processor stream `i` last ran on, if still tracked.
+    pub fn last_proc(&self, i: usize) -> Option<usize> {
+        match self {
+            StreamTable::Dense(t) => t.last_proc(i),
+            StreamTable::Hashed(t) => match t.peek(i as u64) {
+                Some((q, _)) if q != NOWHERE => Some(q as usize),
+                _ => None,
+            },
+        }
+    }
+
+    /// Crash semantics: every stream last resident on `p` is cold
+    /// everywhere from now on. The hashed entries stay resident (the
+    /// cache slot is still occupied) but report cold, matching the
+    /// dense table's sentinel exactly.
+    pub fn evict_proc(&mut self, p: usize) {
+        match self {
+            StreamTable::Dense(t) => t.evict_proc(p),
+            StreamTable::Hashed(t) => {
+                let p = p as u32;
+                t.for_each_value_mut(|_, v| {
+                    if v.0 == p {
+                        v.0 = NOWHERE;
+                    }
+                });
+            }
+        }
+    }
+
+    /// Hashed-cache hit/miss/eviction counters (`None` for the dense
+    /// representation, which never misses).
+    pub fn cache_stats(&self) -> Option<LruStats> {
+        match self {
+            StreamTable::Dense(_) => None,
+            StreamTable::Hashed(t) => Some(t.stats),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +549,58 @@ mod tests {
         // Evicted entities are cold everywhere, including on the (re-
         // vived) crashed processor itself.
         assert_eq!(s.age_on(0, 4, 99.0), Age::Cold);
+    }
+
+    #[test]
+    fn stream_table_hashed_matches_dense_until_eviction() {
+        let mut dense = StreamTable::dense(4);
+        let mut hashed = StreamTable::hashed(4);
+        for t in [&mut dense, &mut hashed] {
+            t.record(0, 1, 10.0);
+            t.record(3, 2, 20.0);
+        }
+        for t in [&dense, &hashed] {
+            assert_eq!(t.last_proc(0), Some(1));
+            assert_eq!(t.last_proc(3), Some(2));
+            assert_eq!(t.last_proc(2), None);
+            assert!(t.migrates_to(0, 0));
+            assert!(!t.migrates_to(0, 1));
+            assert_eq!(t.age_on(2, 0, 99.0), Age::Cold);
+            assert_eq!(t.age_on(0, 2, 99.0), Age::Remote);
+            match t.age_on(0, 1, 15.0) {
+                Age::Elapsed(d) => assert!((d.as_micros_f64() - 5.0).abs() < 1e-9),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(dense.cache_stats(), None);
+        assert_eq!(hashed.cache_stats().unwrap().inserts, 2);
+    }
+
+    #[test]
+    fn stream_table_eviction_means_cold() {
+        let mut t = StreamTable::hashed(2);
+        t.record(0, 0, 1.0);
+        t.record(1, 1, 2.0);
+        t.record(2, 2, 3.0); // capacity 2: evicts stream 0
+        assert_eq!(t.cache_stats().unwrap().evictions, 1);
+        assert_eq!(t.last_proc(0), None);
+        assert_eq!(t.age_on(0, 0, 9.0), Age::Cold);
+        assert!(!t.migrates_to(0, 1), "an absent stream migrates nowhere");
+        // Re-recording re-admits it (evicting the then-LRU stream 1).
+        t.record(0, 3, 4.0);
+        assert_eq!(t.last_proc(0), Some(3));
+        assert_eq!(t.last_proc(1), None);
+    }
+
+    #[test]
+    fn stream_table_crash_eviction_reports_cold_in_place() {
+        let mut t = StreamTable::hashed(4);
+        t.record(0, 4, 10.0);
+        t.record(1, 5, 20.0);
+        t.evict_proc(4);
+        assert_eq!(t.last_proc(0), None);
+        assert_eq!(t.age_on(0, 4, 99.0), Age::Cold);
+        assert_eq!(t.last_proc(1), Some(5));
     }
 
     #[test]

@@ -308,7 +308,7 @@ impl<E> EventQueue<E> {
         self.width_shift = self.width.trailing_zeros();
         if self.mask == 0 {
             // Single sorted bucket: sort once, descending.
-            slots.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+            slots.sort_unstable_by_key(|s| core::cmp::Reverse(s.key()));
             self.buckets[0] = slots;
             self.cur_bucket = 0;
             self.cur_top = 1;
@@ -318,7 +318,7 @@ impl<E> EventQueue<E> {
                 self.buckets[b].push(s);
             }
             for b in &mut self.buckets {
-                b.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                b.sort_unstable_by_key(|s| core::cmp::Reverse(s.key()));
             }
             // Anchor the scan at the earliest event's day.
             let day = min_t >> self.width_shift;

@@ -45,12 +45,12 @@ pub mod runtime;
 pub mod watchdog;
 
 pub use afs_core::procfault::{FaultLoad, ProcFault, ProcFaultKind, ProcFaultPlan};
-pub use afs_sched::{NativeLayout, PolicySpec, Router, StealPolicy};
+pub use afs_sched::{FrontEndKind, FrontEndPlan, NativeLayout, PolicySpec, Router, StealPolicy};
 pub use pin::{CorePinner, NoopPinner, OsPinner, PinError};
 pub use ring::RingQueue;
 pub use runtime::{
     poisson_workload, run_native, run_native_recorded, run_native_recorded_with_pinner,
-    run_native_with_pinner, NativeConfig, NativePacket, NativeReport, OutcomeTotals, Pinning,
-    WorkerStats,
+    run_native_with_pinner, zipf_workload, NativeConfig, NativePacket, NativeReport, OutcomeTotals,
+    Pinning, WorkerStats,
 };
 pub use watchdog::{HealthBoard, WorkerFaults};

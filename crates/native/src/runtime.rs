@@ -45,7 +45,10 @@ use afs_desim::dist::Dist;
 use afs_desim::rng::RngFactory;
 use afs_desim::stats::Welford;
 use afs_obs::{ChargeKind, MemRecorder, ObsEvent, Recorder as _, SHARED_QUEUE};
-use afs_sched::{DispatchPolicy as _, NativeLayout, PolicySpec, Route, RouterState, SchedView};
+use afs_sched::{
+    DispatchPolicy as _, FrontEndState, HashedLru, NativeLayout, PolicySpec, Route, RouterState,
+    SchedView,
+};
 use afs_xkernel::driver::{PacketFactory, RxFrame};
 use afs_xkernel::engine::CostModel;
 use afs_xkernel::lock_overhead_cycles;
@@ -95,6 +98,27 @@ pub struct NativeConfig {
     /// The processor-fault plan (crashes, stalls, slowdowns on the
     /// virtual clock). Empty by default — a clean run is untouched.
     pub faults: ProcFaultPlan,
+    /// NIC front-end steering (`None` = legacy dispatcher routing via
+    /// [`NativeLayout::router`]). When set, the front-end owns arrival
+    /// routing into per-worker rings: the pooled ring, rotating pool
+    /// threads, and stealing are all forced off — the NIC decides, the
+    /// cores serve their own queues in FIFO order.
+    pub frontend: Option<afs_sched::FrontEndPlan>,
+    /// Bound on resident stream footprints per run (`None` = every
+    /// stream's state stays cache-resident once touched, the legacy
+    /// model). `Some(c)` splits `c` slots across the workers' hashed
+    /// LRU resident sets: a flow evicted from a worker's set pays a
+    /// full cold stream-state reload on its next packet there — the
+    /// native counterpart of the simulator's `stream_cache`.
+    pub stream_cache: Option<usize>,
+    /// Bound on the engine's session space (`None` = one session per
+    /// stream, the legacy layout). `Some(m)` demultiplexes flows onto
+    /// `flow % m` UDP sessions — how a real host carries 10⁵–10⁶ flows
+    /// over a bounded session table (and over the driver's 16-bit port
+    /// space, which caps distinct native sessions near 60 000). The
+    /// workload generator must be built with the same `m`
+    /// ([`zipf_workload`] takes it as a parameter).
+    pub session_space: Option<u32>,
 }
 
 impl NativeConfig {
@@ -110,6 +134,9 @@ impl NativeConfig {
             warmup_frac: 0.2,
             seed: 0xAF5_0002,
             faults: ProcFaultPlan::none(),
+            frontend: None,
+            stream_cache: None,
+            session_space: None,
         }
     }
 }
@@ -156,6 +183,75 @@ pub fn poisson_workload(
         }
     }
     all.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us));
+    all
+}
+
+/// Build a Zipf-popularity workload: `total_packets` packets offered at
+/// `aggregate_rate_pps` across `streams` flows whose per-flow shares
+/// follow [`afs_workload::zipf_weights`]`(streams, alpha)`. Arrivals
+/// come in geometric batches of mean `batch_mean` (1 = pure Poisson);
+/// each batch belongs to one flow drawn categorically by weight. By
+/// Poisson superposition this is the same law as the simulator's
+/// [`afs_workload::Population::zipf_bursty`] — the superposed per-flow
+/// compound-Poisson processes *are* an aggregate compound-Poisson
+/// process whose batch marks are weight-distributed — generated in one
+/// stream instead of 10⁵ so the native replay scales to million-flow
+/// populations.
+///
+/// `session_space` must equal the run's
+/// [`NativeConfig::session_space`]: each frame's UDP port encodes the
+/// flow's session `flow % m` while [`NativePacket::stream`] keeps the
+/// real flow id for steering and tracing. Deterministic for a fixed
+/// seed.
+#[allow(clippy::too_many_arguments)]
+pub fn zipf_workload(
+    streams: u32,
+    total_packets: u64,
+    aggregate_rate_pps: f64,
+    alpha: f64,
+    batch_mean: f64,
+    session_space: Option<u32>,
+    payload_bytes: usize,
+    seed: u64,
+) -> Vec<NativePacket> {
+    assert!(streams >= 1 && aggregate_rate_pps > 0.0 && batch_mean >= 1.0);
+    let weights = afs_workload::zipf_weights(streams as usize, alpha);
+    let mut cum = Vec::with_capacity(weights.len());
+    let mut acc = 0.0f64;
+    for w in &weights {
+        acc += w;
+        cum.push(acc);
+    }
+    let sessions = session_space.unwrap_or(streams).max(1);
+    let factory = RngFactory::new(seed);
+    let mut gaps_rng = factory.stream("native-zipf-gaps");
+    let mut flow_rng = factory.stream("native-zipf-flows");
+    let mut batch_rng = factory.stream("native-zipf-batches");
+    let gap = Dist::exponential(batch_mean * 1e6 / aggregate_rate_pps);
+    let p_more = 1.0 - 1.0 / batch_mean;
+    let mut packets = PacketFactory::new();
+    let mut all = Vec::with_capacity(total_packets as usize);
+    let mut t = 0.0f64;
+    while (all.len() as u64) < total_packets {
+        t += gap.sample(&mut gaps_rng);
+        // Categorical flow draw by cumulative weight (binary search).
+        let u: f64 = flow_rng.gen_range(0.0..1.0);
+        let flow = cum.partition_point(|&c| c <= u).min(streams as usize - 1) as u32;
+        // Geometric batch on {1, 2, …} with mean `batch_mean`: the whole
+        // burst arrives back-to-back on the wire, all of one flow — the
+        // arrival pattern that turns a mid-burst rebind into reordering.
+        let mut burst = 1u64;
+        while batch_mean > 1.0 && batch_rng.gen_range(0.0..1.0) < p_more {
+            burst += 1;
+        }
+        for _ in 0..burst.min(total_packets - all.len() as u64) {
+            all.push(NativePacket {
+                bytes: packets.frame_for(StreamId(flow % sessions), payload_bytes),
+                stream: StreamId(flow),
+                arrival_us: t,
+            });
+        }
+    }
     all
 }
 
@@ -253,8 +349,20 @@ pub struct NativeReport {
     pub requeued: u64,
     /// Per-worker telemetry.
     pub per_worker: Vec<WorkerStats>,
-    /// Delivered packets per stream (from the engines' session tables).
+    /// Delivered packets per stream (from the engines' session tables;
+    /// per *session* when [`NativeConfig::session_space`] folds flows).
     pub per_stream_delivered: Vec<u64>,
+    /// NIC-table lookup misses (front-end runs only; zero otherwise).
+    pub table_misses: u64,
+    /// Flow-to-queue rebinds the front-end performed (front-end runs
+    /// only; structurally zero under RSS and transport-friendly).
+    pub rebinds: u64,
+    /// Out-of-order deliveries. Always zero straight out of the run —
+    /// delivery order is a property of the workers' actual completion
+    /// order, which only a recorded run can observe — and filled in by
+    /// the crossval harness from the merged trace's
+    /// [`SequenceChecker`][afs_obs::SequenceChecker] verdict.
+    pub ooo_deliveries: u64,
 }
 
 impl NativeReport {
@@ -283,6 +391,9 @@ impl NativeReport {
         r.proc_crashes = self.workers_crashed;
         r.orphaned = self.orphaned;
         r.requeued = self.requeued;
+        r.table_misses = self.table_misses;
+        r.rebinds = self.rebinds;
+        r.ooo_deliveries = self.ooo_deliveries;
         r
     }
 }
@@ -386,6 +497,21 @@ fn run_native_impl(
     let last_arrival_us = workload.last().map_or(0.0, |p| p.arrival_us);
     let warmup_cut_us = cfg.warmup_frac * last_arrival_us;
 
+    // NIC front-end: validated up front; when active it owns routing
+    // into per-worker rings, so the pooled ring, rotating pool threads,
+    // and stealing are structurally off.
+    let frontend_on = cfg.frontend.is_some();
+    if let Some(plan) = &cfg.frontend {
+        plan.validate();
+    }
+    // Session space: flows fold onto `flow % sessions` engine sessions
+    // (identity when unbounded — the fold only reshapes runs that set
+    // `session_space`).
+    let sessions = match cfg.session_space {
+        Some(m) => (m as usize).min(n_streams.max(1)),
+        None => n_streams,
+    };
+
     // Engines: one shared stack for the locked policies, one per worker
     // for IPS. Streams bind to the stack that owns them.
     let shared_stack = cfg.layout.shared_stack;
@@ -393,7 +519,7 @@ fn run_native_impl(
     let engines: Vec<Mutex<ProtocolEngine>> = (0..n_stacks)
         .map(|stack| {
             let mut e = ProtocolEngine::new(cfg.cost);
-            for s in 0..n_streams as u32 {
+            for s in 0..sessions as u32 {
                 if shared_stack || owner_of(StreamId(s), w) == stack {
                     e.bind_stream(StreamId(s));
                 }
@@ -405,7 +531,7 @@ fn run_native_impl(
     // Run queues: one shared ring for the pooled layout, one per worker
     // otherwise. Sized so the shared ring has the same aggregate
     // capacity as the per-worker rings.
-    let pooled = cfg.layout.pooled_queue;
+    let pooled = cfg.layout.pooled_queue && !frontend_on;
     let queues: Vec<RingQueue<Job>> = if pooled {
         vec![RingQueue::with_capacity(cfg.queue_capacity * w)]
     } else {
@@ -446,6 +572,8 @@ fn run_native_impl(
         .collect();
     let mut orphaned = 0u64;
     let mut requeued = 0u64;
+    let mut fe_table_misses = 0u64;
+    let mut fe_rebinds = 0u64;
 
     let mut results: Vec<WorkerResult> = Vec::with_capacity(w);
     let mut disp_rec: Option<MemRecorder> = if record_obs {
@@ -472,6 +600,7 @@ fn run_native_impl(
                 board: &board,
                 escrow: &escrow,
                 recovery_done: &recovery_done,
+                sessions: sessions as u32,
             };
             handles.push(scope.spawn(move || worker_loop(ctx)));
         }
@@ -485,6 +614,15 @@ fn run_native_impl(
         let mut place = factory.stream("native-placement");
         let pricer = DispatchPricer::new(&ExecParams::calibrated().model);
         let mut rstate = RouterState::new(w, pricer.t_warm_us());
+        let mut fes: Option<FrontEndState> = cfg.frontend.map(FrontEndState::new);
+        // Flow-Director completion feedback, modeled: each routed packet
+        // schedules a (vfinish, seq, flow, worker) entry on the router
+        // model's drain clock; entries at or before an arrival are
+        // delivered to the NIC before that arrival is routed. Keying on
+        // the deterministic virtual-load model (not racy worker clocks)
+        // keeps routing a pure function of the workload.
+        let mut feedback: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u32, u32)>> =
+            std::collections::BinaryHeap::new();
         let has_crashes = worker_faults.iter().any(|f| f.crash.is_some());
         for (seq, pkt) in workload.into_iter().enumerate() {
             // Plan-driven masking: a packet arriving inside a worker's
@@ -502,20 +640,71 @@ fn run_native_impl(
                     rstate.set_live(i, live);
                 }
             }
-            let route = cfg.layout.router.route(
-                &rstate.view_at(pkt.arrival_us),
-                pkt.stream.0,
-                &mut |n| place.gen_range(0..n),
-                &pricer,
-            );
-            let target = match route {
-                Route::Worker(p) => {
-                    rstate.note_routed(pkt.stream.0, p, pkt.arrival_us);
-                    p
+            let target = if let Some(fes) = fes.as_mut() {
+                if fes.wants_completion_feedback() {
+                    while let Some(&std::cmp::Reverse((bits, _, s, wkr))) = feedback.peek() {
+                        if f64::from_bits(bits) <= pkt.arrival_us {
+                            fes.note_complete(s, wkr);
+                            feedback.pop();
+                        } else {
+                            break;
+                        }
+                    }
                 }
-                Route::Shared => 0,
+                let prev = fes.previous_route(pkt.stream.0);
+                let misses_before = fes.table_misses();
+                let p = fes.route(
+                    &rstate.view_at(pkt.arrival_us),
+                    pkt.stream.0,
+                    &mut |n| place.gen_range(0..n),
+                    &pricer,
+                );
+                rstate.note_routed(pkt.stream.0, p, pkt.arrival_us);
+                if fes.wants_completion_feedback() {
+                    feedback.push(std::cmp::Reverse((
+                        rstate.vfinish_us(p).to_bits(),
+                        seq as u64,
+                        pkt.stream.0,
+                        p as u32,
+                    )));
+                }
+                if let Some(r) = disp_rec.as_mut() {
+                    if fes.table_misses() > misses_before {
+                        r.record(ObsEvent::TableMiss {
+                            t_us: pkt.arrival_us,
+                            seq: seq as u64,
+                            stream: pkt.stream.0,
+                        });
+                    }
+                    if let Some(from) = prev {
+                        if from != p {
+                            r.record(ObsEvent::Rebind {
+                                t_us: pkt.arrival_us,
+                                seq: seq as u64,
+                                stream: pkt.stream.0,
+                                from: from as u32,
+                                to: p as u32,
+                            });
+                        }
+                    }
+                }
+                p
+            } else {
+                let route = cfg.layout.router.route(
+                    &rstate.view_at(pkt.arrival_us),
+                    pkt.stream.0,
+                    &mut |n| place.gen_range(0..n),
+                    &pricer,
+                );
+                match route {
+                    Route::Worker(p) => {
+                        rstate.note_routed(pkt.stream.0, p, pkt.arrival_us);
+                        p
+                    }
+                    Route::Shared => 0,
+                }
             };
-            let thread = if cfg.layout.rotating_threads {
+            let thread = if cfg.layout.rotating_threads && !frontend_on {
                 (seq % w) as u32
             } else {
                 u32::MAX
@@ -611,18 +800,54 @@ fn run_native_impl(
                 // The re-route decision happens at the instant the crash
                 // was detected, never before the orphan's own arrival.
                 let t = job.arrival_us.max(crash_at);
-                let route = cfg.layout.router.route(
-                    &rstate.view_at(t),
-                    job.stream.0,
-                    &mut |n| place.gen_range(0..n),
-                    &pricer,
-                );
-                let target = match route {
-                    Route::Worker(p) => {
-                        rstate.note_routed(job.stream.0, p, t);
-                        p
+                let target = if let Some(fes) = fes.as_mut() {
+                    // The NIC re-steers the orphan over the degraded
+                    // view (its dead queue is masked out of next_live
+                    // and the fallback alike).
+                    let misses_before = fes.table_misses();
+                    let prev = fes.previous_route(job.stream.0);
+                    let p = fes.route(
+                        &rstate.view_at(t),
+                        job.stream.0,
+                        &mut |n| place.gen_range(0..n),
+                        &pricer,
+                    );
+                    rstate.note_routed(job.stream.0, p, t);
+                    if let Some(r) = disp_rec.as_mut() {
+                        if fes.table_misses() > misses_before {
+                            r.record(ObsEvent::TableMiss {
+                                t_us: t,
+                                seq: job.seq,
+                                stream: job.stream.0,
+                            });
+                        }
+                        if let Some(from) = prev {
+                            if from != p {
+                                r.record(ObsEvent::Rebind {
+                                    t_us: t,
+                                    seq: job.seq,
+                                    stream: job.stream.0,
+                                    from: from as u32,
+                                    to: p as u32,
+                                });
+                            }
+                        }
                     }
-                    Route::Shared => 0,
+                    p
+                } else {
+                    let route = cfg.layout.router.route(
+                        &rstate.view_at(t),
+                        job.stream.0,
+                        &mut |n| place.gen_range(0..n),
+                        &pricer,
+                    );
+                    match route {
+                        Route::Worker(p) => {
+                            rstate.note_routed(job.stream.0, p, t);
+                            p
+                        }
+                        Route::Shared => 0,
+                    }
                 };
                 // Under per-worker stacks the dead worker's engine still
                 // holds the session — recovered work runs there, under
@@ -655,6 +880,10 @@ fn run_native_impl(
                 }
                 requeued += 1;
             }
+        }
+        if let Some(fes) = &fes {
+            fe_table_misses = fes.table_misses();
+            fe_rebinds = fes.rebinds;
         }
         recovery_done.store(true, Ordering::Release);
         for h in handles {
@@ -690,7 +919,7 @@ fn run_native_impl(
         }
     }
     let per_worker: Vec<WorkerStats> = results.iter().map(|r| r.stats.clone()).collect();
-    let per_stream_delivered: Vec<u64> = (0..n_streams as u32)
+    let per_stream_delivered: Vec<u64> = (0..sessions as u32)
         .map(|s| {
             engines
                 .iter()
@@ -720,6 +949,9 @@ fn run_native_impl(
         requeued,
         per_worker,
         per_stream_delivered,
+        table_misses: fe_table_misses,
+        rebinds: fe_rebinds,
+        ooo_deliveries: 0,
     }
 }
 
@@ -745,6 +977,10 @@ struct WorkerCtx<'a> {
     /// Set by the watchdog once every orphan is back in a live ring;
     /// live workers hold their exit on it so recovered work is drained.
     recovery_done: &'a AtomicBool,
+    /// Engine session space: flows fold onto `flow % sessions` bound
+    /// sessions (equal to the stream population when `session_space`
+    /// is unset, making the fold the identity).
+    sessions: u32,
 }
 
 fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
@@ -764,6 +1000,7 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         board,
         escrow,
         recovery_done,
+        sessions,
     } = ctx;
     let core = wid % pinner.cores().max(1);
     let pinned = matches!(cfg.pinning, Pinning::Auto) && pinner.pin_current(core).is_ok();
@@ -796,9 +1033,22 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     let mut vclock = 0.0f64;
     let mut slot = 0u32;
 
-    let pooled = cfg.layout.pooled_queue;
+    let pooled = cfg.layout.pooled_queue && cfg.frontend.is_none();
     let my_queue = if pooled { &queues[0] } else { &queues[wid] };
-    let steal = cfg.layout.steal;
+    let steal = if cfg.frontend.is_some() {
+        // The NIC owns placement: cores serve their own queues in FIFO
+        // order, never each other's.
+        None
+    } else {
+        cfg.layout.steal
+    };
+    // Bounded resident stream-state set: `stream_cache` slots split
+    // across workers, each tracking which flows' footprints its caches
+    // still hold. A flow falling out pays a full cold stream reload on
+    // its next packet even without an intervening migration.
+    let mut resident: Option<HashedLru<()>> = cfg
+        .stream_cache
+        .map(|cap| HashedLru::new((cap / cfg.workers.max(1)).max(1)));
     // Does the plan kill this worker for good? (Crash-with-revive is a
     // reboot handled inline; only a permanent crash orphans work.)
     let plan_crashed = matches!(faults.crash, Some((_, None)));
@@ -812,20 +1062,20 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     // One packet's full processing: migration purges, lock acquisition
     // (with overhead charge where the policy pays it), the real receive
     // path, and virtual-clock advance.
-    let process = |job: Job,
-                   stack: usize,
-                   stolen: bool,
-                   queue: u32,
-                   qdepth: u32,
-                   rec: &mut Option<MemRecorder>,
-                   hier: &mut MemoryHierarchy,
-                   stats: &mut WorkerStats,
-                   vclock: &mut f64,
-                   slot: &mut u32,
-                   delay: &mut Welford,
-                   service: &mut Welford,
-                   wait: &mut Welford,
-                   outcomes: &mut OutcomeTotals| {
+    let mut process = |job: Job,
+                       stack: usize,
+                       stolen: bool,
+                       queue: u32,
+                       qdepth: u32,
+                       rec: &mut Option<MemRecorder>,
+                       hier: &mut MemoryHierarchy,
+                       stats: &mut WorkerStats,
+                       vclock: &mut f64,
+                       slot: &mut u32,
+                       delay: &mut Welford,
+                       service: &mut Welford,
+                       wait: &mut Welford,
+                       outcomes: &mut OutcomeTotals| {
         let me = wid as u32;
         // Fault displacement: push the virtual service start through any
         // stall window (and the reboot window of a crash-with-revive)
@@ -905,12 +1155,28 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                 );
             }
         }
+        // Bounded resident set: touching a flow promotes it; a miss
+        // (first touch or re-touch after eviction) means its state fell
+        // out of this worker's caches, so the next reads run cold.
+        if let Some(lru) = resident.as_mut() {
+            let key = job.stream.0 as u64;
+            let hit = lru.get(key).is_some();
+            lru.insert(key, ());
+            if !hit {
+                hier.purge_range(
+                    layout.stream(job.stream.0),
+                    cfg.cost.stream_read_bytes + cfg.cost.stream_write_bytes,
+                );
+            }
+        }
         // Packet buffers arrive DMA-cold, as in the calibration runs.
         hier.purge_region(Region::PacketData);
 
         let frame = RxFrame {
             bytes: job.bytes,
-            stream: job.stream,
+            // The engine demuxes by port, i.e. by folded session id;
+            // steering and migration tracking above use the real flow.
+            stream: StreamId(job.stream.0 % sessions.max(1)),
             buf_addr: layout.packet(*slot % 8),
         };
         *slot = slot.wrapping_add(1);
@@ -1621,9 +1887,14 @@ mod tests {
             // once worker 0 runs diverted stream-1 work on worker 1's
             // engine while worker 1 is still draining its own backlog,
             // the two threads' host interleaving on that shared engine
-            // perturbs cache warmth by a few cycles per packet.
+            // perturbs cache warmth — a racily-attributed migration
+            // charge can shift the victim's whole vclock trajectory by
+            // ~10 µs. The crash instant therefore sits mid-gap between
+            // job-start boundaries (~165 µs apart here), so the fatal
+            // decision — and with it who orphans what — replays exactly
+            // despite that slack.
             let mut c = ips_no_steal(2);
-            c.faults = crash(1, 3_000.0, None);
+            c.faults = crash(1, 3_080.0, None);
             let a = run_native(&c, backlog_on_worker_1(200));
             let b = run_native(&c, backlog_on_worker_1(200));
             assert!(a.orphaned > 0);

@@ -105,6 +105,13 @@ pub struct Counters {
     /// enqueued once and completes at most once).
     pub requeued: u64,
 
+    /// NIC front-end steering-table misses (bounded flow table lookups
+    /// that fell through to the fallback routing policy).
+    pub table_misses: u64,
+    /// NIC front-end flow rebinds (a flow routed to a different worker
+    /// than its previous packet).
+    pub rebinds: u64,
+
     /// Queueing + service delay distribution (µs).
     pub delay_us: LogHistogram,
     /// Service-time distribution (µs).
@@ -230,6 +237,12 @@ impl Counters {
             ObsEvent::Requeue { .. } => {
                 self.requeued += 1;
             }
+            ObsEvent::TableMiss { .. } => {
+                self.table_misses += 1;
+            }
+            ObsEvent::Rebind { .. } => {
+                self.rebinds += 1;
+            }
         }
     }
 
@@ -298,6 +311,8 @@ impl Counters {
         self.worker_ups += other.worker_ups;
         self.orphaned += other.orphaned;
         self.requeued += other.requeued;
+        self.table_misses += other.table_misses;
+        self.rebinds += other.rebinds;
         self.delay_us.merge(&other.delay_us);
         self.service_us.merge(&other.service_us);
         self.queue_depth.merge(&other.queue_depth);
@@ -505,6 +520,31 @@ mod tests {
             worker: 1,
         });
         assert_eq!(c.worker_ups, 1);
+    }
+
+    #[test]
+    fn frontend_events_counted() {
+        let mut c = Counters::new();
+        c.observe(&ObsEvent::TableMiss {
+            t_us: 0.0,
+            seq: 1,
+            stream: 9,
+        });
+        c.observe(&ObsEvent::Rebind {
+            t_us: 0.0,
+            seq: 1,
+            stream: 9,
+            from: 0,
+            to: 2,
+        });
+        assert_eq!(c.table_misses, 1);
+        assert_eq!(c.rebinds, 1);
+        // Steering events are observations, not ledger entries.
+        assert_eq!(c.in_flight(), 0);
+        let mut merged = Counters::new();
+        merged.merge(&c);
+        assert_eq!(merged.table_misses, 1);
+        assert_eq!(merged.rebinds, 1);
     }
 
     #[test]

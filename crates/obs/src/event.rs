@@ -175,6 +175,33 @@ pub enum ObsEvent {
         /// Queue it landed in (worker index, or [`SHARED_QUEUE`]).
         queue: u32,
     },
+    /// A NIC front-end steering lookup missed its bounded flow table
+    /// (Flow Director) or placed a flow for the first time
+    /// (transport-friendly): the packet fell through to the fallback
+    /// routing policy.
+    TableMiss {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// Stream (flow) that missed.
+        stream: u32,
+    },
+    /// A NIC front-end routed a flow to a *different* worker than the
+    /// flow's previous packet — the migration that breaks affinity and
+    /// (for Flow Director under bursty arrivals) reorders deliveries.
+    Rebind {
+        /// Virtual timestamp (µs).
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// Stream (flow) that was rebound.
+        stream: u32,
+        /// Worker the flow's previous packet was routed to.
+        from: u32,
+        /// Worker this packet was routed to.
+        to: u32,
+    },
 }
 
 impl ObsEvent {
@@ -191,7 +218,9 @@ impl ObsEvent {
             | ObsEvent::WorkerDown { t_us, .. }
             | ObsEvent::WorkerUp { t_us, .. }
             | ObsEvent::Orphaned { t_us, .. }
-            | ObsEvent::Requeue { t_us, .. } => t_us,
+            | ObsEvent::Requeue { t_us, .. }
+            | ObsEvent::TableMiss { t_us, .. }
+            | ObsEvent::Rebind { t_us, .. } => t_us,
         }
     }
 
@@ -204,7 +233,9 @@ impl ObsEvent {
             | ObsEvent::Complete { seq, .. }
             | ObsEvent::Evict { seq, .. }
             | ObsEvent::Orphaned { seq, .. }
-            | ObsEvent::Requeue { seq, .. } => Some(seq),
+            | ObsEvent::Requeue { seq, .. }
+            | ObsEvent::TableMiss { seq, .. }
+            | ObsEvent::Rebind { seq, .. } => Some(seq),
             ObsEvent::CacheCharge { .. }
             | ObsEvent::QueueDepth { .. }
             | ObsEvent::WorkerDown { .. }
@@ -213,27 +244,31 @@ impl ObsEvent {
     }
 
     /// Causal rank used to order events that share a timestamp when
-    /// per-worker streams are merged: a message is enqueued before it is
-    /// evicted or stolen, stolen before dispatched, dispatched (and
-    /// charged) before completed. Failure events slot in causally too:
-    /// within one message's timestamp an orphan records before its
-    /// requeue, and a requeue before any steal/dispatch of the same
-    /// message. The *relative* order of the pre-fault kinds is
-    /// unchanged, so existing merged traces sort identically (ranks are
-    /// never serialized).
+    /// per-worker streams are merged: a front-end steering decision
+    /// (table miss, rebind) records before the enqueue it produced, a
+    /// message is enqueued before it is evicted or stolen, stolen before
+    /// dispatched, dispatched (and charged) before completed. Failure
+    /// events slot in causally too: within one message's timestamp an
+    /// orphan records before its requeue, and a requeue before any
+    /// steal/dispatch of the same message. The *relative* order of the
+    /// pre-existing kinds is unchanged by the front-end insertions, so
+    /// existing merged traces sort identically (ranks are never
+    /// serialized).
     pub fn kind_rank(&self) -> u8 {
         match self {
-            ObsEvent::Enqueue { .. } => 0,
-            ObsEvent::Evict { .. } => 1,
-            ObsEvent::WorkerDown { .. } => 2,
-            ObsEvent::WorkerUp { .. } => 3,
-            ObsEvent::Orphaned { .. } => 4,
-            ObsEvent::Requeue { .. } => 5,
-            ObsEvent::Steal { .. } => 6,
-            ObsEvent::Dispatch { .. } => 7,
-            ObsEvent::CacheCharge { .. } => 8,
-            ObsEvent::QueueDepth { .. } => 9,
-            ObsEvent::Complete { .. } => 10,
+            ObsEvent::TableMiss { .. } => 0,
+            ObsEvent::Rebind { .. } => 1,
+            ObsEvent::Enqueue { .. } => 2,
+            ObsEvent::Evict { .. } => 3,
+            ObsEvent::WorkerDown { .. } => 4,
+            ObsEvent::WorkerUp { .. } => 5,
+            ObsEvent::Orphaned { .. } => 6,
+            ObsEvent::Requeue { .. } => 7,
+            ObsEvent::Steal { .. } => 8,
+            ObsEvent::Dispatch { .. } => 9,
+            ObsEvent::CacheCharge { .. } => 10,
+            ObsEvent::QueueDepth { .. } => 11,
+            ObsEvent::Complete { .. } => 12,
         }
     }
 
@@ -350,6 +385,34 @@ mod tests {
         assert_eq!(up.seq(), None);
         assert!(down.merge_key() < up.merge_key());
         assert_eq!(down.t_us(), 3.0);
+    }
+
+    #[test]
+    fn frontend_events_order_before_their_enqueue() {
+        let miss = ObsEvent::TableMiss {
+            t_us: 4.0,
+            seq: 6,
+            stream: 2,
+        };
+        let rebind = ObsEvent::Rebind {
+            t_us: 4.0,
+            seq: 6,
+            stream: 2,
+            from: 0,
+            to: 3,
+        };
+        let enq = ObsEvent::Enqueue {
+            t_us: 4.0,
+            seq: 6,
+            stream: 2,
+            queue: 3,
+            depth: 1,
+        };
+        assert!(miss.merge_key() < rebind.merge_key());
+        assert!(rebind.merge_key() < enq.merge_key());
+        assert_eq!(miss.seq(), Some(6));
+        assert_eq!(rebind.seq(), Some(6));
+        assert_eq!(rebind.t_us(), 4.0);
     }
 
     #[test]

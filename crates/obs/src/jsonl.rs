@@ -110,6 +110,24 @@ pub fn write_event(out: &mut String, ev: &ObsEvent) {
                 "{{\"e\":\"requeue\",\"t\":{t_us:.3},\"seq\":{seq},\"queue\":{queue}}}"
             );
         }
+        ObsEvent::TableMiss { t_us, seq, stream } => {
+            let _ = writeln!(
+                out,
+                "{{\"e\":\"tmiss\",\"t\":{t_us:.3},\"seq\":{seq},\"stream\":{stream}}}"
+            );
+        }
+        ObsEvent::Rebind {
+            t_us,
+            seq,
+            stream,
+            from,
+            to,
+        } => {
+            let _ = writeln!(
+                out,
+                "{{\"e\":\"rebind\",\"t\":{t_us:.3},\"seq\":{seq},\"stream\":{stream},\"from\":{from},\"to\":{to}}}"
+            );
+        }
     }
 }
 
@@ -195,6 +213,18 @@ mod tests {
                 t_us: 20.0,
                 worker: 2,
             },
+            ObsEvent::TableMiss {
+                t_us: 21.0,
+                seq: 5,
+                stream: 7,
+            },
+            ObsEvent::Rebind {
+                t_us: 21.0,
+                seq: 5,
+                stream: 7,
+                from: 1,
+                to: 0,
+            },
         ];
         let a = render(&events);
         let b = render(&events);
@@ -207,6 +237,10 @@ mod tests {
         assert!(a.contains("{\"e\":\"orphan\",\"t\":14.000,\"seq\":4,\"worker\":2}"));
         assert!(a.contains("{\"e\":\"requeue\",\"t\":14.000,\"seq\":4,\"queue\":1}"));
         assert!(a.contains("{\"e\":\"wup\",\"t\":20.000,\"worker\":2}"));
+        assert!(a.contains("{\"e\":\"tmiss\",\"t\":21.000,\"seq\":5,\"stream\":7}"));
+        assert!(a.contains(
+            "{\"e\":\"rebind\",\"t\":21.000,\"seq\":5,\"stream\":7,\"from\":1,\"to\":0}"
+        ));
         for line in a.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }

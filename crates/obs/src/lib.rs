@@ -32,6 +32,8 @@
 //! * [`hist`] — [`LogHistogram`], the HDR-style fixed-footprint
 //!   histogram behind the delay/service/depth percentiles.
 //! * [`jsonl`] — deterministic JSONL trace rendering.
+//! * [`order`] — [`SequenceChecker`], the independent per-stream
+//!   delivery-order judge behind the reordering differential tests.
 //! * [`summary`] — compact text summary for experiment output.
 //! * [`profile`] — [`EngineProbe`] hooks for the desim engine.
 //! * [`tolerance`] — documented backend-agreement tolerances used by the
@@ -41,6 +43,7 @@ pub mod counters;
 pub mod event;
 pub mod hist;
 pub mod jsonl;
+pub mod order;
 pub mod profile;
 pub mod recorder;
 pub mod summary;
@@ -49,6 +52,7 @@ pub mod tolerance;
 pub use counters::{Counters, WorkerLane};
 pub use event::{ChargeKind, ObsEvent, SHARED_QUEUE};
 pub use hist::LogHistogram;
+pub use order::{SequenceChecker, SequenceReport};
 pub use profile::EngineProbe;
 pub use recorder::{MemRecorder, NullRecorder, Recorder};
 

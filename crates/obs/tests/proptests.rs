@@ -129,7 +129,9 @@ fn assert_lifecycle(events: &[ObsEvent]) -> Result<(), TestCaseError> {
             | ObsEvent::WorkerDown { .. }
             | ObsEvent::WorkerUp { .. }
             | ObsEvent::Orphaned { .. }
-            | ObsEvent::Requeue { .. } => {}
+            | ObsEvent::Requeue { .. }
+            | ObsEvent::TableMiss { .. }
+            | ObsEvent::Rebind { .. } => {}
         }
     }
 

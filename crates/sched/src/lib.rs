@@ -32,11 +32,19 @@
 //! * [`router`] — [`RouterState`], the dispatcher-side deterministic
 //!   virtual-load model the native backend uses to evaluate enqueue-time
 //!   routing policies without consulting racy host queue lengths.
+//! * [`lru`] — [`HashedLru`], the deterministic bounded hashed-LRU
+//!   table behind million-flow steering and stream-state caches.
+//! * [`frontend`] — the NIC-dispatch layer ([`FrontEndState`]): RSS
+//!   hashing, the Flow-Director learning table (with its documented
+//!   reordering pathology) and the transport-friendly per-flow pin,
+//!   implemented once for both backends.
 //!
 //! Decisions are deterministic functions of `(view, entity, draws)`:
 //! same view and same draw results ⇒ same decision, on any backend.
 
 pub mod decision;
+pub mod frontend;
+pub mod lru;
 pub mod paradigm;
 pub mod policy;
 pub mod router;
@@ -44,6 +52,8 @@ pub mod spec;
 pub mod view;
 
 pub use decision::{Assignment, Route, StealDecision, ThreadSource};
+pub use frontend::{FrontEndConfig, FrontEndKind, FrontEndPlan, FrontEndState};
+pub use lru::{splitmix64, HashedLru, LruStats};
 pub use paradigm::{IpsPolicy, LockPolicy, Paradigm};
 pub use policy::{
     min_reload_route, mru_load_route, newest_idle, next_live, random_idle, shallowest_queue,

@@ -127,6 +127,15 @@ impl RouterState {
         self.vfinish_us[w] = self.vfinish_us[w].max(arrival_us) + self.est_service_us;
     }
 
+    /// The virtual instant worker `w`'s routed backlog drains. Read
+    /// right after [`RouterState::note_routed`], this is the modeled
+    /// completion time of the packet just routed to `w` — what the
+    /// native dispatcher keys its Flow-Director completion-feedback
+    /// queue on.
+    pub fn vfinish_us(&self, w: usize) -> f64 {
+        self.vfinish_us[w]
+    }
+
     /// The model's [`SchedView`] at virtual time `now_us` (the arrival
     /// timestamp of the packet being routed).
     pub fn view_at(&self, now_us: f64) -> RouterView<'_> {

@@ -49,6 +49,31 @@ impl SizeDist {
     }
 }
 
+/// Normalized Zipf popularity weights for ranks `1..=k`: weight of
+/// rank `r` is `r^-alpha / H_k(alpha)`, so the vector sums to 1.
+///
+/// This is the locality model of Jain's destination-address study (and
+/// of most flow-popularity measurements since): a few head streams
+/// carry most of the traffic while a long tail of cold streams keeps
+/// the population — and any bounded state table — under pressure.
+/// `alpha = 0` degenerates to a uniform population. Both backends draw
+/// their Zipf traffic from this one function, so the sim's per-stream
+/// rates and the native generator's per-packet stream draw follow the
+/// same law.
+pub fn zipf_weights(k: usize, alpha: f64) -> Vec<f64> {
+    assert!(k >= 1, "zipf population must be non-empty");
+    assert!(
+        alpha.is_finite() && alpha >= 0.0,
+        "zipf exponent must be finite and non-negative"
+    );
+    let mut w: Vec<f64> = (1..=k).map(|r| (r as f64).powf(-alpha)).collect();
+    let h: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= h;
+    }
+    w
+}
+
 /// One stream's offered traffic.
 #[derive(Debug, Clone)]
 pub struct StreamSpec {
@@ -85,6 +110,41 @@ impl Population {
             streams: (0..k)
                 .map(|_| StreamSpec {
                     arrivals: ArrivalGen::bursty(rate_per_sec, batch_mean),
+                    sizes: SizeDist::tiny(),
+                })
+                .collect(),
+        }
+    }
+
+    /// `k` Poisson streams with Zipf(`alpha`)-distributed popularity:
+    /// stream `s` (rank `s + 1`) offers `aggregate_rate_pps ×`
+    /// [`zipf_weights`]`[s]` packets/second, so the population's total
+    /// rate is exactly `aggregate_rate_pps` at any `k`. Tiny packets.
+    pub fn zipf(k: usize, aggregate_rate_pps: f64, alpha: f64) -> Self {
+        assert!(aggregate_rate_pps > 0.0, "aggregate rate must be positive");
+        Population {
+            streams: zipf_weights(k, alpha)
+                .into_iter()
+                .map(|w| StreamSpec {
+                    arrivals: ArrivalGen::poisson(aggregate_rate_pps * w),
+                    sizes: SizeDist::tiny(),
+                })
+                .collect(),
+        }
+    }
+
+    /// [`Population::zipf`] with bursty (compound-Poisson) arrivals:
+    /// each stream's packets come in geometric batches of mean
+    /// `batch_mean`. The burstiness is what turns Flow Director's
+    /// mid-burst rebinds into observable reordering — a rebind between
+    /// two widely spaced packets reorders nothing.
+    pub fn zipf_bursty(k: usize, aggregate_rate_pps: f64, alpha: f64, batch_mean: f64) -> Self {
+        assert!(aggregate_rate_pps > 0.0, "aggregate rate must be positive");
+        Population {
+            streams: zipf_weights(k, alpha)
+                .into_iter()
+                .map(|w| StreamSpec {
+                    arrivals: ArrivalGen::bursty(aggregate_rate_pps * w, batch_mean),
                     sizes: SizeDist::tiny(),
                 })
                 .collect(),
@@ -183,6 +243,39 @@ mod tests {
     fn with_rate_rescales_preserving_shape() {
         let p = Population::homogeneous_bursty(4, 100.0, 8.0).with_rate(400.0);
         assert!((p.total_rate_per_sec() - 1600.0).abs() < 1e-9);
+        match &p.streams[0].arrivals {
+            ArrivalGen::Batch { batch, .. } => assert!((batch.mean() - 8.0).abs() < 1e-12),
+            other => panic!("expected batch arrivals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zipf_weights_are_normalized_and_monotone() {
+        let w = zipf_weights(1000, 1.1);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]), "must decay with rank");
+        // Analytic spot check: w[0]/w[1] = 2^alpha.
+        assert!((w[0] / w[1] - 2f64.powf(1.1)).abs() < 1e-9);
+        // alpha = 0 is uniform.
+        let u = zipf_weights(8, 0.0);
+        assert!(u.iter().all(|&x| (x - 0.125).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zipf_population_rate_is_exact() {
+        let p = Population::zipf(5000, 4000.0, 1.0);
+        assert_eq!(p.len(), 5000);
+        assert!((p.total_rate_per_sec() - 4000.0).abs() < 1e-6);
+        // The head stream carries the largest rate.
+        let head = p.streams[0].arrivals.rate_per_sec();
+        let tail = p.streams[4999].arrivals.rate_per_sec();
+        assert!(head > 100.0 * tail);
+    }
+
+    #[test]
+    fn zipf_bursty_keeps_rate_and_shape() {
+        let p = Population::zipf_bursty(64, 1000.0, 1.0, 8.0);
+        assert!((p.total_rate_per_sec() - 1000.0).abs() < 1e-9);
         match &p.streams[0].arrivals {
             ArrivalGen::Batch { batch, .. } => assert!((batch.mean() - 8.0).abs() < 1e-12),
             other => panic!("expected batch arrivals, got {other:?}"),

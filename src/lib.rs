@@ -28,6 +28,10 @@
 //! * [`obs`] — the unified observability layer: structured per-message
 //!   events, aggregate counters and histograms, trace sinks, and the
 //!   documented tolerances for the backend differential tests.
+//! * [`sched`] — the shared scheduling-decision layer both backends
+//!   consume: policy rungs, routers, steal policies, and the NIC
+//!   front-ends (RSS / Flow-Director / transport-friendly steering)
+//!   with their bounded hashed-LRU tables.
 //!
 //! ```
 //! use affinity_sched::prelude::*;
@@ -46,6 +50,7 @@ pub use afs_core as core;
 pub use afs_desim as desim;
 pub use afs_native as native;
 pub use afs_obs as obs;
+pub use afs_sched as sched;
 pub use afs_workload as workload;
 pub use afs_xkernel as xkernel;
 

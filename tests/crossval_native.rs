@@ -9,12 +9,13 @@
 //! `afs_core::crossval` for the documented tolerances).
 
 use affinity_sched::core::crossval::{
-    relative_improvement, smoke_matrix, CrossPolicy, IMPROVEMENT_TOLERANCE, ORDERING_SLACK,
+    relative_improvement, smoke_matrix, stream_smoke_matrix, CrossPolicy, IMPROVEMENT_TOLERANCE,
+    ORDERING_SLACK, STEERING_AGREEMENT_FACTOR, STREAM_POLICIES,
 };
 use affinity_sched::core::metrics::RunReport;
 use affinity_sched::core::sim::run;
-use affinity_sched::native::crossval::run_scenario;
-use affinity_sched::native::NativeReport;
+use affinity_sched::native::crossval::{run_scenario, run_stream_scenario_recorded};
+use affinity_sched::native::{FrontEndKind, NativeReport};
 
 /// Run the whole smoke matrix once through both backends — every rung
 /// of [`CrossPolicy::ALL`], the classic trio plus the policies added on
@@ -133,6 +134,102 @@ fn backends_agree_on_policy_structure() {
                 nat_new.stream_migrations,
                 nat_obl.stream_migrations
             );
+        }
+    }
+}
+
+/// The ext25 front-end cells: both backends steer the same Zipf flow
+/// population through the same bounded tables, and must agree on the
+/// steering *structure* — order preservation, miss volume (within the
+/// documented [`STEERING_AGREEMENT_FACTOR`] band), and the benefit of
+/// an affinity-aware miss path under Flow-Director.
+#[test]
+fn backends_agree_on_frontend_structure() {
+    let within_band = |a: u64, b: u64| {
+        let (lo, hi) = (a.min(b).max(1) as f64, a.max(b) as f64);
+        hi / lo <= STEERING_AGREEMENT_FACTOR
+    };
+    for s in &stream_smoke_matrix() {
+        for kind in FrontEndKind::ALL {
+            let mut by_policy = Vec::new();
+            for &policy in &STREAM_POLICIES {
+                let sim = run(&s.sim_config(kind, policy));
+                let (native, _) = run_stream_scenario_recorded(s, kind, policy);
+                // Flow-Director cells may legitimately saturate — the
+                // churning table plus an oblivious miss path is the
+                // pathology under study, not a harness defect.
+                if kind != FrontEndKind::FlowDirector {
+                    assert!(
+                        sim.stable,
+                        "{} {:?}: sim went unstable",
+                        kind.label(),
+                        policy
+                    );
+                }
+                assert_eq!(
+                    native.outcomes.delivered,
+                    native.offered,
+                    "{} {:?}: native lost packets",
+                    kind.label(),
+                    policy
+                );
+                match kind {
+                    FrontEndKind::Rss | FrontEndKind::TransportFriendly => {
+                        assert_eq!(sim.ooo_deliveries, 0, "{}: sim reordered", kind.label());
+                        assert_eq!(
+                            native.ooo_deliveries,
+                            0,
+                            "{}: native reordered",
+                            kind.label()
+                        );
+                    }
+                    FrontEndKind::FlowDirector => {
+                        assert!(
+                            sim.table_misses > 0 && native.table_misses > 0,
+                            "learning table far below the population must miss on both"
+                        );
+                    }
+                }
+                if kind != FrontEndKind::Rss {
+                    assert!(
+                        within_band(sim.table_misses, native.table_misses),
+                        "{} {:?}: miss volumes diverge beyond the documented band: \
+                         sim {} native {}",
+                        kind.label(),
+                        policy,
+                        sim.table_misses,
+                        native.table_misses
+                    );
+                }
+                by_policy.push((policy, sim, native));
+            }
+            // Under Flow-Director the fallback router is the policy
+            // axis: an affinity/load-aware miss path must not lose to
+            // the oblivious one on either backend.
+            if kind == FrontEndKind::FlowDirector {
+                let get = |p: CrossPolicy| {
+                    by_policy
+                        .iter()
+                        .find(|(q, _, _)| *q == p)
+                        .expect("cell ran")
+                };
+                let (_, obl_sim, obl_nat) = get(CrossPolicy::Oblivious);
+                for p in [CrossPolicy::MruLoad, CrossPolicy::MinReload] {
+                    let (_, sim, nat) = get(p);
+                    assert!(
+                        sim.mean_delay_us <= ORDERING_SLACK * obl_sim.mean_delay_us,
+                        "sim fdir {p:?} lost to the oblivious miss path: {:.1} vs {:.1}",
+                        sim.mean_delay_us,
+                        obl_sim.mean_delay_us
+                    );
+                    assert!(
+                        nat.mean_delay_us <= ORDERING_SLACK * obl_nat.mean_delay_us,
+                        "native fdir {p:?} lost to the oblivious miss path: {:.1} vs {:.1}",
+                        nat.mean_delay_us,
+                        obl_nat.mean_delay_us
+                    );
+                }
+            }
         }
     }
 }

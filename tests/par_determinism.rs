@@ -12,7 +12,8 @@
 use afs_bench::template_with;
 use afs_core::config::{LockPolicy, Paradigm, SystemConfig};
 use afs_core::crossval::{
-    fault_levels, procfault_smoke_scenario, sim_fault_matrix_jobs, sim_matrix_jobs, smoke_matrix,
+    fault_levels, procfault_smoke_scenario, sim_fault_matrix_jobs, sim_matrix_jobs,
+    sim_stream_matrix_jobs, smoke_matrix, stream_smoke_matrix,
 };
 use afs_core::metrics::RunReport;
 use afs_core::replicate::replicate_jobs;
@@ -51,6 +52,10 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, ctx: &str) {
     assert_eq!(a.proc_stalls, b.proc_stalls, "{ctx}: proc_stalls");
     assert_eq!(a.orphaned, b.orphaned, "{ctx}: orphaned");
     assert_eq!(a.requeued, b.requeued, "{ctx}: requeued");
+    // Front-end steering accounting (zero without a front-end) too.
+    assert_eq!(a.ooo_deliveries, b.ooo_deliveries, "{ctx}: ooo_deliveries");
+    assert_eq!(a.table_misses, b.table_misses, "{ctx}: table_misses");
+    assert_eq!(a.rebinds, b.rebinds, "{ctx}: rebinds");
 }
 
 /// Figure 6's cells (Locking K = 8, the committed golden grid) swept
@@ -132,6 +137,46 @@ fn ext24_fault_matrix_parallel_is_bit_identical() {
                 &a.report,
                 &b.report,
                 &format!("ext24 {} {:?} jobs {jobs}", a.level, a.policy),
+            );
+        }
+    }
+}
+
+/// The ext25 stream matrix's simulator side — NIC front-ends steering a
+/// Zipf flow population through bounded learning tables and hashed-LRU
+/// stream caches — serial vs parallel: steering, reordering and
+/// eviction accounting are all part of the pure `(config, seed)`
+/// function, so every cell must come back bit-identical for any
+/// `AFS_JOBS` worker count.
+#[test]
+fn ext25_stream_matrix_parallel_is_bit_identical() {
+    let scenarios = stream_smoke_matrix();
+    let serial = sim_stream_matrix_jobs(1, &scenarios);
+    // The front-end machinery must actually fire; otherwise this test
+    // degenerates into the clean ext22 case above.
+    assert!(
+        serial.iter().any(|c| c.report.table_misses > 0),
+        "stream smoke matrix must exercise the steering tables"
+    );
+    assert!(
+        serial.iter().any(|c| c.report.ooo_deliveries > 0),
+        "stream smoke matrix must exercise the reordering counter"
+    );
+    for jobs in JOB_COUNTS {
+        let par = sim_stream_matrix_jobs(jobs, &scenarios);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.frontend, b.frontend, "cell order must be row-major");
+            assert_eq!(a.policy, b.policy, "cell order must be row-major");
+            assert_reports_identical(
+                &a.report,
+                &b.report,
+                &format!(
+                    "ext25 {} {} {:?} jobs {jobs}",
+                    a.scenario.label(),
+                    a.frontend.label(),
+                    a.policy
+                ),
             );
         }
     }
