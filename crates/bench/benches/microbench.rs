@@ -190,9 +190,36 @@ fn bench_protocol_engine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ring_batch(c: &mut Criterion) {
+    // The worker dequeue path of the native backend: one synchronized
+    // ring operation claims a train of up to `batch` jobs. Throughput
+    // is per element, so the batch sizes read directly as "how much
+    // ring synchronization does one packet cost" — the ablation behind
+    // the serving path's batched dispatch (DESIGN.md §16).
+    use afs_native::RingQueue;
+    let mut g = c.benchmark_group("ring_batch");
+    for (batch, name) in [(1usize, "pop_batch_1"), (8, "pop_batch_8"), (64, "pop_batch_64")] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(name, |b| {
+            let q: RingQueue<u64> = RingQueue::with_capacity(256);
+            let mut out: Vec<u64> = Vec::with_capacity(batch);
+            b.iter(|| {
+                for i in 0..batch as u64 {
+                    q.push(black_box(i)).expect("capacity");
+                }
+                let got = q.pop_batch(&mut out, batch);
+                assert_eq!(got, batch);
+                out.clear();
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(60);
-    targets = bench_event_queue, bench_analytic_model, bench_cache_sim, bench_protocol_engine
+    targets = bench_event_queue, bench_analytic_model, bench_cache_sim, bench_protocol_engine,
+        bench_ring_batch
 );
 criterion_main!(micro);

@@ -29,6 +29,7 @@ use afs_core::state::{LocTable, Procs};
 use afs_core::sweep::rate_sweep_jobs;
 use afs_desim::event::EventQueue;
 use afs_desim::time::SimTime;
+use afs_native::{run_serve, ServeConfig};
 
 /// Wall time of `f` in seconds alongside its result.
 fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
@@ -161,8 +162,60 @@ fn main() {
         t_crossval
     );
 
+    // Family 5 — the sustained-ingest serving path (`afs-serve`): host
+    // packets per wall second through open-loop generation, admission,
+    // batched dispatch and the real protocol engine, at rated load.
+    // Batch 1 vs 64 is the dispatch-batching ablation; the virtual
+    // results of the two runs must be bit-identical (the serving
+    // path's transparency contract), so the speedup is pure host
+    // mechanics. RSS after the run is the steady-state footprint of
+    // the pooled, allocation-free pipeline.
+    let serve_packets: u64 = if quick { 20_000 } else { 60_000 };
+    let serve_trials = if quick { 1 } else { 3 };
+    let serve_cell = |batch: usize| {
+        let mut cfg = ServeConfig::new(
+            2,
+            20_000,
+            afs_native::FrontEndKind::FlowDirector,
+            afs_native::PolicySpec::MinReload,
+        );
+        cfg.native.pinning = afs_native::Pinning::Off;
+        cfg.native.batch = batch;
+        cfg.offered_pps = cfg.rated_capacity_pps();
+        cfg.total_packets = serve_packets;
+        cfg.warmup_packets = serve_packets / 5;
+        run_serve(&cfg, None)
+    };
+    // Best of N trials per batch size: host wall time on a shared box
+    // is contaminated by scheduling noise in one direction only, so the
+    // fastest trial is the cleanest estimate (virtual results are
+    // deterministic and identical across trials regardless).
+    let serve_best = |batch: usize| {
+        let mut best = serve_cell(batch);
+        for _ in 1..serve_trials {
+            let r = serve_cell(batch);
+            if r.pkts_per_wall_s > best.pkts_per_wall_s {
+                best = r;
+            }
+        }
+        best
+    };
+    let serve1 = serve_best(1);
+    let serve64 = serve_best(64);
+    let serve_speedup = serve64.pkts_per_wall_s / serve1.pkts_per_wall_s.max(1e-9);
+    let serve_identical = serve1.admitted == serve64.admitted
+        && serve1.dropped == serve64.dropped
+        && serve1.mean_delay_us.to_bits() == serve64.mean_delay_us.to_bits()
+        && serve1.makespan_us.to_bits() == serve64.makespan_us.to_bits()
+        && serve1.rebinds == serve64.rebinds;
+    println!(
+        "serve ({serve_packets} pkts @ rated load): batch 1 {:.0} pkts/s, batch 64 {:.0} pkts/s \
+         -> {:.2}x, bit-identical: {serve_identical}, rss {} KiB",
+        serve1.pkts_per_wall_s, serve64.pkts_per_wall_s, serve_speedup, serve64.rss_kb
+    );
+
     let body = json_object(&[
-        ("schema", "\"afs-bench-perf-v2\"".to_string()),
+        ("schema", "\"afs-bench-perf-v3\"".to_string()),
         ("quick", quick.to_string()),
         ("host_cores", host_cores.to_string()),
         ("afs_jobs", jobs.to_string()),
@@ -190,6 +243,18 @@ fn main() {
         ("replicate_wall_s", format!("{t_replicate:.4}")),
         ("crossval_cells", cells.len().to_string()),
         ("crossval_sim_wall_s", format!("{t_crossval:.4}")),
+        ("serve_packets", serve_packets.to_string()),
+        (
+            "native_serve_pkts_per_wall_s",
+            format!("{:.0}", serve64.pkts_per_wall_s),
+        ),
+        (
+            "serve_batch1_pkts_per_wall_s",
+            format!("{:.0}", serve1.pkts_per_wall_s),
+        ),
+        ("serve_batch_speedup", format!("{serve_speedup:.3}")),
+        ("serve_bit_identical", serve_identical.to_string()),
+        ("serve_rss_kb", serve64.rss_kb.to_string()),
     ]);
     write_json("BENCH_perf", &body);
 
@@ -212,6 +277,24 @@ fn main() {
     checks.expect(
         "parallel sweep not slower than 1.5x serial (sanity, any host)",
         t_parallel < 1.5 * t_serial + 0.25,
+    );
+    checks.expect(
+        "serving ledger balances at both batch sizes",
+        serve1.ledger_balanced() && serve64.ledger_balanced(),
+    );
+    checks.expect(
+        "batch-64 serving bit-identical to batch-1 in the virtual domain",
+        serve_identical,
+    );
+    // Same philosophy as the hot-path gate: this end-to-end ratio only
+    // catches batching *hurting* materially. Per admitted packet the
+    // engine executes ~µs of real protocol work while a ring op costs
+    // ~ns, so on small/shared hosts the end-to-end ablation is OS
+    // noise; the per-op amortization is pinned by the `ring_batch`
+    // criterion group instead.
+    checks.expect(
+        "batched serving not materially slower than per-packet dispatch",
+        serve_speedup >= 0.75,
     );
     if host_cores >= 4 {
         checks.expect(

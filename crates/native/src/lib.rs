@@ -20,6 +20,9 @@
 //!   virtual-clock delay measurement.
 //! * [`crossval`] — the native mapping of the shared scenario matrix
 //!   defined in `afs_core::crossval`.
+//! * [`serve`] — the sustained-ingest serving path: an open-loop
+//!   generator feeding the pinned pipeline for an unbounded horizon in
+//!   bounded memory, with deterministic taildrop under overload.
 //! * [`watchdog`] — plan-driven worker health (crash/stall/slowdown
 //!   schedules on the virtual clock), the shared health board, and the
 //!   heartbeat-lag diagnostic backing orphan-work recovery.
@@ -42,6 +45,7 @@ pub mod crossval;
 pub mod pin;
 pub mod ring;
 pub mod runtime;
+pub mod serve;
 pub mod watchdog;
 
 pub use afs_core::procfault::{FaultLoad, ProcFault, ProcFaultKind, ProcFaultPlan};
@@ -51,6 +55,7 @@ pub use ring::RingQueue;
 pub use runtime::{
     poisson_workload, run_native, run_native_recorded, run_native_recorded_with_pinner,
     run_native_with_pinner, zipf_workload, NativeConfig, NativePacket, NativeReport, OutcomeTotals,
-    Pinning, WorkerStats,
+    Pinning, WorkerStats, ZipfPacketGen,
 };
+pub use serve::{current_rss_kb, run_serve, run_serve_with_pinner, ServeConfig, ServeReport};
 pub use watchdog::{HealthBoard, WorkerFaults};

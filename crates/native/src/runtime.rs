@@ -46,8 +46,8 @@ use afs_desim::rng::RngFactory;
 use afs_desim::stats::Welford;
 use afs_obs::{ChargeKind, MemRecorder, ObsEvent, Recorder as _, SHARED_QUEUE};
 use afs_sched::{
-    DispatchPolicy as _, FrontEndState, HashedLru, NativeLayout, PolicySpec, Route, RouterState,
-    SchedView,
+    DispatchPolicy as _, FrontEndKind, FrontEndState, HashedLru, NativeLayout, PolicySpec, Route,
+    RouterState, SchedView,
 };
 use afs_xkernel::driver::{PacketFactory, RxFrame};
 use afs_xkernel::engine::CostModel;
@@ -56,6 +56,7 @@ use afs_xkernel::mem::MemLayout;
 use afs_xkernel::mt::owner_of;
 use afs_xkernel::{DropReason, ProtocolEngine, RxOutcome, StreamId, ThreadId};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::pin::{CorePinner, NoopPinner, OsPinner};
@@ -119,6 +120,19 @@ pub struct NativeConfig {
     /// workload generator must be built with the same `m`
     /// ([`zipf_workload`] takes it as a parameter).
     pub session_space: Option<u32>,
+    /// Dequeue/dispatch batch bound. `1` (the default) is the historical
+    /// per-packet path. `> 1` turns on (a) train pops: a worker claims up
+    /// to `batch` already-published packets from its ring in one
+    /// synchronized [`RingQueue::pop_batch`] operation, and (b) flow-run
+    /// fusion: the dispatcher reuses the previous front-end steering
+    /// decision across a run of consecutive same-flow arrivals whenever
+    /// that reuse is provably the decision the front-end would have made
+    /// (see DESIGN §16 for the per-kind proof obligations). Both are
+    /// result-transparent — `RunReport`s and ledgers are bit-identical
+    /// across batch sizes, which the differential tests pin. The pooled
+    /// (shared-ring) layout ignores the batch bound: its min-vclock
+    /// admission gate must re-evaluate per packet.
+    pub batch: usize,
 }
 
 impl NativeConfig {
@@ -137,6 +151,7 @@ impl NativeConfig {
             frontend: None,
             stream_cache: None,
             session_space: None,
+            batch: 1,
         }
     }
 }
@@ -214,45 +229,115 @@ pub fn zipf_workload(
     payload_bytes: usize,
     seed: u64,
 ) -> Vec<NativePacket> {
-    assert!(streams >= 1 && aggregate_rate_pps > 0.0 && batch_mean >= 1.0);
-    let weights = afs_workload::zipf_weights(streams as usize, alpha);
-    let mut cum = Vec::with_capacity(weights.len());
-    let mut acc = 0.0f64;
-    for w in &weights {
-        acc += w;
-        cum.push(acc);
-    }
-    let sessions = session_space.unwrap_or(streams).max(1);
-    let factory = RngFactory::new(seed);
-    let mut gaps_rng = factory.stream("native-zipf-gaps");
-    let mut flow_rng = factory.stream("native-zipf-flows");
-    let mut batch_rng = factory.stream("native-zipf-batches");
-    let gap = Dist::exponential(batch_mean * 1e6 / aggregate_rate_pps);
-    let p_more = 1.0 - 1.0 / batch_mean;
-    let mut packets = PacketFactory::new();
+    let mut gen = ZipfPacketGen::new(
+        streams,
+        aggregate_rate_pps,
+        alpha,
+        batch_mean,
+        session_space,
+        payload_bytes,
+        seed,
+    );
     let mut all = Vec::with_capacity(total_packets as usize);
-    let mut t = 0.0f64;
-    while (all.len() as u64) < total_packets {
-        t += gap.sample(&mut gaps_rng);
-        // Categorical flow draw by cumulative weight (binary search).
-        let u: f64 = flow_rng.gen_range(0.0..1.0);
-        let flow = cum.partition_point(|&c| c <= u).min(streams as usize - 1) as u32;
-        // Geometric batch on {1, 2, …} with mean `batch_mean`: the whole
-        // burst arrives back-to-back on the wire, all of one flow — the
-        // arrival pattern that turns a mid-burst rebind into reordering.
-        let mut burst = 1u64;
-        while batch_mean > 1.0 && batch_rng.gen_range(0.0..1.0) < p_more {
-            burst += 1;
-        }
-        for _ in 0..burst.min(total_packets - all.len() as u64) {
-            all.push(NativePacket {
-                bytes: packets.frame_for(StreamId(flow % sessions), payload_bytes),
-                stream: StreamId(flow),
-                arrival_us: t,
-            });
-        }
+    for _ in 0..total_packets {
+        let mut bytes = Vec::new();
+        let (stream, arrival_us) = gen.next_into(&mut bytes);
+        all.push(NativePacket { bytes, stream, arrival_us });
     }
     all
+}
+
+/// Streaming form of [`zipf_workload`]: draws one packet at a time so a
+/// serving loop can run open-ended in bounded memory instead of
+/// materializing `Vec::with_capacity(total_packets)` up front. The draw
+/// order (gap, categorical flow, full geometric burst — then emit the
+/// burst's packets) matches the batch builder's exactly, so for the same
+/// parameters the n-th packet from this generator is byte- and
+/// stamp-identical to `zipf_workload(..)[n]`; [`zipf_workload`] is
+/// itself implemented on top of this type to keep that true by
+/// construction.
+pub struct ZipfPacketGen {
+    cum: Vec<f64>,
+    sessions: u32,
+    payload_bytes: usize,
+    gaps_rng: StdRng,
+    flow_rng: StdRng,
+    batch_rng: StdRng,
+    gap: Dist,
+    p_more: f64,
+    batch_mean: f64,
+    factory: PacketFactory,
+    t: f64,
+    pending_flow: u32,
+    pending: u64,
+}
+
+impl ZipfPacketGen {
+    /// See [`zipf_workload`] for the parameter contract (`session_space`
+    /// must equal the run's [`NativeConfig::session_space`]).
+    pub fn new(
+        streams: u32,
+        aggregate_rate_pps: f64,
+        alpha: f64,
+        batch_mean: f64,
+        session_space: Option<u32>,
+        payload_bytes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(streams >= 1 && aggregate_rate_pps > 0.0 && batch_mean >= 1.0);
+        let weights = afs_workload::zipf_weights(streams as usize, alpha);
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        for w in &weights {
+            acc += w;
+            cum.push(acc);
+        }
+        let factory = RngFactory::new(seed);
+        ZipfPacketGen {
+            cum,
+            sessions: session_space.unwrap_or(streams).max(1),
+            payload_bytes,
+            gaps_rng: factory.stream("native-zipf-gaps"),
+            flow_rng: factory.stream("native-zipf-flows"),
+            batch_rng: factory.stream("native-zipf-batches"),
+            gap: Dist::exponential(batch_mean * 1e6 / aggregate_rate_pps),
+            p_more: 1.0 - 1.0 / batch_mean,
+            batch_mean,
+            factory: PacketFactory::new(),
+            t: 0.0,
+            pending_flow: 0,
+            pending: 0,
+        }
+    }
+
+    /// Draw the next packet, building its frame in place into `buf`
+    /// (cleared first; allocation-free once the buffer's capacity covers
+    /// the frame). Returns the packet's flow id and arrival stamp.
+    pub fn next_into(&mut self, buf: &mut Vec<u8>) -> (StreamId, f64) {
+        if self.pending == 0 {
+            self.t += self.gap.sample(&mut self.gaps_rng);
+            // Categorical flow draw by cumulative weight (binary search).
+            let u: f64 = self.flow_rng.gen_range(0.0..1.0);
+            self.pending_flow =
+                self.cum.partition_point(|&c| c <= u).min(self.cum.len() - 1) as u32;
+            // Geometric batch on {1, 2, …} with mean `batch_mean`: the
+            // whole burst arrives back-to-back on the wire, all of one
+            // flow — the arrival pattern that turns a mid-burst rebind
+            // into reordering.
+            let mut burst = 1u64;
+            while self.batch_mean > 1.0 && self.batch_rng.gen_range(0.0..1.0) < self.p_more {
+                burst += 1;
+            }
+            self.pending = burst;
+        }
+        self.pending -= 1;
+        self.factory.frame_into(
+            StreamId(self.pending_flow % self.sessions),
+            self.payload_bytes,
+            buf,
+        );
+        (StreamId(self.pending_flow), self.t)
+    }
 }
 
 /// Per-worker telemetry (hardware-agnostic: all counters come from the
@@ -399,35 +484,58 @@ impl NativeReport {
 }
 
 /// A queued unit of work.
-struct Job {
-    bytes: Vec<u8>,
-    stream: StreamId,
-    arrival_us: f64,
+pub(crate) struct Job {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) stream: StreamId,
+    pub(crate) arrival_us: f64,
     /// Global arrival sequence number (the observability trace key).
-    seq: u64,
+    pub(crate) seq: u64,
     /// Pool thread to run as (`u32::MAX` = use the worker's own thread).
-    thread: u32,
+    pub(crate) thread: u32,
     /// Whether this packet counts toward the statistics (post-warm-up).
-    record: bool,
+    pub(crate) record: bool,
     /// Stack this packet must run on when it is not the processing
     /// worker's own (`u32::MAX` = own stack). Under per-worker stacks a
     /// stream's session lives on its owner's engine, so work diverted
     /// off the owner — routed around a crashed worker, or orphaned and
     /// requeued by the watchdog — runs on the home stack under its
     /// lock, exactly the steal handoff path.
-    home_stack: u32,
+    pub(crate) home_stack: u32,
+    /// Dispatcher-stamped previous owner of this packet's stream state
+    /// ([`PREV_RACY`] = owner unknowable at dispatch, fall back to the
+    /// shared last-owner slot; [`PREV_NONE`] = first touch).
+    ///
+    /// When routing alone decides the processing worker (per-worker
+    /// rings, no stealing, no fault plan), the dispatcher knows the
+    /// virtual-order predecessor of every stream/thread touch, so
+    /// migration detection — and through the cache purges it drives,
+    /// every modeled service time — becomes a pure function of the
+    /// workload instead of a race between worker swap instructions on
+    /// the shared slots. That host-invariance is what lets the batched
+    /// dequeue path be differential-tested bit-for-bit against the
+    /// per-packet path.
+    pub(crate) prev_stream_owner: u32,
+    /// Dispatcher-stamped previous owner of this packet's thread stack
+    /// (same encoding as `prev_stream_owner`).
+    pub(crate) prev_thread_owner: u32,
 }
 
+/// `Job::prev_*_owner`: owner is unknowable at dispatch time (shared
+/// pool, stealing, or an active fault plan) — use the legacy racy swap.
+pub(crate) const PREV_RACY: u32 = u32::MAX;
+/// `Job::prev_*_owner`: deterministic first touch (no previous owner).
+pub(crate) const PREV_NONE: u32 = u32::MAX - 1;
+
 /// What each worker thread hands back on join.
-struct WorkerResult {
-    stats: WorkerStats,
-    delay: Welford,
-    service: Welford,
-    wait: Welford,
-    outcomes: OutcomeTotals,
+pub(crate) struct WorkerResult {
+    pub(crate) stats: WorkerStats,
+    pub(crate) delay: Welford,
+    pub(crate) service: Welford,
+    pub(crate) wait: Welford,
+    pub(crate) outcomes: OutcomeTotals,
     /// This worker's slice of the observability trace (present only when
     /// the run was started through a recorded entry point).
-    rec: Option<MemRecorder>,
+    pub(crate) rec: Option<MemRecorder>,
 }
 
 /// Run the workload under `cfg`, choosing the pinner from
@@ -601,6 +709,8 @@ fn run_native_impl(
                 escrow: &escrow,
                 recovery_done: &recovery_done,
                 sessions: sessions as u32,
+                recycle: None,
+                progress: None,
             };
             handles.push(scope.spawn(move || worker_loop(ctx)));
         }
@@ -624,6 +734,29 @@ fn run_native_impl(
         let mut feedback: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u32, u32)>> =
             std::collections::BinaryHeap::new();
         let has_crashes = worker_faults.iter().any(|f| f.crash.is_some());
+        // Flow-run fusion (batch > 1): a run of consecutive same-flow
+        // arrivals reuses the previous front-end decision when it is
+        // provably the one the front-end would recompute — RSS is a pure
+        // hash of (flow, salt, live mask); transport-friendly sticks to
+        // its last placement while it stays live; a Flow-Director table
+        // *hit* repeats while no completion feedback or liveness change
+        // could have moved the binding. Miss paths are never fused (the
+        // fallback consumes placement-RNG draws / mutates first-placement
+        // state). Any liveness flip or delivered feedback invalidates the
+        // memo. Off (always recompute) at batch == 1 so the historical
+        // per-packet path is untouched.
+        let fuse = cfg.batch > 1;
+        let mut run_flow = u32::MAX;
+        let mut run_target = 0usize;
+        let mut run_reusable = false;
+        // Deterministic owner tracking (see `Job::prev_stream_owner`):
+        // valid exactly when the routed worker is the processing worker
+        // for every packet — per-worker rings, no thieves, no fault
+        // plan re-dispatching orphans. Racy configurations keep the
+        // historical shared-slot swap, untouched.
+        let det_owners = !pooled && cfg.layout.steal.is_none() && cfg.faults.is_noop();
+        let mut prev_stream_tbl: Vec<u32> = vec![PREV_NONE; if det_owners { n_streams } else { 0 }];
+        let mut prev_thread_tbl: Vec<u32> = vec![PREV_NONE; if det_owners { w } else { 0 }];
         for (seq, pkt) in workload.into_iter().enumerate() {
             // Plan-driven masking: a packet arriving inside a worker's
             // crash window (crash..revive, or crash..∞ for a permanent
@@ -637,6 +770,9 @@ fn run_native_impl(
                         }
                         _ => true,
                     };
+                    if rstate.is_live(i) != live {
+                        run_flow = u32::MAX;
+                    }
                     rstate.set_live(i, live);
                 }
             }
@@ -646,19 +782,55 @@ fn run_native_impl(
                         if f64::from_bits(bits) <= pkt.arrival_us {
                             fes.note_complete(s, wkr);
                             feedback.pop();
+                            // The table learned (an insert can evict any
+                            // binding, including the memoized flow's).
+                            run_flow = u32::MAX;
                         } else {
                             break;
                         }
                     }
                 }
-                let prev = fes.previous_route(pkt.stream.0);
-                let misses_before = fes.table_misses();
-                let p = fes.route(
-                    &rstate.view_at(pkt.arrival_us),
-                    pkt.stream.0,
-                    &mut |n| place.gen_range(0..n),
-                    &pricer,
-                );
+                let p = if fuse && pkt.stream.0 == run_flow && run_reusable {
+                    run_target
+                } else {
+                    let prev = fes.previous_route(pkt.stream.0);
+                    let misses_before = fes.table_misses();
+                    let p = fes.route(
+                        &rstate.view_at(pkt.arrival_us),
+                        pkt.stream.0,
+                        &mut |n| place.gen_range(0..n),
+                        &pricer,
+                    );
+                    if let Some(r) = disp_rec.as_mut() {
+                        if fes.table_misses() > misses_before {
+                            r.record(ObsEvent::TableMiss {
+                                t_us: pkt.arrival_us,
+                                seq: seq as u64,
+                                stream: pkt.stream.0,
+                            });
+                        }
+                        if let Some(from) = prev {
+                            if from != p {
+                                r.record(ObsEvent::Rebind {
+                                    t_us: pkt.arrival_us,
+                                    seq: seq as u64,
+                                    stream: pkt.stream.0,
+                                    from: from as u32,
+                                    to: p as u32,
+                                });
+                            }
+                        }
+                    }
+                    run_flow = pkt.stream.0;
+                    run_target = p;
+                    run_reusable = match fes.plan().config.kind {
+                        FrontEndKind::Rss | FrontEndKind::TransportFriendly => true,
+                        // Only a hit is stable to repeat: a miss consumed
+                        // fallback state on the way to its placement.
+                        FrontEndKind::FlowDirector => fes.table_misses() == misses_before,
+                    };
+                    p
+                };
                 rstate.note_routed(pkt.stream.0, p, pkt.arrival_us);
                 if fes.wants_completion_feedback() {
                     feedback.push(std::cmp::Reverse((
@@ -667,26 +839,6 @@ fn run_native_impl(
                         pkt.stream.0,
                         p as u32,
                     )));
-                }
-                if let Some(r) = disp_rec.as_mut() {
-                    if fes.table_misses() > misses_before {
-                        r.record(ObsEvent::TableMiss {
-                            t_us: pkt.arrival_us,
-                            seq: seq as u64,
-                            stream: pkt.stream.0,
-                        });
-                    }
-                    if let Some(from) = prev {
-                        if from != p {
-                            r.record(ObsEvent::Rebind {
-                                t_us: pkt.arrival_us,
-                                seq: seq as u64,
-                                stream: pkt.stream.0,
-                                from: from as u32,
-                                to: p as u32,
-                            });
-                        }
-                    }
                 }
                 p
             } else {
@@ -724,6 +876,18 @@ fn run_native_impl(
                     h as u32
                 }
             };
+            let (prev_s, prev_t) = if det_owners {
+                let slot = &mut prev_stream_tbl[stream.0 as usize];
+                let ps = *slot;
+                *slot = target as u32;
+                let tid = if thread == u32::MAX { target } else { thread as usize };
+                let tslot = &mut prev_thread_tbl[tid];
+                let pt = *tslot;
+                *tslot = target as u32;
+                (ps, pt)
+            } else {
+                (PREV_RACY, PREV_RACY)
+            };
             let mut job = Job {
                 bytes: pkt.bytes,
                 stream,
@@ -732,6 +896,8 @@ fn run_native_impl(
                 thread,
                 record: arrival_us >= warmup_cut_us,
                 home_stack: home,
+                prev_stream_owner: prev_s,
+                prev_thread_owner: prev_t,
             };
             loop {
                 match queues[target].push(job) {
@@ -918,7 +1084,11 @@ fn run_native_impl(
             }
         }
     }
-    let per_worker: Vec<WorkerStats> = results.iter().map(|r| r.stats.clone()).collect();
+    // The merges above only borrowed `results`; move the stats out
+    // rather than cloning per worker (each holds Welford state and the
+    // migration counters — a needless teardown fan-out at high worker
+    // counts).
+    let per_worker: Vec<WorkerStats> = results.into_iter().map(|r| r.stats).collect();
     let per_stream_delivered: Vec<u64> = (0..sessions as u32)
         .map(|s| {
             engines
@@ -956,34 +1126,42 @@ fn run_native_impl(
 }
 
 /// Everything a worker thread borrows from the runtime.
-struct WorkerCtx<'a> {
-    wid: usize,
-    cfg: &'a NativeConfig,
-    pinner: &'a dyn CorePinner,
-    engines: &'a [Mutex<ProtocolEngine>],
-    queues: &'a [RingQueue<Job>],
-    last_stream_worker: &'a [AtomicU32],
-    last_thread_worker: &'a [AtomicU32],
-    vclocks: &'a [AtomicU64],
-    done: &'a AtomicBool,
-    lock_cycles: f64,
-    record_obs: bool,
+pub(crate) struct WorkerCtx<'a> {
+    pub(crate) wid: usize,
+    pub(crate) cfg: &'a NativeConfig,
+    pub(crate) pinner: &'a dyn CorePinner,
+    pub(crate) engines: &'a [Mutex<ProtocolEngine>],
+    pub(crate) queues: &'a [RingQueue<Job>],
+    pub(crate) last_stream_worker: &'a [AtomicU32],
+    pub(crate) last_thread_worker: &'a [AtomicU32],
+    pub(crate) vclocks: &'a [AtomicU64],
+    pub(crate) done: &'a AtomicBool,
+    pub(crate) lock_cycles: f64,
+    pub(crate) record_obs: bool,
     /// This worker's slice of the processor-fault plan.
-    faults: &'a WorkerFaults,
+    pub(crate) faults: &'a WorkerFaults,
     /// Shared health state (crash flags, exit flags, heartbeats).
-    board: &'a HealthBoard,
+    pub(crate) board: &'a HealthBoard,
     /// Fatal jobs parked for the watchdog, tagged with the dead worker.
-    escrow: &'a Mutex<Vec<(u32, Job)>>,
+    pub(crate) escrow: &'a Mutex<Vec<(u32, Job)>>,
     /// Set by the watchdog once every orphan is back in a live ring;
     /// live workers hold their exit on it so recovered work is drained.
-    recovery_done: &'a AtomicBool,
+    pub(crate) recovery_done: &'a AtomicBool,
     /// Engine session space: flows fold onto `flow % sessions` bound
     /// sessions (equal to the stream population when `session_space`
     /// is unset, making the fold the identity).
-    sessions: u32,
+    pub(crate) sessions: u32,
+    /// Buffer pool for the serving path: after a frame is processed its
+    /// byte buffer is returned here for the dispatcher to refill
+    /// (allocation-free steady state). `None` (the replay path) drops
+    /// buffers as before.
+    pub(crate) recycle: Option<&'a RingQueue<Vec<u8>>>,
+    /// Serving-path progress gauge: incremented once per processed
+    /// packet (for live snapshots). `None` on the replay path.
+    pub(crate) progress: Option<&'a AtomicU64>,
 }
 
-fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
+pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     let WorkerCtx {
         wid,
         cfg,
@@ -1001,6 +1179,8 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         escrow,
         recovery_done,
         sessions,
+        recycle,
+        progress,
     } = ctx;
     let core = wid % pinner.cores().max(1);
     let pinned = matches!(cfg.pinning, Pinning::Auto) && pinner.pin_current(core).is_ok();
@@ -1118,11 +1298,19 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
             }
         }
         // Stream-state migration: if another worker touched this
-        // stream's state last, its lines are not in our caches.
+        // stream's state last, its lines are not in our caches. The
+        // previous owner comes stamped on the job when the dispatcher
+        // could determine it (routing decides the processing worker);
+        // otherwise from the shared last-owner slot, whose swap order
+        // is a host-time race.
         let mut s_mig = false;
         let s = job.stream.0 as usize;
         if s < last_stream_worker.len() {
-            let prev = last_stream_worker[s].swap(me, Ordering::AcqRel);
+            let prev = match job.prev_stream_owner {
+                PREV_RACY => last_stream_worker[s].swap(me, Ordering::AcqRel),
+                PREV_NONE => u32::MAX,
+                p => p,
+            };
             if prev != me {
                 if prev != u32::MAX {
                     stats.stream_migrations += 1;
@@ -1143,7 +1331,11 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         };
         let t = tid as usize;
         if t < last_thread_worker.len() {
-            let prev = last_thread_worker[t].swap(me, Ordering::AcqRel);
+            let prev = match job.prev_thread_owner {
+                PREV_RACY => last_thread_worker[t].swap(me, Ordering::AcqRel),
+                PREV_NONE => u32::MAX,
+                p => p,
+            };
             if prev != me {
                 if prev != u32::MAX {
                     stats.thread_migrations += 1;
@@ -1210,6 +1402,15 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
             }
             outcome
         };
+        // Serving path: the engine only borrows the frame, so its byte
+        // buffer is free here — hand it back for the dispatcher to
+        // refill instead of dropping it (allocation-free steady state).
+        // A full pool (impossible when sized to the buffer population)
+        // just drops the buffer.
+        if let Some(pool) = recycle {
+            let RxFrame { bytes, .. } = frame;
+            let _ = pool.push(bytes);
+        }
         let service_us = faults.scale_service(
             disp.start_v,
             hier.platform()
@@ -1301,8 +1502,16 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
             wait.add(wait_us);
         }
         vclocks[wid].store(vclock.to_bits(), Ordering::Release);
+        if let Some(p) = progress {
+            p.fetch_add(1, Ordering::Relaxed);
+        }
     };
 
+    // Train pops: claim up to `batch` published packets in one ring
+    // operation. The pooled layout stays at 1 — its min-vclock gate must
+    // re-evaluate between packets.
+    let batch = if pooled { 1 } else { cfg.batch.max(1) };
+    let mut train: Vec<Job> = Vec::with_capacity(batch);
     'main: loop {
         board.beat(wid);
         stats.max_queue_depth = stats.max_queue_depth.max(my_queue.len());
@@ -1319,50 +1528,75 @@ fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                     .min()
                     .unwrap_or(0);
         if may_pop {
-            if let Some(job) = my_queue.pop() {
-                // Starting this job would carry the vclock past our
-                // permanent crash instant: the worker dies here. The job
-                // is parked with the watchdog, which re-routes it (and
-                // whatever is left in our ring) once we have exited.
-                if let Some(c_at) = fatal(vclock, &job) {
-                    if let Some(r) = rec.as_mut() {
-                        r.record(ObsEvent::WorkerDown {
-                            t_us: c_at,
-                            worker: wid as u32,
-                        });
+            let got = if batch > 1 {
+                my_queue.pop_batch(&mut train, batch)
+            } else {
+                match my_queue.pop() {
+                    Some(job) => {
+                        train.push(job);
+                        1
                     }
-                    board.mark_down(wid);
-                    escrow.lock().push((wid as u32, job));
-                    break 'main;
+                    None => 0,
                 }
-                // A requeued orphan must run on the dead owner's stack
-                // (its engine holds the session); everything else runs
-                // on ours (or the shared one).
-                let stack = if cfg.layout.shared_stack {
-                    0
-                } else if job.home_stack != u32::MAX {
-                    job.home_stack as usize
-                } else {
-                    wid
-                };
-                let queue = if pooled { SHARED_QUEUE } else { wid as u32 };
-                let depth = my_queue.len() as u32;
-                process(
-                    job,
-                    stack,
-                    false,
-                    queue,
-                    depth,
-                    &mut rec,
-                    &mut hier,
-                    &mut stats,
-                    &mut vclock,
-                    &mut slot,
-                    &mut delay,
-                    &mut service,
-                    &mut wait,
-                    &mut outcomes,
-                );
+            };
+            if got > 0 {
+                let mut jobs = train.drain(..);
+                while let Some(job) = jobs.next() {
+                    // Starting this job would carry the vclock past our
+                    // permanent crash instant: the worker dies here. The
+                    // job is parked with the watchdog, which re-routes
+                    // it (and whatever is left in our ring) once we have
+                    // exited.
+                    if let Some(c_at) = fatal(vclock, &job) {
+                        if let Some(r) = rec.as_mut() {
+                            r.record(ObsEvent::WorkerDown {
+                                t_us: c_at,
+                                worker: wid as u32,
+                            });
+                        }
+                        board.mark_down(wid);
+                        {
+                            // Batch-aware escrow: the rest of the claimed
+                            // train is already off the ring, so it
+                            // orphans with the fatal job — the watchdog
+                            // re-routes the lot in seq order.
+                            let mut esc = escrow.lock();
+                            esc.push((wid as u32, job));
+                            for rest in jobs.by_ref() {
+                                esc.push((wid as u32, rest));
+                            }
+                        }
+                        break 'main;
+                    }
+                    // A requeued orphan must run on the dead owner's
+                    // stack (its engine holds the session); everything
+                    // else runs on ours (or the shared one).
+                    let stack = if cfg.layout.shared_stack {
+                        0
+                    } else if job.home_stack != u32::MAX {
+                        job.home_stack as usize
+                    } else {
+                        wid
+                    };
+                    let queue = if pooled { SHARED_QUEUE } else { wid as u32 };
+                    let depth = my_queue.len() as u32;
+                    process(
+                        job,
+                        stack,
+                        false,
+                        queue,
+                        depth,
+                        &mut rec,
+                        &mut hier,
+                        &mut stats,
+                        &mut vclock,
+                        &mut slot,
+                        &mut delay,
+                        &mut service,
+                        &mut wait,
+                        &mut outcomes,
+                    );
+                }
                 continue;
             }
         }

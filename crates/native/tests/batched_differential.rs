@@ -1,0 +1,73 @@
+//! Batched dispatch is result-transparent: for every front-end × policy
+//! cell of the stream matrix, running the identical workload with
+//! dequeue batches of 8 and 64 (train pops + flow-run fusion) yields a
+//! `NativeReport` bit-identical to the historical per-packet path
+//! (batch 1) — the ledger, the delay/service/wait moments, the
+//! steering counters, and the per-stream delivery counts all match
+//! exactly.
+//!
+//! Two per-worker gauges are normalized out before comparison:
+//! `max_queue_depth` (a documented-racy host-side sample whose value
+//! depends on dispatcher/worker interleaving, not on results) and
+//! `lock_contended` (`try_lock` contention is host scheduling, not
+//! modeled time). Everything else must be equal to the bit.
+
+use afs_core::crossval::{stream_smoke_matrix, STREAM_POLICIES};
+use afs_native::crossval::{native_stream_config, native_stream_workload};
+use afs_native::{run_native, FrontEndKind, NativeReport, Pinning};
+
+fn normalized(mut r: NativeReport) -> NativeReport {
+    for w in &mut r.per_worker {
+        w.max_queue_depth = 0;
+        w.lock_contended = 0;
+    }
+    r
+}
+
+#[test]
+fn batched_dispatch_is_bit_identical_across_the_stream_matrix() {
+    for s in stream_smoke_matrix() {
+        for kind in FrontEndKind::ALL {
+            for &policy in &STREAM_POLICIES {
+                let mut cfg = native_stream_config(&s, kind, policy);
+                cfg.pinning = Pinning::Off;
+                let base = normalized(run_native(&cfg, native_stream_workload(&s)));
+                assert_eq!(base.offered, s.total_packets);
+                for batch in [8usize, 64] {
+                    let mut cfg_b = cfg.clone();
+                    cfg_b.batch = batch;
+                    let got = normalized(run_native(&cfg_b, native_stream_workload(&s)));
+                    assert_eq!(
+                        got, base,
+                        "batch={batch} diverged for {}/{} on {}",
+                        kind.label(),
+                        policy.label(),
+                        s.label(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The legacy (router-dispatched, no front-end) layouts must also be
+/// unaffected: per-worker rings take train pops, the pooled ring is
+/// structurally exempt, and either way the ledger balances identically.
+#[test]
+fn batched_dispatch_is_bit_identical_on_legacy_layouts() {
+    use afs_native::{zipf_workload, NativeConfig, PolicySpec};
+    for policy in PolicySpec::ALL {
+        let mut cfg = NativeConfig::new(2, policy);
+        cfg.pinning = Pinning::Off;
+        cfg.layout.steal = None; // steal timing is host-racy by design
+        cfg.seed = 0xBA7C;
+        let workload = || zipf_workload(64, 4_000, 30_000.0, 1.1, 4.0, None, 64, 0xBA7C);
+        let base = normalized(run_native(&cfg, workload()));
+        for batch in [8usize, 64] {
+            let mut cfg_b = cfg.clone();
+            cfg_b.batch = batch;
+            let got = normalized(run_native(&cfg_b, workload()));
+            assert_eq!(got, base, "batch={batch} diverged for {}", policy.label());
+        }
+    }
+}

@@ -34,6 +34,7 @@
 //! * [`jsonl`] — deterministic JSONL trace rendering.
 //! * [`order`] — [`SequenceChecker`], the independent per-stream
 //!   delivery-order judge behind the reordering differential tests.
+//! * [`serve`] — [`ServeSnapshot`], the live serving-run gauge line.
 //! * [`summary`] — compact text summary for experiment output.
 //! * [`profile`] — [`EngineProbe`] hooks for the desim engine.
 //! * [`tolerance`] — documented backend-agreement tolerances used by the
@@ -46,6 +47,7 @@ pub mod jsonl;
 pub mod order;
 pub mod profile;
 pub mod recorder;
+pub mod serve;
 pub mod summary;
 pub mod tolerance;
 
@@ -55,6 +57,7 @@ pub use hist::LogHistogram;
 pub use order::{SequenceChecker, SequenceReport};
 pub use profile::EngineProbe;
 pub use recorder::{MemRecorder, NullRecorder, Recorder};
+pub use serve::ServeSnapshot;
 
 #[cfg(test)]
 mod tests {

@@ -165,6 +165,16 @@ impl FrontEndState {
         &self.plan
     }
 
+    /// Pre-size the steering memory for flows `0..n` so steady-state
+    /// routing never grows it — the serving path's allocation-free
+    /// contract. Behaviour-neutral: an absent entry and a pre-sized
+    /// `UNROUTED` entry read identically.
+    pub fn reserve_flows(&mut self, n: u32) {
+        if self.last_route.len() < n as usize {
+            self.last_route.resize(n as usize, UNROUTED);
+        }
+    }
+
     /// Whether completions must be fed back via
     /// [`FrontEndState::note_complete`] (only Flow Director learns).
     pub fn wants_completion_feedback(&self) -> bool {

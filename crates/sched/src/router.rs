@@ -105,6 +105,16 @@ impl RouterState {
         }
     }
 
+    /// Pre-size the MRU table for flows `0..n` so steady-state routing
+    /// never grows it — the serving path's allocation-free contract.
+    /// Behaviour-neutral: an absent entry and a pre-sized `None` entry
+    /// read identically.
+    pub fn reserve_flows(&mut self, n: u32) {
+        if self.last.len() < n as usize {
+            self.last.resize(n as usize, None);
+        }
+    }
+
     /// Mask worker `w` in (`true`) or out (`false`) of routing.
     pub fn set_live(&mut self, w: usize, live: bool) {
         self.live[w] = live;

@@ -96,18 +96,37 @@ impl PacketFactory {
     /// Build one complete FDDI frame carrying a UDP datagram of
     /// `payload_len` bytes for `stream`.
     pub fn frame_for(&mut self, stream: StreamId, payload_len: usize) -> Vec<u8> {
-        self.ident = self.ident.wrapping_add(1);
-        let payload: Vec<u8> = (0..payload_len).map(|i| (i & 0xFF) as u8).collect();
-        let src = peer_of(stream);
-        let udp = udp::build_datagram(
-            src,
-            HOST_ADDR,
-            1024 + stream.0 as u16,
-            port_of(stream),
-            &payload,
-            self.udp_checksums,
+        let mut out = Vec::new();
+        self.frame_into(stream, payload_len, &mut out);
+        out
+    }
+
+    /// [`frame_for`](Self::frame_for) writing into a caller-owned
+    /// buffer: `out` is cleared and refilled in place, so a recycled
+    /// buffer makes frame fabrication allocation-free once its capacity
+    /// has grown to the frame length. The bytes produced are identical
+    /// to [`frame_for`](Self::frame_for)'s — same header fields, same
+    /// payload pattern, same checksums, same ident sequence — which the
+    /// byte-identity test below pins against the layer builders.
+    pub fn frame_into(&mut self, stream: StreamId, payload_len: usize, out: &mut Vec<u8>) {
+        assert!(
+            ip::HEADER_LEN + udp::HEADER_LEN + payload_len <= fddi::MAX_PAYLOAD,
+            "factory payloads fit the FDDI MTU"
         );
-        let total = (ip::HEADER_LEN + udp.len()) as u16;
+        self.ident = self.ident.wrapping_add(1);
+        let src = peer_of(stream);
+        out.clear();
+        // FDDI header (the layout of `fddi::build_frame`).
+        out.push(fddi::FC_LLC);
+        out.extend_from_slice(&HOST_MAC.0);
+        out.extend_from_slice(&MacAddr::station(100 + stream.0).0);
+        out.push(fddi::LLC_SNAP_SAP);
+        out.push(fddi::LLC_SNAP_SAP);
+        out.push(fddi::LLC_UI);
+        out.extend_from_slice(&[0, 0, 0]); // SNAP OUI
+        out.extend_from_slice(&fddi::ETHERTYPE_IP.to_be_bytes());
+        // IP header.
+        let total = (ip::HEADER_LEN + udp::HEADER_LEN + payload_len) as u16;
         let iph = ip::build_header(
             total,
             self.ident,
@@ -119,15 +138,22 @@ impl PacketFactory {
             src,
             HOST_ADDR,
         );
-        let mut dgram = iph.to_vec();
-        dgram.extend_from_slice(&udp);
-        fddi::build_frame(
-            HOST_MAC,
-            MacAddr::station(100 + stream.0),
-            fddi::ETHERTYPE_IP,
-            &dgram,
-        )
-        .expect("factory payloads fit the FDDI MTU")
+        out.extend_from_slice(&iph);
+        // UDP header + patterned payload (the layout of
+        // `udp::build_datagram`).
+        let udp_start = out.len();
+        out.extend_from_slice(&(1024 + stream.0 as u16).to_be_bytes());
+        out.extend_from_slice(&port_of(stream).to_be_bytes());
+        out.extend_from_slice(&((udp::HEADER_LEN + payload_len) as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend((0..payload_len).map(|i| (i & 0xFF) as u8));
+        if self.udp_checksums {
+            let c = udp::udp_checksum(src, HOST_ADDR, &out[udp_start..]);
+            out[udp_start + 6..udp_start + 8].copy_from_slice(&c.to_be_bytes());
+        }
+        // FCS over everything so far.
+        let fcs = fddi::crc32(out);
+        out.extend_from_slice(&fcs.to_be_bytes());
     }
 }
 
@@ -281,6 +307,70 @@ mod tests {
         let ih = ip::parse_header(&mut msg).unwrap();
         let uh = udp::parse_datagram(&mut msg, ih.src, ih.dst).unwrap();
         assert_ne!(uh.checksum, 0);
+    }
+
+    #[test]
+    fn frame_into_is_byte_identical_to_the_layer_builders() {
+        // The in-place fabricator must produce exactly what composing
+        // the layer builders produces — the frames are inputs to
+        // committed goldens, so this is a byte-for-byte contract.
+        for checksums in [false, true] {
+            let mut fast = PacketFactory::new();
+            fast.udp_checksums = checksums;
+            let mut ident = 0u16;
+            let mut buf = Vec::new();
+            for (stream, payload_len) in [(0u32, 0usize), (3, 32), (7, 64), (41, 1400)] {
+                fast.frame_into(StreamId(stream), payload_len, &mut buf);
+                // Reference: the original builder composition.
+                ident = ident.wrapping_add(1);
+                let payload: Vec<u8> = (0..payload_len).map(|i| (i & 0xFF) as u8).collect();
+                let src = peer_of(StreamId(stream));
+                let udp = udp::build_datagram(
+                    src,
+                    HOST_ADDR,
+                    1024 + stream as u16,
+                    port_of(StreamId(stream)),
+                    &payload,
+                    checksums,
+                );
+                let total = (ip::HEADER_LEN + udp.len()) as u16;
+                let iph = ip::build_header(
+                    total,
+                    ident,
+                    true,
+                    false,
+                    0,
+                    ip::DEFAULT_TTL,
+                    ip::PROTO_UDP,
+                    src,
+                    HOST_ADDR,
+                );
+                let mut dgram = iph.to_vec();
+                dgram.extend_from_slice(&udp);
+                let expect = fddi::build_frame(
+                    HOST_MAC,
+                    MacAddr::station(100 + stream),
+                    fddi::ETHERTYPE_IP,
+                    &dgram,
+                )
+                .unwrap();
+                assert_eq!(buf, expect, "stream {stream}, payload {payload_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_into_reuses_capacity() {
+        let mut f = PacketFactory::new();
+        let mut buf = Vec::new();
+        f.frame_into(StreamId(0), 256, &mut buf);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for _ in 0..16 {
+            f.frame_into(StreamId(1), 256, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "steady-state refills must not grow");
+        assert_eq!(buf.as_ptr(), ptr, "steady-state refills must not move");
     }
 
     #[test]

@@ -309,6 +309,11 @@ pub struct ProtocolEngine {
     /// ICMP error datagrams awaiting transmission (port-unreachable
     /// replies queued by failed demultiplexes).
     pub icmp_egress: Vec<Vec<u8>>,
+    /// Reusable receive message: [`ProtocolEngine::receive_outcome`]
+    /// takes it, refills it in place from the frame, and puts it back —
+    /// so the steady-state receive path never touches the allocator
+    /// once the buffer has grown to the frame length.
+    scratch: Message,
 }
 
 impl ProtocolEngine {
@@ -340,6 +345,7 @@ impl ProtocolEngine {
             table: SessionTable::new(),
             tcp_sessions: std::collections::HashMap::new(),
             icmp_egress: Vec::new(),
+            scratch: Message::default(),
         }
     }
 
@@ -386,7 +392,10 @@ impl ProtocolEngine {
         let layout = self.layout;
         let start_cycles = hier.stats.cycles;
         let mut ctx = MemCtx::new(hier);
-        let mut msg = Message::from_wire(&frame.bytes, frame.buf_addr);
+        // Borrow the engine's scratch message and refill it in place —
+        // no allocation once its capacity covers the frame.
+        let mut msg = std::mem::take(&mut self.scratch);
+        msg.reset_from_wire(&frame.bytes, frame.buf_addr);
 
         let verdict = 'rx: {
             // --- Thread dispatch: wake the protocol thread, touch its
@@ -513,6 +522,9 @@ impl ProtocolEngine {
             payload_bytes,
             stream,
         };
+        // Return the scratch message (and its capacity) for the next
+        // receive.
+        self.scratch = msg;
         match verdict {
             Verdict::Delivered { stream, payload } => RxOutcome::Delivered(timing(payload, stream)),
             Verdict::QueueFull { stream, payload } => RxOutcome::Dropped {

@@ -48,6 +48,19 @@ impl std::fmt::Display for MsgError {
 
 impl std::error::Error for MsgError {}
 
+impl Default for Message {
+    /// An empty message (no bytes, head at 0) — the placeholder
+    /// [`std::mem::take`] leaves behind when the engine borrows its
+    /// scratch message for one receive.
+    fn default() -> Self {
+        Message {
+            buf: BytesMut::new(),
+            head: 0,
+            base_addr: 0,
+        }
+    }
+}
+
 impl Message {
     /// Wrap received wire bytes (head at 0), bound to a simulated buffer
     /// address.
@@ -59,6 +72,18 @@ impl Message {
             head: 0,
             base_addr,
         }
+    }
+
+    /// Reinitialize this message in place from received wire bytes,
+    /// reusing the existing buffer capacity. Equivalent to replacing
+    /// `self` with [`Message::from_wire`]`(frame, base_addr)`, but
+    /// allocation-free once the buffer has grown to the frame length —
+    /// the receive path's steady-state contract.
+    pub fn reset_from_wire(&mut self, frame: &[u8], base_addr: u64) {
+        self.buf.clear();
+        self.buf.put_slice(frame);
+        self.head = 0;
+        self.base_addr = base_addr;
     }
 
     /// Create an outgoing message holding `payload`, with headroom for
@@ -235,6 +260,21 @@ mod tests {
         assert_eq!(m.bytes()[0], 4);
         assert_eq!(m.head_addr(), 0x5000_0003);
         assert_eq!(m.pop(99), Err(MsgError::Truncated));
+    }
+
+    #[test]
+    fn reset_from_wire_matches_from_wire_and_reuses_capacity() {
+        let mut m = Message::from_wire(&[1, 2, 3, 4, 5, 6, 7, 8], 0x100);
+        m.pop(5).unwrap();
+        m.reset_from_wire(&[9, 8, 7], 0x2000);
+        let fresh = Message::from_wire(&[9, 8, 7], 0x2000);
+        assert_eq!(m.bytes(), fresh.bytes());
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.head_addr(), fresh.head_addr());
+        // Shrinking refills keep the old capacity (no realloc churn).
+        let ptr = m.bytes().as_ptr();
+        m.reset_from_wire(&[1, 2], 0);
+        assert_eq!(m.bytes().as_ptr(), ptr);
     }
 
     #[test]

@@ -14,7 +14,7 @@ export AFS_JOBS
 echo "run_experiments: AFS_JOBS=$AFS_JOBS"
 BINS="table1 table2 fig01 fig02 fig03 fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11 \
       ext12_send_side ext13_packet_train ext14_num_stacks ext15_copying ext16_hybrid ext19_tcp ext20_stream_capacity \
-      ext21_faults ext22_native ext23_obs ext24_procfaults ext25_streams \
+      ext21_faults ext22_native ext23_obs ext24_procfaults ext25_streams ext26_serve \
       abl17_sensitivity abl18_procs summary"
 fail=0
 for b in $BINS; do
