@@ -198,7 +198,11 @@ fn bench_ring_batch(c: &mut Criterion) {
     // the serving path's batched dispatch (DESIGN.md §16).
     use afs_native::RingQueue;
     let mut g = c.benchmark_group("ring_batch");
-    for (batch, name) in [(1usize, "pop_batch_1"), (8, "pop_batch_8"), (64, "pop_batch_64")] {
+    for (batch, name) in [
+        (1usize, "pop_batch_1"),
+        (8, "pop_batch_8"),
+        (64, "pop_batch_64"),
+    ] {
         g.throughput(Throughput::Elements(batch as u64));
         g.bench_function(name, |b| {
             let q: RingQueue<u64> = RingQueue::with_capacity(256);

@@ -30,6 +30,7 @@ use afs_core::sweep::rate_sweep_jobs;
 use afs_desim::event::EventQueue;
 use afs_desim::time::SimTime;
 use afs_native::{run_serve, ServeConfig};
+use afs_sched::{ClaimTable, StealPolicy};
 
 /// Wall time of `f` in seconds alongside its result.
 fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
@@ -38,12 +39,12 @@ fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
     (t0.elapsed().as_secs_f64(), r)
 }
 
-/// The committed baseline's `sim_pkts_per_wall_s`, read from
-/// `results/BENCH_perf.json` *before* this run overwrites it. `None`
-/// when the file is absent or unparseable (first run on a fresh tree).
-fn committed_baseline_pkts_per_s() -> Option<f64> {
+/// A committed baseline number, read from `results/BENCH_perf.json`
+/// *before* this run overwrites it. `None` when the file is absent,
+/// unparseable, or predates the field (first run on a fresh tree).
+fn committed_baseline(field: &str) -> Option<f64> {
     let text = std::fs::read_to_string(results_dir().join("BENCH_perf.json")).ok()?;
-    let tail = text.split("\"sim_pkts_per_wall_s\":").nth(1)?;
+    let tail = text.split(&format!("\"{field}\":")).nth(1)?;
     tail.trim_start()
         .split([',', '}'])
         .next()?
@@ -75,6 +76,49 @@ fn event_queue_ops_per_s(pairs: u64) -> f64 {
     (2 * pairs) as f64 / t
 }
 
+/// Claim-arbitration op rate: drive a [`ClaimTable`] through a bursty
+/// synthetic arrival stream and count resolved claims per wall second
+/// (one offer -> one eventual claim; the stealing model's staging,
+/// event scan, and steal visits are all on this path). This is the
+/// dispatcher-side cost the virtual-order claim protocol (DESIGN.md
+/// §17) added to every pooled pop and steal, so it gets its own
+/// committed trajectory number.
+fn claim_ops_per_s(jobs: u64, workers: usize, stealing: bool) -> f64 {
+    const EST_US: f64 = 100.0;
+    let (t, resolved) = timed(|| {
+        let mut table = if stealing {
+            ClaimTable::stealing(workers, EST_US, StealPolicy::default())
+        } else {
+            ClaimTable::pooled(workers, EST_US)
+        };
+        let mut out = Vec::with_capacity(1024);
+        let mut resolved = 0u64;
+        let mut t_us = 0.0;
+        let mut acc = 0x9E37u64;
+        for seq in 0..jobs {
+            // Bursty irregular gaps around the service estimate and a
+            // hot owner 0: owner pops, backlogs, and steal visits all
+            // exercise; the data dependence defeats dead-code folding.
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t_us += ((acc >> 33) & 127) as f64;
+            let owner = if acc & 3 == 0 {
+                (seq as usize) % workers
+            } else {
+                0
+            };
+            table.offer(seq, owner, t_us, &mut out);
+            if out.len() >= 1024 {
+                resolved += out.len() as u64;
+                out.clear();
+            }
+        }
+        table.flush(&mut out);
+        resolved + out.len() as u64
+    });
+    assert_eq!(resolved, jobs, "claim churn lost jobs");
+    resolved as f64 / t
+}
+
 fn main() {
     banner(
         "BENCH SNAPSHOT",
@@ -86,10 +130,11 @@ fn main() {
     let jobs = jobs_from_env();
     println!("host cores: {host_cores}; AFS_JOBS resolved to {jobs}; quick = {quick}\n");
 
-    // The committed baseline, read before this run overwrites the file:
-    // the perf-regression gate below compares the fresh hot-path number
-    // against it.
-    let baseline_pkts_per_s = committed_baseline_pkts_per_s();
+    // The committed baselines, read before this run overwrites the
+    // file: the perf-regression gates below compare the fresh hot-path
+    // and claim-arbitration numbers against them.
+    let baseline_pkts_per_s = committed_baseline("sim_pkts_per_wall_s");
+    let baseline_claim_steal_ops = committed_baseline("claim_steal_ops_per_s");
 
     let mru = Paradigm::Locking {
         policy: LockPolicy::Mru,
@@ -111,6 +156,17 @@ fn main() {
         Procs::hot_bytes_per_proc(),
         LocTable::hot_bytes_per_entity(),
         hot_bytes_per_packet
+    );
+
+    // Family 0b — steal-claim arbitration in isolation: resolved claims
+    // per wall second through the dispatcher-side claim table, in both
+    // modes, at the serving path's worker count.
+    let claim_jobs: u64 = if quick { 200_000 } else { 2_000_000 };
+    let claim_steal_ops = claim_ops_per_s(claim_jobs, 4, true);
+    let claim_pooled_ops = claim_ops_per_s(claim_jobs, 4, false);
+    println!(
+        "claim arbitration ({claim_jobs} jobs, 4 workers): stealing {:.0} claims/s, pooled {:.0} claims/s",
+        claim_steal_ops, claim_pooled_ops
     );
 
     // Family 1 — single-run hot path: simulated packets per wall second.
@@ -215,13 +271,15 @@ fn main() {
     );
 
     let body = json_object(&[
-        ("schema", "\"afs-bench-perf-v3\"".to_string()),
+        ("schema", "\"afs-bench-perf-v4\"".to_string()),
         ("quick", quick.to_string()),
         ("host_cores", host_cores.to_string()),
         ("afs_jobs", jobs.to_string()),
         ("sim_pkts_per_wall_s", format!("{sim_pkts_per_wall_s:.0}")),
         ("single_run_wall_s", format!("{t_single:.4}")),
         ("event_queue_ops_per_s", format!("{eq_ops_per_s:.0}")),
+        ("claim_steal_ops_per_s", format!("{claim_steal_ops:.0}")),
+        ("claim_pooled_ops_per_s", format!("{claim_pooled_ops:.0}")),
         (
             "hot_state_bytes_per_proc",
             Procs::hot_bytes_per_proc().to_string(),
@@ -273,6 +331,17 @@ fn main() {
             sim_pkts_per_wall_s >= 0.5 * base,
         ),
         None => println!("  [SKIP] no committed baseline to gate against"),
+    }
+    // The same 0.5x gate covers the claim-arbitration family: the
+    // stealing-mode table is on the dispatch path of every pooled and
+    // IPS serving run, so an accidentally quadratic model scan must
+    // fail the snapshot, not surface as a mystery serving slowdown.
+    match baseline_claim_steal_ops {
+        Some(base) => checks.expect(
+            "claim arbitration not slower than 0.5x the committed baseline",
+            claim_steal_ops >= 0.5 * base,
+        ),
+        None => println!("  [SKIP] no committed claim-arbitration baseline to gate against"),
     }
     checks.expect(
         "parallel sweep not slower than 1.5x serial (sanity, any host)",

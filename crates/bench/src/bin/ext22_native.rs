@@ -177,14 +177,19 @@ fn main() {
 
         // Migration telemetry ranks the policies as the model demands:
         // both shared-stack policies bounce stream state between
-        // workers constantly; IPS pins it (rare steals aside).
+        // workers constantly; IPS pins it (rare steals aside). Under
+        // the virtual-order claim protocol (DESIGN.md §17) pooled
+        // claimants resolve by model clocks rather than ring races and
+        // steals resolve against modeled backlog, so the deterministic
+        // ratio sits near ~5-7x rather than the racy engine's >10x —
+        // the structural claim is pinned at >4x.
         checks.expect(
             &format!(
                 "{}: shared-stack policies migrate streams, ips pins them",
                 s.label()
             ),
-            obl.native.stream_migrations > 10 * ips.native.stream_migrations.max(1)
-                && lck.native.stream_migrations > 10 * ips.native.stream_migrations.max(1),
+            obl.native.stream_migrations > 4 * ips.native.stream_migrations.max(1)
+                && lck.native.stream_migrations > 4 * ips.native.stream_migrations.max(1),
         );
         checks.expect(
             &format!("{}: ips steals are bounded, not a freeway", s.label()),

@@ -285,11 +285,12 @@ pub fn sim_matrix_jobs(jobs: usize, scenarios: &[CrossvalScenario]) -> Vec<SimCe
 }
 
 /// The policy axis of the million-stream front-end matrix (`ext25`):
-/// the rungs whose router steers per-worker queues. The `Locking` rung
-/// is excluded — its `Router::SharedQueue` fallback routes to the
-/// shared pool, which a NIC front-end cannot target
-/// ([`afs_sched::FrontEndPlan::validate`] rejects it) — and so is
-/// `Ips`, which routes by protocol stack rather than by NIC queue.
+/// the rungs whose router steers per-worker queues, on both backends.
+/// `Locking` and `Ips` are excluded here because the *simulator* side
+/// of the cross-validation has no claim arbitration — the native
+/// serving path runs all five rungs (its `SharedQueue` fallback and
+/// stealing layout resolve through [`afs_sched::ClaimTable`]; the
+/// `ext26_serve` sweep exercises the full ladder).
 pub const STREAM_POLICIES: [CrossPolicy; 3] = [
     CrossPolicy::Oblivious,
     CrossPolicy::MruLoad,
@@ -598,10 +599,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shared")]
-    fn locking_rung_is_rejected_by_the_frontend() {
+    fn locking_rung_frontend_plan_defers_to_claim_arbitration() {
+        // Since the claim protocol (DESIGN.md §17), a `SharedQueue`
+        // steering fallback is a valid plan: a table miss returns
+        // `Route::Shared` and the backend's pooled claim table names
+        // the claimant. Every rung's plan validates.
         let s = stream_smoke_matrix()[0];
-        s.frontend_plan(afs_sched::FrontEndKind::Rss, CrossPolicy::Locking)
-            .validate();
+        for p in CrossPolicy::ALL {
+            let plan = s.frontend_plan(afs_sched::FrontEndKind::Rss, p);
+            plan.validate();
+        }
+        assert_eq!(
+            s.frontend_plan(afs_sched::FrontEndKind::Rss, CrossPolicy::Locking)
+                .fallback,
+            afs_sched::Router::SharedQueue
+        );
     }
 }

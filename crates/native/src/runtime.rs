@@ -18,23 +18,35 @@
 //! ```
 //!
 //! so delays are deterministic functions of the modeled cache behaviour
-//! and the (possibly racy) dispatch order — host wall-clock noise never
-//! enters the numbers.
+//! and the dispatch order — host wall-clock noise never enters the
+//! numbers.
 //!
 //! ## How affinity shows up in the model
 //!
 //! Per-worker hierarchies have no shared bus, so migration cost is made
-//! explicit: a shared last-owner table (one atomic slot per stream and
-//! per thread stack) detects when a packet's stream state or thread
-//! stack was last touched by a *different* worker, and the new worker
-//! then purges that entity's address range from its own hierarchy
+//! explicit: the dispatcher stamps every packet with the previous owner
+//! of its stream state and thread stack (tracked in virtual dispatch
+//! order), and a worker that was not the previous owner purges that
+//! entity's address range from its own hierarchy
 //! ([`MemoryHierarchy::purge_range`]) before processing — the reload
 //! transient the paper measures. Shared-stack policies additionally
 //! charge the Section 5.1 lock overhead
 //! ([`lock_overhead_cycles`]) per packet; the IPS owner path is
 //! lock-free and charges it only on stolen packets (the steal handoff).
+//!
+//! ## Deterministic arbitration (the claim protocol)
+//!
+//! Shared-pool pops and work stealing are arbitrated on the dispatcher
+//! thread by [`afs_sched::ClaimTable`]: every pooled pop or steal is a
+//! `(start, seq, claimant)` claim resolved in total virtual order, the
+//! job is then pushed to the claimant's own ring, and workers only ever
+//! pop their own ring in FIFO order. Victim selection, migration
+//! accounting and previous-owner stamping are therefore pure functions
+//! of the arrival stream — bit-identical at any worker count and any
+//! dequeue batch, with or without a fault plan (DESIGN.md §17).
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use afs_cache::model::pricer::DispatchPricer;
 use afs_cache::sim::{MemoryHierarchy, Region};
@@ -44,10 +56,10 @@ use afs_core::procfault::ProcFaultPlan;
 use afs_desim::dist::Dist;
 use afs_desim::rng::RngFactory;
 use afs_desim::stats::Welford;
-use afs_obs::{ChargeKind, MemRecorder, ObsEvent, Recorder as _, SHARED_QUEUE};
+use afs_obs::{ChargeKind, MemRecorder, ObsEvent, Recorder as _};
 use afs_sched::{
-    DispatchPolicy as _, FrontEndKind, FrontEndState, HashedLru, NativeLayout, PolicySpec, Route,
-    RouterState, SchedView,
+    Claim, ClaimTable, FrontEndKind, FrontEndState, HashedLru, NativeLayout, PolicySpec, Route,
+    RouterState,
 };
 use afs_xkernel::driver::{PacketFactory, RxFrame};
 use afs_xkernel::engine::CostModel;
@@ -129,9 +141,10 @@ pub struct NativeConfig {
     /// that reuse is provably the decision the front-end would have made
     /// (see DESIGN §16 for the per-kind proof obligations). Both are
     /// result-transparent — `RunReport`s and ledgers are bit-identical
-    /// across batch sizes, which the differential tests pin. The pooled
-    /// (shared-ring) layout ignores the batch bound: its min-vclock
-    /// admission gate must re-evaluate per packet.
+    /// across batch sizes, which the differential tests pin. Every
+    /// layout honours the bound: pooled and stealing arbitration happen
+    /// dispatcher-side in the claim table (DESIGN.md §17), so train
+    /// pops never change an arbitration outcome.
     pub batch: usize,
 }
 
@@ -242,7 +255,11 @@ pub fn zipf_workload(
     for _ in 0..total_packets {
         let mut bytes = Vec::new();
         let (stream, arrival_us) = gen.next_into(&mut bytes);
-        all.push(NativePacket { bytes, stream, arrival_us });
+        all.push(NativePacket {
+            bytes,
+            stream,
+            arrival_us,
+        });
     }
     all
 }
@@ -318,8 +335,10 @@ impl ZipfPacketGen {
             self.t += self.gap.sample(&mut self.gaps_rng);
             // Categorical flow draw by cumulative weight (binary search).
             let u: f64 = self.flow_rng.gen_range(0.0..1.0);
-            self.pending_flow =
-                self.cum.partition_point(|&c| c <= u).min(self.cum.len() - 1) as u32;
+            self.pending_flow = self
+                .cum
+                .partition_point(|&c| c <= u)
+                .min(self.cum.len() - 1) as u32;
             // Geometric batch on {1, 2, …} with mean `batch_mean`: the
             // whole burst arrives back-to-back on the wire, all of one
             // flow — the arrival pattern that turns a mid-burst rebind
@@ -502,27 +521,27 @@ pub(crate) struct Job {
     /// lock, exactly the steal handoff path.
     pub(crate) home_stack: u32,
     /// Dispatcher-stamped previous owner of this packet's stream state
-    /// ([`PREV_RACY`] = owner unknowable at dispatch, fall back to the
-    /// shared last-owner slot; [`PREV_NONE`] = first touch).
+    /// ([`PREV_NONE`] = first touch).
     ///
-    /// When routing alone decides the processing worker (per-worker
-    /// rings, no stealing, no fault plan), the dispatcher knows the
-    /// virtual-order predecessor of every stream/thread touch, so
-    /// migration detection — and through the cache purges it drives,
-    /// every modeled service time — becomes a pure function of the
-    /// workload instead of a race between worker swap instructions on
-    /// the shared slots. That host-invariance is what lets the batched
-    /// dequeue path be differential-tested bit-for-bit against the
-    /// per-packet path.
+    /// The dispatcher always knows the virtual-order predecessor of
+    /// every stream/thread touch: routing decides the processing worker
+    /// directly, and when it does not (shared pool, stealing) the claim
+    /// table resolves the claimant in total virtual order before the
+    /// job reaches any ring. Orphans recovered from a failed worker are
+    /// re-stamped when the watchdog requeues them. Migration detection
+    /// — and through the cache purges it drives, every modeled service
+    /// time — is therefore a pure function of the workload in *every*
+    /// configuration; there is no racy fallback.
     pub(crate) prev_stream_owner: u32,
     /// Dispatcher-stamped previous owner of this packet's thread stack
     /// (same encoding as `prev_stream_owner`).
     pub(crate) prev_thread_owner: u32,
+    /// Worker whose queue this packet was stolen from, per the resolved
+    /// claim (`u32::MAX` = not stolen). Drives the steal statistics,
+    /// the `Steal` trace event, and the locked steal-handoff path.
+    pub(crate) stolen_from: u32,
 }
 
-/// `Job::prev_*_owner`: owner is unknowable at dispatch time (shared
-/// pool, stealing, or an active fault plan) — use the legacy racy swap.
-pub(crate) const PREV_RACY: u32 = u32::MAX;
 /// `Job::prev_*_owner`: deterministic first touch (no previous owner).
 pub(crate) const PREV_NONE: u32 = u32::MAX - 1;
 
@@ -636,28 +655,18 @@ fn run_native_impl(
         })
         .collect();
 
-    // Run queues: one shared ring for the pooled layout, one per worker
-    // otherwise. Sized so the shared ring has the same aggregate
-    // capacity as the per-worker rings.
+    // Run queues: one per worker in *every* layout. The shared pool and
+    // stealing are arbitrated dispatcher-side by the claim table, so
+    // workers only ever pop their own ring in FIFO order; a pooled
+    // packet lands directly on its claimant's ring.
     let pooled = cfg.layout.pooled_queue && !frontend_on;
-    let queues: Vec<RingQueue<Job>> = if pooled {
-        vec![RingQueue::with_capacity(cfg.queue_capacity * w)]
-    } else {
-        (0..w)
-            .map(|_| RingQueue::with_capacity(cfg.queue_capacity))
-            .collect()
-    };
+    let queues: Vec<RingQueue<Job>> = (0..w)
+        .map(|_| RingQueue::with_capacity(cfg.queue_capacity))
+        .collect();
 
-    // Shared last-owner tables: the migration detector. `u32::MAX`
-    // means "never touched".
-    let last_stream_worker: Vec<AtomicU32> =
-        (0..n_streams).map(|_| AtomicU32::new(u32::MAX)).collect();
-    let last_thread_worker: Vec<AtomicU32> = (0..w).map(|_| AtomicU32::new(u32::MAX)).collect();
     // Published per-worker virtual clocks (f64 bit patterns; nonnegative
-    // floats order the same as their bits). Host-time races must not
-    // leak into virtual-time results: the shared-pool pop and the steal
-    // decision consult these so scheduling choices are made on virtual
-    // load, not on which thread the host mutex happened to favour.
+    // floats order the same as their bits) — the serving path's live
+    // snapshot gauge.
     let vclocks: Vec<AtomicU64> = (0..w).map(|_| AtomicU64::new(0)).collect();
     let done = AtomicBool::new(false);
     let lock_cycles = lock_overhead_cycles(&cfg.cost);
@@ -698,8 +707,6 @@ fn run_native_impl(
                 pinner,
                 engines: &engines,
                 queues: &queues,
-                last_stream_worker: &last_stream_worker,
-                last_thread_worker: &last_thread_worker,
                 vclocks: &vclocks,
                 done: &done,
                 lock_cycles,
@@ -750,13 +757,26 @@ fn run_native_impl(
         let mut run_target = 0usize;
         let mut run_reusable = false;
         // Deterministic owner tracking (see `Job::prev_stream_owner`):
-        // valid exactly when the routed worker is the processing worker
-        // for every packet — per-worker rings, no thieves, no fault
-        // plan re-dispatching orphans. Racy configurations keep the
-        // historical shared-slot swap, untouched.
-        let det_owners = !pooled && cfg.layout.steal.is_none() && cfg.faults.is_noop();
-        let mut prev_stream_tbl: Vec<u32> = vec![PREV_NONE; if det_owners { n_streams } else { 0 }];
-        let mut prev_thread_tbl: Vec<u32> = vec![PREV_NONE; if det_owners { w } else { 0 }];
+        // every configuration stamps previous owners in virtual order —
+        // at routing when routing decides the processing worker, at
+        // claim resolution when the claim table does, and again at
+        // requeue when the watchdog re-dispatches an orphan.
+        let mut prev_stream_tbl: Vec<u32> = vec![PREV_NONE; n_streams];
+        let mut prev_thread_tbl: Vec<u32> = vec![PREV_NONE; w];
+        // The claim table: dispatcher-side virtual-order arbitration for
+        // the shared pool and for stealing (see the module docs). Jobs
+        // under a stealing layout are *staged* here until the model
+        // resolves their claimant; the pooled mode resolves immediately.
+        let mut claims: Option<ClaimTable> = if pooled {
+            Some(ClaimTable::pooled(w, pricer.t_warm_us()))
+        } else if !frontend_on && cfg.layout.steal.is_some() {
+            let sp = cfg.layout.steal.expect("checked above");
+            Some(ClaimTable::stealing(w, pricer.t_warm_us(), sp))
+        } else {
+            None
+        };
+        let mut staged: HashMap<u64, Job> = HashMap::new();
+        let mut resolved: Vec<Claim> = Vec::new();
         for (seq, pkt) in workload.into_iter().enumerate() {
             // Plan-driven masking: a packet arriving inside a worker's
             // crash window (crash..revive, or crash..∞ for a permanent
@@ -772,6 +792,13 @@ fn run_native_impl(
                     };
                     if rstate.is_live(i) != live {
                         run_flow = u32::MAX;
+                        // The claim model's mask flips in lockstep with
+                        // the router's, at the same arrival instants —
+                        // dead workers neither claim nor get stolen
+                        // from while down.
+                        if let Some(tbl) = claims.as_mut() {
+                            tbl.set_live(i, live);
+                        }
                     }
                     rstate.set_live(i, live);
                 }
@@ -876,19 +903,7 @@ fn run_native_impl(
                     h as u32
                 }
             };
-            let (prev_s, prev_t) = if det_owners {
-                let slot = &mut prev_stream_tbl[stream.0 as usize];
-                let ps = *slot;
-                *slot = target as u32;
-                let tid = if thread == u32::MAX { target } else { thread as usize };
-                let tslot = &mut prev_thread_tbl[tid];
-                let pt = *tslot;
-                *tslot = target as u32;
-                (ps, pt)
-            } else {
-                (PREV_RACY, PREV_RACY)
-            };
-            let mut job = Job {
+            let job = Job {
                 bytes: pkt.bytes,
                 stream,
                 arrival_us,
@@ -896,39 +911,101 @@ fn run_native_impl(
                 thread,
                 record: arrival_us >= warmup_cut_us,
                 home_stack: home,
-                prev_stream_owner: prev_s,
-                prev_thread_owner: prev_t,
+                prev_stream_owner: PREV_NONE,
+                prev_thread_owner: PREV_NONE,
+                stolen_from: u32::MAX,
             };
-            loop {
-                match queues[target].push(job) {
-                    Ok(()) => break,
-                    Err(back) => {
-                        job = back;
-                        // A crashed worker stopped draining its ring;
-                        // blocking on it would wedge the replay (the
-                        // watchdog only runs after it). Park the job in
-                        // escrow — the watchdog re-routes it with the
-                        // other orphans.
-                        if !pooled && board.is_down(target) {
-                            escrow.lock().push((target as u32, job));
-                            break;
+            if let Some(tbl) = claims.as_mut() {
+                // Claim arbitration: stage the job, then deliver every
+                // claim this arrival makes causally final. Previous-owner
+                // stamping, ring pushes and trace events all happen per
+                // resolved claim, in total virtual order — never at
+                // routing time, which for these layouts only picks the
+                // stream's *owner* (stealing) or nothing at all (pool).
+                staged.insert(seq as u64, job);
+                resolved.clear();
+                tbl.offer(seq as u64, target, arrival_us, &mut resolved);
+                for c in &resolved {
+                    deliver_claim(
+                        c,
+                        &mut staged,
+                        &mut prev_stream_tbl,
+                        &mut prev_thread_tbl,
+                        &queues,
+                        &board,
+                        &escrow,
+                        &mut disp_rec,
+                        shared_stack,
+                    );
+                }
+            } else {
+                // Routing decided the processing worker; stamp the
+                // previous owners here, in arrival order.
+                let mut job = job;
+                {
+                    let slot = &mut prev_stream_tbl[stream.0 as usize];
+                    job.prev_stream_owner = *slot;
+                    *slot = target as u32;
+                    let tid = if thread == u32::MAX {
+                        target
+                    } else {
+                        thread as usize
+                    };
+                    let tslot = &mut prev_thread_tbl[tid];
+                    job.prev_thread_owner = *tslot;
+                    *tslot = target as u32;
+                }
+                loop {
+                    match queues[target].push(job) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            job = back;
+                            // A crashed worker stopped draining its ring;
+                            // blocking on it would wedge the replay (the
+                            // watchdog only runs after it). Park the job in
+                            // escrow — the watchdog re-routes it with the
+                            // other orphans.
+                            if board.is_down(target) {
+                                escrow.lock().push((target as u32, job));
+                                break;
+                            }
+                            std::thread::yield_now();
                         }
-                        std::thread::yield_now();
                     }
                 }
+                if let Some(r) = disp_rec.as_mut() {
+                    // Arrival stamp, not host time; depth is a racy sample
+                    // (workers pop concurrently), which is all a depth gauge
+                    // promises.
+                    r.record(ObsEvent::Enqueue {
+                        t_us: arrival_us,
+                        seq: seq as u64,
+                        stream: stream.0,
+                        queue: target as u32,
+                        depth: queues[target].len() as u32,
+                    });
+                }
             }
-            if let Some(r) = disp_rec.as_mut() {
-                // Arrival stamp, not host time; depth is a racy sample
-                // (workers pop concurrently), which is all a depth gauge
-                // promises.
-                r.record(ObsEvent::Enqueue {
-                    t_us: arrival_us,
-                    seq: seq as u64,
-                    stream: stream.0,
-                    queue: if pooled { SHARED_QUEUE } else { target as u32 },
-                    depth: queues[target].len() as u32,
-                });
+        }
+        // End of the arrival stream: the model can no longer be changed
+        // by a future arrival, so every staged job resolves now.
+        if let Some(tbl) = claims.as_mut() {
+            resolved.clear();
+            tbl.flush(&mut resolved);
+            for c in &resolved {
+                deliver_claim(
+                    c,
+                    &mut staged,
+                    &mut prev_stream_tbl,
+                    &mut prev_thread_tbl,
+                    &queues,
+                    &board,
+                    &escrow,
+                    &mut disp_rec,
+                    shared_stack,
+                );
             }
+            debug_assert!(staged.is_empty(), "claim flush left jobs staged");
         }
         done.store(true, Ordering::Release);
         // Watchdog (runs on the dispatcher thread): once every worker
@@ -946,15 +1023,14 @@ fn run_native_impl(
             }
             for &p in &permanent {
                 rstate.set_live(p, false);
+                if let Some(tbl) = claims.as_mut() {
+                    tbl.set_live(p, false);
+                }
             }
             let mut orphans: Vec<(u32, Job)> = std::mem::take(&mut *escrow.lock());
-            if !pooled {
-                // The pooled ring is shared — live workers keep draining
-                // it, so only escrowed in-flight jobs orphan there.
-                for &p in &permanent {
-                    while let Some(job) = queues[p].pop() {
-                        orphans.push((p as u32, job));
-                    }
+            for &p in &permanent {
+                while let Some(job) = queues[p].pop() {
+                    orphans.push((p as u32, job));
                 }
             }
             // Deterministic recovery order regardless of which worker
@@ -1012,7 +1088,18 @@ fn run_native_impl(
                             rstate.note_routed(job.stream.0, p, t);
                             p
                         }
-                        Route::Shared => 0,
+                        // The shared pool has no router-picked worker:
+                        // the claimant is the pooled claim table's call,
+                        // over the degraded (masked) model. Pooled claims
+                        // resolve immediately — nothing stays staged.
+                        Route::Shared => {
+                            let tbl = claims
+                                .as_mut()
+                                .expect("pooled layouts always carry a claim table");
+                            resolved.clear();
+                            tbl.offer(job.seq, 0, t, &mut resolved);
+                            resolved[0].claimant
+                        }
                     }
                 };
                 // Under per-worker stacks the dead worker's engine still
@@ -1020,6 +1107,23 @@ fn run_native_impl(
                 // its (now uncontended) lock.
                 if !shared_stack && job.home_stack == u32::MAX {
                     job.home_stack = dead;
+                }
+                // Re-dispatch is a second (virtual-order) placement of
+                // the same message: re-stamp the previous owners so the
+                // recovered job's purge accounting reflects where the
+                // stream actually ran last, deterministically.
+                {
+                    let slot = &mut prev_stream_tbl[job.stream.0 as usize];
+                    job.prev_stream_owner = *slot;
+                    *slot = target as u32;
+                    let tid = if job.thread == u32::MAX {
+                        target
+                    } else {
+                        job.thread as usize
+                    };
+                    let tslot = &mut prev_thread_tbl[tid];
+                    job.prev_thread_owner = *tslot;
+                    *tslot = target as u32;
                 }
                 if let Some(r) = disp_rec.as_mut() {
                     r.record(ObsEvent::Orphaned {
@@ -1030,13 +1134,12 @@ fn run_native_impl(
                     r.record(ObsEvent::Requeue {
                         t_us: t,
                         seq: job.seq,
-                        queue: if pooled { SHARED_QUEUE } else { target as u32 },
+                        queue: target as u32,
                     });
                 }
-                let dest = if pooled { 0 } else { target };
                 let mut job = job;
                 loop {
-                    match queues[dest].push(job) {
+                    match queues[target].push(job) {
                         Ok(()) => break,
                         Err(back) => {
                             job = back;
@@ -1125,6 +1228,98 @@ fn run_native_impl(
     }
 }
 
+/// Deliver one resolved claim: take the staged job, stamp it, push it
+/// onto the claimant's ring and record its trace events.
+///
+/// This is the single point where an engaged (pooled or stealing)
+/// arrival becomes visible to a worker. Because the dispatcher calls it
+/// strictly in claim-resolution order — a total virtual order that is a
+/// pure function of the arrival stream — everything done here
+/// (previous-owner stamping, migration accounting, the Enqueue /
+/// StealClaim events, ring content and order) is deterministic for any
+/// worker count and any batch size.
+#[allow(clippy::too_many_arguments)]
+fn deliver_claim(
+    c: &Claim,
+    staged: &mut HashMap<u64, Job>,
+    prev_stream_tbl: &mut [u32],
+    prev_thread_tbl: &mut [u32],
+    queues: &[RingQueue<Job>],
+    board: &HealthBoard,
+    escrow: &Mutex<Vec<(u32, Job)>>,
+    disp_rec: &mut Option<MemRecorder>,
+    shared_stack: bool,
+) {
+    let mut job = staged
+        .remove(&c.seq)
+        .expect("claim resolved for a job that was never staged");
+    if let Some(victim) = c.victim {
+        job.stolen_from = victim as u32;
+        // Under per-worker stacks the stolen stream's session lives on
+        // the victim's engine: the thief crosses over and runs it there,
+        // under that stack's lock — that contention is the cost the
+        // paper's stealing rung pays for its load balance.
+        if !shared_stack && job.home_stack == u32::MAX {
+            job.home_stack = victim as u32;
+        }
+    }
+    let claimant = c.claimant;
+    // Previous-owner stamping in claim order. Engaged layouts never
+    // rotate threads, so the processing thread is the claimant itself.
+    {
+        let slot = &mut prev_stream_tbl[job.stream.0 as usize];
+        job.prev_stream_owner = *slot;
+        *slot = claimant as u32;
+        let tslot = &mut prev_thread_tbl[claimant];
+        job.prev_thread_owner = *tslot;
+        *tslot = claimant as u32;
+    }
+    if let Some(r) = disp_rec.as_mut() {
+        if let Some(victim) = c.victim {
+            // The claim is the arbitration decision, stamped with the
+            // model's steal instant; the worker-side Steal event later
+            // records the thief executing it.
+            r.record(ObsEvent::StealClaim {
+                t_us: c.start_us,
+                seq: c.seq,
+                from: victim as u32,
+                to: claimant as u32,
+            });
+        }
+    }
+    let seq = job.seq;
+    let (stream, arrival_us) = (job.stream.0, job.arrival_us);
+    loop {
+        match queues[claimant].push(job) {
+            Ok(()) => break,
+            Err(back) => {
+                job = back;
+                // A crashed claimant stopped draining its ring; park the
+                // job in escrow for the watchdog rather than wedging the
+                // dispatcher on a full dead ring.
+                if board.is_down(claimant) {
+                    escrow.lock().push((claimant as u32, job));
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+    if let Some(r) = disp_rec.as_mut() {
+        // Stamped with the message's arrival (the recorder sorts by the
+        // virtual merge key at the end, so late-resolved staged jobs
+        // land in their causal place); depth is a racy sample, which is
+        // all a depth gauge promises.
+        r.record(ObsEvent::Enqueue {
+            t_us: arrival_us,
+            seq,
+            stream,
+            queue: claimant as u32,
+            depth: queues[claimant].len() as u32,
+        });
+    }
+}
+
 /// Everything a worker thread borrows from the runtime.
 pub(crate) struct WorkerCtx<'a> {
     pub(crate) wid: usize,
@@ -1132,8 +1327,6 @@ pub(crate) struct WorkerCtx<'a> {
     pub(crate) pinner: &'a dyn CorePinner,
     pub(crate) engines: &'a [Mutex<ProtocolEngine>],
     pub(crate) queues: &'a [RingQueue<Job>],
-    pub(crate) last_stream_worker: &'a [AtomicU32],
-    pub(crate) last_thread_worker: &'a [AtomicU32],
     pub(crate) vclocks: &'a [AtomicU64],
     pub(crate) done: &'a AtomicBool,
     pub(crate) lock_cycles: f64,
@@ -1168,8 +1361,6 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         pinner,
         engines,
         queues,
-        last_stream_worker,
-        last_thread_worker,
         vclocks,
         done,
         lock_cycles,
@@ -1213,15 +1404,11 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     let mut vclock = 0.0f64;
     let mut slot = 0u32;
 
-    let pooled = cfg.layout.pooled_queue && cfg.frontend.is_none();
-    let my_queue = if pooled { &queues[0] } else { &queues[wid] };
-    let steal = if cfg.frontend.is_some() {
-        // The NIC owns placement: cores serve their own queues in FIFO
-        // order, never each other's.
-        None
-    } else {
-        cfg.layout.steal
-    };
+    // Every layout gives each worker its own ring, fed in claim order by
+    // the dispatcher; a worker only ever pops its own ring, FIFO. Pool
+    // and steal arbitration happened dispatcher-side (claim table), so
+    // there is no worker-side victim scan or shared-pool gate here.
+    let my_queue = &queues[wid];
     // Bounded resident stream-state set: `stream_cache` slots split
     // across workers, each tracking which flows' footprints its caches
     // still hold. A flow falling out pays a full cold stream reload on
@@ -1276,14 +1463,12 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
             }
         }
         if disp.rebooted {
-            // The crash lost this worker's caches and its claim on every
-            // last-owner slot: the revived worker re-touches all state
-            // cold, without counting the re-touch as a migration from
-            // its pre-crash self.
+            // The crash lost this worker's caches: the revived worker
+            // re-touches all state cold (the rebuilt hierarchy is
+            // all-cold, so the reload is charged either way). Ownership
+            // stamps are dispatcher-side and unaffected — a post-reboot
+            // remote touch still counts as a migration, deterministically.
             *hier = cfg.cost.hierarchy();
-            for slot in last_stream_worker.iter().chain(last_thread_worker) {
-                let _ = slot.compare_exchange(me, u32::MAX, Ordering::AcqRel, Ordering::Relaxed);
-            }
             if let Some(r) = rec.as_mut() {
                 if let Some((c, Some(rv))) = faults.crash {
                     r.record(ObsEvent::WorkerDown {
@@ -1299,15 +1484,13 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         }
         // Stream-state migration: if another worker touched this
         // stream's state last, its lines are not in our caches. The
-        // previous owner comes stamped on the job when the dispatcher
-        // could determine it (routing decides the processing worker);
-        // otherwise from the shared last-owner slot, whose swap order
-        // is a host-time race.
+        // previous owner always comes stamped on the job — at routing
+        // time when routing decides the processing worker, at claim
+        // resolution when the claim table does (DESIGN.md §17). No
+        // shared last-owner slots, no host-time race.
         let mut s_mig = false;
-        let s = job.stream.0 as usize;
-        if s < last_stream_worker.len() {
+        {
             let prev = match job.prev_stream_owner {
-                PREV_RACY => last_stream_worker[s].swap(me, Ordering::AcqRel),
                 PREV_NONE => u32::MAX,
                 p => p,
             };
@@ -1329,10 +1512,8 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         } else {
             job.thread
         };
-        let t = tid as usize;
-        if t < last_thread_worker.len() {
+        {
             let prev = match job.prev_thread_owner {
-                PREV_RACY => last_thread_worker[t].swap(me, Ordering::AcqRel),
                 PREV_NONE => u32::MAX,
                 p => p,
             };
@@ -1508,26 +1689,15 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
     };
 
     // Train pops: claim up to `batch` published packets in one ring
-    // operation. The pooled layout stays at 1 — its min-vclock gate must
-    // re-evaluate between packets.
-    let batch = if pooled { 1 } else { cfg.batch.max(1) };
+    // operation. Legal for every layout — pool and steal arbitration
+    // already happened dispatcher-side, so a train pop can never change
+    // an arbitration outcome, only drain what was already decided.
+    let batch = cfg.batch.max(1);
     let mut train: Vec<Job> = Vec::with_capacity(batch);
     'main: loop {
         board.beat(wid);
         stats.max_queue_depth = stats.max_queue_depth.max(my_queue.len());
-        // Shared-pool gate: the modeled system is a work-conserving
-        // multi-server FIFO queue, so the next pooled packet belongs to
-        // the *virtually* least-loaded worker. Without this gate the
-        // host mutex's (unfair) wake order decides who pops, and a
-        // barging thread serializes the pool in virtual time.
-        let may_pop = !pooled
-            || vclock.to_bits()
-                <= vclocks
-                    .iter()
-                    .map(|c| c.load(Ordering::Acquire))
-                    .min()
-                    .unwrap_or(0);
-        if may_pop {
+        {
             let got = if batch > 1 {
                 my_queue.pop_batch(&mut train, batch)
             } else {
@@ -1568,9 +1738,10 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                         }
                         break 'main;
                     }
-                    // A requeued orphan must run on the dead owner's
-                    // stack (its engine holds the session); everything
-                    // else runs on ours (or the shared one).
+                    // A stolen packet or a requeued orphan must run on
+                    // the stack that holds its session (the victim's /
+                    // the dead owner's); everything else runs on ours
+                    // (or the shared one).
                     let stack = if cfg.layout.shared_stack {
                         0
                     } else if job.home_stack != u32::MAX {
@@ -1578,12 +1749,15 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                     } else {
                         wid
                     };
-                    let queue = if pooled { SHARED_QUEUE } else { wid as u32 };
+                    // A claim-table steal reaches us as a job in our own
+                    // ring tagged with the victim it was lifted from.
+                    let stolen = job.stolen_from != u32::MAX;
+                    let queue = if stolen { job.stolen_from } else { wid as u32 };
                     let depth = my_queue.len() as u32;
                     process(
                         job,
                         stack,
-                        false,
+                        stolen,
                         queue,
                         depth,
                         &mut rec,
@@ -1598,77 +1772,6 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
                     );
                 }
                 continue;
-            }
-        }
-        // Own queue empty: under IPS-with-stealing, relieve the deepest
-        // eligible victim — but only one that is *virtually* behind us
-        // (its clock lags ours means its backlog is real work waiting,
-        // not just future arrivals the dispatcher pre-staged). The
-        // decision is the shared `StealPolicy` evaluated over a live
-        // view of the rings and the published virtual clocks.
-        if let Some(sp) = steal {
-            let view = StealView {
-                queues,
-                vclocks,
-                thief: wid,
-                thief_bits: vclock.to_bits(),
-            };
-            if let Some(d) = sp.steal(&view, wid) {
-                let v = d.victim;
-                let mut got = 0;
-                while got < d.max_batch {
-                    match queues[v].pop() {
-                        Some(mut job) => {
-                            // Crashing mid-steal: the stolen packet's
-                            // session lives on the victim's stack — tag
-                            // it so recovery runs it there.
-                            if let Some(c_at) = fatal(vclock, &job) {
-                                if job.home_stack == u32::MAX {
-                                    job.home_stack = v as u32;
-                                }
-                                if let Some(r) = rec.as_mut() {
-                                    r.record(ObsEvent::WorkerDown {
-                                        t_us: c_at,
-                                        worker: wid as u32,
-                                    });
-                                }
-                                board.mark_down(wid);
-                                escrow.lock().push((wid as u32, job));
-                                break 'main;
-                            }
-                            // Stolen packets run on the *victim's* stack
-                            // (that's where the session lives) under its
-                            // lock — the steal handoff.
-                            let depth = queues[v].len() as u32;
-                            let stack = if job.home_stack != u32::MAX {
-                                job.home_stack as usize
-                            } else {
-                                v
-                            };
-                            process(
-                                job,
-                                stack,
-                                true,
-                                v as u32,
-                                depth,
-                                &mut rec,
-                                &mut hier,
-                                &mut stats,
-                                &mut vclock,
-                                &mut slot,
-                                &mut delay,
-                                &mut service,
-                                &mut wait,
-                                &mut outcomes,
-                            );
-                            got += 1;
-                        }
-                        None => break,
-                    }
-                }
-                if got > 0 {
-                    continue;
-                }
             }
         }
         if done.load(Ordering::Acquire) {
@@ -1688,9 +1791,9 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         std::thread::yield_now();
     }
 
-    // Drop out of the min-vclock race so remaining pooled workers never
-    // wait on an exited peer's frozen clock; then let the watchdog know
-    // this thread will never touch a ring again.
+    // Park the published clock at infinity so live snapshot readers
+    // (the serving path) see an exited worker as never-again-busy; then
+    // let the watchdog know this thread will never touch a ring again.
     vclocks[wid].store(f64::INFINITY.to_bits(), Ordering::Release);
     board.mark_exited(wid);
     stats.vclock_us = vclock;
@@ -1701,44 +1804,6 @@ pub(crate) fn worker_loop(ctx: WorkerCtx<'_>) -> WorkerResult {
         wait,
         outcomes,
         rec,
-    }
-}
-
-/// The worker-side [`SchedView`] the steal policy decides through: live
-/// ring occupancy plus the published per-worker virtual clocks. The
-/// thief's own clock comes from its local copy (the published atomic is
-/// updated after each packet, so they agree — this just avoids a
-/// self-load).
-struct StealView<'a> {
-    queues: &'a [RingQueue<Job>],
-    vclocks: &'a [AtomicU64],
-    thief: usize,
-    thief_bits: u64,
-}
-
-impl SchedView for StealView<'_> {
-    fn n_workers(&self) -> usize {
-        self.queues.len()
-    }
-
-    fn is_idle(&self, w: usize) -> bool {
-        self.queues[w].is_empty()
-    }
-
-    fn queue_depth(&self, w: usize) -> usize {
-        self.queues[w].len()
-    }
-
-    fn last_worker(&self, _entity: u32) -> Option<usize> {
-        None
-    }
-
-    fn vclock_bits(&self, w: usize) -> u64 {
-        if w == self.thief {
-            self.thief_bits
-        } else {
-            self.vclocks[w].load(Ordering::Acquire)
-        }
     }
 }
 

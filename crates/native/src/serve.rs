@@ -33,9 +33,19 @@
 //!   JSONL line (wall time and RSS are explicitly host gauges; every
 //!   committed artifact uses only the virtual-domain fields of the
 //!   final [`ServeReport`]).
+//!
+//! All five policy rungs serve. The work-conserving rungs ride the
+//! claim protocol (DESIGN.md §17): a `SharedQueue` steering fallback
+//! (the locking rung) resolves its claimant through a pooled
+//! [`ClaimTable`] and reports the placement back to the front-end,
+//! while a stealing layout (the IPS rung) stages every admitted packet
+//! in a stealing-mode table that arbitrates owner pops against steals
+//! in total virtual order — so batched dequeue, drops, migrations and
+//! steal counts stay a pure function of the seed on every rung.
 
+use std::collections::HashMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use afs_cache::model::pricer::DispatchPricer;
@@ -43,7 +53,10 @@ use afs_core::exec::ExecParams;
 use afs_desim::rng::RngFactory;
 use afs_desim::stats::Welford;
 use afs_obs::ServeSnapshot;
-use afs_sched::{FrontEndKind, FrontEndPlan, FrontEndState, PolicySpec, RouterState, SchedView as _};
+use afs_sched::{
+    Claim, ClaimTable, FrontEndKind, FrontEndPlan, FrontEndState, PolicySpec, Route, RouterState,
+    SchedView as _,
+};
 use afs_xkernel::mt::owner_of;
 use afs_xkernel::{lock_overhead_cycles, ProtocolEngine, StreamId};
 use parking_lot::Mutex;
@@ -284,10 +297,6 @@ pub fn run_serve_with_pinner(
         .map(|_| RingQueue::with_capacity(n.queue_capacity))
         .collect();
 
-    let last_stream_worker: Vec<AtomicU32> = (0..cfg.streams)
-        .map(|_| AtomicU32::new(u32::MAX))
-        .collect();
-    let last_thread_worker: Vec<AtomicU32> = (0..w).map(|_| AtomicU32::new(u32::MAX)).collect();
     let vclocks: Vec<AtomicU64> = (0..w).map(|_| AtomicU64::new(0)).collect();
     let done = AtomicBool::new(false);
     // No faults: recovery is vacuously finished, workers only gate on
@@ -308,7 +317,17 @@ pub fn run_serve_with_pinner(
     // host-scheduling hiccup that drains the pool deeper than any
     // previous instant.
     let batch = n.batch.max(1);
-    let max_bufs = w * n.queue_capacity + w * batch + 64;
+    // A stealing layout stages admitted packets (buffers and all) in
+    // the claim table until the model resolves their claimant, so its
+    // in-flight buffer population can transiently reach a second ring's
+    // worth on top of the physical rings. The other rungs keep the
+    // original sizing — the allocation-free pin in `tests/alloc_free.rs`
+    // measures exactly that footprint.
+    let max_bufs = if n.layout.steal.is_some() {
+        2 * w * n.queue_capacity + w * batch + 64
+    } else {
+        w * n.queue_capacity + w * batch + 64
+    };
     let pool: RingQueue<Vec<u8>> = RingQueue::with_capacity(max_bufs);
     for _ in 0..max_bufs {
         pool.push(Vec::with_capacity(cfg.payload_bytes + 64))
@@ -343,8 +362,6 @@ pub fn run_serve_with_pinner(
                 pinner,
                 engines: &engines,
                 queues: &queues,
-                last_stream_worker: &last_stream_worker,
-                last_thread_worker: &last_thread_worker,
                 vclocks: &vclocks,
                 done: &done,
                 lock_cycles,
@@ -383,14 +400,59 @@ pub fn run_serve_with_pinner(
         let mut run_flow = u32::MAX;
         let mut run_target = 0usize;
         let mut run_reusable = false;
-        // Serving always routes into per-worker rings with no thieves
-        // and no fault plan, so the dispatcher knows every stream's and
-        // thread's previous owner deterministically (see
-        // `Job::prev_stream_owner`) — results are a pure function of
-        // the workload, batched or not.
-        debug_assert!(n.layout.steal.is_none());
+        // Serving routes into per-worker rings with no fault plan, and
+        // every placement — NIC hit, pooled claim, steal — is decided
+        // dispatcher-side in virtual order, so the dispatcher knows
+        // every stream's and thread's previous owner deterministically
+        // (see `Job::prev_stream_owner`) — results are a pure function
+        // of the workload, batched or not.
         let mut prev_stream_tbl: Vec<u32> = vec![PREV_NONE; cfg.streams as usize];
         let mut prev_thread_tbl: Vec<u32> = vec![PREV_NONE; w];
+        // Claim arbitration for the work-conserving rungs (DESIGN.md
+        // §17): pooled for a `SharedQueue` steering fallback, stealing
+        // for an IPS layout. `None` for the NIC-owns-placement rungs.
+        let mut claims: Option<ClaimTable> = if n.layout.pooled_queue {
+            Some(ClaimTable::pooled(w, pricer.t_warm_us()))
+        } else {
+            n.layout
+                .steal
+                .map(|sp| ClaimTable::stealing(w, pricer.t_warm_us(), sp))
+        };
+        let steal_mode = n.layout.steal.is_some();
+        let mut staged: HashMap<u64, Job> = HashMap::new();
+        let mut resolved: Vec<Claim> = Vec::new();
+        // Deliver one resolved claim: stamp the staged job's previous
+        // owners in claim order and push it onto the claimant's ring
+        // (blocking push — admitted packets are never lost).
+        let deliver = |c: &Claim,
+                       staged: &mut HashMap<u64, Job>,
+                       prev_stream_tbl: &mut [u32],
+                       prev_thread_tbl: &mut [u32]| {
+            let mut job = staged
+                .remove(&c.seq)
+                .expect("claim resolved for a job that was never staged");
+            if let Some(victim) = c.victim {
+                job.stolen_from = victim as u32;
+            }
+            let claimant = c.claimant;
+            {
+                let slot = &mut prev_stream_tbl[job.stream.0 as usize];
+                job.prev_stream_owner = *slot;
+                *slot = claimant as u32;
+                let tslot = &mut prev_thread_tbl[claimant];
+                job.prev_thread_owner = *tslot;
+                *tslot = claimant as u32;
+            }
+            loop {
+                match queues[claimant].push(job) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        job = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        };
 
         for seq in 0..cfg.total_packets {
             // A spent buffer from the pre-minted population. With every
@@ -423,33 +485,64 @@ pub fn run_serve_with_pinner(
                     }
                 }
             }
-            let target = if fuse && stream.0 == run_flow && run_reusable {
-                run_target
+            let route = if fuse && stream.0 == run_flow && run_reusable {
+                Route::Worker(run_target)
             } else {
                 let misses_before = fes.table_misses();
-                let p = fes.route(
+                let r = fes.route_flow(
                     &rstate.view_at(arrival_us),
                     stream.0,
                     &mut |n| place.gen_range(0..n),
                     &pricer,
                 );
-                run_flow = stream.0;
-                run_target = p;
-                run_reusable = match plan.config.kind {
-                    FrontEndKind::Rss | FrontEndKind::TransportFriendly => true,
-                    FrontEndKind::FlowDirector => fes.table_misses() == misses_before,
-                };
-                p
+                match r {
+                    Route::Worker(p) => {
+                        run_flow = stream.0;
+                        run_target = p;
+                        run_reusable = match plan.config.kind {
+                            FrontEndKind::Rss | FrontEndKind::TransportFriendly => true,
+                            FrontEndKind::FlowDirector => fes.table_misses() == misses_before,
+                        };
+                    }
+                    // A pooled-fallback miss names no worker — nothing
+                    // to fuse; the claim table decides per packet.
+                    Route::Shared => run_flow = u32::MAX,
+                }
+                r
             };
 
-            // Virtual-domain taildrop: the steered worker's modeled
-            // backlog is full, so the NIC drops at the tail. The buffer
-            // goes straight back to the pool; nothing downstream ever
-            // sees the packet.
-            if rstate.view_at(arrival_us).queue_depth(target) >= n.queue_capacity {
-                dropped += 1;
-                let _ = pool.push(buf);
-            } else {
+            // Virtual-domain taildrop, per route flavor: a NIC-steered
+            // packet drops when its worker's modeled backlog is full; a
+            // shared-pool packet drops only when even the least-loaded
+            // worker's modeled backlog is full (a work-conserving pool
+            // saturates only when everyone does).
+            let placement: Option<usize> = match route {
+                Route::Worker(target) => {
+                    if rstate.view_at(arrival_us).queue_depth(target) >= n.queue_capacity {
+                        None
+                    } else {
+                        Some(target)
+                    }
+                }
+                Route::Shared => {
+                    let tbl = claims
+                        .as_mut()
+                        .expect("a SharedQueue fallback requires the pooled rung");
+                    if tbl.min_model_depth(arrival_us) >= n.queue_capacity {
+                        None
+                    } else {
+                        // Pooled claims resolve immediately; report the
+                        // claimant back so the steering memory and the
+                        // rebind ledger see the actual placement.
+                        resolved.clear();
+                        tbl.offer(seq, 0, arrival_us, &mut resolved);
+                        let claimant = resolved[0].claimant;
+                        fes.note_placement(stream.0, claimant);
+                        Some(claimant)
+                    }
+                }
+            };
+            if let Some(target) = placement {
                 rstate.note_routed(stream.0, target, arrival_us);
                 if fes.wants_completion_feedback() {
                     if feedback.len() >= feedback_cap {
@@ -468,44 +561,72 @@ pub fn run_serve_with_pinner(
                     )));
                 }
                 admitted += 1;
-                let prev_s = {
-                    let slot = &mut prev_stream_tbl[stream.0 as usize];
-                    let p = *slot;
-                    *slot = target as u32;
-                    p
+                // Under per-worker stacks the folded session lives on
+                // its owner's engine — the packet runs there whoever
+                // drains it (steals pay that stack's lock).
+                let home = if shared_stack {
+                    u32::MAX
+                } else {
+                    owner_of(StreamId(stream.0 % sessions as u32), w) as u32
                 };
-                let prev_t = {
-                    let slot = &mut prev_thread_tbl[target];
-                    let p = *slot;
-                    *slot = target as u32;
-                    p
-                };
-                let mut job = Job {
+                let job = Job {
                     bytes: buf,
                     stream,
                     arrival_us,
                     seq,
                     thread: u32::MAX,
                     record: offered > cfg.warmup_packets,
-                    home_stack: u32::MAX,
-                    prev_stream_owner: prev_s,
-                    prev_thread_owner: prev_t,
+                    home_stack: home,
+                    prev_stream_owner: PREV_NONE,
+                    prev_thread_owner: PREV_NONE,
+                    stolen_from: u32::MAX,
                 };
-                // Admitted ⇒ delivered to the ring: blocking push is the
-                // backpressure half of the degradation contract.
-                loop {
-                    match queues[target].push(job) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            job = back;
-                            std::thread::yield_now();
+                if steal_mode {
+                    // Stage on the steered owner's model queue; the
+                    // table arbitrates owner pops against steals and
+                    // `deliver` pushes each resolution in claim order.
+                    let tbl = claims.as_mut().expect("steal mode has a claim table");
+                    staged.insert(seq, job);
+                    resolved.clear();
+                    tbl.offer(seq, target, arrival_us, &mut resolved);
+                    for c in &resolved {
+                        deliver(c, &mut staged, &mut prev_stream_tbl, &mut prev_thread_tbl);
+                    }
+                } else {
+                    if let (Some(tbl), Route::Worker(_)) = (claims.as_mut(), route) {
+                        // A NIC steering hit bypassed the pool: charge
+                        // the pooled model anyway so later claims
+                        // arbitrate over the worker's real modeled load.
+                        tbl.note_assigned(target, arrival_us);
+                    }
+                    let mut job = job;
+                    {
+                        let slot = &mut prev_stream_tbl[stream.0 as usize];
+                        job.prev_stream_owner = *slot;
+                        *slot = target as u32;
+                        let tslot = &mut prev_thread_tbl[target];
+                        job.prev_thread_owner = *tslot;
+                        *tslot = target as u32;
+                    }
+                    // Admitted ⇒ delivered to the ring: blocking push is
+                    // the backpressure half of the degradation contract.
+                    loop {
+                        match queues[target].push(job) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                job = back;
+                                std::thread::yield_now();
+                            }
                         }
                     }
                 }
+            } else {
+                dropped += 1;
+                let _ = pool.push(buf);
             }
 
             if let Some(every) = cfg.snapshot_every {
-                if every > 0 && offered % every == 0 {
+                if every > 0 && offered.is_multiple_of(every) {
                     if let Some(out) = sink.as_deref_mut() {
                         let snap = snapshot(
                             t0,
@@ -523,6 +644,16 @@ pub fn run_serve_with_pinner(
                     }
                 }
             }
+        }
+        // End of the offered stream: no future arrival can change the
+        // model, so every staged packet resolves now.
+        if let Some(tbl) = claims.as_mut() {
+            resolved.clear();
+            tbl.flush(&mut resolved);
+            for c in &resolved {
+                deliver(c, &mut staged, &mut prev_stream_tbl, &mut prev_thread_tbl);
+            }
+            debug_assert!(staged.is_empty(), "claim flush left packets staged");
         }
         done.store(true, Ordering::Release);
         fe_table_misses = fes.table_misses();
@@ -550,7 +681,7 @@ pub fn run_serve_with_pinner(
     let processed = progress.load(Ordering::Relaxed);
     // Emit a closing snapshot so a streamed log always ends on the
     // final ledger.
-    if let (Some(out), Some(_)) = (sink.as_deref_mut(), cfg.snapshot_every) {
+    if let (Some(out), Some(_)) = (sink, cfg.snapshot_every) {
         let mut snap = snapshot(
             t0,
             offered,
@@ -645,12 +776,14 @@ mod tests {
 
     #[test]
     fn ledger_balances_for_every_frontend_and_fallback() {
+        // All five policy rungs, including the claim-arbitrated
+        // locking pool and IPS stealing (DESIGN.md §17).
         for kind in [
             FrontEndKind::Rss,
             FrontEndKind::FlowDirector,
             FrontEndKind::TransportFriendly,
         ] {
-            for policy in [PolicySpec::Oblivious, PolicySpec::MruLoad, PolicySpec::MinReload] {
+            for policy in PolicySpec::ALL {
                 let cfg = small(kind, policy);
                 let r = run_serve_with_pinner(&cfg, None, &NoopPinner);
                 assert!(r.ledger_balanced(), "{kind:?}/{policy:?}: {r:?}");
@@ -685,24 +818,34 @@ mod tests {
 
     #[test]
     fn batching_leaves_the_virtual_results_bit_identical() {
-        let base = {
-            let cfg = small(FrontEndKind::TransportFriendly, PolicySpec::MinReload);
-            run_serve_with_pinner(&cfg, None, &NoopPinner)
-        };
-        for b in [8usize, 64] {
-            let mut cfg = small(FrontEndKind::TransportFriendly, PolicySpec::MinReload);
-            cfg.native.batch = b;
-            let r = run_serve_with_pinner(&cfg, None, &NoopPinner);
-            assert_eq!(r.offered, base.offered);
-            assert_eq!(r.admitted, base.admitted);
-            assert_eq!(r.dropped, base.dropped);
-            assert_eq!(r.outcomes, base.outcomes);
-            assert_eq!(r.recorded, base.recorded);
-            assert_eq!(r.mean_delay_us.to_bits(), base.mean_delay_us.to_bits());
-            assert_eq!(r.mean_service_us.to_bits(), base.mean_service_us.to_bits());
-            assert_eq!(r.makespan_us.to_bits(), base.makespan_us.to_bits());
-            assert_eq!(r.table_misses, base.table_misses);
-            assert_eq!(r.rebinds, base.rebinds);
+        // The claim-arbitrated rungs (Locking's pooled fallback, IPS
+        // stealing) must be exactly as batch-transparent as the
+        // direct-push rungs: resolution happens dispatcher-side, so
+        // train size cannot move a single virtual result.
+        for (kind, policy) in [
+            (FrontEndKind::TransportFriendly, PolicySpec::MinReload),
+            (FrontEndKind::FlowDirector, PolicySpec::Locking),
+            (FrontEndKind::Rss, PolicySpec::Ips),
+        ] {
+            let base = {
+                let cfg = small(kind, policy);
+                run_serve_with_pinner(&cfg, None, &NoopPinner)
+            };
+            for b in [8usize, 64] {
+                let mut cfg = small(kind, policy);
+                cfg.native.batch = b;
+                let r = run_serve_with_pinner(&cfg, None, &NoopPinner);
+                assert_eq!(r.offered, base.offered, "{kind:?}/{policy:?}");
+                assert_eq!(r.admitted, base.admitted, "{kind:?}/{policy:?}");
+                assert_eq!(r.dropped, base.dropped, "{kind:?}/{policy:?}");
+                assert_eq!(r.outcomes, base.outcomes, "{kind:?}/{policy:?}");
+                assert_eq!(r.recorded, base.recorded, "{kind:?}/{policy:?}");
+                assert_eq!(r.mean_delay_us.to_bits(), base.mean_delay_us.to_bits());
+                assert_eq!(r.mean_service_us.to_bits(), base.mean_service_us.to_bits());
+                assert_eq!(r.makespan_us.to_bits(), base.makespan_us.to_bits());
+                assert_eq!(r.table_misses, base.table_misses);
+                assert_eq!(r.rebinds, base.rebinds);
+            }
         }
     }
 

@@ -48,6 +48,10 @@ pub struct Counters {
     pub evicted: u64,
     /// Steal transfers observed.
     pub steals: u64,
+    /// Steal claims resolved by the dispatcher's virtual-order claim
+    /// table (must equal [`Counters::steals`] in a consistent trace:
+    /// every executed steal was arbitrated by exactly one claim).
+    pub steal_claims: u64,
     /// Dispatches flagged as operating on a stolen message (must equal
     /// [`Counters::steals`] in a consistent trace).
     pub stolen_dispatches: u64,
@@ -181,6 +185,9 @@ impl Counters {
                     lane.thread_migrations += 1;
                 }
             }
+            ObsEvent::StealClaim { .. } => {
+                self.steal_claims += 1;
+            }
             ObsEvent::Steal { to, .. } => {
                 self.steals += 1;
                 self.lane(to).steals_in += 1;
@@ -287,6 +294,7 @@ impl Counters {
         self.completed_ok += other.completed_ok;
         self.evicted += other.evicted;
         self.steals += other.steals;
+        self.steal_claims += other.steal_claims;
         self.stolen_dispatches += other.stolen_dispatches;
         self.affinity_hits += other.affinity_hits;
         self.stream_migrations += other.stream_migrations;
@@ -400,6 +408,12 @@ mod tests {
     #[test]
     fn steals_counted_from_steal_events_only() {
         let mut c = Counters::new();
+        c.observe(&ObsEvent::StealClaim {
+            t_us: 0.0,
+            seq: 7,
+            from: 0,
+            to: 1,
+        });
         c.observe(&ObsEvent::Steal {
             t_us: 0.0,
             seq: 7,
@@ -417,6 +431,7 @@ mod tests {
             stolen: true,
         });
         assert_eq!(c.steals, 1);
+        assert_eq!(c.steal_claims, 1);
         assert_eq!(c.stolen_dispatches, 1);
         assert_eq!(c.by_worker[1].steals_in, 1);
     }

@@ -80,6 +80,21 @@ pub enum ObsEvent {
         /// The message was obtained by work stealing.
         stolen: bool,
     },
+    /// The dispatcher's claim table resolved a steal in virtual order:
+    /// message `seq`, queued on `from`, was claimed by thief `to` at
+    /// model start instant `t_us` (native backend). The claim is the
+    /// arbitration *decision*; the matching [`ObsEvent::Steal`] records
+    /// the thief executing it.
+    StealClaim {
+        /// Virtual timestamp (µs): the claim's model start instant.
+        t_us: f64,
+        /// Message sequence number.
+        seq: u64,
+        /// Victim worker (the queue owner).
+        from: u32,
+        /// Claimant (thief) worker.
+        to: u32,
+    },
     /// A message moved between workers by stealing (native backend).
     Steal {
         /// Virtual timestamp (µs) at the thief.
@@ -210,6 +225,7 @@ impl ObsEvent {
         match *self {
             ObsEvent::Enqueue { t_us, .. }
             | ObsEvent::Dispatch { t_us, .. }
+            | ObsEvent::StealClaim { t_us, .. }
             | ObsEvent::Steal { t_us, .. }
             | ObsEvent::Complete { t_us, .. }
             | ObsEvent::Evict { t_us, .. }
@@ -229,6 +245,7 @@ impl ObsEvent {
         match *self {
             ObsEvent::Enqueue { seq, .. }
             | ObsEvent::Dispatch { seq, .. }
+            | ObsEvent::StealClaim { seq, .. }
             | ObsEvent::Steal { seq, .. }
             | ObsEvent::Complete { seq, .. }
             | ObsEvent::Evict { seq, .. }
@@ -246,8 +263,10 @@ impl ObsEvent {
     /// Causal rank used to order events that share a timestamp when
     /// per-worker streams are merged: a front-end steering decision
     /// (table miss, rebind) records before the enqueue it produced, a
-    /// message is enqueued before it is evicted or stolen, stolen before
-    /// dispatched, dispatched (and charged) before completed. Failure
+    /// message is enqueued before it is evicted or stolen, a steal
+    /// *claim* (the dispatcher's virtual-order arbitration decision)
+    /// before the steal executing it, stolen before dispatched,
+    /// dispatched (and charged) before completed. Failure
     /// events slot in causally too: within one message's timestamp an
     /// orphan records before its requeue, and a requeue before any
     /// steal/dispatch of the same message. The *relative* order of the
@@ -264,11 +283,12 @@ impl ObsEvent {
             ObsEvent::WorkerUp { .. } => 5,
             ObsEvent::Orphaned { .. } => 6,
             ObsEvent::Requeue { .. } => 7,
-            ObsEvent::Steal { .. } => 8,
-            ObsEvent::Dispatch { .. } => 9,
-            ObsEvent::CacheCharge { .. } => 10,
-            ObsEvent::QueueDepth { .. } => 11,
-            ObsEvent::Complete { .. } => 12,
+            ObsEvent::StealClaim { .. } => 8,
+            ObsEvent::Steal { .. } => 9,
+            ObsEvent::Dispatch { .. } => 10,
+            ObsEvent::CacheCharge { .. } => 11,
+            ObsEvent::QueueDepth { .. } => 12,
+            ObsEvent::Complete { .. } => 13,
         }
     }
 
@@ -299,6 +319,12 @@ mod tests {
             queue: 0,
             depth: 1,
         };
+        let claim = ObsEvent::StealClaim {
+            t_us: 1.0,
+            seq: 0,
+            from: 0,
+            to: 1,
+        };
         let steal = ObsEvent::Steal {
             t_us: 1.0,
             seq: 0,
@@ -323,8 +349,10 @@ mod tests {
             delay_us: 6.0,
             ok: true,
         };
-        assert!(enq.kind_rank() < steal.kind_rank());
+        assert!(enq.kind_rank() < claim.kind_rank());
+        assert!(claim.kind_rank() < steal.kind_rank());
         assert!(steal.kind_rank() < disp.kind_rank());
+        assert_eq!(claim.seq(), Some(0));
         assert!(disp.kind_rank() < done.kind_rank());
         assert!(enq.merge_key() < done.merge_key());
     }

@@ -41,6 +41,17 @@ pub fn write_event(out: &mut String, ev: &ObsEvent) {
                 "{{\"e\":\"disp\",\"t\":{t_us:.3},\"seq\":{seq},\"stream\":{stream},\"worker\":{worker},\"service\":{service_us:.4},\"smig\":{stream_migrated},\"tmig\":{thread_migrated},\"stolen\":{stolen}}}"
             );
         }
+        ObsEvent::StealClaim {
+            t_us,
+            seq,
+            from,
+            to,
+        } => {
+            let _ = writeln!(
+                out,
+                "{{\"e\":\"claim\",\"t\":{t_us:.3},\"seq\":{seq},\"from\":{from},\"to\":{to}}}"
+            );
+        }
         ObsEvent::Steal {
             t_us,
             seq,

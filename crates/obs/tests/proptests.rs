@@ -116,6 +116,9 @@ fn assert_lifecycle(events: &[ObsEvent]) -> Result<(), TestCaseError> {
                     stolen_dispatch_seqs.insert(seq);
                 }
             }
+            ObsEvent::StealClaim { seq, from, to, .. } => {
+                prop_assert!(from != to, "self-claim of seq {seq}");
+            }
             ObsEvent::Steal { seq, from, to, .. } => {
                 prop_assert!(from != to, "self-steal of seq {seq}");
                 steal_seqs.insert(seq);

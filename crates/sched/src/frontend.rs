@@ -92,10 +92,13 @@ pub struct FrontEndConfig {
 /// A front-end plus the fallback router its table misses route through.
 ///
 /// The fallback is the *policy axis* of the front-end experiments: the
-/// same front-end is swept against oblivious-random, load-bounded-MRU
-/// and priced-min-reload miss paths. It must be a worker-routing
-/// policy — a shared-queue fallback would break the per-queue FIFO
-/// service that front-end mode relies on.
+/// same front-end is swept against oblivious-random, load-bounded-MRU,
+/// priced-min-reload and shared-pool miss paths. A
+/// [`Router::SharedQueue`] fallback hands the missing flow to the
+/// backend's pooled claim arbitration ([`crate::ClaimTable`]) instead
+/// of naming a worker — the claimant is resolved in virtual order and
+/// reported back through [`FrontEndState::note_placement`], which keeps
+/// the rebind ledger (and the transport-friendly pin) exact.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrontEndPlan {
     /// The steering discipline.
@@ -118,15 +121,11 @@ impl FrontEndPlan {
     }
 
     /// Panics unless the plan is internally consistent (positive table
-    /// capacity, worker-routing fallback).
+    /// capacity).
     pub fn validate(&self) {
         assert!(
             self.config.table_capacity >= 1,
             "front-end table capacity must be at least 1"
-        );
-        assert!(
-            !matches!(self.fallback, Router::SharedQueue),
-            "front-end fallback must route to a worker queue, not the shared pool"
         );
     }
 }
@@ -224,21 +223,65 @@ impl FrontEndState {
         self.last_routed(flow)
     }
 
-    fn fallback_worker<V: SchedView + ?Sized>(
-        &self,
+    /// Record that a packet of `flow` was placed on `worker`, updating
+    /// the rebind ledger and the steering memory (the transport-
+    /// friendly pin and the rebind `from` side). Called internally for
+    /// every worker-routed packet; callers resolving a
+    /// [`Route::Shared`] steer through the pooled claim table must call
+    /// it themselves once the claimant is known, so ledger and pin see
+    /// the *actual* placement.
+    pub fn note_placement(&mut self, flow: u32, worker: usize) {
+        let s = flow as usize;
+        if s >= self.last_route.len() {
+            self.last_route.resize(s + 1, UNROUTED);
+        }
+        let prev = self.last_route[s];
+        if prev != UNROUTED && prev as usize != worker {
+            self.rebinds += 1;
+        }
+        self.last_route[s] = worker as u32;
+    }
+
+    /// Steer one packet of `flow`. `draw` is consumed only by a
+    /// randomized fallback router, and only on misses. Steering hits
+    /// always name a worker; a miss through a [`Router::SharedQueue`]
+    /// fallback returns [`Route::Shared`] — the caller resolves the
+    /// claimant (pooled claim arbitration) and reports it back via
+    /// [`FrontEndState::note_placement`].
+    pub fn route_flow<V: SchedView + ?Sized>(
+        &mut self,
         view: &V,
         flow: u32,
         draw: DrawFn,
         pricer: &DispatchPricer,
-    ) -> usize {
-        match self.plan.fallback.route(view, flow, draw, pricer) {
-            Route::Worker(w) => w,
-            Route::Shared => unreachable!("validated fallback never routes to the shared queue"),
+    ) -> Route {
+        let target = match self.plan.config.kind {
+            FrontEndKind::Rss => {
+                let n = view.n_workers();
+                let h = crate::lru::splitmix64(flow as u64 ^ self.plan.config.salt);
+                Route::Worker(next_live(view, (h % n as u64) as usize))
+            }
+            FrontEndKind::FlowDirector => match self.table.get(flow as u64) {
+                Some(w) => Route::Worker(next_live(view, w as usize)),
+                None => self.plan.fallback.route(view, flow, draw, pricer),
+            },
+            FrontEndKind::TransportFriendly => match self.last_routed(flow) {
+                Some(w) => Route::Worker(next_live(view, w)),
+                None => {
+                    self.first_placements += 1;
+                    self.plan.fallback.route(view, flow, draw, pricer)
+                }
+            },
+        };
+        if let Route::Worker(w) = target {
+            self.note_placement(flow, w);
         }
+        target
     }
 
-    /// Steer one packet of `flow` to a worker queue. `draw` is consumed
-    /// only by a randomized fallback router, and only on misses.
+    /// Steer one packet of `flow` to a worker queue — the worker-only
+    /// wrapper over [`FrontEndState::route_flow`] for plans whose
+    /// fallback never routes to the shared pool.
     pub fn route<V: SchedView + ?Sized>(
         &mut self,
         view: &V,
@@ -246,34 +289,13 @@ impl FrontEndState {
         draw: DrawFn,
         pricer: &DispatchPricer,
     ) -> usize {
-        let target = match self.plan.config.kind {
-            FrontEndKind::Rss => {
-                let n = view.n_workers();
-                let h = crate::lru::splitmix64(flow as u64 ^ self.plan.config.salt);
-                next_live(view, (h % n as u64) as usize)
-            }
-            FrontEndKind::FlowDirector => match self.table.get(flow as u64) {
-                Some(w) => next_live(view, w as usize),
-                None => self.fallback_worker(view, flow, draw, pricer),
-            },
-            FrontEndKind::TransportFriendly => match self.last_routed(flow) {
-                Some(w) => next_live(view, w),
-                None => {
-                    self.first_placements += 1;
-                    self.fallback_worker(view, flow, draw, pricer)
-                }
-            },
-        };
-        let s = flow as usize;
-        if s >= self.last_route.len() {
-            self.last_route.resize(s + 1, UNROUTED);
+        match self.route_flow(view, flow, draw, pricer) {
+            Route::Worker(w) => w,
+            Route::Shared => unreachable!(
+                "worker-routing fallback never reaches the shared pool; \
+                 pooled plans must call route_flow"
+            ),
         }
-        let prev = self.last_route[s];
-        if prev != UNROUTED && prev as usize != target {
-            self.rebinds += 1;
-        }
-        self.last_route[s] = target as u32;
-        target
     }
 
     /// Feed one completion back: `worker` finished a packet of `flow`.
@@ -403,12 +425,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shared")]
-    fn shared_queue_fallback_rejected() {
-        FrontEndState::new(FrontEndPlan::new(
+    fn shared_queue_fallback_defers_to_claim_resolution() {
+        let p = pricer();
+        let v = view(4);
+        let mut fe = FrontEndState::new(FrontEndPlan::new(
             FrontEndKind::FlowDirector,
             8,
             Router::SharedQueue,
         ));
+        // Miss: the pooled fallback names no worker — the caller's
+        // claim table decides.
+        assert_eq!(fe.route_flow(&v, 1, &mut no_draw, &p), Route::Shared);
+        assert_eq!(fe.table_misses(), 1);
+        assert_eq!(fe.rebinds, 0);
+        // The caller resolves the claim on worker 2 and reports it.
+        fe.note_placement(1, 2);
+        assert_eq!(fe.previous_route(1), Some(2));
+        // A learned binding steers around the pool; moving placements
+        // still land in the rebind ledger.
+        fe.note_complete(1, 3);
+        assert_eq!(fe.route_flow(&v, 1, &mut no_draw, &p), Route::Worker(3));
+        assert_eq!(fe.rebinds, 1);
     }
 }

@@ -32,6 +32,11 @@
 //! * [`router`] — [`RouterState`], the dispatcher-side deterministic
 //!   virtual-load model the native backend uses to evaluate enqueue-time
 //!   routing policies without consulting racy host queue lengths.
+//! * [`claim`] — [`ClaimTable`], the virtual-order claim protocol that
+//!   makes shared-pool pops and work stealing deterministic: every
+//!   pop/steal becomes a `(start, seq, claimant)` [`Claim`] resolved in
+//!   total virtual order on the dispatcher, so arbitration outcomes are
+//!   pure functions of the arrival stream at any worker count.
 //! * [`lru`] — [`HashedLru`], the deterministic bounded hashed-LRU
 //!   table behind million-flow steering and stream-state caches.
 //! * [`frontend`] — the NIC-dispatch layer ([`FrontEndState`]): RSS
@@ -42,6 +47,7 @@
 //! Decisions are deterministic functions of `(view, entity, draws)`:
 //! same view and same draw results ⇒ same decision, on any backend.
 
+pub mod claim;
 pub mod decision;
 pub mod frontend;
 pub mod lru;
@@ -51,6 +57,7 @@ pub mod router;
 pub mod spec;
 pub mod view;
 
+pub use claim::{Claim, ClaimTable};
 pub use decision::{Assignment, Route, StealDecision, ThreadSource};
 pub use frontend::{FrontEndConfig, FrontEndKind, FrontEndPlan, FrontEndState};
 pub use lru::{splitmix64, HashedLru, LruStats};

@@ -31,8 +31,8 @@ USAGE:
 OPTIONS:
     --workers <N>         worker threads (default 2)
     --streams <N>         flow population size (default 65536)
-    --policy <P>          fallback policy: oblivious | mru-load | min-reload
-                          (default min-reload)
+    --policy <P>          fallback policy: oblivious | locking | ips |
+                          mru-load | min-reload (default min-reload)
     --frontend <F>        NIC front-end: rss | fdir | transport (default fdir)
     --batch <N>           dequeue/dispatch batch bound (default 8)
     --packets <N>         total packets to offer (default 1000000)
@@ -84,11 +84,9 @@ fn parse_policy(s: &str) -> Result<PolicySpec, String> {
     PolicySpec::ALL
         .into_iter()
         .find(|p| p.label() == s)
-        .filter(|p| {
-            let l = p.native_layout();
-            l.steal.is_none() && !l.pooled_queue
+        .ok_or_else(|| {
+            format!("unknown policy '{s}' (use oblivious | locking | ips | mru-load | min-reload)")
         })
-        .ok_or_else(|| format!("unknown or unservable policy '{s}' (use oblivious | mru-load | min-reload)"))
 }
 
 fn parse_frontend(s: &str) -> Result<FrontEndKind, String> {
@@ -132,30 +130,84 @@ fn parse_args() -> Result<Option<Args>, String> {
     while i < argv.len() {
         match argv[i].as_str() {
             "-h" | "--help" => return Ok(None),
-            "--workers" => args.workers = value(&mut i)?.parse().map_err(|e| format!("--workers: {e}"))?,
-            "--streams" => args.streams = value(&mut i)?.parse().map_err(|e| format!("--streams: {e}"))?,
+            "--workers" => {
+                args.workers = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--streams" => {
+                args.streams = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--streams: {e}"))?
+            }
             "--policy" => args.policy = parse_policy(&value(&mut i)?)?,
             "--frontend" => args.frontend = parse_frontend(&value(&mut i)?)?,
-            "--batch" => args.batch = value(&mut i)?.parse().map_err(|e| format!("--batch: {e}"))?,
-            "--packets" => args.packets = value(&mut i)?.parse().map_err(|e| format!("--packets: {e}"))?,
-            "--seconds" => args.seconds = Some(value(&mut i)?.parse().map_err(|e| format!("--seconds: {e}"))?),
-            "--warmup" => args.warmup = Some(value(&mut i)?.parse().map_err(|e| format!("--warmup: {e}"))?),
+            "--batch" => {
+                args.batch = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--packets" => {
+                args.packets = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--packets: {e}"))?
+            }
+            "--seconds" => {
+                args.seconds = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--seconds: {e}"))?,
+                )
+            }
+            "--warmup" => {
+                args.warmup = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--warmup: {e}"))?,
+                )
+            }
             "--load" => args.load = value(&mut i)?.parse().map_err(|e| format!("--load: {e}"))?,
             "--pps" => args.pps = Some(value(&mut i)?.parse().map_err(|e| format!("--pps: {e}"))?),
-            "--alpha" => args.alpha = value(&mut i)?.parse().map_err(|e| format!("--alpha: {e}"))?,
-            "--batch-mean" => args.batch_mean = value(&mut i)?.parse().map_err(|e| format!("--batch-mean: {e}"))?,
-            "--payload" => args.payload = value(&mut i)?.parse().map_err(|e| format!("--payload: {e}"))?,
-            "--queue-capacity" => {
-                args.queue_capacity = Some(value(&mut i)?.parse().map_err(|e| format!("--queue-capacity: {e}"))?)
+            "--alpha" => {
+                args.alpha = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?
             }
-            "--seed" => args.seed = Some(value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--batch-mean" => {
+                args.batch_mean = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--batch-mean: {e}"))?
+            }
+            "--payload" => {
+                args.payload = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--payload: {e}"))?
+            }
+            "--queue-capacity" => {
+                args.queue_capacity = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--queue-capacity: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = Some(value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
             "--pin" => args.pin = true,
             "--snapshot-every" => {
-                args.snapshot_every = Some(value(&mut i)?.parse().map_err(|e| format!("--snapshot-every: {e}"))?)
+                args.snapshot_every = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--snapshot-every: {e}"))?,
+                )
             }
             "--snapshot-out" => args.snapshot_out = Some(value(&mut i)?),
             "--gate" => args.gate = Some(value(&mut i)?),
-            "--gate-frac" => args.gate_frac = value(&mut i)?.parse().map_err(|e| format!("--gate-frac: {e}"))?,
+            "--gate-frac" => {
+                args.gate_frac = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--gate-frac: {e}"))?
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
         i += 1;
@@ -171,7 +223,12 @@ fn parse_args() -> Result<Option<Args>, String> {
 fn baseline_serve_pkts_per_s(path: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let tail = text.split("\"native_serve_pkts_per_wall_s\":").nth(1)?;
-    tail.trim_start().split([',', '}']).next()?.trim().parse().ok()
+    tail.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
 }
 
 fn main() -> ExitCode {

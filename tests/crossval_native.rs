@@ -86,10 +86,17 @@ fn backends_agree_on_policy_structure() {
         );
 
         // Migration telemetry: the shared-stack policies bounce stream
-        // state across workers; IPS pins it modulo rare steals.
+        // state across workers; IPS pins it modulo rare steals. The
+        // bound is looser than it was under the host-racy engine: the
+        // virtual-order claim protocol (DESIGN.md §17) both calms the
+        // shared-stack rungs (the pooled claimant is the argmin of the
+        // model clocks, not whichever worker won a ring race) and
+        // resolves steals against modeled backlog instead of
+        // host-observed ring occupancy, so the deterministic ratio sits
+        // near ~5-7x rather than the racy engine's >10x.
         let ips_migr = nat_ips.stream_migrations.max(1);
         assert!(
-            nat_obl.stream_migrations > 10 * ips_migr && nat_lck.stream_migrations > 10 * ips_migr,
+            nat_obl.stream_migrations > 4 * ips_migr && nat_lck.stream_migrations > 4 * ips_migr,
             "migration telemetry inverted: obl {} lck {} ips {}",
             nat_obl.stream_migrations,
             nat_lck.stream_migrations,

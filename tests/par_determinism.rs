@@ -40,6 +40,11 @@ fn assert_reports_identical(a: &RunReport, b: &RunReport, ctx: &str) {
             a.stream_migration_rate,
             b.stream_migration_rate,
         ),
+        (
+            "thread_migration_rate",
+            a.thread_migration_rate,
+            b.thread_migration_rate,
+        ),
     ] {
         assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: {name} drifted");
     }
@@ -177,6 +182,47 @@ fn ext25_stream_matrix_parallel_is_bit_identical() {
                     a.frontend.label(),
                     a.policy
                 ),
+            );
+        }
+    }
+}
+
+/// The native backend's arbitration telemetry under executor fan-out:
+/// `stream_migrations` and the steal counter are resolved by the
+/// virtual-order claim protocol (DESIGN.md §17), so a native cell is a
+/// pure function of its config — running the claim-arbitrated rungs at
+/// every backend worker count in {1, 2, 4, 8} inside the parallel
+/// executor must reproduce the serial counters bit-for-bit for any
+/// `AFS_JOBS` worker count.
+#[test]
+fn native_claim_telemetry_parallel_is_bit_identical() {
+    use affinity_sched::core::par::parallel_map_jobs;
+    use affinity_sched::native::{run_native, zipf_workload, NativeConfig, Pinning, PolicySpec};
+
+    let cells: Vec<(PolicySpec, usize)> = [PolicySpec::Locking, PolicySpec::Ips]
+        .into_iter()
+        .flat_map(|p| [1usize, 2, 4, 8].map(|w| (p, w)))
+        .collect();
+    let run_cell = |&(policy, workers): &(PolicySpec, usize)| {
+        let mut cfg = NativeConfig::new(workers, policy);
+        cfg.pinning = Pinning::Off;
+        cfg.seed = 0xC1A1;
+        let r = run_native(
+            &cfg,
+            zipf_workload(64, 1_500, 30_000.0, 1.1, 4.0, None, 64, 0xC1A1),
+        );
+        (r.stream_migrations, r.steals, r.outcomes)
+    };
+    let serial: Vec<_> = cells.iter().map(run_cell).collect();
+    // Non-vacuous: the grid actually migrates and steals somewhere.
+    assert!(serial.iter().any(|&(m, _, _)| m > 0), "no migrations");
+    assert!(serial.iter().any(|&(_, s, _)| s > 0), "no steals");
+    for jobs in JOB_COUNTS {
+        let par = parallel_map_jobs(jobs, &cells, run_cell);
+        for (((policy, workers), a), b) in cells.iter().zip(&serial).zip(&par) {
+            assert_eq!(
+                a, b,
+                "{policy:?} w={workers} jobs={jobs}: claim telemetry drifted"
             );
         }
     }
